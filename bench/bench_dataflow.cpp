@@ -1,0 +1,129 @@
+// Sections 2 and 4: the untimed dataflow layer. Dynamic scheduler
+// throughput (firing-rule polling) vs statically scheduled SDF execution
+// (Lee/Messerschmitt), and the central-control-vs-data-driven comparison
+// DESIGN.md lists: the same processing done by dataflow processes vs by
+// the cycle-scheduled VLIW.
+#include <benchmark/benchmark.h>
+
+#include "df/dynsched.h"
+#include "df/process.h"
+#include "df/sdf.h"
+#include "dect/vliw.h"
+
+using namespace asicpp;
+using namespace asicpp::df;
+
+namespace {
+
+struct Chain {
+  Queue q0{"q0"}, q1{"q1"}, q2{"q2"}, q3{"q3"};
+  FnProcess src{"src", [](const std::vector<Token>&, std::vector<Token>& o) {
+    o.emplace_back(1.0);
+  }};
+  FnProcess a{"a", [](const std::vector<Token>& i, std::vector<Token>& o) {
+    o.push_back(i[0] + Token(1.0));
+  }};
+  FnProcess b{"b", [](const std::vector<Token>& i, std::vector<Token>& o) {
+    o.push_back(i[0] * Token(2.0));
+  }};
+  FnProcess snk{"snk", [](const std::vector<Token>&, std::vector<Token>&) {}};
+
+  Chain() {
+    src.connect_out(q0);
+    a.connect_in(q0);
+    a.connect_out(q1);
+    b.connect_in(q1);
+    b.connect_out(q2);
+    snk.connect_in(q2);
+  }
+};
+
+void BM_Dataflow_DynamicScheduler(benchmark::State& state) {
+  Chain c;
+  DynamicScheduler sched;
+  sched.add(c.src);
+  sched.add(c.a);
+  sched.add(c.b);
+  sched.add(c.snk);
+  for (auto _ : state) {
+    c.src.run_once();
+    sched.run(16);
+  }
+  state.counters["firings/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 4), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dataflow_DynamicScheduler);
+
+void BM_Dataflow_StaticSchedule(benchmark::State& state) {
+  // Precompute the SDF schedule once, replay without firing-rule checks.
+  Chain c;
+  SdfGraph g;
+  const int src = g.add_actor("src");
+  const int a = g.add_actor("a");
+  const int b = g.add_actor("b");
+  const int snk = g.add_actor("snk");
+  g.add_edge(src, 1, a, 1);
+  g.add_edge(a, 1, b, 1);
+  g.add_edge(b, 1, snk, 1);
+  const auto sched = g.static_schedule();
+  std::vector<Process*> actors{&c.src, &c.a, &c.b, &c.snk};
+  for (auto _ : state) {
+    for (const int f : sched.firings) actors[static_cast<std::size_t>(f)]->run_once();
+  }
+  state.counters["firings/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * sched.firings.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dataflow_StaticSchedule);
+
+void BM_Dataflow_SdfAnalysis(benchmark::State& state) {
+  // Cost of the balance-equation solve + class-S scheduling for a
+  // multirate graph.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SdfGraph g;
+    for (int i = 0; i < n; ++i) g.add_actor("a" + std::to_string(i));
+    for (int i = 0; i + 1 < n; ++i)
+      g.add_edge(i, static_cast<std::size_t>(1 + i % 3), i + 1,
+                 static_cast<std::size_t>(1 + (i + 1) % 2));
+    benchmark::DoNotOptimize(g.static_schedule().firings.size());
+  }
+}
+BENCHMARK(BM_Dataflow_SdfAnalysis)->Arg(4)->Arg(8)->Arg(16);
+
+// Architecture comparison (section 3.3): the same MAC workload on the
+// data-driven (dataflow) model vs the centrally controlled VLIW model.
+void BM_Dataflow_MacWorkload_DataDriven(benchmark::State& state) {
+  Queue qi{"qi"}, qo{"qo"};
+  double acc = 0.0;
+  FnProcess mac{"mac", [&acc](const std::vector<Token>& i, std::vector<Token>& o) {
+    acc += i[0].value() * 0.625;
+    o.emplace_back(acc);
+  }};
+  mac.connect_in(qi);
+  mac.connect_out(qo);
+  for (auto _ : state) {
+    qi.push(Token(1.5));
+    mac.run_once();
+    qo.pop();
+  }
+  state.counters["macs/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dataflow_MacWorkload_DataDriven);
+
+void BM_Dataflow_MacWorkload_CentralControl(benchmark::State& state) {
+  dect::VliwParams p;
+  p.num_datapaths = 1;
+  p.num_rams = 0;
+  dect::DectTransceiver t(p);
+  t.drive_sample(1.5);
+  for (auto _ : state) t.run(1);
+  state.counters["macs/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dataflow_MacWorkload_CentralControl);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Fig 1: the DECT base-station configuration — burst through the
+// multipath radio link into the equalizer and on to the wire-link driver.
+// Prints the BER series the system-level (untimed dataflow) model
+// produces across channel conditions, then measures burst throughput.
+#include <benchmark/benchmark.h>
+
+#include "dect/link.h"
+
+using namespace asicpp;
+using dect::LinkSimulation;
+
+namespace {
+
+void BM_Fig1_BurstPipeline(benchmark::State& state) {
+  const bool equalize = state.range(0) != 0;
+  for (auto _ : state) {
+    LinkSimulation sim(240, 1, 0.8, 1, 0.1, equalize, 7);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.counters["bursts/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig1_BurstPipeline)->Arg(0)->Arg(1);
+
+void BM_Fig1_EqualizerOnly(benchmark::State& state) {
+  // LMS training + slicing cost per burst.
+  LinkSimulation sim(240, 1, 0.8, 1, 0.1, true, 7);
+  for (auto _ : state) {
+    LinkSimulation s(240, 1, 0.8, 1, 0.1, true, 7);
+    benchmark::DoNotOptimize(s.run());
+  }
+}
+BENCHMARK(BM_Fig1_EqualizerOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Fig 1: payload BER vs multipath echo (noise rms 0.12) ==\n");
+  std::printf("%-8s %-14s %-14s\n", "echo", "hard slicer", "LMS equalizer");
+  for (const double echo : {0.0, 0.3, 0.6, 0.9, 1.2}) {
+    LinkSimulation raw(240, 16, echo, 1, 0.12, false, 21);
+    LinkSimulation eq(240, 16, echo, 1, 0.12, true, 21);
+    std::printf("%-8.1f %-14.4f %-14.4f\n", echo, raw.run(), eq.run());
+  }
+  std::printf("(expected shape: slicer degrades sharply with echo; the\n"
+              " equalizer holds the link — the reason the ASIC equalizes)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig 3: the sig construction class. Cost of building the SFG data
+// structure through operator overloading, and of evaluating it
+// interpreted (with memoization) vs through a compiled tape.
+#include <benchmark/benchmark.h>
+
+#include "sched/cyclesched.h"
+#include "sched/fsmcomp.h"
+#include "sfg/clk.h"
+#include "sfg/eval.h"
+#include "sfg/sfg.h"
+#include "sim/compiled.h"
+
+using namespace asicpp;
+using namespace asicpp::sfg;
+
+namespace {
+
+const fixpt::Format kF{16, 7, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+
+Sig build_expr(const Sig& a, const Sig& b, int depth) {
+  Sig e = a;
+  for (int i = 0; i < depth; ++i) e = mux(e > b, e + b, e * b) - (e >> 1);
+  return e;
+}
+
+void BM_Sig_DagConstruction(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Sig a = Sig::input("a", kF);
+  Sig b = Sig::input("b", kF);
+  for (auto _ : state) {
+    Sig e = build_expr(a, b, depth);
+    benchmark::DoNotOptimize(e.node().get());
+  }
+  state.counters["nodes"] = static_cast<double>(depth * 5);
+}
+BENCHMARK(BM_Sig_DagConstruction)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Sig_InterpretedEval(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Sig a = Sig::input("a", kF);
+  Sig b = Sig::input("b", kF);
+  a.node()->value = fixpt::Fixed(1.5);
+  b.node()->value = fixpt::Fixed(0.25);
+  Sig e = build_expr(a, b, depth);
+  for (auto _ : state) benchmark::DoNotOptimize(eval(e.node(), new_eval_stamp()));
+  state.counters["evals/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sig_InterpretedEval)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Sig_CompiledEval(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Clk clk;
+  sched::CycleScheduler sched(clk);
+  Reg seed("seed", clk, kF, 1.5);
+  Sig b = Sig::input("b", kF);
+  Sfg s("expr");
+  s.in(b).out("y", build_expr(seed.sig(), b, depth));
+  s.set_input("b", fixpt::Fixed(0.25));
+  sched::SfgComponent comp("c", s);
+  comp.bind_output("y", sched.net("y"));
+  sched.add(comp);
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(sched);
+  for (auto _ : state) cs.cycle();
+  state.counters["evals/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sig_CompiledEval)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

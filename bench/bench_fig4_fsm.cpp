@@ -1,0 +1,72 @@
+// Fig 4: the C++ FSM description. Construction cost and transition-
+// selection throughput as the machine grows, plus the compactness the
+// figure illustrates (the same machine described in three lines).
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "fsm/fsm.h"
+#include "sfg/clk.h"
+
+using namespace asicpp;
+using namespace asicpp::fsm;
+using sfg::Clk;
+using sfg::Reg;
+using sfg::Sfg;
+using sfg::Sig;
+
+namespace {
+
+const fixpt::Format kF{16, 7, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+
+struct Ring {
+  Clk clk;
+  Reg mode{"mode", clk, fixpt::Format{1, 1, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap}, 0.0};
+  Reg count{"count", clk, kF, 0.0};
+  Sfg bump{"bump"};
+  std::unique_ptr<Fsm> f;
+
+  explicit Ring(int n) {
+    bump.assign(count, count + 1.0);
+    f = std::make_unique<Fsm>("ring");
+    std::vector<State> st;
+    st.push_back(f->initial("s0"));
+    for (int i = 1; i < n; ++i) st.push_back(f->state("s" + std::to_string(i)));
+    for (int i = 0; i < n; ++i) {
+      // Two guarded transitions per state: realistic selection cost.
+      st[static_cast<std::size_t>(i)]
+          << cnd(mode) << bump << st[static_cast<std::size_t>((i + 2) % n)];
+      st[static_cast<std::size_t>(i)]
+          << always << bump << st[static_cast<std::size_t>((i + 1) % n)];
+    }
+  }
+};
+
+void BM_Fsm_Construction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Ring r(n);
+    benchmark::DoNotOptimize(r.f->num_states());
+  }
+  state.counters["states"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fsm_Construction)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Fsm_StepThroughput(benchmark::State& state) {
+  Ring r(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(r.f->step());
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fsm_StepThroughput)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Fsm_CheckDiagnostics(benchmark::State& state) {
+  Ring r(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(r.f->check());
+}
+BENCHMARK(BM_Fsm_CheckDiagnostics)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Fig 5: the transceiver architecture — one controller, the program
+// counter machinery, N datapaths, RAM cells. Simulation throughput as the
+// datapath count grows to the paper's 22, interpreted vs compiled.
+#include <benchmark/benchmark.h>
+
+#include "dect/vliw.h"
+#include "sim/compiled.h"
+
+using namespace asicpp;
+using dect::DectTransceiver;
+using dect::VliwParams;
+
+namespace {
+
+VliwParams params_for(int ndp) {
+  VliwParams p;
+  p.num_datapaths = ndp;
+  p.num_rams = std::min(7, ndp);
+  p.rom_length = 48;
+  return p;
+}
+
+void BM_Fig5_Interpreted(benchmark::State& state) {
+  DectTransceiver t(params_for(static_cast<int>(state.range(0))));
+  t.drive_sample(0.5);
+  for (auto _ : state) t.run(1);
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["datapaths"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig5_Interpreted)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(22);
+
+void BM_Fig5_Compiled(benchmark::State& state) {
+  DectTransceiver t(params_for(static_cast<int>(state.range(0))));
+  t.drive_sample(0.5);
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(t.scheduler());
+  for (auto _ : state) cs.cycle();
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["datapaths"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig5_Compiled)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(22);
+
+// DECT real-time context: 29 symbols allowed latency, 152 multiplies per
+// symbol (section 1). At S = 1.152 Msym/s the paper's chip needs ~175 M
+// multiplies/s; this prints how many simulated cycles/s our models reach.
+void BM_Fig5_FullConfigMacRate(benchmark::State& state) {
+  DectTransceiver t(params_for(22));
+  t.drive_sample(0.5);
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(t.scheduler());
+  for (auto _ : state) cs.cycle();
+  // ~1 multiply per datapath per cycle when executing (upper bound).
+  state.counters["sim_macs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 22), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig5_FullConfigMacRate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

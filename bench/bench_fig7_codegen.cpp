@@ -1,0 +1,86 @@
+// Fig 7: code generation and simulation strategy. The same description
+// runs interpreted (data structure walked by the simulator) and compiled
+// (regenerated as an application-specific simulator); code generators are
+// timed as well — C++ regeneration and HDL generation from the same data
+// structure.
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "dect/hcor.h"
+#include "hdl/hdlgen.h"
+#include "sim/compiled.h"
+
+using namespace asicpp;
+using dect::Hcor;
+
+namespace {
+
+void BM_Fig7_InterpretedSimulation(benchmark::State& state) {
+  Hcor h;
+  h.scheduler().net("rx").drive(fixpt::Fixed(1.0));
+  for (auto _ : state) h.scheduler().cycle();
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig7_InterpretedSimulation);
+
+void BM_Fig7_CompiledSimulation(benchmark::State& state) {
+  Hcor h;
+  h.scheduler().net("rx").drive(fixpt::Fixed(1.0));
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(h.scheduler());
+  for (auto _ : state) cs.cycle();
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig7_CompiledSimulation);
+
+void BM_Fig7_CompileToTape(benchmark::State& state) {
+  Hcor h;
+  for (auto _ : state) {
+    sim::CompiledSystem cs = sim::CompiledSystem::compile(h.scheduler());
+    benchmark::DoNotOptimize(cs.footprint_bytes());
+  }
+  state.counters["compiles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig7_CompileToTape);
+
+void BM_Fig7_EmitCppSource(benchmark::State& state) {
+  Hcor h;
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(h.scheduler());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    cs.emit_cpp(os, {"detect"}, 1000);
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["src_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_Fig7_EmitCppSource);
+
+void BM_Fig7_GenerateVhdl(benchmark::State& state) {
+  Hcor h;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto unit = hdl::generate_component(hdl::Dialect::kVhdl, h.component());
+    bytes = unit.full.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["vhdl_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_Fig7_GenerateVhdl);
+
+void BM_Fig7_GenerateVerilog(benchmark::State& state) {
+  Hcor h;
+  for (auto _ : state) {
+    const auto unit = hdl::generate_component(hdl::Dialect::kVerilog, h.component());
+    benchmark::DoNotOptimize(unit.full.size());
+  }
+}
+BENCHMARK(BM_Fig7_GenerateVerilog);
+
+}  // namespace
+
+BENCHMARK_MAIN();

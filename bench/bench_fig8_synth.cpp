@@ -1,0 +1,210 @@
+// Fig 8: hardware synthesis strategy. Times the divide-and-conquer flow —
+// datapath synthesis (the paper's Cathedral-3 ran <15 min for the
+// 57-instruction datapath), controller synthesis under each state
+// encoding, gate-level post-optimization, and verification generation
+// (random-vector netlist equivalence). Also the design-choice ablations:
+// operator sharing on/off and QM vs priority-chain controllers.
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "dect/hcor.h"
+#include "netlist/equiv.h"
+#include "netlist/fault.h"
+#include "netlist/timing.h"
+#include "sched/cyclesched.h"
+#include "sched/fsmcomp.h"
+#include "sfg/clk.h"
+#include "synth/dpsynth.h"
+#include "synth/optimize.h"
+#include "synth/techmap.h"
+
+using namespace asicpp;
+using fixpt::Format;
+using sfg::Clk;
+using sfg::Reg;
+using sfg::Sfg;
+using sfg::Sig;
+
+namespace {
+
+const Format kF{12, 4, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+
+// An n-instruction mac datapath — instruction count is the sweep variable
+// (the paper's most complex datapath decodes 57).
+struct MacDatapath {
+  Clk clk;
+  sched::CycleScheduler sched{clk};
+  std::unique_ptr<Reg> acc;
+  Sig x = Sig::input("x", kF);
+  std::vector<std::unique_ptr<Sfg>> sfgs;
+  std::unique_ptr<sched::DispatchComponent> comp;
+
+  explicit MacDatapath(int instructions) {
+    acc = std::make_unique<Reg>("acc", clk, kF, 0.0);
+    comp = std::make_unique<sched::DispatchComponent>("dp", sched.net("instr"));
+    auto nop = std::make_unique<Sfg>("nop");
+    nop->out("y", acc->sig());
+    comp->set_default(*nop);
+    sfgs.push_back(std::move(nop));
+    for (int i = 1; i <= instructions; ++i) {
+      auto s = std::make_unique<Sfg>("i" + std::to_string(i));
+      const double c = fixpt::quantize(0.11 * i - 2.0, kF);
+      s->in(x).assign(*acc, (*acc + x * c).cast(kF)).out("y", acc->sig());
+      comp->add_instruction(i, *s);
+      sfgs.push_back(std::move(s));
+    }
+    sched.add(*comp);
+  }
+};
+
+void BM_Fig8_DatapathSynthesis(benchmark::State& state) {
+  MacDatapath dp(static_cast<int>(state.range(0)));
+  int gates = 0;
+  for (auto _ : state) {
+    netlist::Netlist nl;
+    const auto rep = synth::synthesize_component(*dp.comp, nl);
+    gates = nl.num_gates();
+    benchmark::DoNotOptimize(rep.gates);
+  }
+  state.counters["instructions"] = static_cast<double>(state.range(0));
+  state.counters["gates"] = gates;
+}
+BENCHMARK(BM_Fig8_DatapathSynthesis)->Arg(2)->Arg(8)->Arg(24)->Arg(57);
+
+void BM_Fig8_SharingAblation(benchmark::State& state) {
+  const bool share = state.range(0) != 0;
+  MacDatapath dp(24);
+  double area = 0;
+  for (auto _ : state) {
+    synth::SynthOptions opt;
+    opt.share_operators = share;
+    netlist::Netlist nl;
+    synth::synthesize_component(*dp.comp, nl, opt);
+    netlist::Netlist cleaned = synth::optimize(nl);
+    area = cleaned.area();
+    benchmark::DoNotOptimize(area);
+  }
+  state.counters["eq_gates"] = area;
+}
+BENCHMARK(BM_Fig8_SharingAblation)->Arg(0)->Arg(1);
+
+void BM_Fig8_ControllerSynthesis(benchmark::State& state) {
+  // The HCOR controller synthesized with each encoding, QM minimized.
+  const auto enc = static_cast<synth::StateEncoding>(state.range(0));
+  dect::Hcor h;
+  double area = 0;
+  for (auto _ : state) {
+    synth::SynthOptions opt;
+    opt.encoding = enc;
+    netlist::Netlist nl;
+    synth::synthesize_component(h.component(), nl, opt);
+    netlist::Netlist cleaned = synth::optimize(nl);
+    area = cleaned.area();
+    benchmark::DoNotOptimize(area);
+  }
+  state.counters["eq_gates"] = area;
+}
+BENCHMARK(BM_Fig8_ControllerSynthesis)->Arg(0)->Arg(1)->Arg(2);  // binary/onehot/gray
+
+void BM_Fig8_QmVsPriorityChain(benchmark::State& state) {
+  const bool qm = state.range(0) != 0;
+  dect::Hcor h;
+  double area = 0;
+  for (auto _ : state) {
+    synth::SynthOptions opt;
+    opt.qm_controller = qm;
+    netlist::Netlist nl;
+    synth::synthesize_component(h.component(), nl, opt);
+    netlist::Netlist cleaned = synth::optimize(nl);
+    area = cleaned.area();
+  }
+  state.counters["eq_gates"] = area;
+}
+BENCHMARK(BM_Fig8_QmVsPriorityChain)->Arg(0)->Arg(1);
+
+void BM_Fig8_GateOptimization(benchmark::State& state) {
+  MacDatapath dp(24);
+  netlist::Netlist nl;
+  synth::synthesize_component(*dp.comp, nl);
+  int removed = 0;
+  for (auto _ : state) {
+    synth::OptStats st;
+    netlist::Netlist out = synth::optimize(nl, &st);
+    removed = st.dead_removed;
+    benchmark::DoNotOptimize(out.num_gates());
+  }
+  state.counters["gates_removed"] = removed;
+}
+BENCHMARK(BM_Fig8_GateOptimization);
+
+void BM_Fig8_VerificationGeneration(benchmark::State& state) {
+  // Random-vector equivalence of original vs optimized netlist — the
+  // "verification generation" arrows of Fig 8.
+  MacDatapath dp(8);
+  netlist::Netlist nl;
+  synth::synthesize_component(*dp.comp, nl);
+  netlist::Netlist cleaned = synth::optimize(nl);
+  for (auto _ : state) {
+    const auto r = netlist::check_equiv(nl, cleaned, 64, 9);
+    if (!r.equal) state.SkipWithError("netlists diverged");
+  }
+  state.counters["vectors/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 64), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig8_VerificationGeneration);
+
+void BM_Fig8_StaticTiming(benchmark::State& state) {
+  MacDatapath dp(24);
+  netlist::Netlist raw;
+  synth::synthesize_component(*dp.comp, raw);
+  const netlist::Netlist nl = synth::optimize(raw);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(netlist::analyze_timing(nl).critical_path.size());
+  state.counters["critical_delay"] = netlist::analyze_timing(nl).critical_delay;
+}
+BENCHMARK(BM_Fig8_StaticTiming);
+
+void BM_Fig8_FaultGrading(benchmark::State& state) {
+  // Stuck-at coverage of directed vectors on the small MAC datapath — how
+  // good the generated verification vectors are. Purely random 16-bit
+  // instruction words would almost never hit a real opcode, so the vector
+  // set cycles through the opcodes with random data operands (which is
+  // what the testbench generator effectively replays).
+  MacDatapath dp(4);
+  netlist::Netlist raw;
+  synth::synthesize_component(*dp.comp, raw);
+  const netlist::Netlist nl = synth::optimize(raw);
+  auto vecs = netlist::random_vectors(nl, 24, 5);
+  for (std::size_t c = 0; c < vecs.size(); ++c) {
+    const long op = static_cast<long>(c % 5);  // opcodes 0..4 (0 = nop)
+    for (int b = 0; b < 16; ++b) {
+      const auto it = vecs[c].find("instr[" + std::to_string(b) + "]");
+      if (it != vecs[c].end()) it->second = ((op >> b) & 1) != 0;
+    }
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(netlist::fault_simulate(nl, vecs).detected);
+  state.counters["coverage_pct"] = 100.0 * netlist::fault_simulate(nl, vecs).coverage();
+}
+BENCHMARK(BM_Fig8_FaultGrading);
+
+void BM_Fig8_TechnologyMapping(benchmark::State& state) {
+  MacDatapath dp(24);
+  netlist::Netlist raw;
+  synth::synthesize_component(*dp.comp, raw);
+  const netlist::Netlist nl = synth::optimize(raw);
+  for (auto _ : state) {
+    synth::TechMapStats st;
+    benchmark::DoNotOptimize(synth::tech_map(nl, &st).num_gates());
+  }
+  synth::TechMapStats st;
+  synth::tech_map(nl, &st);
+  state.counters["mapped_cells"] = st.cells;
+  state.counters["mapped_area"] = st.area;
+}
+BENCHMARK(BM_Fig8_TechnologyMapping);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark harness.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace asicpp::bench {
+
+/// Lines in a repository source file (ASICPP_SOURCE_DIR is baked in by the
+/// build). Returns 0 when unreadable.
+inline long count_lines(const std::string& repo_relative_path) {
+#ifdef ASICPP_SOURCE_DIR
+  std::ifstream f(std::string(ASICPP_SOURCE_DIR) + "/" + repo_relative_path);
+#else
+  std::ifstream f(repo_relative_path);
+#endif
+  if (!f) return 0;
+  long n = 0;
+  std::string line;
+  while (std::getline(f, line)) ++n;
+  return n;
+}
+
+/// Lines between two marker substrings in a file (first match each);
+/// `to` empty means end of file.
+inline long count_lines_between(const std::string& repo_relative_path,
+                                const std::string& from, const std::string& to) {
+#ifdef ASICPP_SOURCE_DIR
+  std::ifstream f(std::string(ASICPP_SOURCE_DIR) + "/" + repo_relative_path);
+#else
+  std::ifstream f(repo_relative_path);
+#endif
+  if (!f) return 0;
+  long n = 0;
+  bool in = false;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (!in && line.find(from) != std::string::npos) in = true;
+    if (in && !to.empty() && line.find(to) != std::string::npos) break;
+    if (in) ++n;
+  }
+  return n;
+}
+
+inline long count_string_lines(const std::string& text) {
+  long n = 1;
+  for (const char c : text)
+    if (c == '\n') ++n;
+  return n;
+}
+
+}  // namespace asicpp::bench

@@ -1,0 +1,74 @@
+// The paper's driver example end to end: a DECT burst travels through the
+// multipath radio link (Fig 1), the header correlator locks onto the sync
+// word, and the VLIW transceiver (Fig 5) crunches samples under the
+// execute/hold protocol of Fig 2 — including an externally requested hold
+// and a verified exact resume.
+//
+//   $ ./dect_transceiver
+#include <cstdio>
+
+#include "dect/hcor.h"
+#include "dect/link.h"
+#include "dect/vliw.h"
+
+using namespace asicpp;
+using namespace asicpp::dect;
+
+int main() {
+  // --- Fig 1: the radio link with and without equalization ---
+  std::printf("== radio link (multipath echo 0.95, noise 0.15) ==\n");
+  LinkSimulation raw(240, 10, 0.95, 1, 0.15, /*equalize=*/false);
+  LinkSimulation eq(240, 10, 0.95, 1, 0.15, /*equalize=*/true);
+  std::printf("hard slicer BER : %.4f\n", raw.run());
+  std::printf("LMS equalizer BER: %.4f\n", eq.run());
+
+  // --- HCOR: sync acquisition on a transmitted burst ---
+  std::printf("\n== header correlator ==\n");
+  Burst burst;
+  for (int i = 0; i < 64; ++i) burst.bits.push_back((i * 5) % 3 == 0);
+  Hcor hcor;
+  int sync_at = -1, n = 0;
+  for (const double s : burst.symbols()) {
+    hcor.step(s > 0 ? 1 : 0);
+    if (hcor.detected() && sync_at < 0) sync_at = n;
+    ++n;
+  }
+  std::printf("sync detected at symbol %d (S-field is %d symbols)\n", sync_at,
+              Burst::kPreambleBits + Burst::kSyncBits);
+
+  // --- Fig 5: the VLIW transceiver with the Fig 2 hold protocol ---
+  std::printf("\n== VLIW transceiver (22 datapaths) ==\n");
+  DectTransceiver trx;
+  std::printf("datapath instruction counts:");
+  for (int d = 0; d < trx.params().num_datapaths; ++d)
+    std::printf(" %d", trx.instruction_count(d));
+  std::printf("\n");
+
+  trx.drive_sample(0.5);
+  trx.run(20);
+  std::printf("after 20 cycles: pc=%ld dp0.acc=%.4f dp21.out=%.4f\n", trx.pc(),
+              trx.datapath_acc(0), trx.datapath_out(21));
+
+  std::printf("asserting hold_request...\n");
+  trx.set_hold_request(true);
+  trx.run(2);
+  const double frozen = trx.datapath_acc(3);
+  trx.run(6);
+  std::printf("held for 6 cycles: controller %s, dp3.acc %s (%.4f)\n",
+              trx.holding() ? "holding" : "executing",
+              trx.datapath_acc(3) == frozen ? "frozen" : "MOVED",
+              trx.datapath_acc(3));
+
+  trx.set_hold_request(false);
+  trx.run(2);
+  std::printf("released: controller %s, resuming at hold_pc=%ld\n",
+              trx.holding() ? "holding" : "executing", trx.hold_pc());
+  trx.run(20);
+  std::printf("after resume: pc=%ld dp0.acc=%.4f\n", trx.pc(), trx.datapath_acc(0));
+
+  std::printf("\nRAM cells touched:");
+  for (int r = 0; r < trx.params().num_rams; ++r)
+    std::printf(" %llu", static_cast<unsigned long long>(trx.ram_accesses(r)));
+  std::printf("\n");
+  return 0;
+}

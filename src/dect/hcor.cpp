@@ -1,0 +1,209 @@
+#include "dect/hcor.h"
+
+#include "fixpt/fixed.h"
+#include "sfg/sfg.h"
+#include "sfg/sig.h"
+
+namespace asicpp::dect {
+
+using fixpt::Fixed;
+using fixpt::Format;
+using fsm::Fsm;
+using fsm::State;
+using fsm::always;
+using fsm::cnd;
+using sfg::Reg;
+using sfg::Sfg;
+using sfg::Sig;
+
+namespace {
+const Format kBit{1, 1, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap};
+const Format kCorr{6, 6, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap};
+const Format kPos{10, 10, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap};
+}  // namespace
+
+// --- golden reference ---
+
+int Hcor::Golden::correlation(std::uint16_t sync) const {
+  return 16 - __builtin_popcount(static_cast<std::uint16_t>(window ^ sync));
+}
+
+bool Hcor::Golden::step(int rx_bit, std::uint16_t sync) {
+  const bool detect = !locked && corr_reg >= threshold;
+  if (!locked) {
+    if (detect) {
+      locked = true;
+      position = 0;
+    }
+  } else {
+    if (position >= kBurstPayload - 1) {
+      locked = false;
+      position = 0;
+    } else {
+      ++position;
+    }
+  }
+  // Register updates: score the pre-shift window, then shift the bit in.
+  corr_reg = correlation(sync);
+  window = static_cast<std::uint16_t>((window << 1) | (rx_bit & 1));
+  return detect;
+}
+
+// --- cycle-true description ---
+
+struct Hcor::Impl {
+  explicit Impl(sfg::Clk& clk, int threshold)
+      : rx(Sig::input("rx", kBit)),
+        corr("corr", clk, kCorr, 0.0),
+        pos("pos", clk, kPos, 0.0),
+        shift("shift"),
+        track("track"),
+        rearm("rearm"),
+        machine("hcor") {
+    taps.reserve(16);
+    for (int i = 0; i < 16; ++i)
+      taps.emplace_back("b" + std::to_string(i), clk, kBit, 0.0);
+
+    // The sliding window: b0 <- rx, b[i] <- b[i-1]; correlation = number of
+    // taps matching the sync word (MSB of the word is the oldest bit b15).
+    Sig score = Sig(0.0) + 0.0;
+    for (int i = 0; i < 16; ++i) {
+      const int sync_bit = (kSyncWord >> i) & 1;
+      score = score + (taps[static_cast<std::size_t>(i)].sig() ==
+                       Sig(static_cast<double>(sync_bit)));
+    }
+    const auto wire_shift = [&](Sfg& s) {
+      s.in(rx);
+      s.assign(taps[0], rx);
+      for (int i = 1; i < 16; ++i)
+        s.assign(taps[static_cast<std::size_t>(i)], taps[static_cast<std::size_t>(i - 1)]);
+      s.assign(corr, score);
+    };
+
+    // search: shift and watch the threshold.
+    wire_shift(shift);
+    shift.out("detect", corr.sig() >= static_cast<double>(threshold))
+        .out("corr_out", corr.sig())
+        .out("pos_out", pos.sig());
+
+    // locked: keep shifting (the stream continues) and count position.
+    wire_shift(track);
+    track.assign(pos, pos + 1.0)
+        .out("detect", Sig(0.0) + 0.0)
+        .out("corr_out", corr.sig())
+        .out("pos_out", pos.sig());
+
+    // burst complete: reset position, back to search.
+    wire_shift(rearm);
+    rearm.assign(pos, Sig(0.0) + 0.0)
+        .out("detect", Sig(0.0) + 0.0)
+        .out("corr_out", corr.sig())
+        .out("pos_out", pos.sig());
+
+    State search = machine.initial("search");
+    State locked = machine.state("locked");
+    search << cnd(corr.sig() >= static_cast<double>(threshold)) << shift << locked;
+    search << always << shift << search;
+    locked << cnd(pos.sig() >= static_cast<double>(kBurstPayload - 1)) << rearm << search;
+    locked << always << track << locked;
+  }
+
+  Sig rx;
+  std::vector<Reg> taps;
+  Reg corr;
+  Reg pos;
+  Sfg shift;
+  Sfg track;
+  Sfg rearm;
+  Fsm machine;
+};
+
+Hcor::Hcor(int threshold) : impl_(std::make_unique<Impl>(clk_, threshold)) {
+  comp_ = std::make_unique<sched::FsmComponent>("hcor", impl_->machine);
+  comp_->bind_input(impl_->rx, sched_.net("rx"));
+  comp_->bind_output("detect", sched_.net("detect"));
+  comp_->bind_output("corr_out", sched_.net("corr_out"));
+  comp_->bind_output("pos_out", sched_.net("pos_out"));
+  sched_.add(*comp_);
+}
+
+Hcor::~Hcor() = default;
+
+void Hcor::step(int rx_bit) {
+  sched_.net("rx").drive(Fixed(rx_bit ? 1.0 : 0.0));
+  sched_.cycle();
+}
+
+int Hcor::correlation() const { return static_cast<int>(impl_->corr.read().value()); }
+
+bool Hcor::detected() const {
+  return const_cast<sched::CycleScheduler&>(sched_).net("detect").last().value() != 0.0;
+}
+
+int Hcor::position() const { return static_cast<int>(impl_->pos.read().value()); }
+
+bool Hcor::locked() const { return impl_->machine.current_name() == "locked"; }
+
+// --- RT description (event-driven kernel, VHDL style) ---
+
+HcorRt::HcorRt(int threshold) {
+  clk_ = &k_.signal("clk", 0.0);
+  rx_ = &k_.signal("rx", 0.0);
+  for (int i = 0; i < 16; ++i) taps_.push_back(&k_.signal("b" + std::to_string(i), 0.0));
+  corr_ = &k_.signal("corr", 0.0);
+  detect_ = &k_.signal("detect", 0.0);
+  pos_ = &k_.signal("pos", 0.0);
+  state_ = &k_.signal("state", 0.0);
+  auto* score = &k_.signal("score", 0.0);
+
+  // Combinational process: correlation score of the current window.
+  auto& comb = k_.process("score_comb", [this, score] {
+    double s = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      const int sync_bit = (kSyncWord >> i) & 1;
+      if ((taps_[static_cast<std::size_t>(i)]->read() != 0.0) == (sync_bit != 0)) s += 1.0;
+    }
+    score->write(s);
+  });
+  for (auto* t : taps_) k_.sensitize(comb, *t);
+
+  // Combinational process: detect decode from the registered score.
+  auto& dec = k_.process("detect_comb", [this, threshold] {
+    detect_->write((state_->read() == 0.0 && corr_->read() >= threshold) ? 1.0 : 0.0);
+  });
+  k_.sensitize(dec, *corr_);
+  k_.sensitize(dec, *state_);
+
+  // Sequential process: shift register, correlation register, FSM.
+  auto& seq = k_.process("seq", [this, score, threshold] {
+    if (!clk_->posedge()) return;
+    for (int i = 15; i >= 1; --i)
+      taps_[static_cast<std::size_t>(i)]->write(taps_[static_cast<std::size_t>(i - 1)]->read());
+    taps_[0]->write(rx_->read());
+    corr_->write(score->read());
+    if (state_->read() == 0.0) {
+      if (corr_->read() >= threshold) {
+        state_->write(1.0);
+        pos_->write(0.0);
+      }
+    } else {
+      if (pos_->read() >= kBurstPayload - 1) {
+        state_->write(0.0);
+        pos_->write(0.0);
+      } else {
+        pos_->write(pos_->read() + 1.0);
+      }
+    }
+  });
+  k_.sensitize(seq, *clk_);
+  k_.settle();
+}
+
+void HcorRt::step(int rx_bit) {
+  rx_->write(rx_bit ? 1.0 : 0.0);
+  k_.settle();
+  snap_detect_ = detect_->read() != 0.0;
+  k_.tick(*clk_);
+}
+
+}  // namespace asicpp::dect

@@ -1,0 +1,109 @@
+// HCOR — the DECT header correlator processor.
+//
+// The smaller of the paper's two Table 1 designs (6 Kgate). It watches the
+// received bit stream for the DECT S-field synchronization word with a
+// sliding 16-bit correlator, and tracks burst position once synchronized.
+// Two full descriptions exist, exactly as the paper's methodology demands:
+//
+//  * `Hcor`   — the clock-cycle true, bit-true C++ description (FSM + SFG
+//               objects) simulated by the cycle scheduler, compilable to a
+//               tape, translatable to HDL and synthesizable to gates;
+//  * `HcorRt` — the register-transfer description on the event-driven
+//               kernel, written the way one writes RT VHDL (processes +
+//               sensitivity lists). This is the Table 1 "VHDL (RT)" row.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eventsim/kernel.h"
+#include "fsm/fsm.h"
+#include "sched/cyclesched.h"
+#include "sched/fsmcomp.h"
+#include "sfg/clk.h"
+
+namespace asicpp::dect {
+
+/// The 16-bit DECT S-field sync word (RFP transmissions), MSB first.
+inline constexpr std::uint16_t kSyncWord = 0xE98A;
+/// Correlation threshold: >= kThreshold matching bits declare sync.
+inline constexpr int kDefaultThreshold = 15;
+/// Payload symbols tracked after sync before rearming (B-field length).
+inline constexpr int kBurstPayload = 388;
+
+/// Cycle-true HCOR built from Sfg/Fsm objects on the cycle scheduler.
+class Hcor {
+ public:
+  explicit Hcor(int threshold = kDefaultThreshold);
+  ~Hcor();
+
+  Hcor(const Hcor&) = delete;
+  Hcor& operator=(const Hcor&) = delete;
+
+  sched::CycleScheduler& scheduler() { return sched_; }
+  sfg::Clk& clk() { return clk_; }
+  sched::FsmComponent& component() { return *comp_; }
+
+  /// Clock one received bit through the correlator.
+  void step(int rx_bit);
+
+  /// Correlation value after the last step.
+  int correlation() const;
+  /// True while the detect output was asserted in the last cycle.
+  bool detected() const;
+  /// Position inside the burst while locked (symbols since sync).
+  int position() const;
+  /// "locked" / "search" state.
+  bool locked() const;
+
+  /// Behavioral reference shared with the RT description and testbenches.
+  /// Register semantics mirror the cycle-true design: the correlation
+  /// register scores the window one cycle behind the shift.
+  struct Golden {
+    std::uint16_t window = 0;
+    int corr_reg = 0;
+    int threshold = kDefaultThreshold;
+    bool locked = false;
+    int position = 0;
+    int correlation(std::uint16_t sync = kSyncWord) const;
+    /// Returns detect for this cycle.
+    bool step(int rx_bit, std::uint16_t sync = kSyncWord);
+  };
+
+ private:
+  struct Impl;
+  sfg::Clk clk_;
+  sched::CycleScheduler sched_{clk_};
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<sched::FsmComponent> comp_;
+};
+
+/// RT description of the same design on the event-driven kernel.
+class HcorRt {
+ public:
+  explicit HcorRt(int threshold = kDefaultThreshold);
+
+  eventsim::Kernel& kernel() { return k_; }
+
+  void step(int rx_bit);
+  int correlation() const { return static_cast<int>(corr_->read()); }
+  /// The Mealy detect output *during* the last cycle (sampled before the
+  /// clock edge, matching what the cycle scheduler's net carries).
+  bool detected() const { return snap_detect_; }
+  int position() const { return static_cast<int>(pos_->read()); }
+  bool locked() const { return state_->read() != 0.0; }
+
+ private:
+  eventsim::Kernel k_;
+  bool snap_detect_ = false;
+  eventsim::Signal* clk_;
+  eventsim::Signal* rx_;
+  std::vector<eventsim::Signal*> taps_;
+  eventsim::Signal* corr_;
+  eventsim::Signal* detect_;
+  eventsim::Signal* pos_;
+  eventsim::Signal* state_;  // 0 = search, 1 = locked
+};
+
+}  // namespace asicpp::dect

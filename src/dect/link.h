@@ -1,0 +1,134 @@
+// The DECT base-station radiolink environment of Fig 1.
+//
+// The "Matlab level" of the design flow: high-level, untimed dataflow
+// models of the burst source, the multipath radio channel, and the
+// equalizer that removes the channel distortion, plus the wire-link framer
+// towards the base station controller (DR). These are df:: processes —
+// exactly the description style the paper assigns to not-yet-designed
+// components — and they close the loop for the end-to-end experiment
+// (burst error rates before/after equalization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "df/process.h"
+#include "df/queue.h"
+#include "dect/hcor.h"
+
+namespace asicpp::dect {
+
+/// One DECT burst: S-field (16 preamble bits + 16-bit sync word) followed
+/// by a payload of data bits. Symbols are +/-1.
+struct Burst {
+  static constexpr int kPreambleBits = 16;
+  static constexpr int kSyncBits = 16;
+  std::vector<int> bits;  ///< payload bits (0/1)
+
+  /// Full symbol sequence including the S-field, as +/-1 doubles.
+  std::vector<double> symbols() const;
+  /// Number of symbols in a burst with `payload` data bits.
+  static int length(int payload) { return kPreambleBits + kSyncBits + payload; }
+};
+
+/// Pseudo-random burst source (LFSR payload).
+class BurstSource final : public df::Process {
+ public:
+  BurstSource(int payload_bits, unsigned seed);
+  /// Produces one burst worth of symbol tokens per firing.
+  void fire() override;
+  const std::vector<Burst>& history() const { return sent_; }
+
+ private:
+  int payload_;
+  std::uint32_t lfsr_;
+  std::vector<Burst> sent_;
+};
+
+/// Two-ray multipath channel with additive noise:
+///   y[n] = x[n] + echo * x[n - delay] + noise.
+class MultipathChannel final : public df::Process {
+ public:
+  MultipathChannel(int burst_len, double echo, int delay, double noise_rms,
+                   unsigned seed);
+  void fire() override;
+
+ private:
+  int burst_len_;
+  double echo_;
+  int delay_;
+  double noise_rms_;
+  std::uint64_t rng_;
+  double gauss();
+};
+
+/// LMS decision-feedback-free linear equalizer: trains its FIR taps on the
+/// known S-field, then slices the payload.
+class LmsEqualizer final : public df::Process {
+ public:
+  LmsEqualizer(int burst_len, int taps, double mu);
+  void fire() override;
+
+  const std::vector<double>& taps() const { return w_; }
+  std::uint64_t bursts_equalized() const { return bursts_; }
+
+ private:
+  int burst_len_;
+  double mu_;
+  std::vector<double> w_;
+  std::uint64_t bursts_ = 0;
+};
+
+/// Hard slicer without equalization (the baseline the equalizer beats).
+class HardSlicer final : public df::Process {
+ public:
+  explicit HardSlicer(int burst_len);
+  void fire() override;
+
+ private:
+  int burst_len_;
+};
+
+/// Wire-link driver (DR): frames decided payload bits and counts errors
+/// against the reference bursts.
+class WireLinkDriver final : public df::Process {
+ public:
+  WireLinkDriver(int payload_bits, const std::vector<Burst>* reference);
+  void fire() override;
+
+  std::uint64_t bit_errors() const { return errors_; }
+  std::uint64_t bits_checked() const { return checked_; }
+  double ber() const {
+    return checked_ == 0 ? 0.0 : static_cast<double>(errors_) / static_cast<double>(checked_);
+  }
+
+ private:
+  int payload_;
+  const std::vector<Burst>* ref_;
+  std::uint64_t frame_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t checked_ = 0;
+};
+
+/// End-to-end Fig 1 pipeline: source -> channel -> (equalizer|slicer) -> DR.
+struct LinkSimulation {
+  LinkSimulation(int payload_bits, int bursts, double echo, int delay,
+                 double noise_rms, bool equalize, unsigned seed = 7);
+
+  /// Run all bursts through the pipeline; returns the payload BER.
+  double run();
+
+  int payload_bits;
+  int bursts;
+  df::Queue q_tx{"tx"};
+  df::Queue q_rx{"rx"};
+  df::Queue q_bits{"bits"};
+  BurstSource source;
+  MultipathChannel channel;
+  LmsEqualizer equalizer;
+  HardSlicer slicer;
+  WireLinkDriver driver;
+  bool use_equalizer;
+};
+
+}  // namespace asicpp::dect

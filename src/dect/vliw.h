@@ -1,0 +1,85 @@
+// The DECT digital radiolink transceiver ASIC model (Figs 1, 2, 5).
+//
+// A central (VLIW) controller with the execute/hold protocol of Fig 2, an
+// instruction ROM (lookup table, an untimed block), and a ring of
+// instruction-dispatched datapaths (22 in the paper, decoding between 2
+// and 57 instructions) of which the first few have RAM cells attached as
+// untimed high-level blocks. Global exceptions — the reason the target
+// architecture changed from data-driven to central control (section 3.3) —
+// appear as a condition-triggered jump in the instruction ROM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/cyclesched.h"
+#include "sfg/clk.h"
+
+namespace asicpp::dect {
+
+/// Word-level formats of the transceiver, exported for the system
+/// synthesis flow (net format declarations) and the benches.
+inline constexpr fixpt::Format kVliwBit{1, 1, false, fixpt::Quant::kTruncate,
+                                        fixpt::Overflow::kWrap};
+inline constexpr fixpt::Format kVliwAddr{8, 8, false, fixpt::Quant::kTruncate,
+                                         fixpt::Overflow::kWrap};
+inline constexpr fixpt::Format kVliwData{12, 4, true, fixpt::Quant::kRound,
+                                         fixpt::Overflow::kSaturate};
+
+struct VliwParams {
+  int num_datapaths = 22;
+  int num_rams = 7;        ///< datapaths 0..num_rams-1 get a RAM cell
+  int ram_addr_bits = 4;   ///< 16-word coefficient/sample stores
+  int rom_length = 48;     ///< instruction ROM depth
+  unsigned seed = 1;       ///< program & coefficient generation
+  /// false (the paper's style): the instruction ROM and RAM cells are
+  /// untimed high-level C++ blocks (section 4). true: they are built
+  /// cycle-true out of SFG mux trees and register files, so the *entire*
+  /// design is timed — compilable to standalone C++, RT-elaborable, and
+  /// synthesizable with no hand-supplied structural images.
+  bool structural_tables = false;
+};
+
+class DectTransceiver {
+ public:
+  explicit DectTransceiver(const VliwParams& p = {});
+  ~DectTransceiver();
+
+  DectTransceiver(const DectTransceiver&) = delete;
+  DectTransceiver& operator=(const DectTransceiver&) = delete;
+
+  sched::CycleScheduler& scheduler() { return sched_; }
+  sfg::Clk& clk() { return clk_; }
+  const VliwParams& params() const { return params_; }
+
+  /// The hold_request chip pin (Fig 2).
+  void set_hold_request(bool hold);
+  /// Drive the equalizer input sample pin.
+  void drive_sample(double v);
+
+  void run(std::uint64_t cycles) { sched_.run(cycles); }
+
+  // --- observability ---
+  long pc() const;
+  long hold_pc() const;
+  bool holding() const;                 ///< controller in the hold state
+  double datapath_out(int d) const;     ///< last value on net data_<d>
+  double datapath_acc(int d) const;     ///< accumulator register of dp d
+  int instruction_count(int d) const;   ///< opcodes decoded by dp d
+  const std::vector<std::vector<long>>& program() const;
+  std::uint64_t ram_accesses(int ram) const;
+
+ private:
+  struct Impl;
+  VliwParams params_;
+  sfg::Clk clk_;
+  sched::CycleScheduler sched_{clk_};
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Instruction counts used for the paper's architecture: dp0 decodes 57,
+/// the rest spread over 2..43.
+int vliw_instruction_count(int dp_index);
+
+}  // namespace asicpp::dect

@@ -1,0 +1,37 @@
+#include "df/dynsched.h"
+
+namespace asicpp::df {
+
+std::size_t DynamicScheduler::sweep() {
+  std::size_t fired = 0;
+  for (auto* p : procs_) {
+    if (p->can_fire()) {
+      p->run_once();
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+DynamicScheduler::Result DynamicScheduler::run(std::size_t max_firings) {
+  Result r;
+  while (r.firings < max_firings) {
+    bool fired = false;
+    for (auto* p : procs_) {
+      if (r.firings >= max_firings) break;
+      if (p->can_fire()) {
+        p->run_once();
+        ++r.firings;
+        fired = true;
+      }
+    }
+    if (!fired) break;
+  }
+  for (auto* q : watched_) {
+    if (!q->empty()) r.stranded.push_back(q->name());
+  }
+  r.deadlocked = !r.stranded.empty();
+  return r;
+}
+
+}  // namespace asicpp::df

@@ -1,0 +1,43 @@
+// Dynamic data-flow scheduler.
+//
+// "A data-flow scheduler is used to simulate a system that contains only
+// untimed blocks. This scheduler repeatedly checks process firing rules,
+// selecting processes for execution as their inputs are available."
+// (section 2). Terminates when nothing can fire; distinguishes quiescence
+// (no pending tokens) from deadlock (tokens stranded on some queue).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "df/process.h"
+
+namespace asicpp::df {
+
+class DynamicScheduler {
+ public:
+  void add(Process& p) { procs_.push_back(&p); }
+
+  /// Queues whose occupancy counts as "pending work" for deadlock
+  /// classification (typically all internal queues, not external sinks).
+  void watch(Queue& q) { watched_.push_back(&q); }
+
+  struct Result {
+    std::size_t firings = 0;
+    bool deadlocked = false;          ///< stopped with tokens stranded
+    std::vector<std::string> stranded;  ///< names of non-empty watched queues
+  };
+
+  /// Fire ready processes until quiescent or `max_firings` reached.
+  Result run(std::size_t max_firings = 1'000'000);
+
+  /// Fire each ready process at most once (one "sweep"); returns #firings.
+  std::size_t sweep();
+
+ private:
+  std::vector<Process*> procs_;
+  std::vector<Queue*> watched_;
+};
+
+}  // namespace asicpp::df

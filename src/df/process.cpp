@@ -1,0 +1,27 @@
+#include "df/process.h"
+
+#include <stdexcept>
+
+namespace asicpp::df {
+
+void FnProcess::fire() {
+  std::vector<Token> inputs;
+  for (std::size_t i = 0; i < num_inputs(); ++i)
+    for (std::size_t k = 0; k < in_rate(i); ++k) inputs.push_back(in(i).pop());
+
+  std::vector<Token> outputs;
+  fn_(inputs, outputs);
+
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < num_outputs(); ++i) expected += out_rate(i);
+  if (outputs.size() != expected)
+    throw std::logic_error("FnProcess '" + name() + "': produced " +
+                           std::to_string(outputs.size()) + " tokens, expected " +
+                           std::to_string(expected));
+
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < num_outputs(); ++i)
+    for (std::size_t r = 0; r < out_rate(i); ++r) out(i).push(outputs[k++]);
+}
+
+}  // namespace asicpp::df

@@ -1,0 +1,92 @@
+// Untimed dataflow processes.
+//
+// A process is an iterative behaviour with a firing rule (sections 2 and 4:
+// "int c::run() { // firing rule ... // behavior ... }"). The default firing
+// rule is rate-based — port i needs `in_rate(i)` tokens — which covers SDF
+// actors; subclasses may override `can_fire` for data-dependent rules.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "df/queue.h"
+
+namespace asicpp::df {
+
+class Process {
+ public:
+  explicit Process(std::string name) : name_(std::move(name)) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Bind an input port consuming `rate` tokens per firing.
+  void connect_in(Queue& q, std::size_t rate = 1) {
+    ins_.push_back(&q);
+    in_rates_.push_back(rate);
+  }
+  /// Bind an output port producing `rate` tokens per firing.
+  void connect_out(Queue& q, std::size_t rate = 1) {
+    outs_.push_back(&q);
+    out_rates_.push_back(rate);
+  }
+
+  std::size_t num_inputs() const { return ins_.size(); }
+  std::size_t num_outputs() const { return outs_.size(); }
+  Queue& in(std::size_t i) const { return *ins_.at(i); }
+  Queue& out(std::size_t i) const { return *outs_.at(i); }
+  std::size_t in_rate(std::size_t i) const { return in_rates_.at(i); }
+  std::size_t out_rate(std::size_t i) const { return out_rates_.at(i); }
+
+  /// The firing rule. Default: every input port holds its rate worth of
+  /// tokens and no output queue would overflow.
+  virtual bool can_fire() const {
+    for (std::size_t i = 0; i < ins_.size(); ++i)
+      if (ins_[i]->size() < in_rates_[i]) return false;
+    for (std::size_t i = 0; i < outs_.size(); ++i)
+      if (outs_[i]->size() + out_rates_[i] > outs_[i]->capacity()) return false;
+    return true;
+  }
+
+  /// One iteration of the behaviour: consume inputs, produce outputs.
+  virtual void fire() = 0;
+
+  std::size_t firings() const { return firings_; }
+
+  /// Scheduler-internal: fire with accounting.
+  void run_once() {
+    fire();
+    ++firings_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Queue*> ins_;
+  std::vector<Queue*> outs_;
+  std::vector<std::size_t> in_rates_;
+  std::vector<std::size_t> out_rates_;
+  std::size_t firings_ = 0;
+};
+
+/// A process whose behaviour is a callable: fn(inputs, outputs) where
+/// `inputs` holds in_rate(i) tokens per port, flattened port-major, and the
+/// callable must append exactly out_rate(i) tokens per port to `outputs`.
+class FnProcess final : public Process {
+ public:
+  using Behavior = std::function<void(const std::vector<Token>&, std::vector<Token>&)>;
+
+  FnProcess(std::string name, Behavior fn)
+      : Process(std::move(name)), fn_(std::move(fn)) {}
+
+  void fire() override;
+
+ private:
+  Behavior fn_;
+};
+
+}  // namespace asicpp::df

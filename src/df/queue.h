@@ -1,0 +1,62 @@
+// Token queues of the untimed dataflow layer.
+//
+// At the system level, processes execute with data-flow semantics
+// (section 2): inputs are read at the start of an iteration, outputs are
+// produced at the end, and execution can start as soon as the required
+// input values are available. Queues carry the tokens between processes.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "fixpt/fixed.h"
+
+namespace asicpp::df {
+
+/// A dataflow token: a word-level value.
+using Token = fixpt::Fixed;
+
+class Queue {
+ public:
+  explicit Queue(std::string name = "q",
+                 std::size_t capacity = std::numeric_limits<std::size_t>::max())
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return q_.size() >= capacity_; }
+
+  void push(const Token& t) {
+    if (full()) throw std::overflow_error("Queue '" + name_ + "': overflow");
+    q_.push_back(t);
+    ++total_pushed_;
+  }
+
+  Token pop() {
+    if (q_.empty()) throw std::underflow_error("Queue '" + name_ + "': underflow");
+    Token t = q_.front();
+    q_.pop_front();
+    return t;
+  }
+
+  /// i-th waiting token without consuming it (0 = oldest).
+  const Token& peek(std::size_t i = 0) const { return q_.at(i); }
+
+  /// Lifetime token count, for throughput accounting.
+  std::size_t total_pushed() const { return total_pushed_; }
+
+  void clear() { q_.clear(); }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<Token> q_;
+  std::size_t total_pushed_ = 0;
+};
+
+}  // namespace asicpp::df

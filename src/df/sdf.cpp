@@ -1,0 +1,161 @@
+#include "df/sdf.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace asicpp::df {
+
+int SdfGraph::add_actor(const std::string& name) {
+  names_.push_back(name);
+  return static_cast<int>(names_.size()) - 1;
+}
+
+void SdfGraph::add_edge(int src, std::size_t out_rate, int dst, std::size_t in_rate,
+                        std::size_t initial_tokens) {
+  if (src < 0 || src >= num_actors() || dst < 0 || dst >= num_actors())
+    throw std::out_of_range("SdfGraph::add_edge: bad actor index");
+  if (out_rate == 0 || in_rate == 0)
+    throw std::invalid_argument("SdfGraph::add_edge: zero rate");
+  edges_.push_back(Edge{src, dst, out_rate, in_rate, initial_tokens});
+}
+
+namespace {
+
+struct Frac {
+  long long num = 0;
+  long long den = 1;
+
+  void normalize() {
+    const long long g = std::gcd(num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<long long> SdfGraph::repetition_vector() const {
+  const int n = num_actors();
+  std::vector<Frac> q(static_cast<std::size_t>(n));
+  std::vector<bool> assigned(static_cast<std::size_t>(n), false);
+
+  // Propagate rate ratios over each connected component.
+  for (int seed = 0; seed < n; ++seed) {
+    const auto s = static_cast<std::size_t>(seed);
+    if (assigned[s]) continue;
+    q[s] = Frac{1, 1};
+    assigned[s] = true;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const auto& e : edges_) {
+        const auto u = static_cast<std::size_t>(e.src);
+        const auto v = static_cast<std::size_t>(e.dst);
+        // q[src] * out = q[dst] * in
+        if (assigned[u] && !assigned[v]) {
+          q[v] = Frac{q[u].num * static_cast<long long>(e.out_rate),
+                      q[u].den * static_cast<long long>(e.in_rate)};
+          q[v].normalize();
+          assigned[v] = true;
+          grew = true;
+        } else if (assigned[v] && !assigned[u]) {
+          q[u] = Frac{q[v].num * static_cast<long long>(e.in_rate),
+                      q[v].den * static_cast<long long>(e.out_rate)};
+          q[u].normalize();
+          assigned[u] = true;
+          grew = true;
+        }
+      }
+    }
+  }
+
+  // Consistency check on every edge.
+  for (const auto& e : edges_) {
+    const auto& a = q[static_cast<std::size_t>(e.src)];
+    const auto& b = q[static_cast<std::size_t>(e.dst)];
+    if (a.num * static_cast<long long>(e.out_rate) * b.den !=
+        b.num * static_cast<long long>(e.in_rate) * a.den)
+      return {};
+  }
+
+  // Scale to the minimal integer vector.
+  long long lcm_den = 1;
+  for (const auto& f : q) lcm_den = std::lcm(lcm_den, f.den);
+  std::vector<long long> r(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    r[idx] = q[idx].num * (lcm_den / q[idx].den);
+  }
+  long long g = 0;
+  for (const auto v : r) g = std::gcd(g, v);
+  if (g > 1)
+    for (auto& v : r) v /= g;
+  return r;
+}
+
+SdfGraph::Schedule SdfGraph::static_schedule() const {
+  Schedule s;
+  const auto reps = repetition_vector();
+  if (reps.empty()) return s;
+  s.consistent = true;
+
+  std::vector<std::size_t> tokens(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) tokens[i] = edges_[i].initial_tokens;
+
+  std::vector<long long> remaining = reps;
+  long long total = 0;
+  for (const auto v : reps) total += v;
+
+  auto runnable = [&](int actor) {
+    if (remaining[static_cast<std::size_t>(actor)] == 0) return false;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      if (edges_[i].dst == actor && tokens[i] < edges_[i].in_rate) return false;
+    }
+    return true;
+  };
+
+  while (static_cast<long long>(s.firings.size()) < total) {
+    bool fired = false;
+    for (int a = 0; a < num_actors(); ++a) {
+      if (!runnable(a)) continue;
+      for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (edges_[i].dst == a) tokens[i] -= edges_[i].in_rate;
+        if (edges_[i].src == a) tokens[i] += edges_[i].out_rate;
+      }
+      --remaining[static_cast<std::size_t>(a)];
+      s.firings.push_back(a);
+      fired = true;
+    }
+    if (!fired) {
+      s.deadlocked = true;
+      s.firings.clear();
+      return s;
+    }
+  }
+  return s;
+}
+
+std::vector<std::size_t> SdfGraph::buffer_sizes(const Schedule& s) const {
+  std::vector<std::size_t> tokens(edges_.size());
+  std::vector<std::size_t> peak(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    tokens[i] = peak[i] = edges_[i].initial_tokens;
+  for (const int a : s.firings) {
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      if (edges_[i].dst == a) {
+        if (tokens[i] < edges_[i].in_rate)
+          throw std::logic_error("buffer_sizes: schedule not admissible");
+        tokens[i] -= edges_[i].in_rate;
+      }
+      if (edges_[i].src == a) {
+        tokens[i] += edges_[i].out_rate;
+        peak[i] = std::max(peak[i], tokens[i]);
+      }
+    }
+  }
+  return peak;
+}
+
+}  // namespace asicpp::df

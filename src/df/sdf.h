@@ -1,0 +1,64 @@
+// Synchronous dataflow analysis (Lee & Messerschmitt, cited as [7]).
+//
+// The paper's untimed blocks follow dataflow semantics with firing rules;
+// for the SDF subset (constant rates) a static schedule can be computed
+// once and replayed, which is what Grape-2 [6] did and what our dataflow
+// benchmark compares against dynamic scheduling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asicpp::df {
+
+class SdfGraph {
+ public:
+  int add_actor(const std::string& name);
+
+  /// Directed edge src -> dst: src produces `out_rate` tokens per firing,
+  /// dst consumes `in_rate`; `initial_tokens` seed the edge (delays).
+  void add_edge(int src, std::size_t out_rate, int dst, std::size_t in_rate,
+                std::size_t initial_tokens = 0);
+
+  int num_actors() const { return static_cast<int>(names_.size()); }
+  const std::string& actor_name(int i) const { return names_.at(static_cast<std::size_t>(i)); }
+
+  struct Edge {
+    int src;
+    int dst;
+    std::size_t out_rate;
+    std::size_t in_rate;
+    std::size_t initial_tokens;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Minimal positive repetition vector solving the balance equations
+  /// q[src] * out_rate == q[dst] * in_rate on every edge. Empty when the
+  /// graph is rate-inconsistent (only the trivial zero solution exists).
+  std::vector<long long> repetition_vector() const;
+
+  struct Schedule {
+    bool consistent = false;
+    bool deadlocked = false;     ///< consistent but blocked by missing delays
+    std::vector<int> firings;    ///< actor index sequence for one iteration
+  };
+
+  /// One-iteration periodic admissible sequential schedule (class-S
+  /// algorithm): repeatedly fire any runnable actor that has not yet met
+  /// its repetition count. Token counts return to initial values afterward.
+  Schedule static_schedule() const;
+
+  /// Maximum token occupancy per edge while executing `s` — the buffer
+  /// sizes an implementation of the dataflow network needs. Paper §4
+  /// motivates the cycle scheduler precisely by *avoiding* having to
+  /// "devise a buffer implementation for the system interconnect"; this
+  /// is what that buffer implementation would cost.
+  std::vector<std::size_t> buffer_sizes(const Schedule& s) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace asicpp::df

@@ -1,0 +1,61 @@
+// Automatic RT elaboration onto the event-driven kernel.
+//
+// Takes a system captured for the cycle scheduler and builds the
+// corresponding register-transfer model on the event kernel — one
+// combinational process (Mealy outputs) and one clocked process (register
+// and state commit) per timed component, interconnect nets as signals.
+// This is what "simulate the generated RT VHDL" means without leaving the
+// process: the paper's Table 1 RT rows for any design, not just ones with
+// a hand-written RT description.
+//
+// Ownership caveat: elaboration drives the *same* SFG/FSM objects the
+// cycle scheduler uses (node values, register state, FSM current state).
+// Do not simulate the same design instance with both engines at once.
+//
+// Untimed components are invoked combinationally on every input change;
+// that is only sound for *pure* (stateless) behaviours, which the caller
+// lists explicitly. Stateful untimed blocks (RAMs) are rejected.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eventsim/kernel.h"
+#include "sched/cyclesched.h"
+
+namespace asicpp::eventsim {
+
+class RtModel {
+ public:
+  /// Elaborate `sys` into `k`. `pure_untimed` names the untimed components
+  /// whose behaviours are pure functions (safe to re-invoke per delta);
+  /// any other untimed component causes std::invalid_argument.
+  RtModel(Kernel& k, const sched::CycleScheduler& sys,
+          const std::set<std::string>& pure_untimed = {});
+
+  Signal& clk() { return *clk_; }
+  Signal& net(const std::string& name);
+
+  /// Combinational phase: refresh externally driven pins from their
+  /// sched::Net drives and settle. Mealy outputs are valid afterwards.
+  void eval();
+  /// Clock edge: rise (registers/state commit), fall, settle.
+  void commit();
+  /// One clock period: eval() then commit().
+  void tick();
+
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  struct Impl;
+  Kernel* k_;
+  Signal* clk_;
+  std::map<std::string, Signal*> nets_;
+  std::shared_ptr<Impl> impl_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace asicpp::eventsim

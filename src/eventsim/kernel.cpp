@@ -1,0 +1,98 @@
+#include "eventsim/kernel.h"
+
+#include <stdexcept>
+
+namespace asicpp::eventsim {
+
+void Signal::write(double v) {
+  next_ = v;
+  if (!scheduled_) {
+    scheduled_ = true;
+    kernel_->schedule_update(this);
+  }
+}
+
+Signal& Kernel::signal(const std::string& name, double init) {
+  signals_.push_back(std::make_unique<Signal>(name, init));
+  signals_.back()->kernel_ = this;
+  return *signals_.back();
+}
+
+RtProcess& Kernel::process(const std::string& name, std::function<void()> body) {
+  procs_.push_back(std::make_unique<RtProcess>(name, std::move(body)));
+  return *procs_.back();
+}
+
+void Kernel::sensitize(RtProcess& p, Signal& s) { s.sensitive_.push_back(&p); }
+
+void Kernel::schedule_update(Signal* s) { update_q_.push_back(s); }
+
+void Kernel::settle(int max_deltas) {
+  for (int d = 0; d < max_deltas; ++d) {
+    // Collect runnable processes: initial activations plus those woken by
+    // the previous commit.
+    std::vector<RtProcess*> runnable;
+    for (auto& p : procs_) {
+      if (p->runnable_) {
+        p->runnable_ = false;
+        runnable.push_back(p.get());
+      }
+    }
+
+    if (runnable.empty() && update_q_.empty()) {
+      // Quiescent: clear edge flags so stale events don't leak into the
+      // next stimulus.
+      for (auto* s : changed_last_) s->changed_ = false;
+      changed_last_.clear();
+      return;
+    }
+
+    // Execute phase.
+    for (auto* p : runnable) {
+      p->body_();
+      ++p->activations_;
+      ++activations_;
+    }
+
+    // Old events expire once every sensitive process has seen them.
+    for (auto* s : changed_last_) s->changed_ = false;
+    changed_last_.clear();
+
+    // Update phase: commit scheduled values; signals that change wake
+    // their sensitivity lists for the next delta.
+    std::vector<Signal*> updates;
+    updates.swap(update_q_);
+    for (auto* s : updates) {
+      s->scheduled_ = false;
+      if (s->next_ != s->cur_) {
+        s->prev_ = s->cur_;
+        s->cur_ = s->next_;
+        s->changed_ = true;
+        changed_last_.push_back(s);
+        for (auto* p : s->sensitive_) p->runnable_ = true;
+      }
+    }
+    ++deltas_;
+  }
+  throw std::runtime_error("eventsim: no convergence after " +
+                           std::to_string(max_deltas) + " delta cycles");
+}
+
+void Kernel::tick(Signal& clk) {
+  clk.write(1.0);
+  settle();
+  clk.write(0.0);
+  settle();
+  ++cycles_;
+}
+
+std::size_t Kernel::footprint_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& s : signals_)
+    bytes += sizeof(Signal) + s->sensitive_.capacity() * sizeof(RtProcess*);
+  bytes += procs_.size() * (sizeof(RtProcess) + 64);  // closure estimate
+  bytes += update_q_.capacity() * sizeof(Signal*);
+  return bytes;
+}
+
+}  // namespace asicpp::eventsim

@@ -1,0 +1,216 @@
+#include "fixpt/bitvector.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace asicpp::fixpt {
+
+namespace {
+constexpr int kLimbBits = 64;
+int limbs_for(int width) { return (width + kLimbBits - 1) / kLimbBits; }
+}  // namespace
+
+BitVector::BitVector(int width) : width_(width), v_(limbs_for(width), 0) {
+  if (width < 0) throw std::invalid_argument("BitVector: negative width");
+}
+
+BitVector::BitVector(int width, std::int64_t value) : BitVector(width) {
+  const auto u = static_cast<std::uint64_t>(value);
+  if (!v_.empty()) v_[0] = u;
+  // Sign-extend into the higher limbs.
+  if (value < 0) {
+    for (int i = 1; i < limbs(); ++i) v_[i] = ~0ULL;
+  }
+  mask_top();
+}
+
+BitVector BitVector::from_binary_string(const std::string& bits) {
+  BitVector r(static_cast<int>(bits.size()));
+  for (int i = 0; i < r.width_; ++i) {
+    const char c = bits[bits.size() - 1 - static_cast<std::size_t>(i)];
+    if (c != '0' && c != '1') throw std::invalid_argument("BitVector: bad bit char");
+    r.set_bit(i, c == '1');
+  }
+  return r;
+}
+
+void BitVector::mask_top() {
+  const int rem = width_ % kLimbBits;
+  if (rem != 0 && !v_.empty()) v_.back() &= (~0ULL >> (kLimbBits - rem));
+}
+
+bool BitVector::bit(int i) const {
+  assert(i >= 0 && i < width_);
+  return (v_[static_cast<std::size_t>(i / kLimbBits)] >> (i % kLimbBits)) & 1ULL;
+}
+
+void BitVector::set_bit(int i, bool b) {
+  assert(i >= 0 && i < width_);
+  const auto limb = static_cast<std::size_t>(i / kLimbBits);
+  const std::uint64_t m = 1ULL << (i % kLimbBits);
+  if (b)
+    v_[limb] |= m;
+  else
+    v_[limb] &= ~m;
+}
+
+std::int64_t BitVector::to_int64() const {
+  if (width_ > 64) throw std::out_of_range("BitVector::to_int64: width > 64");
+  if (width_ == 0) return 0;
+  std::uint64_t u = v_[0];
+  if (width_ < 64 && msb()) u |= ~0ULL << width_;  // sign extend
+  return static_cast<std::int64_t>(u);
+}
+
+std::uint64_t BitVector::to_uint64() const {
+  if (width_ > 64) throw std::out_of_range("BitVector::to_uint64: width > 64");
+  return width_ == 0 ? 0 : v_[0];
+}
+
+BitVector BitVector::slice(int lo, int len) const {
+  assert(lo >= 0 && len >= 0 && lo + len <= width_);
+  BitVector r(len);
+  for (int i = 0; i < len; ++i) r.set_bit(i, bit(lo + i));
+  return r;
+}
+
+BitVector BitVector::concat(const BitVector& lo) const {
+  BitVector r(width_ + lo.width_);
+  for (int i = 0; i < lo.width_; ++i) r.set_bit(i, lo.bit(i));
+  for (int i = 0; i < width_; ++i) r.set_bit(lo.width_ + i, bit(i));
+  return r;
+}
+
+BitVector BitVector::extend(int new_width, bool sign_extend) const {
+  BitVector r(new_width);
+  const bool fill = sign_extend && msb();
+  for (int i = 0; i < new_width; ++i) r.set_bit(i, i < width_ ? bit(i) : fill);
+  return r;
+}
+
+BitVector operator+(const BitVector& a, const BitVector& b) {
+  assert(a.width_ == b.width_);
+  BitVector r(a.width_);
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < r.limbs(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    unsigned __int128 s = carry;
+    s += a.v_[idx];
+    s += b.v_[idx];
+    r.v_[idx] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  r.mask_top();
+  return r;
+}
+
+BitVector operator-(const BitVector& a, const BitVector& b) {
+  return a + (~b + BitVector(b.width(), 1));
+}
+
+BitVector operator*(const BitVector& a, const BitVector& b) {
+  assert(a.width_ == b.width_);
+  // Schoolbook limb multiplication, wrapped to the operand width.
+  BitVector r(a.width_);
+  for (int i = 0; i < a.limbs(); ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; i + j < r.limbs(); ++j) {
+      const auto ri = static_cast<std::size_t>(i + j);
+      unsigned __int128 cur = r.v_[ri];
+      cur += static_cast<unsigned __int128>(a.v_[static_cast<std::size_t>(i)]) *
+             b.v_[static_cast<std::size_t>(j)];
+      cur += carry;
+      r.v_[ri] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  r.mask_top();
+  return r;
+}
+
+BitVector operator&(const BitVector& a, const BitVector& b) {
+  assert(a.width_ == b.width_);
+  BitVector r(a.width_);
+  for (int i = 0; i < r.limbs(); ++i)
+    r.v_[static_cast<std::size_t>(i)] =
+        a.v_[static_cast<std::size_t>(i)] & b.v_[static_cast<std::size_t>(i)];
+  return r;
+}
+
+BitVector operator|(const BitVector& a, const BitVector& b) {
+  assert(a.width_ == b.width_);
+  BitVector r(a.width_);
+  for (int i = 0; i < r.limbs(); ++i)
+    r.v_[static_cast<std::size_t>(i)] =
+        a.v_[static_cast<std::size_t>(i)] | b.v_[static_cast<std::size_t>(i)];
+  return r;
+}
+
+BitVector operator^(const BitVector& a, const BitVector& b) {
+  assert(a.width_ == b.width_);
+  BitVector r(a.width_);
+  for (int i = 0; i < r.limbs(); ++i)
+    r.v_[static_cast<std::size_t>(i)] =
+        a.v_[static_cast<std::size_t>(i)] ^ b.v_[static_cast<std::size_t>(i)];
+  return r;
+}
+
+BitVector BitVector::operator~() const {
+  BitVector r(width_);
+  for (int i = 0; i < limbs(); ++i)
+    r.v_[static_cast<std::size_t>(i)] = ~v_[static_cast<std::size_t>(i)];
+  r.mask_top();
+  return r;
+}
+
+BitVector BitVector::operator<<(int n) const {
+  BitVector r(width_);
+  for (int i = width_ - 1; i >= n; --i) r.set_bit(i, bit(i - n));
+  return r;
+}
+
+BitVector BitVector::lshr(int n) const {
+  BitVector r(width_);
+  for (int i = 0; i + n < width_; ++i) r.set_bit(i, bit(i + n));
+  return r;
+}
+
+BitVector BitVector::ashr(int n) const {
+  BitVector r(width_);
+  const bool s = msb();
+  for (int i = 0; i < width_; ++i) r.set_bit(i, (i + n < width_) ? bit(i + n) : s);
+  return r;
+}
+
+bool BitVector::operator==(const BitVector& o) const {
+  return width_ == o.width_ && v_ == o.v_;
+}
+
+bool BitVector::slt(const BitVector& o) const {
+  assert(width_ == o.width_);
+  if (msb() != o.msb()) return msb();
+  return ult(o);
+}
+
+bool BitVector::ult(const BitVector& o) const {
+  assert(width_ == o.width_);
+  for (int i = limbs() - 1; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (v_[idx] != o.v_[idx]) return v_[idx] < o.v_[idx];
+  }
+  return false;
+}
+
+bool BitVector::is_zero() const {
+  for (auto limb : v_)
+    if (limb != 0) return false;
+  return true;
+}
+
+std::string BitVector::to_string() const {
+  std::string s = "0b";
+  for (int i = width_ - 1; i >= 0; --i) s += bit(i) ? '1' : '0';
+  return s;
+}
+
+}  // namespace asicpp::fixpt

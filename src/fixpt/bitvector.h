@@ -1,0 +1,81 @@
+// Arbitrary-width two's-complement bit vectors.
+//
+// This is the bit-true representation the paper deliberately *avoids* for
+// word-level simulation (section 3: "the simulation of the quantization
+// rather than the bit-vector representation allows significant simulation
+// speedups"). We implement it anyway: it is the baseline for the fixpt
+// ablation benchmark, the value type at synthesized word-operator
+// boundaries, and the bridge between word-level values and gate-level nets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asicpp::fixpt {
+
+class BitVector {
+ public:
+  /// An all-zero vector of `width` bits. Width 0 is an empty vector.
+  explicit BitVector(int width = 0);
+
+  /// `width`-bit two's-complement encoding of `value` (wrapped to width).
+  BitVector(int width, std::int64_t value);
+
+  static BitVector from_binary_string(const std::string& bits);
+
+  int width() const { return width_; }
+
+  bool bit(int i) const;
+  void set_bit(int i, bool v);
+
+  /// Sign bit (two's complement msb); false for width 0.
+  bool msb() const { return width_ > 0 && bit(width_ - 1); }
+
+  /// Signed interpretation (two's complement). Requires width <= 64.
+  std::int64_t to_int64() const;
+  /// Unsigned interpretation. Requires width <= 64.
+  std::uint64_t to_uint64() const;
+
+  /// Bits [lo, lo+len) as a new vector.
+  BitVector slice(int lo, int len) const;
+  /// {hi, lo} concatenation: *this occupies the high bits of the result.
+  BitVector concat(const BitVector& lo) const;
+  /// Resize, sign-extending when `sign_extend`, zero-extending otherwise.
+  BitVector extend(int new_width, bool sign_extend) const;
+
+  // Modular (wrap-to-width) arithmetic, the hardware semantics.
+  friend BitVector operator+(const BitVector& a, const BitVector& b);
+  friend BitVector operator-(const BitVector& a, const BitVector& b);
+  friend BitVector operator*(const BitVector& a, const BitVector& b);
+  friend BitVector operator&(const BitVector& a, const BitVector& b);
+  friend BitVector operator|(const BitVector& a, const BitVector& b);
+  friend BitVector operator^(const BitVector& a, const BitVector& b);
+  BitVector operator~() const;
+  BitVector operator<<(int n) const;
+  /// Logical right shift.
+  BitVector lshr(int n) const;
+  /// Arithmetic right shift.
+  BitVector ashr(int n) const;
+
+  bool operator==(const BitVector& o) const;
+  bool operator!=(const BitVector& o) const { return !(*this == o); }
+  /// Signed comparison.
+  bool slt(const BitVector& o) const;
+  /// Unsigned comparison.
+  bool ult(const BitVector& o) const;
+
+  bool is_zero() const;
+
+  /// "0b..." msb-first rendering.
+  std::string to_string() const;
+
+ private:
+  void mask_top();
+  int limbs() const { return static_cast<int>(v_.size()); }
+
+  int width_ = 0;
+  std::vector<std::uint64_t> v_;
+};
+
+}  // namespace asicpp::fixpt

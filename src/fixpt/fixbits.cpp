@@ -1,0 +1,24 @@
+#include "fixpt/fixbits.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace asicpp::fixpt {
+
+BitVector to_bits(const Fixed& v, const Format& f) {
+  if (f.wl > 63) throw std::out_of_range("to_bits: wordlength > 63");
+  const Fixed q = v.cast(f);
+  const auto mant =
+      static_cast<std::int64_t>(std::llround(std::ldexp(q.value(), f.frac_bits())));
+  return BitVector(f.wl, mant);
+}
+
+Fixed from_bits(const BitVector& bits, const Format& f) {
+  if (bits.width() != f.wl)
+    throw std::invalid_argument("from_bits: width does not match format");
+  const std::int64_t mant =
+      f.is_signed ? bits.to_int64() : static_cast<std::int64_t>(bits.to_uint64());
+  return Fixed(std::ldexp(static_cast<double>(mant), -f.frac_bits()), f);
+}
+
+}  // namespace asicpp::fixpt

@@ -1,0 +1,17 @@
+// Bridge between the quantization world (Fixed) and the bit-true world
+// (BitVector). Used wherever a word-level value crosses into synthesized
+// hardware: netlist simulation, testbench generation, equivalence checking.
+#pragma once
+
+#include "fixpt/bitvector.h"
+#include "fixpt/fixed.h"
+
+namespace asicpp::fixpt {
+
+/// Encode `v` (quantized into `f`) as the f.wl-bit two's-complement mantissa.
+BitVector to_bits(const Fixed& v, const Format& f);
+
+/// Decode an f.wl-bit mantissa back into a Fixed bound to `f`.
+Fixed from_bits(const BitVector& bits, const Format& f);
+
+}  // namespace asicpp::fixpt

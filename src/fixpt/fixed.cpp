@@ -1,0 +1,31 @@
+#include "fixpt/fixed.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace asicpp::fixpt {
+
+long long Fixed::raw() const {
+  return static_cast<long long>(std::llround(std::ldexp(v_, fmt_.frac_bits())));
+}
+
+Fixed& Fixed::assign(const Fixed& rhs) {
+  if (bound_) {
+    v_ = quantize(rhs.v_, fmt_);
+  } else {
+    v_ = rhs.v_;
+  }
+  return *this;
+}
+
+Fixed& Fixed::operator+=(const Fixed& r) { return assign(Fixed(v_ + r.v_)); }
+Fixed& Fixed::operator-=(const Fixed& r) { return assign(Fixed(v_ - r.v_)); }
+Fixed& Fixed::operator*=(const Fixed& r) { return assign(Fixed(v_ * r.v_)); }
+
+std::ostream& operator<<(std::ostream& os, const Fixed& f) {
+  os << f.v_;
+  if (f.bound_) os << ':' << f.fmt_.to_string();
+  return os;
+}
+
+}  // namespace asicpp::fixpt

@@ -1,0 +1,74 @@
+#include "fixpt/format.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace asicpp::fixpt {
+
+double Format::lsb() const { return std::ldexp(1.0, -frac_bits()); }
+
+double Format::max_value() const {
+  const int magnitude_bits = wl - (is_signed ? 1 : 0);
+  return (std::ldexp(1.0, magnitude_bits) - 1.0) * lsb();
+}
+
+double Format::min_value() const {
+  if (!is_signed) return 0.0;
+  return -std::ldexp(1.0, wl - 1) * lsb();
+}
+
+std::string Format::to_string() const {
+  std::ostringstream os;
+  os << (is_signed ? "fix<" : "ufix<") << wl << ',' << iwl << ','
+     << (quant == Quant::kRound ? "rnd" : "trn") << ','
+     << (ovf == Overflow::kSaturate ? "sat" : "wrap") << '>';
+  return os.str();
+}
+
+double quantize(double v, const Format& f) {
+  const double scaled = std::ldexp(v, f.frac_bits());
+  double mant = (f.quant == Quant::kRound) ? std::round(scaled)
+                                           : std::floor(scaled);
+  const double hi = std::ldexp(f.max_value(), f.frac_bits());
+  const double lo = std::ldexp(f.min_value(), f.frac_bits());
+  if (mant > hi || mant < lo) {
+    if (f.ovf == Overflow::kSaturate) {
+      mant = (mant > hi) ? hi : lo;
+    } else {
+      // Two's-complement wraparound: fold the mantissa into [lo, hi].
+      const double span = std::ldexp(1.0, f.wl);
+      mant = std::fmod(mant - lo, span);
+      if (mant < 0) mant += span;
+      mant += lo;
+    }
+  }
+  return std::ldexp(mant, -f.frac_bits());
+}
+
+bool representable(double v, const Format& f) { return quantize(v, f) == v; }
+
+Format add_format(const Format& a, const Format& b) {
+  Format r;
+  r.is_signed = a.is_signed || b.is_signed;
+  const int frac = std::max(a.frac_bits(), b.frac_bits());
+  const int iwl = std::max(a.iwl, b.iwl) + 1;  // one carry bit
+  r.iwl = iwl;
+  r.wl = iwl + frac + (r.is_signed ? 1 : 0);
+  r.quant = a.quant;
+  r.ovf = a.ovf;
+  return r;
+}
+
+Format mul_format(const Format& a, const Format& b) {
+  Format r;
+  r.is_signed = a.is_signed || b.is_signed;
+  const int frac = a.frac_bits() + b.frac_bits();
+  const int iwl = a.iwl + b.iwl + 1;
+  r.iwl = iwl;
+  r.wl = iwl + frac + (r.is_signed ? 1 : 0);
+  r.quant = a.quant;
+  r.ovf = a.ovf;
+  return r;
+}
+
+}  // namespace asicpp::fixpt

@@ -1,0 +1,260 @@
+#include "fsm/fsm.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sfg/eval.h"
+
+namespace asicpp::fsm {
+
+bool Cnd::eval(std::uint64_t stamp) const {
+  return sfg::eval(expr_.node(), stamp).value() != 0.0;
+}
+
+// --- State ---
+
+TransitionBuilder State::operator<<(const Cnd& c) const {
+  TransitionBuilder b(*this);
+  b << c;
+  return b;
+}
+
+TransitionBuilder State::operator<<(AlwaysTag) const {
+  TransitionBuilder b(*this);
+  b << always;
+  return b;
+}
+
+TransitionBuilder State::operator<<(sfg::Sfg& action) const {
+  TransitionBuilder b(*this);
+  b << action;
+  return b;
+}
+
+const std::string& State::name() const { return fsm_->state_name(index_); }
+
+// --- TransitionBuilder ---
+
+TransitionBuilder::TransitionBuilder(TransitionBuilder&& o) noexcept
+    : from_(o.from_),
+      guards_(std::move(o.guards_)),
+      always_(o.always_),
+      actions_(std::move(o.actions_)),
+      done_(o.done_) {
+  o.done_ = true;  // the moved-from builder no longer owns the transition
+}
+
+TransitionBuilder::~TransitionBuilder() {
+  if (!done_ && from_.valid()) {
+    from_.fsm_->build_errors_.push_back(
+        "incomplete transition from state '" + from_.name() +
+        "': no destination state streamed");
+  }
+}
+
+TransitionBuilder& TransitionBuilder::operator<<(const Cnd& c) {
+  if (!guards_.empty() || always_)
+    throw std::logic_error("transition already has a guard");
+  guards_.push_back(c);
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::operator<<(AlwaysTag) {
+  if (!guards_.empty() || always_)
+    throw std::logic_error("transition already has a guard");
+  always_ = true;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::operator<<(sfg::Sfg& action) {
+  actions_.push_back(&action);
+  return *this;
+}
+
+void TransitionBuilder::operator<<(const State& to) {
+  if (done_) throw std::logic_error("transition already completed");
+  if (to.fsm_ != from_.fsm_)
+    throw std::logic_error("transition destination belongs to another fsm");
+  Fsm::Transition t;
+  t.from = from_.index_;
+  t.to = to.index_;
+  t.guards = guards_;
+  t.actions = actions_;
+  from_.fsm_->add_transition(std::move(t));
+  done_ = true;
+}
+
+// --- Fsm ---
+
+State Fsm::initial(const std::string& name) {
+  if (initial_ >= 0) throw std::logic_error("fsm '" + name_ + "': second initial state");
+  State s = state(name);
+  initial_ = s.index();
+  current_ = initial_;
+  return s;
+}
+
+State Fsm::state(const std::string& name) {
+  states_.push_back(name);
+  return State(this, static_cast<int>(states_.size()) - 1);
+}
+
+const std::string& Fsm::state_name(int i) const {
+  return states_.at(static_cast<std::size_t>(i));
+}
+
+int Fsm::state_index(const std::string& name) const {
+  for (int i = 0; i < num_states(); ++i)
+    if (states_[static_cast<std::size_t>(i)] == name) return i;
+  return -1;
+}
+
+void Fsm::add_transition(Transition t) { transitions_.push_back(std::move(t)); }
+
+void Fsm::reset() {
+  if (initial_ < 0) throw std::logic_error("fsm '" + name_ + "': no initial state");
+  current_ = initial_;
+}
+
+const Fsm::Transition* Fsm::select(std::uint64_t stamp) const {
+  for (const auto& t : transitions_) {
+    if (t.from != current_) continue;
+    if (t.guards.empty() || t.guards.front().eval(stamp)) return &t;
+  }
+  return nullptr;
+}
+
+void Fsm::commit(const Transition& t) { current_ = t.to; }
+
+const Fsm::Transition* Fsm::step() {
+  const std::uint64_t stamp = sfg::new_eval_stamp();
+  const Transition* t = select(stamp);
+  if (t == nullptr) return nullptr;
+  for (auto* a : t->actions) a->eval(stamp);
+  for (auto* a : t->actions) a->update_registers();
+  commit(*t);
+  return t;
+}
+
+namespace {
+
+/// Compact rendering of a guard expression for edge labels.
+std::string guard_text(const sfg::NodePtr& n) {
+  using sfg::Op;
+  switch (n->op) {
+    case Op::kReg:
+    case Op::kInput:
+      return n->name;
+    case Op::kConst: {
+      std::ostringstream os;
+      os << n->value.value();
+      return os.str();
+    }
+    case Op::kNot:
+      return "!" + guard_text(n->args[0]);
+    case Op::kAnd:
+      return "(" + guard_text(n->args[0]) + " & " + guard_text(n->args[1]) + ")";
+    case Op::kOr:
+      return "(" + guard_text(n->args[0]) + " | " + guard_text(n->args[1]) + ")";
+    case Op::kEq:
+      return guard_text(n->args[0]) + "==" + guard_text(n->args[1]);
+    case Op::kNe:
+      return guard_text(n->args[0]) + "!=" + guard_text(n->args[1]);
+    case Op::kLt:
+      return guard_text(n->args[0]) + "<" + guard_text(n->args[1]);
+    case Op::kLe:
+      return guard_text(n->args[0]) + "<=" + guard_text(n->args[1]);
+    case Op::kGt:
+      return guard_text(n->args[0]) + ">" + guard_text(n->args[1]);
+    case Op::kGe:
+      return guard_text(n->args[0]) + ">=" + guard_text(n->args[1]);
+    default:
+      return sfg::op_name(n->op);
+  }
+}
+
+}  // namespace
+
+std::string Fsm::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n  rankdir=LR;\n";
+  for (int i = 0; i < num_states(); ++i) {
+    os << "  s" << i << " [label=\"" << state_name(i) << "\", shape=circle"
+       << (i == initial_ ? ", style=bold" : "") << "];\n";
+  }
+  for (const auto& t : transitions_) {
+    std::string label = t.guards.empty() ? "_" : guard_text(t.guards.front().expr().node());
+    label += " / ";
+    for (std::size_t a = 0; a < t.actions.size(); ++a)
+      label += (a ? "," : "") + t.actions[a]->name();
+    os << "  s" << t.from << " -> s" << t.to << " [label=\"" << label << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::vector<std::string> Fsm::check() const {
+  std::vector<std::string> diags = build_errors_;
+  if (initial_ < 0) diags.push_back("fsm '" + name_ + "': no initial state");
+
+  // Reachability from the initial state.
+  if (initial_ >= 0) {
+    std::unordered_set<int> reach{initial_};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const auto& t : transitions_) {
+        if (reach.count(t.from) && !reach.count(t.to)) {
+          reach.insert(t.to);
+          grew = true;
+        }
+      }
+    }
+    for (int i = 0; i < num_states(); ++i) {
+      if (!reach.count(i))
+        diags.push_back("fsm '" + name_ + "': state '" + state_name(i) +
+                        "' is unreachable");
+    }
+  }
+
+  for (int i = 0; i < num_states(); ++i) {
+    bool has_out = false;
+    bool after_always = false;
+    for (const auto& t : transitions_) {
+      if (t.from != i) continue;
+      has_out = true;
+      if (after_always)
+        diags.push_back("fsm '" + name_ + "': transition out of '" + state_name(i) +
+                        "' follows an unconditional transition and can never fire");
+      if (t.guards.empty()) after_always = true;
+    }
+    if (!has_out)
+      diags.push_back("fsm '" + name_ + "': state '" + state_name(i) +
+                      "' has no outgoing transition");
+  }
+
+  // Guards must depend on registered/constant signals only (Mealy selection
+  // happens before input tokens exist in the cycle).
+  for (const auto& t : transitions_) {
+    for (const auto& g : t.guards) {
+      // walk for kInput leaves
+      std::vector<const sfg::Node*> stack{g.expr().node().get()};
+      std::unordered_set<const sfg::Node*> seen;
+      while (!stack.empty()) {
+        const sfg::Node* n = stack.back();
+        stack.pop_back();
+        if (!seen.insert(n).second) continue;
+        if (n->op == sfg::Op::kInput) {
+          diags.push_back("fsm '" + name_ + "': guard on '" +
+                          state_name(t.from) + "'->'" + state_name(t.to) +
+                          "' reads unregistered input '" + n->name + "'");
+        }
+        for (const auto& a : n->args) stack.push_back(a.get());
+      }
+    }
+  }
+  return diags;
+}
+
+}  // namespace asicpp::fsm

@@ -1,0 +1,169 @@
+// Mealy finite state machines over SFG actions.
+//
+// Reproduces the compact C++ FSM description of Fig 4:
+//
+//     Fsm f("ctl");
+//     State s0 = f.initial("s0");
+//     State s1 = f.state("s1");
+//     s0 << always << sfg1 << s1;
+//     s1 << cnd(eof) << sfg2 << s1;
+//     s1 << !cnd(eof) << sfg3 << s0;
+//
+// Conditions are expressions over *registered* signals (section 3: "the
+// conditions are stored in registers inside the signal flow graphs"), so a
+// transition can be selected at the start of a clock cycle before any input
+// token has arrived. Each transition carries one or more SFGs that are
+// marked for execution in that cycle; the state change commits together
+// with the register-update phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfg/eval.h"
+#include "sfg/sfg.h"
+#include "sfg/sig.h"
+
+namespace asicpp::fsm {
+
+/// A transition guard: a signal expression evaluating to zero / nonzero.
+class Cnd {
+ public:
+  explicit Cnd(sfg::Sig expr) : expr_(std::move(expr)) {}
+
+  Cnd operator!() const { return Cnd(~expr_); }
+  Cnd operator&&(const Cnd& o) const { return Cnd(expr_ & o.expr_); }
+  Cnd operator||(const Cnd& o) const { return Cnd(expr_ | o.expr_); }
+
+  const sfg::Sig& expr() const { return expr_; }
+  bool eval(std::uint64_t stamp) const;
+
+ private:
+  sfg::Sig expr_;
+};
+
+/// Build a guard from a signal, as in the paper's `cnd(eof)`.
+inline Cnd cnd(const sfg::Sig& s) { return Cnd(s); }
+
+/// The unconditional guard token of `s0 << always << sfg << s1;`.
+struct AlwaysTag {};
+inline constexpr AlwaysTag always{};
+
+class Fsm;
+class TransitionBuilder;
+
+/// Lightweight handle onto a state owned by an Fsm.
+class State {
+ public:
+  State() = default;
+
+  TransitionBuilder operator<<(const Cnd& c) const;
+  TransitionBuilder operator<<(AlwaysTag) const;
+  TransitionBuilder operator<<(sfg::Sfg& action) const;
+
+  const std::string& name() const;
+  int index() const { return index_; }
+  bool valid() const { return fsm_ != nullptr; }
+
+ private:
+  friend class Fsm;
+  friend class TransitionBuilder;
+  State(Fsm* fsm, int index) : fsm_(fsm), index_(index) {}
+
+  Fsm* fsm_ = nullptr;
+  int index_ = -1;
+};
+
+/// Accumulates one transition: guard, action SFGs, destination state.
+/// Streaming the destination State completes the transition.
+class TransitionBuilder {
+ public:
+  TransitionBuilder(TransitionBuilder&&) noexcept;
+  TransitionBuilder(const TransitionBuilder&) = delete;
+  TransitionBuilder& operator=(const TransitionBuilder&) = delete;
+  TransitionBuilder& operator=(TransitionBuilder&&) = delete;
+  ~TransitionBuilder();
+
+  TransitionBuilder& operator<<(const Cnd& c);
+  TransitionBuilder& operator<<(AlwaysTag);
+  TransitionBuilder& operator<<(sfg::Sfg& action);
+  /// Completes the transition with destination `to`.
+  void operator<<(const State& to);
+
+ private:
+  friend class State;
+  explicit TransitionBuilder(State from) : from_(from) {}
+
+  State from_;
+  std::vector<Cnd> guards_;  // 0 or 1 entries; vector avoids optional<Cnd>
+  bool always_ = false;
+  std::vector<sfg::Sfg*> actions_;
+  bool done_ = false;
+};
+
+class Fsm {
+ public:
+  explicit Fsm(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Create the initial state (at most one per machine).
+  State initial(const std::string& name);
+  /// Create a further state.
+  State state(const std::string& name);
+
+  struct Transition {
+    int from = -1;
+    int to = -1;
+    std::vector<Cnd> guards;  ///< empty means `always`
+    std::vector<sfg::Sfg*> actions;
+  };
+
+  int num_states() const { return static_cast<int>(states_.size()); }
+  const std::string& state_name(int i) const;
+  int state_index(const std::string& name) const;  ///< -1 when absent
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  int initial_state() const { return initial_; }
+
+  /// Return to the initial state.
+  void reset();
+
+  int current() const { return current_; }
+  const std::string& current_name() const { return state_name(current_); }
+
+  /// Phase-0 transition selection: the first transition out of the current
+  /// state whose guard holds (guards read registered signals only). Returns
+  /// nullptr when no transition fires this cycle.
+  const Transition* select(std::uint64_t stamp) const;
+
+  /// Commit a previously selected transition (phase 3, with register update).
+  void commit(const Transition& t);
+
+  /// Standalone convenience: select, run the actions' full evaluation,
+  /// update their registers, and commit. Returns the fired transition or
+  /// nullptr.
+  const Transition* step();
+
+  /// Structural diagnostics: no initial state, unreachable states, states
+  /// without outgoing transitions, guards that read unregistered inputs,
+  /// transitions unreachable because they follow an `always`.
+  std::vector<std::string> check() const;
+
+  /// Graphviz rendering of the machine (states, guarded edges, action SFG
+  /// names) — the diagram style of Figs 2 and 4.
+  std::string to_dot() const;
+
+ private:
+  friend class TransitionBuilder;
+  void add_transition(Transition t);
+
+  std::string name_;
+  std::vector<std::string> states_;
+  std::vector<Transition> transitions_;
+  int initial_ = -1;
+  int current_ = -1;
+  std::vector<std::string> build_errors_;
+};
+
+}  // namespace asicpp::fsm

@@ -1,0 +1,48 @@
+// HDL code generation from the C++ system description.
+//
+// Section 5/6 of the paper: the clock-cycle true, bit-true C++ description
+// translates itself into a control/data flow data structure, which a code
+// generator turns into synthesizable HDL. For each component we emit a
+// *datapath* section (concurrent three-address assignments, one per SFG
+// operator node, sized by wordlength inference) and a *controller* section
+// (transition-selection combinational process + clocked state/register
+// process) — the split that feeds the separate datapath and controller
+// synthesis tools of Fig 8. A system linkage file instantiates all
+// components and wires them along the interconnect nets.
+#pragma once
+
+#include <string>
+
+#include "sched/cyclesched.h"
+#include "sched/fsmcomp.h"
+
+namespace asicpp::hdl {
+
+enum class Dialect { kVhdl, kVerilog };
+
+/// Generated text for one component, with the controller/datapath split
+/// exposed for the divide-and-conquer synthesis strategy.
+struct HdlComponent {
+  std::string name;
+  std::string entity;      ///< entity/module header with ports
+  std::string datapath;    ///< concurrent SFG operator assignments
+  std::string controller;  ///< FSM selection + clocked process
+  std::string full;        ///< complete compilable unit
+};
+
+/// Shared support code: the quantize/saturate helpers (VHDL package;
+/// empty for Verilog, where saturation is emitted inline).
+std::string generate_package(Dialect d);
+
+/// Generate HDL for a timed component (FsmComponent, SfgComponent or
+/// DispatchComponent). Throws std::invalid_argument for untimed blocks —
+/// high-level C++ behaviour has no HDL image; it is a verification-only
+/// model in the paper's flow.
+HdlComponent generate_component(Dialect d, sched::Component& comp);
+
+/// Structural top level: instantiate every timed component of `sys` and
+/// connect the interconnect nets.
+std::string generate_system(Dialect d, const sched::CycleScheduler& sys,
+                            const std::string& top_name);
+
+}  // namespace asicpp::hdl

@@ -1,0 +1,91 @@
+#include "hdl/model.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace asicpp::hdl {
+
+std::string sanitize(const std::string& s) {
+  std::string r;
+  for (const char c : s)
+    r += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  if (r.empty() || std::isdigit(static_cast<unsigned char>(r[0])) != 0) r = "s_" + r;
+  return r;
+}
+
+namespace {
+
+void merge_out_fmt(CompModel& m, const std::string& port, const fixpt::Format& f) {
+  const auto it = m.out_fmt.find(port);
+  if (it == m.out_fmt.end()) {
+    m.out_fmt.emplace(port, f);
+    m.out_ports.push_back(port);
+    return;
+  }
+  fixpt::Format& g = it->second;
+  const int frac = std::max(g.frac_bits(), f.frac_bits());
+  g.is_signed = g.is_signed || f.is_signed;
+  g.iwl = std::max(g.iwl, f.iwl);
+  g.wl = g.iwl + frac + (g.is_signed ? 1 : 0);
+}
+
+void collect_sfg(CompModel& m, sfg::Sfg& s) {
+  for (auto* known : m.sfgs)
+    if (known == &s) return;
+  m.sfgs.push_back(&s);
+  s.analyze();
+  sfg::infer_formats(s, m.fmts);
+  for (const auto& i : s.inputs()) {
+    bool seen = false;
+    for (const auto& k : m.inputs) seen = seen || (k == i);
+    if (!seen) m.inputs.push_back(i);
+  }
+  for (const auto& o : s.outputs()) merge_out_fmt(m, o.port, m.fmts.at(o.expr.get()));
+  for (const auto& a : s.reg_assigns()) {
+    bool seen = false;
+    for (const auto& k : m.regs) seen = seen || (k == a.reg);
+    if (!seen) m.regs.push_back(a.reg);
+  }
+}
+
+}  // namespace
+
+CompModel build_component_model(sched::Component& comp) {
+  CompModel m;
+  m.name = sanitize(comp.name());
+  if (auto* f = dynamic_cast<sched::FsmComponent*>(&comp)) {
+    m.kind = CompModel::Kind::kFsm;
+    m.fsm = &f->machine();
+    for (const auto& t : m.fsm->transitions()) {
+      for (auto* s : t.actions) collect_sfg(m, *s);
+      if (!t.guards.empty())
+        sfg::infer_format(t.guards.front().expr().node(), m.fmts);
+    }
+    for (const auto& [p, n] : f->output_bindings()) m.out_binds.emplace(p, n);
+    for (const auto& b : f->input_bindings()) m.in_binds.emplace_back(b.node, b.net);
+  } else if (auto* s = dynamic_cast<sched::SfgComponent*>(&comp)) {
+    m.kind = CompModel::Kind::kSfg;
+    collect_sfg(m, s->graph());
+    for (const auto& [p, n] : s->output_bindings()) m.out_binds.emplace(p, n);
+    for (const auto& b : s->input_bindings()) m.in_binds.emplace_back(b.node, b.net);
+  } else if (auto* d = dynamic_cast<sched::DispatchComponent*>(&comp)) {
+    m.kind = CompModel::Kind::kDispatch;
+    m.instr_port = sanitize("instr_" + d->instruction_net().name());
+    for (const auto& [op, g] : d->instruction_table()) {
+      collect_sfg(m, *g);
+      m.table.emplace(op, g);
+    }
+    if (d->default_instruction() != nullptr) {
+      collect_sfg(m, *d->default_instruction());
+      m.dflt = d->default_instruction();
+    }
+    for (const auto& [p, n] : d->output_bindings()) m.out_binds.emplace(p, n);
+    for (const auto& b : d->input_bindings()) m.in_binds.emplace_back(b.node, b.net);
+  } else {
+    throw std::invalid_argument("build_component_model: untimed component '" +
+                                comp.name() + "' has no structural image");
+  }
+  return m;
+}
+
+}  // namespace asicpp::hdl

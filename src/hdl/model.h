@@ -1,0 +1,43 @@
+// Component model: everything the generators need to know about one timed
+// component, collected from the sched:: component classes. Shared by the
+// HDL emitters (hdl/) and the synthesis back-end (synth/).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fixpt/format.h"
+#include "fsm/fsm.h"
+#include "sched/component.h"
+#include "sched/fsmcomp.h"
+#include "sched/net.h"
+#include "sfg/wordlen.h"
+
+namespace asicpp::hdl {
+
+struct CompModel {
+  enum class Kind { kFsm, kSfg, kDispatch } kind = Kind::kSfg;
+  std::string name;
+  std::vector<sfg::Sfg*> sfgs;
+  fsm::Fsm* fsm = nullptr;                       ///< Kind::kFsm
+  std::map<long, sfg::Sfg*> table;               ///< Kind::kDispatch
+  sfg::Sfg* dflt = nullptr;                      ///< Kind::kDispatch
+  std::string instr_port;                        ///< Kind::kDispatch
+  std::vector<sfg::NodePtr> inputs;              ///< declared input signals
+  std::vector<std::string> out_ports;            ///< declaration order
+  std::map<std::string, fixpt::Format> out_fmt;  ///< merged across producers
+  std::vector<sfg::NodePtr> regs;
+  sfg::FormatMap fmts;
+  std::map<std::string, sched::Net*> out_binds;  ///< for system linkage
+  std::vector<std::pair<sfg::NodePtr, sched::Net*>> in_binds;
+};
+
+/// Sanitize to a legal HDL/netlist identifier.
+std::string sanitize(const std::string& s);
+
+/// Collect the model. Throws std::invalid_argument for untimed components.
+CompModel build_component_model(sched::Component& comp);
+
+}  // namespace asicpp::hdl

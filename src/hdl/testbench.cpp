@@ -1,0 +1,110 @@
+#include "hdl/testbench.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace asicpp::hdl {
+
+namespace {
+
+int tb_width(const fixpt::Format& f) { return f.wl + (f.is_signed ? 0 : 1); }
+
+long long tb_mant(double v, const fixpt::Format& f) {
+  return static_cast<long long>(std::llround(std::ldexp(v, f.frac_bits())));
+}
+
+}  // namespace
+
+std::string generate_testbench(Dialect d, const TestbenchSpec& spec,
+                               const sim::Recorder& rec) {
+  const auto cycles = rec.cycles_recorded();
+  if (cycles == 0) throw std::invalid_argument("generate_testbench: no recorded cycles");
+  std::ostringstream os;
+  const std::string tb = spec.dut_name + "_tb";
+
+  if (d == Dialect::kVhdl) {
+    os << "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n";
+    os << "entity " << tb << " is\nend " << tb << ";\n\n";
+    os << "architecture bench of " << tb << " is\n";
+    os << "  signal clk : std_logic := '0';\n  signal rst : std_logic := '1';\n";
+    for (const auto& n : spec.drive_nets)
+      os << "  signal " << n << " : signed(" << tb_width(spec.net_fmt.at(n)) - 1
+         << " downto 0);\n";
+    for (const auto& n : spec.check_nets)
+      os << "  signal " << n << " : signed(" << tb_width(spec.net_fmt.at(n)) - 1
+         << " downto 0);\n";
+    os << "  type ivec is array (0 to " << cycles - 1 << ") of integer;\n";
+    for (const auto& n : spec.drive_nets) {
+      const auto& t = rec.trace(n);
+      os << "  constant stim_" << n << " : ivec := (";
+      for (std::size_t i = 0; i < cycles; ++i)
+        os << (i ? ", " : "") << tb_mant(t.values[i], spec.net_fmt.at(n));
+      os << ");\n";
+    }
+    for (const auto& n : spec.check_nets) {
+      const auto& t = rec.trace(n);
+      os << "  constant gold_" << n << " : ivec := (";
+      for (std::size_t i = 0; i < cycles; ++i)
+        os << (i ? ", " : "") << tb_mant(t.values[i], spec.net_fmt.at(n));
+      os << ");\n";
+    }
+    os << "begin\n";
+    os << "  clk <= not clk after 5 ns;\n";
+    os << "  dut : entity work." << spec.dut_name << " port map (clk => clk, rst => rst";
+    for (const auto& n : spec.drive_nets) os << ", " << n << " => " << n;
+    for (const auto& n : spec.check_nets) os << ", " << n << " => " << n;
+    os << ");\n";
+    os << "  stimuli : process\n  begin\n";
+    os << "    rst <= '1';\n    wait until rising_edge(clk);\n    rst <= '0';\n";
+    os << "    for i in 0 to " << cycles - 1 << " loop\n";
+    for (const auto& n : spec.drive_nets)
+      os << "      " << n << " <= to_signed(stim_" << n << "(i), " << n << "'length);\n";
+    os << "      wait until rising_edge(clk);\n";
+    for (const auto& n : spec.check_nets)
+      os << "      assert to_integer(" << n << ") = gold_" << n
+         << "(i) report \"mismatch on " << n << "\" severity error;\n";
+    os << "    end loop;\n    report \"testbench done\" severity note;\n    wait;\n";
+    os << "  end process;\nend bench;\n";
+  } else {
+    os << "`timescale 1ns/1ps\nmodule " << tb << ";\n";
+    os << "  reg clk = 0;\n  reg rst = 1;\n  always #5 clk = ~clk;\n";
+    for (const auto& n : spec.drive_nets)
+      os << "  reg signed [" << tb_width(spec.net_fmt.at(n)) - 1 << ":0] " << n << ";\n";
+    for (const auto& n : spec.check_nets)
+      os << "  wire signed [" << tb_width(spec.net_fmt.at(n)) - 1 << ":0] " << n << ";\n";
+    for (const auto& n : spec.drive_nets) {
+      const auto& t = rec.trace(n);
+      os << "  reg signed [63:0] stim_" << n << " [0:" << cycles - 1 << "];\n";
+      os << "  initial begin\n";
+      for (std::size_t i = 0; i < cycles; ++i)
+        os << "    stim_" << n << "[" << i << "] = " << tb_mant(t.values[i], spec.net_fmt.at(n))
+           << ";\n";
+      os << "  end\n";
+    }
+    for (const auto& n : spec.check_nets) {
+      const auto& t = rec.trace(n);
+      os << "  reg signed [63:0] gold_" << n << " [0:" << cycles - 1 << "];\n";
+      os << "  initial begin\n";
+      for (std::size_t i = 0; i < cycles; ++i)
+        os << "    gold_" << n << "[" << i << "] = " << tb_mant(t.values[i], spec.net_fmt.at(n))
+           << ";\n";
+      os << "  end\n";
+    }
+    os << "  " << spec.dut_name << " dut (.clk(clk), .rst(rst)";
+    for (const auto& n : spec.drive_nets) os << ", ." << n << "(" << n << ")";
+    for (const auto& n : spec.check_nets) os << ", ." << n << "(" << n << ")";
+    os << ");\n";
+    os << "  integer i;\n  initial begin\n    rst = 1;\n    @(posedge clk);\n    rst = 0;\n";
+    os << "    for (i = 0; i < " << cycles << "; i = i + 1) begin\n";
+    for (const auto& n : spec.drive_nets) os << "      " << n << " = stim_" << n << "[i];\n";
+    os << "      @(posedge clk);\n";
+    for (const auto& n : spec.check_nets)
+      os << "      if (" << n << " !== gold_" << n << "[i][" << tb_width(spec.net_fmt.at(n)) - 1
+         << ":0]) $display(\"mismatch on " << n << " at %0d\", i);\n";
+    os << "    end\n    $display(\"testbench done\");\n    $finish;\n  end\nendmodule\n";
+  }
+  return os.str();
+}
+
+}  // namespace asicpp::hdl

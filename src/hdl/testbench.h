@@ -1,0 +1,31 @@
+// HDL testbench generation from recorded simulation stimuli.
+//
+// "Verification test-benches can be generated automatically in
+// correspondence with the C++ simulation" (section 1, section 6). The
+// recorded per-cycle net traces become constant stimulus/expectation
+// tables; the bench drives the DUT's inputs and asserts its outputs every
+// clock cycle.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hdl/hdlgen.h"
+#include "sim/recorder.h"
+
+namespace asicpp::hdl {
+
+struct TestbenchSpec {
+  std::string dut_name;
+  std::vector<std::string> drive_nets;  ///< recorded nets driven as inputs
+  std::vector<std::string> check_nets;  ///< recorded nets asserted as outputs
+  /// Width and fractional bits of each net's HDL vector.
+  std::map<std::string, fixpt::Format> net_fmt;
+};
+
+/// Generate a self-checking testbench replaying `rec`'s traces.
+std::string generate_testbench(Dialect d, const TestbenchSpec& spec,
+                               const sim::Recorder& rec);
+
+}  // namespace asicpp::hdl

@@ -1,0 +1,41 @@
+#include "netlist/activity.h"
+
+#include "netlist/netsim.h"
+
+namespace asicpp::netlist {
+
+ActivityReport measure_activity(const Netlist& nl, const std::vector<Vector>& vectors) {
+  ActivityReport rep;
+  rep.per_gate.assign(static_cast<std::size_t>(nl.num_gates()), 0);
+  LevelizedSim sim(nl);
+
+  std::vector<bool> prev(static_cast<std::size_t>(nl.num_gates()), false);
+  bool first = true;
+  for (const auto& v : vectors) {
+    for (const auto& [name, bit] : v) sim.set_input(name, bit);
+    sim.settle();
+    if (!first) {
+      for (std::int32_t id = 0; id < nl.num_gates(); ++id) {
+        const bool cur = sim.value(id);
+        if (cur != prev[static_cast<std::size_t>(id)]) {
+          ++rep.per_gate[static_cast<std::size_t>(id)];
+          ++rep.total_toggles;
+          rep.weighted_power += gate_area(nl.gate(id).type);
+        }
+      }
+    }
+    for (std::int32_t id = 0; id < nl.num_gates(); ++id)
+      prev[static_cast<std::size_t>(id)] = sim.value(id);
+    first = false;
+    sim.cycle();
+    ++rep.cycles;
+  }
+  if (rep.cycles > 1 && nl.num_gates() > 0) {
+    rep.average_activity =
+        static_cast<double>(rep.total_toggles) /
+        (static_cast<double>(rep.cycles - 1) * static_cast<double>(nl.num_gates()));
+  }
+  return rep;
+}
+
+}  // namespace asicpp::netlist

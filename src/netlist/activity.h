@@ -1,0 +1,31 @@
+// Switching-activity and dynamic-power estimation.
+//
+// The remaining column of a 1990s synthesis report: replay stimulus
+// vectors, count output toggles per gate, and weight them by cell area as
+// a (technology-free) dynamic power proxy. High-activity nets are the
+// power hot spots a designer would gate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/fault.h"  // Vector
+#include "netlist/netlist.h"
+
+namespace asicpp::netlist {
+
+struct ActivityReport {
+  std::uint64_t cycles = 0;
+  std::uint64_t total_toggles = 0;
+  /// Mean toggles per gate per cycle (0..1 for well-behaved logic).
+  double average_activity = 0.0;
+  /// Sum over gates of toggles * gate_area — the dynamic power proxy.
+  double weighted_power = 0.0;
+  /// Per-gate toggle counts (index = gate id).
+  std::vector<std::uint64_t> per_gate;
+};
+
+/// Replay `vectors` (one per cycle) and measure toggling.
+ActivityReport measure_activity(const Netlist& nl, const std::vector<Vector>& vectors);
+
+}  // namespace asicpp::netlist

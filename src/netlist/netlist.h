@@ -1,0 +1,95 @@
+// Gate-level netlists.
+//
+// The synthesis back-end (our Cathedral-3 / Synopsys DC stand-in) produces
+// these netlists, the Table 1 "netlist" simulation rows run on them, and
+// the verification generator checks them against the behavioural C++
+// description. Gates are 1-bit; word-level ports are bit-blasted buses
+// named "port[i]".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asicpp::netlist {
+
+enum class GateType : std::uint8_t {
+  kInput,   ///< primary input
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,   ///< in0 ? in1 : in2
+  kDff,   ///< D flip-flop: in0 = D; output is Q
+};
+
+/// Number of fanins for a gate type.
+int gate_arity(GateType t);
+const char* gate_name(GateType t);
+/// Area in equivalent 2-input NAND gates (rough standard-cell weights).
+double gate_area(GateType t);
+
+struct Gate {
+  GateType type = GateType::kConst0;
+  std::int32_t in[3] = {-1, -1, -1};
+  bool init = false;  ///< DFF reset value
+};
+
+class Netlist {
+ public:
+  /// Create a primary input named `name`; returns its gate id.
+  std::int32_t add_input(const std::string& name);
+  /// Create a gate; fanins must already exist.
+  std::int32_t add_gate(GateType t, std::int32_t a = -1, std::int32_t b = -1,
+                        std::int32_t c = -1);
+  /// Create a D flip-flop with reset value `init`. The D fanin may be set
+  /// later via `set_dff_input` to allow feedback.
+  std::int32_t add_dff(bool init);
+  void set_dff_input(std::int32_t dff, std::int32_t d);
+
+  /// A buffer whose fanin is connected later — the forward-reference hook
+  /// the system linker uses to wire component-level feedback. Every
+  /// placeholder must be connected before simulation/levelization.
+  std::int32_t add_placeholder();
+  void connect_placeholder(std::int32_t buf, std::int32_t src);
+
+  void mark_output(const std::string& name, std::int32_t gate);
+
+  std::int32_t num_gates() const { return static_cast<std::int32_t>(gates_.size()); }
+  const Gate& gate(std::int32_t id) const { return gates_.at(static_cast<std::size_t>(id)); }
+  const std::map<std::string, std::int32_t>& inputs() const { return inputs_; }
+  const std::map<std::string, std::int32_t>& outputs() const { return outputs_; }
+
+  /// Count of combinational gates / flip-flops (excludes inputs/constants).
+  std::int32_t num_comb() const;
+  std::int32_t num_dff() const;
+  /// Total area in equivalent gates.
+  double area() const;
+
+  /// Topological order of combinational gates (inputs/DFF outputs are
+  /// sources). Throws std::runtime_error on combinational loops.
+  std::vector<std::int32_t> levelize() const;
+
+  /// Longest combinational path length in gates (logic depth).
+  int depth() const;
+
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  /// Structural gate-level Verilog (one primitive instance per gate) —
+  /// the "netlist source" format whose bulk Table 1 reports.
+  std::string to_verilog(const std::string& module_name) const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::map<std::string, std::int32_t> inputs_;
+  std::map<std::string, std::int32_t> outputs_;
+};
+
+}  // namespace asicpp::netlist

@@ -1,0 +1,228 @@
+#include "netlist/netsim.h"
+
+#include <stdexcept>
+
+namespace asicpp::netlist {
+
+namespace {
+
+bool compute(GateType t, bool a, bool b, bool c, bool cur) {
+  switch (t) {
+    case GateType::kConst0: return false;
+    case GateType::kConst1: return true;
+    case GateType::kBuf: return a;
+    case GateType::kNot: return !a;
+    case GateType::kAnd: return a && b;
+    case GateType::kOr: return a || b;
+    case GateType::kNand: return !(a && b);
+    case GateType::kNor: return !(a || b);
+    case GateType::kXor: return a != b;
+    case GateType::kXnor: return a == b;
+    case GateType::kMux: return a ? b : c;
+    case GateType::kInput:
+    case GateType::kDff:
+      return cur;  // held externally / latched
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- LevelizedSim ---
+
+LevelizedSim::LevelizedSim(const Netlist& nl)
+    : nl_(&nl), order_(nl.levelize()), val_(static_cast<std::size_t>(nl.num_gates()), 0) {
+  reset();
+}
+
+void LevelizedSim::reset() {
+  for (std::int32_t id = 0; id < nl_->num_gates(); ++id) {
+    const Gate& g = nl_->gate(id);
+    val_[static_cast<std::size_t>(id)] =
+        (g.type == GateType::kDff && g.init) || g.type == GateType::kConst1 ? 1 : 0;
+  }
+  cycles_ = 0;
+}
+
+void LevelizedSim::set_input(const std::string& name, bool v) {
+  const auto it = nl_->inputs().find(name);
+  if (it == nl_->inputs().end())
+    throw std::out_of_range("LevelizedSim: no input '" + name + "'");
+  val_[static_cast<std::size_t>(it->second)] = v ? 1 : 0;
+}
+
+void LevelizedSim::eval_gate(std::int32_t id) {
+  const Gate& g = nl_->gate(id);
+  const auto get = [&](int i) {
+    return g.in[i] >= 0 && val_[static_cast<std::size_t>(g.in[i])] != 0;
+  };
+  val_[static_cast<std::size_t>(id)] =
+      compute(g.type, get(0), get(1), get(2), value(id)) ? 1 : 0;
+}
+
+void LevelizedSim::settle() {
+  for (const std::int32_t id : order_) eval_gate(id);
+}
+
+void LevelizedSim::latch() {
+  // Sample D values simultaneously, then commit.
+  std::vector<std::pair<std::int32_t, std::uint8_t>> next;
+  for (std::int32_t id = 0; id < nl_->num_gates(); ++id) {
+    const Gate& g = nl_->gate(id);
+    if (g.type == GateType::kDff) {
+      if (g.in[0] < 0) throw std::runtime_error("LevelizedSim: unconnected dff");
+      next.emplace_back(id, val_[static_cast<std::size_t>(g.in[0])]);
+    }
+  }
+  for (const auto& [id, v] : next) val_[static_cast<std::size_t>(id)] = v;
+  ++cycles_;
+}
+
+void LevelizedSim::cycle() {
+  settle();
+  latch();
+}
+
+void LevelizedSim::settle_with_force(std::int32_t forced, bool fv) {
+  // Sources (inputs, constants, DFF outputs) are not in the order; pin the
+  // site first so downstream logic sees the stuck value either way.
+  val_[static_cast<std::size_t>(forced)] = fv ? 1 : 0;
+  for (const std::int32_t id : order_) {
+    if (id == forced) {
+      val_[static_cast<std::size_t>(id)] = fv ? 1 : 0;
+      continue;
+    }
+    eval_gate(id);
+  }
+}
+
+void LevelizedSim::cycle_with_force(std::int32_t forced, bool fv) {
+  settle_with_force(forced, fv);
+  latch();
+  val_[static_cast<std::size_t>(forced)] = fv ? 1 : 0;  // a stuck DFF stays stuck
+}
+
+bool LevelizedSim::output(const std::string& name) const {
+  const auto it = nl_->outputs().find(name);
+  if (it == nl_->outputs().end())
+    throw std::out_of_range("LevelizedSim: no output '" + name + "'");
+  return value(it->second);
+}
+
+std::size_t LevelizedSim::footprint_bytes() const {
+  return order_.capacity() * sizeof(std::int32_t) + val_.capacity() +
+         static_cast<std::size_t>(nl_->num_gates()) * sizeof(Gate);
+}
+
+// --- EventSim ---
+
+EventSim::EventSim(const Netlist& nl)
+    : nl_(&nl),
+      fanout_(static_cast<std::size_t>(nl.num_gates())),
+      val_(static_cast<std::size_t>(nl.num_gates()), 0),
+      queued_(static_cast<std::size_t>(nl.num_gates()), 0) {
+  for (std::int32_t id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kDff) continue;  // latched, not driven by waves
+    for (int i = 0; i < gate_arity(g.type); ++i)
+      fanout_[static_cast<std::size_t>(g.in[i])].push_back(id);
+  }
+  reset();
+}
+
+void EventSim::reset() {
+  for (std::int32_t id = 0; id < nl_->num_gates(); ++id) {
+    const Gate& g = nl_->gate(id);
+    val_[static_cast<std::size_t>(id)] =
+        (g.type == GateType::kDff && g.init) || g.type == GateType::kConst1 ? 1 : 0;
+  }
+  // Kick every combinational gate once so initial values propagate.
+  wave_.clear();
+  std::fill(queued_.begin(), queued_.end(), 0);
+  for (std::int32_t id = 0; id < nl_->num_gates(); ++id) {
+    const GateType t = nl_->gate(id).type;
+    if (t != GateType::kInput && t != GateType::kDff) touch(id);
+  }
+  cycles_ = 0;
+}
+
+bool EventSim::eval(std::int32_t id) const {
+  const Gate& g = nl_->gate(id);
+  const auto get = [&](int i) {
+    return g.in[i] >= 0 && val_[static_cast<std::size_t>(g.in[i])] != 0;
+  };
+  return compute(g.type, get(0), get(1), get(2), value(id));
+}
+
+void EventSim::touch(std::int32_t id) {
+  if (!queued_[static_cast<std::size_t>(id)]) {
+    queued_[static_cast<std::size_t>(id)] = 1;
+    wave_.push_back(id);
+  }
+}
+
+void EventSim::set_input(const std::string& name, bool v) {
+  const auto it = nl_->inputs().find(name);
+  if (it == nl_->inputs().end())
+    throw std::out_of_range("EventSim: no input '" + name + "'");
+  const auto id = static_cast<std::size_t>(it->second);
+  if ((val_[id] != 0) != v) {
+    val_[id] = v ? 1 : 0;
+    for (const std::int32_t f : fanout_[id]) touch(f);
+  }
+}
+
+void EventSim::settle(int max_waves) {
+  for (int w = 0; w < max_waves; ++w) {
+    if (wave_.empty()) return;
+    std::vector<std::int32_t> cur;
+    cur.swap(wave_);
+    for (const std::int32_t id : cur) queued_[static_cast<std::size_t>(id)] = 0;
+    for (const std::int32_t id : cur) {
+      const bool v = eval(id);
+      ++events_;
+      if (v != value(id)) {
+        val_[static_cast<std::size_t>(id)] = v ? 1 : 0;
+        for (const std::int32_t f : fanout_[static_cast<std::size_t>(id)]) touch(f);
+      }
+    }
+  }
+  throw std::runtime_error("EventSim: oscillation (no settle)");
+}
+
+void EventSim::cycle() {
+  settle();
+  std::vector<std::pair<std::int32_t, bool>> next;
+  for (std::int32_t id = 0; id < nl_->num_gates(); ++id) {
+    const Gate& g = nl_->gate(id);
+    if (g.type == GateType::kDff) {
+      if (g.in[0] < 0) throw std::runtime_error("EventSim: unconnected dff");
+      next.emplace_back(id, val_[static_cast<std::size_t>(g.in[0])] != 0);
+    }
+  }
+  for (const auto& [id, v] : next) {
+    if (v != value(id)) {
+      val_[static_cast<std::size_t>(id)] = v ? 1 : 0;
+      for (const std::int32_t f : fanout_[static_cast<std::size_t>(id)]) touch(f);
+    }
+  }
+  settle();
+  ++cycles_;
+}
+
+bool EventSim::output(const std::string& name) const {
+  const auto it = nl_->outputs().find(name);
+  if (it == nl_->outputs().end())
+    throw std::out_of_range("EventSim: no output '" + name + "'");
+  return value(it->second);
+}
+
+std::size_t EventSim::footprint_bytes() const {
+  std::size_t bytes = val_.capacity() + queued_.capacity() +
+                      wave_.capacity() * sizeof(std::int32_t) +
+                      static_cast<std::size_t>(nl_->num_gates()) * sizeof(Gate);
+  for (const auto& f : fanout_) bytes += f.capacity() * sizeof(std::int32_t);
+  return bytes;
+}
+
+}  // namespace asicpp::netlist

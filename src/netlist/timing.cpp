@@ -1,0 +1,98 @@
+#include "netlist/timing.h"
+
+#include <algorithm>
+
+namespace asicpp::netlist {
+
+double gate_delay(GateType t) {
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0.0;
+    case GateType::kBuf:
+      return 0.6;
+    case GateType::kNot:
+      return 0.5;
+    case GateType::kNand:
+    case GateType::kNor:
+      return 1.0;
+    case GateType::kAnd:
+    case GateType::kOr:
+      return 1.4;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return 1.9;
+    case GateType::kMux:
+      return 1.8;
+    case GateType::kDff:
+      return 1.2;  // clk-to-q
+  }
+  return 1.0;
+}
+
+TimingReport analyze_timing(const Netlist& nl) {
+  const auto order = nl.levelize();
+  const auto n = static_cast<std::size_t>(nl.num_gates());
+  std::vector<double> arrival(n, 0.0);
+  std::vector<std::int32_t> from(n, -1);
+
+  // Sources launch at their own delay (clk-to-q for DFFs).
+  for (std::int32_t id = 0; id < nl.num_gates(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (t == GateType::kDff) arrival[static_cast<std::size_t>(id)] = gate_delay(t);
+  }
+
+  for (const std::int32_t id : order) {
+    const Gate& g = nl.gate(id);
+    double worst = 0.0;
+    std::int32_t worst_in = -1;
+    for (int i = 0; i < gate_arity(g.type); ++i) {
+      const double a = arrival[static_cast<std::size_t>(g.in[i])];
+      if (a >= worst) {
+        worst = a;
+        worst_in = g.in[i];
+      }
+    }
+    arrival[static_cast<std::size_t>(id)] = worst + gate_delay(g.type);
+    from[static_cast<std::size_t>(id)] = worst_in;
+  }
+
+  // Endpoints: DFF data inputs and primary outputs.
+  TimingReport rep;
+  std::int32_t worst_end = -1;
+  const auto consider = [&](std::int32_t src, const std::string& end_name) {
+    if (src < 0) return;
+    const double a = arrival[static_cast<std::size_t>(src)];
+    if (a > rep.critical_delay) {
+      rep.critical_delay = a;
+      worst_end = src;
+      rep.end_point = end_name;
+    }
+  };
+  for (std::int32_t id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kDff && g.in[0] >= 0)
+      consider(g.in[0], "dff " + std::to_string(id));
+  }
+  for (const auto& [name, id] : nl.outputs()) consider(id, "output " + name);
+
+  // Walk the path back to its source.
+  for (std::int32_t p = worst_end; p >= 0; p = from[static_cast<std::size_t>(p)])
+    rep.critical_path.push_back(p);
+  std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+  if (!rep.critical_path.empty()) {
+    const std::int32_t src = rep.critical_path.front();
+    const GateType t = nl.gate(src).type;
+    if (t == GateType::kDff) {
+      rep.start_point = "dff " + std::to_string(src);
+    } else {
+      rep.start_point = "gate " + std::to_string(src);
+      for (const auto& [name, id] : nl.inputs())
+        if (id == src) rep.start_point = "input " + name;
+    }
+  }
+  return rep;
+}
+
+}  // namespace asicpp::netlist

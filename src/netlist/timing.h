@@ -1,0 +1,31 @@
+// Static timing analysis over gate-level netlists.
+//
+// The synthesis strategy of Fig 8 hands netlists to gate-level
+// optimization; this analyzer reports what the optimized result is worth
+// in time: per-gate typed delays, arrival times, the critical path
+// (register/input to register/output), and slack against a target clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace asicpp::netlist {
+
+/// Unit-delay-per-gate-type model (normalized to a NAND2 = 1.0).
+double gate_delay(GateType t);
+
+struct TimingReport {
+  double critical_delay = 0.0;          ///< longest comb path (delay units)
+  std::vector<std::int32_t> critical_path;  ///< gate ids, source to sink
+  std::string start_point;              ///< "input <name>" / "dff <id>"
+  std::string end_point;                ///< "output <name>" / "dff <id>"
+  /// Slack per clock period; negative = violated.
+  double slack(double clock_period) const { return clock_period - critical_delay; }
+};
+
+/// Analyze `nl`. Throws std::runtime_error on combinational loops.
+TimingReport analyze_timing(const Netlist& nl);
+
+}  // namespace asicpp::netlist

@@ -1,0 +1,80 @@
+#include "sched/assert.h"
+
+namespace asicpp::sched {
+
+AssertionMonitor::AssertionMonitor(CycleScheduler& sched) : sched_(&sched) {
+  sched.on_cycle_end([this](std::uint64_t cycle) { on_cycle(cycle); });
+}
+
+void AssertionMonitor::always(const std::string& label, Predicate pred) {
+  auto r = std::make_unique<Rule>();
+  r->kind = Rule::Kind::kAlways;
+  r->label = label;
+  r->pred = std::move(pred);
+  rules_.push_back(std::move(r));
+}
+
+void AssertionMonitor::never(const std::string& label, Predicate pred) {
+  auto r = std::make_unique<Rule>();
+  r->kind = Rule::Kind::kNever;
+  r->label = label;
+  r->pred = std::move(pred);
+  rules_.push_back(std::move(r));
+}
+
+void AssertionMonitor::eventually(const std::string& label, Predicate pred) {
+  auto r = std::make_unique<Rule>();
+  r->kind = Rule::Kind::kEventually;
+  r->label = label;
+  r->pred = std::move(pred);
+  rules_.push_back(std::move(r));
+}
+
+void AssertionMonitor::stable_while(const std::string& label, const std::string& net,
+                                    Predicate when) {
+  auto r = std::make_unique<Rule>();
+  r->kind = Rule::Kind::kStable;
+  r->label = label;
+  r->pred = std::move(when);
+  r->net = &sched_->net(net);
+  rules_.push_back(std::move(r));
+}
+
+void AssertionMonitor::on_cycle(std::uint64_t cycle) {
+  ++cycles_;
+  for (auto& r : rules_) {
+    switch (r->kind) {
+      case Rule::Kind::kAlways:
+        if (!r->pred()) violations_.push_back(Violation{r->label, cycle});
+        break;
+      case Rule::Kind::kNever:
+        if (r->pred()) violations_.push_back(Violation{r->label, cycle});
+        break;
+      case Rule::Kind::kEventually:
+        if (r->pred()) r->satisfied = true;
+        break;
+      case Rule::Kind::kStable: {
+        const double v = r->net->last().value();
+        if (r->pred()) {
+          if (r->armed && v != r->last) violations_.push_back(Violation{r->label, cycle});
+          r->armed = true;
+        } else {
+          r->armed = false;
+        }
+        r->last = v;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<AssertionMonitor::Violation> AssertionMonitor::grade() const {
+  auto v = violations_;
+  for (const auto& r : rules_) {
+    if (r->kind == Rule::Kind::kEventually && !r->satisfied)
+      v.push_back(Violation{r->label, 0});
+  }
+  return v;
+}
+
+}  // namespace asicpp::sched

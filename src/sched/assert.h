@@ -1,0 +1,68 @@
+// Temporal assertion monitors over interconnect nets.
+//
+// Lightweight verification layer for system simulations: predicates
+// checked at every cycle end, with always / never / eventually semantics
+// and a freeze check used to verify protocols like Fig 2's hold (a net
+// must not change while a condition holds). Monitors hook the scheduler's
+// cycle-end callback and collect violations instead of throwing, so a run
+// can be graded afterwards like a testbench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/cyclesched.h"
+
+namespace asicpp::sched {
+
+class AssertionMonitor {
+ public:
+  /// Attaches to `sched`; the monitor must outlive the scheduler's use.
+  explicit AssertionMonitor(CycleScheduler& sched);
+
+  using Predicate = std::function<bool()>;
+
+  /// `pred` must hold at every cycle end.
+  void always(const std::string& label, Predicate pred);
+  /// `pred` must never hold.
+  void never(const std::string& label, Predicate pred);
+  /// `pred` must hold at least once before the run is graded.
+  void eventually(const std::string& label, Predicate pred);
+  /// While `when` holds, `net` must not change between consecutive cycles.
+  void stable_while(const std::string& label, const std::string& net, Predicate when);
+
+  struct Violation {
+    std::string label;
+    std::uint64_t cycle;  ///< 0 for end-of-run (eventually) failures
+  };
+
+  /// Grade the run: folds pending `eventually` obligations into failures.
+  std::vector<Violation> grade() const;
+
+  bool ok() const { return grade().empty(); }
+  std::uint64_t cycles_checked() const { return cycles_; }
+
+ private:
+  struct Rule {
+    enum class Kind { kAlways, kNever, kEventually, kStable } kind;
+    std::string label;
+    Predicate pred;
+    // stable_while state
+    const Net* net = nullptr;
+    double last = 0.0;
+    bool armed = false;
+    bool satisfied = false;  // for eventually
+  };
+
+  void on_cycle(std::uint64_t cycle);
+
+  CycleScheduler* sched_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<Violation> violations_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace asicpp::sched

@@ -1,0 +1,54 @@
+// Component interface for the three-phase cycle scheduler.
+//
+// A component is one concurrently executing block of the system model
+// (section 2: each process translates to one component of the final
+// implementation). The scheduler drives every component through the phases
+// of Fig 6: transition selection, token production, iterative evaluation,
+// and register update.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace asicpp::sched {
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Phase 0: select the SFGs to execute this cycle (FSM transition
+  /// selection over registered conditions).
+  virtual void begin_cycle(std::uint64_t stamp) = 0;
+
+  /// Phase 1: evaluate outputs that depend only on registered or constant
+  /// signals and put the tokens onto the interconnect.
+  virtual void produce_tokens(std::uint64_t stamp) = 0;
+
+  /// Phase 2: attempt to fire — when every required input token is present,
+  /// evaluate fully and produce the remaining outputs. Returns true when
+  /// progress was made (the component fired during this call).
+  virtual bool try_fire(std::uint64_t stamp) = 0;
+
+  /// True when the component needs no further evaluation this cycle
+  /// (it fired, or it has nothing marked).
+  virtual bool done() const = 0;
+
+  /// True when failing to fire this cycle indicates a combinational loop
+  /// (timed components with marked SFGs). Opportunistic untimed blocks
+  /// return false.
+  virtual bool must_fire() const = 0;
+
+  /// Phase 3: commit register next-values and the FSM state change.
+  virtual void end_cycle(std::uint64_t stamp) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace asicpp::sched

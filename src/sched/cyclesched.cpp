@@ -1,0 +1,73 @@
+#include "sched/cyclesched.h"
+
+#include "sfg/eval.h"
+
+namespace asicpp::sched {
+
+Net& CycleScheduler::net(const std::string& name) {
+  auto it = nets_.find(name);
+  if (it == nets_.end())
+    it = nets_.emplace(name, std::make_unique<Net>(name)).first;
+  return *it->second;
+}
+
+CycleScheduler::CycleStats CycleScheduler::cycle() {
+  const std::uint64_t stamp = sfg::new_eval_stamp();
+  CycleStats stats;
+
+  for (auto& [_, n] : nets_) n->begin_cycle();
+
+  // Phase 0: transition selection.
+  for (auto* c : comps_) c->begin_cycle(stamp);
+
+  // Phase 1: token production.
+  for (auto* c : comps_) c->produce_tokens(stamp);
+
+  // Phase 2: iterative evaluation.
+  bool all_done = false;
+  while (!all_done) {
+    bool progress = false;
+    all_done = true;
+    for (auto* c : comps_) {
+      if (c->done()) continue;
+      if (c->try_fire(stamp)) {
+        progress = true;
+        ++stats.fired_components;
+      }
+      if (!c->done()) all_done = false;
+    }
+    ++stats.eval_iterations;
+    if (all_done) break;
+    if (!progress || stats.eval_iterations >= max_iters_) {
+      // Anything still obliged to fire marks a combinational loop.
+      std::string blocked;
+      for (auto* c : comps_) {
+        if (c->must_fire()) blocked += (blocked.empty() ? "" : ", ") + c->name();
+      }
+      if (!blocked.empty())
+        throw DeadlockError("cycle " + std::to_string(clk_->cycle()) +
+                            ": combinational deadlock, unfired components: " + blocked);
+      break;  // only opportunistic untimed blocks remain unfired
+    }
+  }
+
+  // Phase 3: register update.
+  for (auto* c : comps_) c->end_cycle(stamp);
+  clk_->advance();
+
+  for (auto& m : monitors_) m(clk_->cycle());
+  return stats;
+}
+
+std::vector<Net*> CycleScheduler::all_nets() const {
+  std::vector<Net*> out;
+  out.reserve(nets_.size());
+  for (const auto& [_, n] : nets_) out.push_back(n.get());
+  return out;
+}
+
+void CycleScheduler::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) cycle();
+}
+
+}  // namespace asicpp::sched

@@ -1,0 +1,90 @@
+// The three-phase cycle scheduler (section 4, Fig 6).
+//
+// Whenever a timed description is simulated, the cycle scheduler creates
+// the illusion of concurrency between components on a clock-cycle basis.
+// Each cycle runs:
+//
+//   0. transition selection    — every FSM picks its transition and marks
+//                                the transition's SFGs for execution;
+//   1. token production        — outputs depending only on registered or
+//                                constant signals are evaluated and put on
+//                                the interconnect (this creates the initial
+//                                tokens that break apparent deadlocks in
+//                                component loops, replacing data-flow
+//                                initial tokens and buffer insertion);
+//   2. iterative evaluation    — marked SFGs and untimed blocks fire as
+//                                their inputs become available, repeated
+//                                until every marked SFG has fired; if a
+//                                preset iteration bound is exceeded with
+//                                unfired components, the system is declared
+//                                deadlocked, which identifies true
+//                                combinational loops;
+//   3. register update         — next-values commit, FSM states advance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/component.h"
+#include "sched/net.h"
+#include "sfg/clk.h"
+
+namespace asicpp::sched {
+
+/// Raised when the evaluation phase cannot complete: a genuine
+/// combinational loop between components.
+struct DeadlockError : std::runtime_error {
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CycleScheduler {
+ public:
+  explicit CycleScheduler(sfg::Clk& clk) : clk_(&clk) {}
+
+  /// Register a component. Components are evaluated in registration order
+  /// within each sweep, but results are order-independent by construction.
+  void add(Component& c) { comps_.push_back(&c); }
+
+  /// Create or fetch the interconnect net `name`.
+  Net& net(const std::string& name);
+
+  /// Cap on evaluation sweeps per cycle before declaring deadlock.
+  void set_max_iterations(int n) { max_iters_ = n; }
+
+  struct CycleStats {
+    int eval_iterations = 0;
+    int fired_components = 0;
+  };
+
+  /// Simulate one clock cycle. Throws DeadlockError on combinational loops.
+  CycleStats cycle();
+
+  /// Simulate `n` cycles.
+  void run(std::uint64_t n);
+
+  /// Invoked after each completed cycle (monitors, stimulus recorders).
+  void on_cycle_end(std::function<void(std::uint64_t cycle)> cb) {
+    monitors_.push_back(std::move(cb));
+  }
+
+  sfg::Clk& clk() const { return *clk_; }
+  std::uint64_t cycles() const { return clk_->cycle(); }
+
+  /// Introspection for the compiled-code and HDL generators.
+  const std::vector<Component*>& components() const { return comps_; }
+  std::vector<Net*> all_nets() const;
+  int max_iterations() const { return max_iters_; }
+
+ private:
+  sfg::Clk* clk_;
+  std::vector<Component*> comps_;
+  std::map<std::string, std::unique_ptr<Net>> nets_;
+  std::vector<std::function<void(std::uint64_t)>> monitors_;
+  int max_iters_ = 64;
+};
+
+}  // namespace asicpp::sched

@@ -1,0 +1,51 @@
+#include "sched/dfadapter.h"
+
+namespace asicpp::sched {
+
+DataflowAdapter::DataflowAdapter(std::string name, df::Process& p)
+    : Component(std::move(name)), proc_(&p) {}
+
+void DataflowAdapter::bind_input(Net& net, std::size_t rate) {
+  in_qs_.push_back(std::make_unique<df::Queue>(Component::name() + "_in" +
+                                               std::to_string(in_qs_.size())));
+  proc_->connect_in(*in_qs_.back(), rate);
+  in_nets_.push_back(&net);
+}
+
+void DataflowAdapter::bind_output(Net& net, std::size_t rate) {
+  out_qs_.push_back(std::make_unique<df::Queue>(Component::name() + "_out" +
+                                                std::to_string(out_qs_.size())));
+  proc_->connect_out(*out_qs_.back(), rate);
+  out_nets_.push_back(&net);
+}
+
+void DataflowAdapter::begin_cycle(std::uint64_t) { consumed_ = false; }
+
+void DataflowAdapter::produce_tokens(std::uint64_t) {
+  // Drain one buffered token per output net: these depend only on past
+  // cycles' firings, so they are register-like and go out in phase 1.
+  for (std::size_t i = 0; i < out_qs_.size(); ++i) {
+    if (!out_qs_[i]->empty()) out_nets_[i]->put(out_qs_[i]->pop());
+  }
+}
+
+bool DataflowAdapter::try_fire(std::uint64_t) {
+  if (consumed_) return false;
+  // Wait until every bound input net carries this cycle's token.
+  for (const auto* n : in_nets_) {
+    if (!n->has_token()) return false;
+  }
+  for (std::size_t i = 0; i < in_nets_.size(); ++i)
+    in_qs_[i]->push(in_nets_[i]->token());
+  consumed_ = true;
+  // Fire by the dataflow rule as often as the queues allow. Freshly
+  // produced tokens stay buffered until the next cycle's phase 1 — the
+  // process is untimed, so its results are "ready next cycle" like a
+  // registered output.
+  while (proc_->can_fire()) proc_->run_once();
+  return true;
+}
+
+void DataflowAdapter::end_cycle(std::uint64_t) {}
+
+}  // namespace asicpp::sched

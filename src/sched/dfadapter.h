@@ -1,0 +1,60 @@
+// Dataflow-process adapter for the cycle scheduler.
+//
+// Section 2's mixed system model: untimed processes with *rate-based
+// firing rules* living next to clock-cycle-true components. The plain
+// UntimedComponent consumes and produces exactly one token per net per
+// cycle; this adapter wraps a df::Process with its own queues, so
+// multirate actors (decimators, interpolators, block processors) keep
+// their dataflow semantics inside the cycle simulation:
+//
+//  * each cycle, arriving net tokens are enqueued on the process inputs;
+//  * the process fires as often as its firing rule allows;
+//  * produced tokens drain onto the output nets at one per net per cycle
+//    (the interconnect carries one value per cycle), buffering the rest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "df/process.h"
+#include "df/queue.h"
+#include "sched/component.h"
+#include "sched/net.h"
+
+namespace asicpp::sched {
+
+class DataflowAdapter : public Component {
+ public:
+  /// Wraps `p`. The adapter owns the queues binding the process to nets;
+  /// the process must have no prior queue connections.
+  DataflowAdapter(std::string name, df::Process& p);
+
+  /// Bind the next process input to `net`, consuming `rate` tokens per
+  /// firing (the SDF rate of that port).
+  void bind_input(Net& net, std::size_t rate = 1);
+  /// Bind the next process output to `net`, producing `rate` tokens per
+  /// firing. The net still carries one token per cycle; surplus buffers.
+  void bind_output(Net& net, std::size_t rate = 1);
+
+  void begin_cycle(std::uint64_t) override;
+  void produce_tokens(std::uint64_t) override;
+  bool try_fire(std::uint64_t) override;
+  bool done() const override { return consumed_; }
+  bool must_fire() const override { return false; }
+  void end_cycle(std::uint64_t) override;
+
+  std::size_t firings() const { return proc_->firings(); }
+  /// Tokens waiting on the i-th output buffer (backlog).
+  std::size_t output_backlog(std::size_t i) const { return out_qs_.at(i)->size(); }
+
+ private:
+  df::Process* proc_;
+  std::vector<std::unique_ptr<df::Queue>> in_qs_;
+  std::vector<std::unique_ptr<df::Queue>> out_qs_;
+  std::vector<Net*> in_nets_;
+  std::vector<Net*> out_nets_;
+  bool consumed_ = false;
+};
+
+}  // namespace asicpp::sched

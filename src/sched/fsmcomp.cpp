@@ -1,0 +1,156 @@
+#include "sched/fsmcomp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace asicpp::sched {
+
+// --- TimedBase ---
+
+void TimedBase::bind_input(const sfg::Sig& in, Net& net) {
+  if (!in.valid() || in.node()->op != sfg::Op::kInput)
+    throw std::invalid_argument("bind_input: not an input signal");
+  in_binds_.push_back(InBind{in.node(), &net});
+}
+
+void TimedBase::bind_output(const std::string& port, Net& net) {
+  if (!out_binds_.emplace(port, &net).second)
+    throw std::logic_error("bind_output: port '" + port + "' already bound");
+}
+
+bool TimedBase::inputs_ready(sfg::Sfg& s) const {
+  for (const auto& in : s.inputs()) {
+    for (const auto& b : in_binds_) {
+      if (b.node == in && !b.net->has_token()) return false;
+    }
+    // Inputs without a net binding are externally set; always available.
+  }
+  return true;
+}
+
+void TimedBase::load_inputs(sfg::Sfg& s) {
+  for (const auto& in : s.inputs()) {
+    for (const auto& b : in_binds_) {
+      if (b.node == in)
+        in->value = in->has_fmt ? b.net->token().cast(in->fmt) : b.net->token();
+    }
+  }
+}
+
+void TimedBase::push_outputs(sfg::Sfg& s, bool reg_only_phase) {
+  for (const auto& o : s.outputs()) {
+    if (o.needs_inputs == reg_only_phase) continue;
+    const auto it = out_binds_.find(o.port);
+    if (it != out_binds_.end()) it->second->put(o.expr->value);
+  }
+}
+
+// --- FsmComponent ---
+
+void FsmComponent::begin_cycle(std::uint64_t stamp) {
+  pending_ = fsm_->select(stamp);
+  fired_ = false;
+}
+
+void FsmComponent::produce_tokens(std::uint64_t stamp) {
+  if (pending_ == nullptr) return;
+  for (auto* s : pending_->actions) {
+    s->eval_register_outputs(stamp);
+    push_outputs(*s, /*reg_only_phase=*/true);
+  }
+}
+
+bool FsmComponent::try_fire(std::uint64_t stamp) {
+  if (done()) return false;
+  for (auto* s : pending_->actions) {
+    if (!inputs_ready(*s)) return false;
+  }
+  for (auto* s : pending_->actions) {
+    load_inputs(*s);
+    s->eval(stamp);
+    push_outputs(*s, /*reg_only_phase=*/false);
+  }
+  fired_ = true;
+  return true;
+}
+
+void FsmComponent::end_cycle(std::uint64_t) {
+  if (pending_ != nullptr && fired_) {
+    for (auto* s : pending_->actions) s->update_registers();
+    fsm_->commit(*pending_);
+  }
+  pending_ = nullptr;
+}
+
+// --- SfgComponent ---
+
+void SfgComponent::begin_cycle(std::uint64_t) { fired_ = false; }
+
+void SfgComponent::produce_tokens(std::uint64_t stamp) {
+  sfg_->eval_register_outputs(stamp);
+  push_outputs(*sfg_, /*reg_only_phase=*/true);
+}
+
+bool SfgComponent::try_fire(std::uint64_t stamp) {
+  if (fired_ || !inputs_ready(*sfg_)) return false;
+  load_inputs(*sfg_);
+  sfg_->eval(stamp);
+  push_outputs(*sfg_, /*reg_only_phase=*/false);
+  fired_ = true;
+  return true;
+}
+
+void SfgComponent::end_cycle(std::uint64_t) {
+  if (fired_) sfg_->update_registers();
+}
+
+// --- DispatchComponent ---
+
+void DispatchComponent::add_instruction(long opcode, sfg::Sfg& s) {
+  if (!table_.emplace(opcode, &s).second)
+    throw std::logic_error("add_instruction: duplicate opcode " + std::to_string(opcode));
+}
+
+void DispatchComponent::begin_cycle(std::uint64_t) {
+  selected_ = nullptr;
+  fired_ = false;
+}
+
+void DispatchComponent::produce_tokens(std::uint64_t) {
+  // Nothing: every output is gated behind the instruction token.
+}
+
+bool DispatchComponent::try_fire(std::uint64_t stamp) {
+  if (fired_) return false;
+  bool progress = false;
+  if (selected_ == nullptr) {
+    if (!instr_net_->has_token()) return false;
+    const long opcode = std::lround(instr_net_->token().value());
+    const auto it = table_.find(opcode);
+    selected_ = (it != table_.end()) ? it->second : default_;
+    if (selected_ == nullptr)
+      throw std::logic_error("DispatchComponent '" + name() + "': unknown opcode " +
+                             std::to_string(opcode) + " and no default");
+    // Deferred token production: the register/constant-only outputs of the
+    // decoded instruction go out immediately, so downstream blocks (e.g.
+    // the RAM cells) are not starved while this SFG waits on data inputs.
+    selected_->eval_register_outputs(stamp);
+    push_outputs(*selected_, /*reg_only_phase=*/true);
+    progress = true;
+  }
+  if (inputs_ready(*selected_)) {
+    load_inputs(*selected_);
+    selected_->eval(stamp);
+    push_outputs(*selected_, /*reg_only_phase=*/false);
+    fired_ = true;
+    progress = true;
+  }
+  return progress;
+}
+
+void DispatchComponent::end_cycle(std::uint64_t) {
+  if (fired_ && selected_ != nullptr) selected_->update_registers();
+  selected_ = nullptr;
+}
+
+}  // namespace asicpp::sched

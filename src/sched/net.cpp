@@ -1,0 +1,22 @@
+#include "sched/net.h"
+
+#include <stdexcept>
+
+namespace asicpp::sched {
+
+void Net::put(const fixpt::Fixed& v) {
+  if (has_token_)
+    throw std::logic_error("Net '" + name_ + "': two tokens in one cycle (bus conflict)");
+  value_ = v;
+  has_token_ = true;
+}
+
+void Net::begin_cycle() {
+  has_token_ = false;
+  if (external_) {
+    value_ = *external_;
+    has_token_ = true;
+  }
+}
+
+}  // namespace asicpp::sched

@@ -1,0 +1,53 @@
+// System interconnect nets.
+//
+// Components exchange data signals over the system interconnect (Fig 6).
+// A Net carries at most one token per clock cycle; reading is broadcast
+// (any number of components may read the token), and the token is cleared
+// at the start of the next cycle. An external drive models a chip pin such
+// as `hold_request`: it re-arms the net with a value every cycle until
+// changed or released.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fixpt/fixed.h"
+
+namespace asicpp::sched {
+
+class Net {
+ public:
+  explicit Net(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  bool has_token() const { return has_token_; }
+
+  const fixpt::Fixed& token() const { return value_; }
+
+  /// Place this cycle's token. A second put in the same cycle is a bus
+  /// conflict and throws.
+  void put(const fixpt::Fixed& v);
+
+  /// Most recent token value, surviving across cycles (for probing).
+  const fixpt::Fixed& last() const { return value_; }
+
+  /// Persistently drive the net each cycle (external pin).
+  void drive(const fixpt::Fixed& v) { external_ = v; }
+  void release() { external_.reset(); }
+  bool driven() const { return external_.has_value(); }
+  /// Value of the external drive; only meaningful when driven().
+  const fixpt::Fixed& drive_value() const { return *external_; }
+
+  /// Scheduler-internal: start a new cycle — drop the old token, re-arm
+  /// from the external drive when present.
+  void begin_cycle();
+
+ private:
+  std::string name_;
+  fixpt::Fixed value_;
+  bool has_token_ = false;
+  std::optional<fixpt::Fixed> external_;
+};
+
+}  // namespace asicpp::sched

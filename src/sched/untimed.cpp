@@ -1,0 +1,27 @@
+#include "sched/untimed.h"
+
+#include <stdexcept>
+
+namespace asicpp::sched {
+
+bool UntimedComponent::try_fire(std::uint64_t) {
+  if (fired_) return false;
+  for (const auto* n : ins_) {
+    if (!n->has_token()) return false;
+  }
+  std::vector<fixpt::Fixed> inputs;
+  inputs.reserve(ins_.size());
+  for (const auto* n : ins_) inputs.push_back(n->token());
+
+  const auto outputs = fn_(inputs);
+  if (outputs.size() != outs_.size())
+    throw std::logic_error("UntimedComponent '" + name() + "': produced " +
+                           std::to_string(outputs.size()) + " tokens for " +
+                           std::to_string(outs_.size()) + " output nets");
+  for (std::size_t i = 0; i < outs_.size(); ++i) outs_[i]->put(outputs[i]);
+  fired_ = true;
+  ++firings_;
+  return true;
+}
+
+}  // namespace asicpp::sched

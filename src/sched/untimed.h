@@ -1,0 +1,62 @@
+// Untimed blocks inside the cycle scheduler.
+//
+// The cycle scheduler "can incorporate untimed blocks as well" (section 2);
+// in the DECT transceiver the RAM cells attached to the datapaths are
+// described at high level while the datapaths are clock-cycle true
+// (section 4). An UntimedComponent fires at most once per clock cycle, as
+// soon as every bound input net carries a token; it is opportunistic — not
+// firing is not an error (the datapath may simply not address the RAM this
+// cycle).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fixpt/fixed.h"
+#include "sched/component.h"
+#include "sched/net.h"
+
+namespace asicpp::sched {
+
+class UntimedComponent : public Component {
+ public:
+  /// `fn(inputs)` receives one token per bound input net (binding order)
+  /// and returns one token per bound output net. State lives in the
+  /// closure (e.g. a RAM's storage).
+  using Behavior =
+      std::function<std::vector<fixpt::Fixed>(const std::vector<fixpt::Fixed>&)>;
+
+  UntimedComponent(std::string name, Behavior fn)
+      : Component(std::move(name)), fn_(std::move(fn)) {}
+
+  void bind_input(Net& net) { ins_.push_back(&net); }
+  void bind_output(Net& net) { outs_.push_back(&net); }
+
+  void begin_cycle(std::uint64_t) override { fired_ = false; }
+  void produce_tokens(std::uint64_t) override {}
+  bool try_fire(std::uint64_t stamp) override;
+  bool done() const override { return fired_; }
+  bool must_fire() const override { return false; }
+  void end_cycle(std::uint64_t) override {}
+
+  std::size_t firings() const { return firings_; }
+
+  /// Introspection / direct invocation for the compiled simulator.
+  const std::vector<Net*>& input_nets() const { return ins_; }
+  const std::vector<Net*>& output_nets() const { return outs_; }
+  std::vector<fixpt::Fixed> invoke(const std::vector<fixpt::Fixed>& inputs) {
+    ++firings_;
+    return fn_(inputs);
+  }
+
+ private:
+  Behavior fn_;
+  std::vector<Net*> ins_;
+  std::vector<Net*> outs_;
+  bool fired_ = false;
+  std::size_t firings_ = 0;
+};
+
+}  // namespace asicpp::sched

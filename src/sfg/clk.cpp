@@ -1,0 +1,27 @@
+#include "sfg/clk.h"
+
+#include "fixpt/fixed.h"
+
+namespace asicpp::sfg {
+
+void Clk::enroll(const NodePtr& reg) { regs_.push_back(reg); }
+
+void Clk::reset() {
+  for (auto& r : regs_) {
+    r->value = r->has_fmt ? fixpt::Fixed(r->init, r->fmt) : fixpt::Fixed(r->init);
+    r->next_set = false;
+  }
+  cycle_ = 0;
+}
+
+void Clk::tick() {
+  for (auto& r : regs_) {
+    if (r->next_set) {
+      r->value = r->has_fmt ? r->next.cast(r->fmt) : r->next;
+      r->next_set = false;
+    }
+  }
+  ++cycle_;
+}
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,46 @@
+// Clock objects.
+//
+// Registered signals are related to a clock object that controls signal
+// update (section 3.1). The clock owns the set of registers bound to it and
+// can reset them; fine-grained per-SFG register update (the third phase of
+// the cycle scheduler) lives in Sfg::update_registers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfg/node.h"
+
+namespace asicpp::sfg {
+
+class Clk {
+ public:
+  explicit Clk(std::string name = "clk") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Library-internal: registers enroll themselves on construction.
+  void enroll(const NodePtr& reg);
+
+  /// Set every bound register to its init value and clear pending next-values.
+  void reset();
+
+  /// Commit next-values of *all* bound registers and advance the cycle count.
+  /// Standalone-SFG simulation convenience; the cycle scheduler instead
+  /// updates only the registers of marked SFGs, then calls `advance`.
+  void tick();
+
+  /// Advance the cycle counter only.
+  void advance() { ++cycle_; }
+
+  const std::vector<NodePtr>& registers() const { return regs_; }
+
+ private:
+  std::string name_;
+  std::uint64_t cycle_ = 0;
+  std::vector<NodePtr> regs_;
+};
+
+}  // namespace asicpp::sfg

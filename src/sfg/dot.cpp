@@ -1,0 +1,65 @@
+#include "sfg/dot.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "sfg/wordlen.h"
+
+namespace asicpp::sfg {
+
+namespace {
+
+void emit_node(const NodePtr& n, std::ostream& os,
+               std::unordered_set<const Node*>& seen, const FormatMap* fmts) {
+  if (!seen.insert(n.get()).second) return;
+  std::ostringstream label;
+  switch (n->op) {
+    case Op::kInput: label << "in " << n->name; break;
+    case Op::kReg: label << "reg " << n->name; break;
+    case Op::kConst: label << n->value.value(); break;
+    default: label << op_name(n->op); break;
+  }
+  if (fmts != nullptr) {
+    const auto it = fmts->find(n.get());
+    if (it != fmts->end()) label << "\\n" << it->second.to_string();
+  }
+  const bool leaf = op_arity(n->op) == 0;
+  os << "  n" << n->id << " [label=\"" << label.str() << "\", shape="
+     << (leaf ? "box" : "ellipse") << "];\n";
+  for (const auto& a : n->args) {
+    emit_node(a, os, seen, fmts);
+    os << "  n" << a->id << " -> n" << n->id << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(Sfg& s, bool with_formats) {
+  s.analyze();
+  FormatMap fmts;
+  const FormatMap* fptr = nullptr;
+  if (with_formats) {
+    infer_formats(s, fmts);
+    fptr = &fmts;
+  }
+  std::ostringstream os;
+  os << "digraph \"" << s.name() << "\" {\n  rankdir=LR;\n";
+  std::unordered_set<const Node*> seen;
+  for (const auto& o : s.outputs()) {
+    emit_node(o.expr, os, seen, fptr);
+    os << "  out_" << o.port << " [label=\"out " << o.port
+       << "\", shape=box, style=bold];\n";
+    os << "  n" << o.expr->id << " -> out_" << o.port << ";\n";
+  }
+  for (const auto& a : s.reg_assigns()) {
+    emit_node(a.expr, os, seen, fptr);
+    emit_node(a.reg, os, seen, fptr);
+    os << "  n" << a.expr->id << " -> n" << a.reg->id
+       << " [style=dashed, label=\"next\"];\n";
+  }
+  for (const auto& i : s.inputs()) emit_node(i, os, seen, fptr);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,21 @@
+// Graphviz export of signal flow graphs.
+//
+// The SFG data structure is the design's central artifact (it feeds the
+// simulators, the code generators and the synthesizer); `to_dot` renders
+// it for inspection — leaves as boxes (inputs/registers/constants),
+// operators as ellipses, declared outputs and register next-value edges
+// annotated.
+#pragma once
+
+#include <string>
+
+#include "sfg/sfg.h"
+
+namespace asicpp::sfg {
+
+/// Graphviz digraph of `s`. Include formats per node when a FormatMap-
+/// style annotation is wanted by running wordlen inference first and
+/// passing `with_formats`.
+std::string to_dot(Sfg& s, bool with_formats = false);
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,27 @@
+// Interpreted evaluation of signal expression DAGs.
+//
+// This is the "interpreted objects" simulation mode of the paper (Table 1):
+// the data structure built by operator overloading is walked directly, with
+// per-round memoization so shared subexpressions evaluate once per cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "fixpt/fixed.h"
+#include "sfg/node.h"
+
+namespace asicpp::sfg {
+
+/// A fresh evaluation round identifier; memoized results from earlier
+/// rounds are invalidated by comparing stamps.
+std::uint64_t new_eval_stamp();
+
+/// Evaluate `n` in round `stamp`. Leaves (inputs, constants, registers)
+/// return their current value; operator nodes are computed and memoized.
+fixpt::Fixed eval(const NodePtr& n, std::uint64_t stamp);
+
+/// Apply one operator to already-evaluated operand values. Shared by the
+/// interpreted evaluator and the compiled-tape executor.
+fixpt::Fixed apply_op(const Node& n, const fixpt::Fixed* argv, int argc);
+
+}  // namespace asicpp::sfg

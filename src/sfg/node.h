@@ -1,0 +1,85 @@
+// Expression-DAG nodes underlying `Sig` handles.
+//
+// Following Fig 3 of the paper, overloaded C++ operators reuse the C++
+// parser to build a signal-flow-graph data structure. Every operator
+// application allocates a Node; `Sig` is a cheap shared handle onto this
+// graph. The same graph is simulated (interpreted mode), flattened into a
+// compiled tape, and walked by the HDL / C++ code generators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fixpt/fixed.h"
+
+namespace asicpp::sfg {
+
+class Clk;
+
+/// Node kinds. Leaves first, then operators.
+enum class Op {
+  kInput,  ///< external input; value injected per cycle
+  kConst,  ///< compile-time constant
+  kReg,    ///< registered signal: current/next value pair
+  kAdd,
+  kSub,
+  kMul,
+  kNeg,
+  kAnd,  ///< bitwise and on integer interpretations
+  kOr,
+  kXor,
+  kNot,  ///< logical complement (0 -> 1, nonzero -> 0), for FSM flags
+  kShl,  ///< shift left by constant (arg 1 must be kConst)
+  kShr,  ///< arithmetic shift right by constant
+  kMux,  ///< args: sel, if_true, if_false
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kCast,  ///< re-quantize into the node's format
+};
+
+/// Human-readable mnemonic, e.g. "add".
+const char* op_name(Op op);
+/// Number of operands (0 for leaves).
+int op_arity(Op op);
+/// True for kEq..kGe (1-bit results).
+bool op_is_compare(Op op);
+
+struct Node {
+  explicit Node(Op o) : op(o), id(next_id()) {}
+
+  Op op;
+  std::uint64_t id;  ///< globally unique, used for stable codegen names
+  std::string name;  ///< non-empty for inputs, registers, named constants
+
+  std::vector<std::shared_ptr<Node>> args;
+
+  /// Declared word-level format. Meaningful for inputs, registers, constants
+  /// and casts; derived for operators by format inference (synth).
+  fixpt::Format fmt{};
+  bool has_fmt = false;
+
+  // --- simulation state ---
+  fixpt::Fixed value;      ///< leaf value / memoized operator result
+  std::uint64_t stamp = 0; ///< evaluation round of the memoized result
+
+  // --- register state (op == kReg) ---
+  fixpt::Fixed next;       ///< next-value, written by SFG assignment
+  bool next_set = false;
+  double init = 0.0;       ///< reset value
+  Clk* clk = nullptr;
+
+  // --- traversal scratch ---
+  bool visiting = false;   ///< cycle detection during evaluation
+
+  static std::uint64_t next_id();
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,152 @@
+#include "sfg/sfg.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sfg/eval.h"
+
+namespace asicpp::sfg {
+
+namespace {
+
+/// Collect every kInput leaf reachable from `n`.
+void collect_inputs(const NodePtr& n, std::unordered_set<const Node*>& seen,
+                    std::unordered_set<const Node*>& found) {
+  if (!seen.insert(n.get()).second) return;
+  if (n->op == Op::kInput) {
+    found.insert(n.get());
+    return;
+  }
+  for (const auto& a : n->args) collect_inputs(a, seen, found);
+}
+
+std::unordered_set<const Node*> reachable_inputs(const NodePtr& n) {
+  std::unordered_set<const Node*> seen, found;
+  collect_inputs(n, seen, found);
+  return found;
+}
+
+}  // namespace
+
+Sfg& Sfg::in(const Sig& s) {
+  if (!s.valid() || s.node()->op != Op::kInput)
+    throw std::invalid_argument("Sfg::in: not an input signal");
+  inputs_.push_back(s.node());
+  analyzed_ = false;
+  return *this;
+}
+
+Sfg& Sfg::out(const std::string& port, const Sig& expr) {
+  if (!expr.valid()) throw std::invalid_argument("Sfg::out: unconnected expression");
+  outputs_.push_back(Output{port, expr.node(), false});
+  analyzed_ = false;
+  return *this;
+}
+
+Sfg& Sfg::assign(const Reg& r, const Sig& expr) {
+  if (!expr.valid()) throw std::invalid_argument("Sfg::assign: unconnected expression");
+  assigns_.push_back(RegAssign{r.node(), expr.node()});
+  analyzed_ = false;
+  return *this;
+}
+
+void Sfg::analyze() {
+  if (analyzed_) return;
+  for (auto& o : outputs_) o.needs_inputs = depends_on_declared_input(o.expr);
+  analyzed_ = true;
+}
+
+bool Sfg::depends_on_declared_input(const NodePtr& n) const {
+  const auto found = reachable_inputs(n);
+  return !found.empty();
+}
+
+std::vector<std::string> Sfg::check() {
+  analyze();
+  std::vector<std::string> diags;
+
+  std::unordered_set<const Node*> declared;
+  for (const auto& i : inputs_) declared.insert(i.get());
+
+  // Reachable inputs across all outputs and register assignments.
+  std::unordered_set<const Node*> used;
+  for (const auto& o : outputs_) {
+    for (const Node* i : reachable_inputs(o.expr)) used.insert(i);
+  }
+  for (const auto& a : assigns_) {
+    for (const Node* i : reachable_inputs(a.expr)) used.insert(i);
+  }
+
+  for (const Node* i : used) {
+    if (!declared.count(i))
+      diags.push_back("dangling input: expression in sfg '" + name_ +
+                      "' reads undeclared input '" + i->name + "'");
+  }
+  for (const auto& i : inputs_) {
+    if (!used.count(i.get()))
+      diags.push_back("dead code: input '" + i->name + "' of sfg '" + name_ +
+                      "' is never used");
+  }
+
+  std::unordered_set<std::string> ports;
+  for (const auto& o : outputs_) {
+    if (!ports.insert(o.port).second)
+      diags.push_back("duplicate output port '" + o.port + "' in sfg '" + name_ + "'");
+  }
+
+  std::unordered_set<const Node*> targets;
+  for (const auto& a : assigns_) {
+    if (!targets.insert(a.reg.get()).second)
+      diags.push_back("register '" + a.reg->name + "' assigned twice in sfg '" +
+                      name_ + "'");
+  }
+  return diags;
+}
+
+void Sfg::set_input(const std::string& port, const fixpt::Fixed& v) {
+  for (auto& i : inputs_) {
+    if (i->name == port) {
+      i->value = i->has_fmt ? v.cast(i->fmt) : v;
+      return;
+    }
+  }
+  throw std::out_of_range("Sfg::set_input: no input named '" + port + "'");
+}
+
+void Sfg::eval_register_outputs(std::uint64_t stamp) {
+  analyze();
+  for (auto& o : outputs_) {
+    if (!o.needs_inputs) asicpp::sfg::eval(o.expr, stamp);
+  }
+}
+
+void Sfg::eval(std::uint64_t stamp) {
+  analyze();
+  for (auto& o : outputs_) asicpp::sfg::eval(o.expr, stamp);
+  for (auto& a : assigns_) {
+    a.reg->next = asicpp::sfg::eval(a.expr, stamp);
+    a.reg->next_set = true;
+  }
+}
+
+void Sfg::eval() { eval(new_eval_stamp()); }
+
+fixpt::Fixed Sfg::output_value(const std::string& port) const {
+  const auto it = std::find_if(outputs_.begin(), outputs_.end(),
+                               [&](const Output& o) { return o.port == port; });
+  if (it == outputs_.end())
+    throw std::out_of_range("Sfg::output_value: no output named '" + port + "'");
+  return it->expr->value;
+}
+
+void Sfg::update_registers() {
+  for (auto& a : assigns_) {
+    if (a.reg->next_set) {
+      a.reg->value = a.reg->has_fmt ? a.reg->next.cast(a.reg->fmt) : a.reg->next;
+      a.reg->next_set = false;
+    }
+  }
+}
+
+}  // namespace asicpp::sfg

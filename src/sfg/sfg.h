@@ -1,0 +1,88 @@
+// Signal flow graphs.
+//
+// An Sfg assembles signal expressions into one clock cycle of data
+// processing (section 3.1): declared inputs, named outputs, and next-value
+// assignments to registered signals. Declaring the desired inputs and
+// outputs enables the semantic checks the paper mentions — dangling-input
+// and dead-code detection — and the input-dependency analysis the cycle
+// scheduler's token-production phase relies on (which outputs depend only
+// on registered or constant signals).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fixpt/fixed.h"
+#include "sfg/sig.h"
+
+namespace asicpp::sfg {
+
+class Sfg {
+ public:
+  explicit Sfg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declare an input port of this SFG. The Sig must be an input signal.
+  Sfg& in(const Sig& s);
+  /// Declare a named output computed by `expr`.
+  Sfg& out(const std::string& port, const Sig& expr);
+  /// Schedule `expr` as the next value of registered signal `r`.
+  Sfg& assign(const Reg& r, const Sig& expr);
+
+  struct Output {
+    std::string port;
+    NodePtr expr;
+    bool needs_inputs = false;  ///< depends on at least one declared input
+  };
+  struct RegAssign {
+    NodePtr reg;
+    NodePtr expr;
+  };
+
+  const std::vector<NodePtr>& inputs() const { return inputs_; }
+  const std::vector<Output>& outputs() const { return outputs_; }
+  const std::vector<RegAssign>& reg_assigns() const { return assigns_; }
+
+  /// Dependency analysis; runs lazily before simulation / checks.
+  void analyze();
+
+  /// Semantic diagnostics: dangling inputs (expression reaches an input
+  /// signal that was not declared), dead inputs (declared but unused),
+  /// duplicate output ports, double assignment to one register.
+  std::vector<std::string> check();
+
+  // --- simulation (interpreted mode) ---
+
+  /// Set the current value of a declared input by port name.
+  void set_input(const std::string& port, const fixpt::Fixed& v);
+
+  /// Phase-1 evaluation: compute only outputs that do not depend on inputs
+  /// (they are functions of registers and constants alone).
+  void eval_register_outputs(std::uint64_t stamp);
+
+  /// Full evaluation: all outputs plus register next-values. Requires all
+  /// inputs to carry this cycle's values.
+  void eval(std::uint64_t stamp);
+
+  /// Convenience: eval with a fresh stamp.
+  void eval();
+
+  /// Value of output `port` after eval.
+  fixpt::Fixed output_value(const std::string& port) const;
+
+  /// Commit next-values of the registers assigned by this SFG (phase 3).
+  void update_registers();
+
+ private:
+  bool depends_on_declared_input(const NodePtr& n) const;
+
+  std::string name_;
+  std::vector<NodePtr> inputs_;
+  std::vector<Output> outputs_;
+  std::vector<RegAssign> assigns_;
+  bool analyzed_ = false;
+};
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,170 @@
+#include "sfg/sig.h"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "sfg/clk.h"
+
+namespace asicpp::sfg {
+
+std::uint64_t Node::next_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kInput: return "input";
+    case Op::kConst: return "const";
+    case Op::kReg: return "reg";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kNeg: return "neg";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNot: return "not";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kMux: return "mux";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kCast: return "cast";
+  }
+  return "?";
+}
+
+int op_arity(Op op) {
+  switch (op) {
+    case Op::kInput:
+    case Op::kConst:
+    case Op::kReg:
+      return 0;
+    case Op::kNeg:
+    case Op::kNot:
+    case Op::kCast:
+      return 1;
+    case Op::kMux:
+      return 3;
+    case Op::kShl:
+    case Op::kShr:
+      return 2;
+    default:
+      return 2;
+  }
+}
+
+bool op_is_compare(Op op) {
+  switch (op) {
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+const NodePtr& require(const Sig& s) {
+  if (!s.valid()) throw std::logic_error("Sig: use of unconnected signal");
+  return s.node();
+}
+
+Sig make_binary(Op op, const Sig& a, const Sig& b) {
+  auto n = std::make_shared<Node>(op);
+  n->args = {require(a), require(b)};
+  return Sig(std::move(n));
+}
+
+Sig make_unary(Op op, const Sig& a) {
+  auto n = std::make_shared<Node>(op);
+  n->args = {require(a)};
+  return Sig(std::move(n));
+}
+
+}  // namespace
+
+Sig::Sig(double v) : node_(std::make_shared<Node>(Op::kConst)) {
+  node_->value = fixpt::Fixed(v);
+}
+
+Sig Sig::input(const std::string& name, const fixpt::Format& f) {
+  Sig s = input(name);
+  s.node_->fmt = f;
+  s.node_->has_fmt = true;
+  s.node_->value = fixpt::Fixed(0.0, f);
+  return s;
+}
+
+Sig Sig::input(const std::string& name) {
+  Sig s;
+  s.node_ = std::make_shared<Node>(Op::kInput);
+  s.node_->name = name;
+  return s;
+}
+
+Sig Sig::constant(double v) { return Sig(v); }
+
+Sig Sig::cast(const fixpt::Format& f) const {
+  Sig s = make_unary(Op::kCast, *this);
+  s.node()->fmt = f;
+  s.node()->has_fmt = true;
+  return s;
+}
+
+Sig Sig::operator-() const { return make_unary(Op::kNeg, *this); }
+Sig Sig::operator~() const { return make_unary(Op::kNot, *this); }
+
+Sig Sig::operator<<(int n) const { return make_binary(Op::kShl, *this, Sig(static_cast<double>(n))); }
+Sig Sig::operator>>(int n) const { return make_binary(Op::kShr, *this, Sig(static_cast<double>(n))); }
+
+Sig operator+(const Sig& a, const Sig& b) { return make_binary(Op::kAdd, a, b); }
+Sig operator-(const Sig& a, const Sig& b) { return make_binary(Op::kSub, a, b); }
+Sig operator*(const Sig& a, const Sig& b) { return make_binary(Op::kMul, a, b); }
+Sig operator&(const Sig& a, const Sig& b) { return make_binary(Op::kAnd, a, b); }
+Sig operator|(const Sig& a, const Sig& b) { return make_binary(Op::kOr, a, b); }
+Sig operator^(const Sig& a, const Sig& b) { return make_binary(Op::kXor, a, b); }
+Sig operator==(const Sig& a, const Sig& b) { return make_binary(Op::kEq, a, b); }
+Sig operator!=(const Sig& a, const Sig& b) { return make_binary(Op::kNe, a, b); }
+Sig operator<(const Sig& a, const Sig& b) { return make_binary(Op::kLt, a, b); }
+Sig operator<=(const Sig& a, const Sig& b) { return make_binary(Op::kLe, a, b); }
+Sig operator>(const Sig& a, const Sig& b) { return make_binary(Op::kGt, a, b); }
+Sig operator>=(const Sig& a, const Sig& b) { return make_binary(Op::kGe, a, b); }
+
+Sig mux(const Sig& sel, const Sig& if_true, const Sig& if_false) {
+  auto n = std::make_shared<Node>(Op::kMux);
+  n->args = {require(sel), require(if_true), require(if_false)};
+  return Sig(std::move(n));
+}
+
+Reg::Reg(const std::string& name, Clk& clk, const fixpt::Format& f, double init)
+    : node_(std::make_shared<Node>(Op::kReg)) {
+  node_->name = name;
+  node_->fmt = f;
+  node_->has_fmt = true;
+  node_->init = init;
+  node_->clk = &clk;
+  node_->value = fixpt::Fixed(init, f);
+  clk.enroll(node_);
+}
+
+Reg::Reg(const std::string& name, Clk& clk, double init)
+    : node_(std::make_shared<Node>(Op::kReg)) {
+  node_->name = name;
+  node_->init = init;
+  node_->clk = &clk;
+  node_->value = fixpt::Fixed(init);
+  clk.enroll(node_);
+}
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,92 @@
+// `Sig`: the signal handle of the paper's programming environment.
+//
+// Signals are the information carriers of timed descriptions (section 3.1).
+// A Sig is a value-semantic handle onto a shared expression DAG; applying
+// C++ operators to Sigs builds the signal flow graph rather than computing
+// immediately — exactly the overloading trick of Fig 3. Registered signals
+// (`Reg`) carry a current and a next value: reading a Reg in an expression
+// reads the current value, assigning it (through Sfg::assign) writes the
+// next value, which becomes current at the register-update phase.
+#pragma once
+
+#include "fixpt/fixed.h"
+#include "fixpt/format.h"
+#include "sfg/node.h"
+
+namespace asicpp::sfg {
+
+class Reg;
+
+class Sig {
+ public:
+  /// Unconnected handle; using it in an expression throws.
+  Sig() = default;
+
+  /// Wrap an existing node (library-internal, also used by codegen tests).
+  explicit Sig(NodePtr n) : node_(std::move(n)) {}
+
+  /// Constants participate implicitly: `a + 1.0` works.
+  /*implicit*/ Sig(double v);
+
+  /// A named external input with a declared format.
+  static Sig input(const std::string& name, const fixpt::Format& f);
+  /// A named external input carrying exact (unquantized) values.
+  static Sig input(const std::string& name);
+  /// An explicit constant.
+  static Sig constant(double v);
+
+  bool valid() const { return node_ != nullptr; }
+  const NodePtr& node() const { return node_; }
+
+  /// Re-quantize into format `f` (inserts a cast node).
+  Sig cast(const fixpt::Format& f) const;
+
+  Sig operator-() const;
+  Sig operator~() const;
+  /// Shift by a constant amount (hardware shifters are constant-shift here).
+  Sig operator<<(int n) const;
+  Sig operator>>(int n) const;
+
+ private:
+  NodePtr node_;
+};
+
+// Free (not hidden-friend) operators so that mixed operands convert:
+// Reg + double, double + Sig, ... all funnel through Sig's conversions.
+Sig operator+(const Sig& a, const Sig& b);
+Sig operator-(const Sig& a, const Sig& b);
+Sig operator*(const Sig& a, const Sig& b);
+Sig operator&(const Sig& a, const Sig& b);
+Sig operator|(const Sig& a, const Sig& b);
+Sig operator^(const Sig& a, const Sig& b);
+Sig operator==(const Sig& a, const Sig& b);
+Sig operator!=(const Sig& a, const Sig& b);
+Sig operator<(const Sig& a, const Sig& b);
+Sig operator<=(const Sig& a, const Sig& b);
+Sig operator>(const Sig& a, const Sig& b);
+Sig operator>=(const Sig& a, const Sig& b);
+
+/// sel != 0 ? if_true : if_false, as a hardware multiplexer.
+Sig mux(const Sig& sel, const Sig& if_true, const Sig& if_false);
+
+/// A registered signal bound to a clock. Reading a Reg (it converts to Sig)
+/// yields the *current* value; Sfg::assign(reg, expr) schedules the *next*
+/// value. On Clk reset the register takes `init`.
+class Reg {
+ public:
+  Reg(const std::string& name, Clk& clk, const fixpt::Format& f, double init = 0.0);
+  /// Exact-valued register (no quantization), for high-level models.
+  Reg(const std::string& name, Clk& clk, double init = 0.0);
+
+  /*implicit*/ operator Sig() const { return Sig(node_); }
+  Sig sig() const { return Sig(node_); }
+  const NodePtr& node() const { return node_; }
+
+  /// Current value (simulation read).
+  fixpt::Fixed read() const { return node_->value; }
+
+ private:
+  NodePtr node_;
+};
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,44 @@
+// Fixed-point wordlength optimization.
+//
+// Section 3 leans on C++ fixed-point simulation for finite-wordlength
+// design, citing the fixed-point optimization utilities of Kim/Kum/Sung
+// [5] and the interpolative approach of Willems et al. [11]. This module
+// provides that utility for SFG descriptions: simulate the graph against
+// a high-precision reference over random stimuli, then greedily shave
+// fractional bits off registers and casts while the output RMS error
+// stays inside the budget — the classic simulation-based search.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sfg/clk.h"
+#include "sfg/sfg.h"
+
+namespace asicpp::sfg {
+
+struct WlOptSpec {
+  double error_budget = 1e-3;  ///< max output RMS error vs the reference
+  int max_frac = 16;           ///< starting fractional bits on every knob
+  int min_frac = 0;            ///< floor of the search
+  int vectors = 256;           ///< stimulus cycles per trial
+  unsigned seed = 1;
+};
+
+struct WlOptResult {
+  /// Chosen fractional bits per knob (register / cast), by node name or
+  /// "cast@<id>" for anonymous cast nodes.
+  std::map<std::string, int> frac_bits;
+  double rms_error = 0.0;   ///< achieved error at the final assignment
+  int bits_saved = 0;       ///< sum of (max_frac - chosen) over knobs
+  int knobs = 0;
+};
+
+/// Optimize the fractional wordlengths of every register and cast node in
+/// `s`. Inputs are stimulated uniformly over their declared format ranges
+/// (every input must carry a format). On return the node formats in the
+/// graph hold the optimized assignment (wl adjusted, iwl kept).
+WlOptResult optimize_wordlengths(Sfg& s, Clk& clk, const WlOptSpec& spec = {});
+
+}  // namespace asicpp::sfg

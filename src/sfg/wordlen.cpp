@@ -1,0 +1,160 @@
+#include "sfg/wordlen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asicpp::sfg {
+
+using fixpt::Format;
+
+Format format_for_constant(double v) {
+  // Find the smallest fractional precision representing v exactly.
+  int frac = 0;
+  double scaled = v;
+  while (frac < 30 && scaled != std::floor(scaled)) scaled = std::ldexp(v, ++frac);
+  if (scaled != std::floor(scaled))
+    throw FormatError("constant " + std::to_string(v) + " is not fixed-point");
+  const auto mant = static_cast<long long>(scaled);
+  const bool neg = mant < 0;
+  const long long mag = neg ? -mant : mant;
+  int bits = 0;
+  while ((1LL << bits) <= mag) ++bits;
+  if (bits == 0) bits = 1;  // the constant 0 still occupies one bit
+  Format f;
+  f.is_signed = neg;
+  f.wl = bits + (neg ? 1 : 0);
+  f.iwl = bits - frac;
+  return f;
+}
+
+namespace {
+
+Format merge(const Format& a, const Format& b) {
+  Format r;
+  r.is_signed = a.is_signed || b.is_signed;
+  const int frac = std::max(a.frac_bits(), b.frac_bits());
+  const int iwl = std::max(a.iwl, b.iwl);
+  r.iwl = iwl;
+  r.wl = iwl + frac + (r.is_signed ? 1 : 0);
+  return r;
+}
+
+Format int_logic(const Format& a, const Format& b) {
+  Format r;
+  r.is_signed = a.is_signed || b.is_signed;
+  r.iwl = std::max(a.iwl + std::max(a.frac_bits(), 0), b.iwl + std::max(b.frac_bits(), 0));
+  r.wl = r.iwl + (r.is_signed ? 1 : 0);
+  return r;
+}
+
+const Format kBit{1, 1, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap};
+
+}  // namespace
+
+const Format& infer_format(const NodePtr& n, FormatMap& map) {
+  const auto it = map.find(n.get());
+  if (it != map.end()) return it->second;
+
+  Format f;
+  switch (n->op) {
+    case Op::kInput:
+    case Op::kReg:
+      if (!n->has_fmt)
+        throw FormatError(std::string(op_name(n->op)) + " '" + n->name +
+                          "' has no declared format");
+      f = n->fmt;
+      break;
+    case Op::kConst:
+      f = n->has_fmt ? n->fmt : format_for_constant(n->value.value());
+      break;
+    case Op::kCast:
+      infer_format(n->args[0], map);
+      f = n->fmt;
+      break;
+    case Op::kAdd:
+    case Op::kSub: {
+      const Format& a = infer_format(n->args[0], map);
+      const Format& b = infer_format(n->args[1], map);
+      f = fixpt::add_format(a, b);
+      if (n->op == Op::kSub && !f.is_signed) {
+        f.is_signed = true;
+        f.wl += 1;
+      }
+      break;
+    }
+    case Op::kMul: {
+      const Format& a = infer_format(n->args[0], map);
+      const Format& b = infer_format(n->args[1], map);
+      f = fixpt::mul_format(a, b);
+      break;
+    }
+    case Op::kNeg: {
+      const Format& a = infer_format(n->args[0], map);
+      f = a;
+      if (!f.is_signed) {
+        f.is_signed = true;
+        f.wl += 1;
+      }
+      f.iwl += 1;  // -min overflows otherwise
+      f.wl += 1;
+      break;
+    }
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor: {
+      const Format& a = infer_format(n->args[0], map);
+      const Format& b = infer_format(n->args[1], map);
+      f = int_logic(a, b);
+      break;
+    }
+    case Op::kNot:
+      infer_format(n->args[0], map);
+      f = kBit;
+      break;
+    case Op::kShl:
+    case Op::kShr: {
+      const Format& a = infer_format(n->args[0], map);
+      infer_format(n->args[1], map);
+      if (n->args[1]->op != Op::kConst)
+        throw FormatError("shift amount must be a constant");
+      const int sh = static_cast<int>(n->args[1]->value.value());
+      f = a;
+      if (n->op == Op::kShl) {
+        f.iwl += sh;
+        f.wl += sh;
+      } else {
+        f.iwl -= sh;  // same wl, binary point moves
+      }
+      break;
+    }
+    case Op::kMux: {
+      infer_format(n->args[0], map);
+      const Format& a = infer_format(n->args[1], map);
+      const Format& b = infer_format(n->args[2], map);
+      f = merge(a, b);
+      break;
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      infer_format(n->args[0], map);
+      infer_format(n->args[1], map);
+      f = kBit;
+      break;
+  }
+  return map.emplace(n.get(), f).first->second;
+}
+
+void infer_formats(Sfg& s, FormatMap& map) {
+  for (const auto& o : s.outputs()) infer_format(o.expr, map);
+  for (const auto& a : s.reg_assigns()) {
+    infer_format(a.expr, map);
+    infer_format(a.reg, map);
+  }
+  for (const auto& i : s.inputs()) infer_format(i, map);
+}
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,38 @@
+// Wordlength (format) inference over signal expression DAGs.
+//
+// Leaves carry declared formats (inputs, registers, casts) or formats
+// derived from their value (constants); operator formats follow standard
+// bit-growth rules (add: +1 integer bit, mul: widths add, ...). The HDL
+// code generator sizes every intermediate signal from this map, and the
+// datapath synthesizer bit-blasts operators to exactly these widths.
+#pragma once
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "fixpt/format.h"
+#include "sfg/node.h"
+#include "sfg/sfg.h"
+
+namespace asicpp::sfg {
+
+/// Keyed by raw node pointers: every expression whose format is recorded
+/// must stay alive (keep the Sig handles) for as long as the map is used.
+using FormatMap = std::unordered_map<const Node*, fixpt::Format>;
+
+/// Smallest format exactly representing constant `v` (frac bits capped at
+/// 30; beyond that the constant is not synthesizable as fixed point).
+fixpt::Format format_for_constant(double v);
+
+/// Thrown when a leaf lacks a declared format and none can be derived.
+struct FormatError : std::runtime_error {
+  explicit FormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Infer the format of `n` and everything below it into `map`.
+const fixpt::Format& infer_format(const NodePtr& n, FormatMap& map);
+
+/// Infer formats for all outputs and register assignments of `s`.
+void infer_formats(Sfg& s, FormatMap& map);
+
+}  // namespace asicpp::sfg

@@ -1,0 +1,512 @@
+#include "sim/compiled.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asicpp::sim {
+
+using sfg::Node;
+using sfg::NodePtr;
+using sfg::Op;
+
+namespace {
+
+OpC opc_for(Op op) {
+  switch (op) {
+    case Op::kAdd: return OpC::kAdd;
+    case Op::kSub: return OpC::kSub;
+    case Op::kMul: return OpC::kMul;
+    case Op::kNeg: return OpC::kNeg;
+    case Op::kAnd: return OpC::kAnd;
+    case Op::kOr: return OpC::kOr;
+    case Op::kXor: return OpC::kXor;
+    case Op::kNot: return OpC::kNot;
+    case Op::kShl: return OpC::kShl;
+    case Op::kShr: return OpC::kShr;
+    case Op::kMux: return OpC::kMux;
+    case Op::kEq: return OpC::kEq;
+    case Op::kNe: return OpC::kNe;
+    case Op::kLt: return OpC::kLt;
+    case Op::kLe: return OpC::kLe;
+    case Op::kGt: return OpC::kGt;
+    case Op::kGe: return OpC::kGe;
+    case Op::kCast: return OpC::kCast;
+    default: throw std::logic_error("opc_for: leaf node");
+  }
+}
+
+}  // namespace
+
+class CompiledSystem::Builder {
+ public:
+  explicit Builder(CompiledSystem& sys) : sys_(sys) {}
+
+  void build(const sched::CycleScheduler& sched);
+
+ private:
+  std::int32_t slot_of(const NodePtr& n);
+  bool depends_on_input(const Node* n);
+  std::int32_t compile_expr(const NodePtr& n, Tape& tape,
+                            std::unordered_set<const Node*>& visited);
+  std::int32_t net_id(const sched::Net* n) const;
+  std::int32_t compile_sfg(sfg::Sfg& s, const sched::TimedBase& comp,
+                           std::unordered_map<sfg::Sfg*, std::int32_t>& local);
+
+  CompiledSystem& sys_;
+  std::unordered_map<const Node*, std::int32_t> slots_;
+  std::unordered_map<const Node*, int> dep_memo_;  // -1 unknown, 0 no, 1 yes
+  std::unordered_map<const sched::Net*, std::int32_t> net_map_;
+};
+
+std::int32_t CompiledSystem::Builder::slot_of(const NodePtr& n) {
+  const auto it = slots_.find(n.get());
+  if (it != slots_.end()) return it->second;
+  const auto slot = static_cast<std::int32_t>(sys_.slots_.size());
+  sys_.slots_.push_back(n->value.value());
+  slots_.emplace(n.get(), slot);
+  if (n->op == Op::kReg) {
+    sys_.reg_slots_.emplace(n->name, slot);
+    sys_.reg_inits_.push_back(RegInit{slot, n->init});
+  } else if (n->op == Op::kInput) {
+    sys_.input_slots_.emplace(n->name, slot);
+  }
+  return slot;
+}
+
+bool CompiledSystem::Builder::depends_on_input(const Node* n) {
+  const auto it = dep_memo_.find(n);
+  if (it != dep_memo_.end()) return it->second != 0;
+  bool dep = (n->op == Op::kInput);
+  if (!dep) {
+    for (const auto& a : n->args) {
+      if (depends_on_input(a.get())) {
+        dep = true;
+        break;
+      }
+    }
+  }
+  dep_memo_[n] = dep ? 1 : 0;
+  return dep;
+}
+
+std::int32_t CompiledSystem::Builder::compile_expr(
+    const NodePtr& n, Tape& tape, std::unordered_set<const Node*>& visited) {
+  switch (n->op) {
+    case Op::kInput:
+    case Op::kConst:
+    case Op::kReg:
+      return slot_of(n);
+    default:
+      break;
+  }
+  const std::int32_t dst = slot_of(n);
+  if (!visited.insert(n.get()).second) return dst;
+  std::int32_t argv[3] = {-1, -1, -1};
+  for (std::size_t i = 0; i < n->args.size() && i < 3; ++i)
+    argv[i] = compile_expr(n->args[i], tape, visited);
+  Instr in;
+  in.op = opc_for(n->op);
+  in.dst = dst;
+  in.a = argv[0];
+  in.b = argv[1];
+  in.c = argv[2];
+  if (n->op == Op::kCast) in.fmt = n->fmt;
+  tape.push_back(in);
+  return dst;
+}
+
+std::int32_t CompiledSystem::Builder::net_id(const sched::Net* n) const {
+  const auto it = net_map_.find(n);
+  if (it == net_map_.end())
+    throw std::logic_error("CompiledSystem: component bound to unknown net");
+  return it->second;
+}
+
+std::int32_t CompiledSystem::Builder::compile_sfg(
+    sfg::Sfg& s, const sched::TimedBase& comp,
+    std::unordered_map<sfg::Sfg*, std::int32_t>& local) {
+  const auto lit = local.find(&s);
+  if (lit != local.end()) return lit->second;
+
+  s.analyze();
+  SfgCode code;
+  std::unordered_set<const Node*> visited;
+
+  // Input plumbing: bound inputs load from net slots (quantized per the
+  // declared format); unbound inputs refresh from the live node each cycle
+  // so interpreted-style pokes keep working.
+  const auto& binds = comp.input_bindings();
+  for (const auto& in : s.inputs()) {
+    const std::int32_t in_slot = slot_of(in);
+    bool bound = false;
+    for (const auto& b : binds) {
+      if (b.node != in) continue;
+      bound = true;
+      Instr ld;
+      ld.op = in->has_fmt ? OpC::kCopyQ : OpC::kCopy;
+      ld.dst = in_slot;
+      ld.a = sys_.net_slots_[static_cast<std::size_t>(net_id(b.net))];
+      ld.fmt = in->fmt;
+      code.load_inputs.push_back(ld);
+      code.required_nets.push_back(net_id(b.net));
+    }
+    if (!bound) sys_.refresh_.push_back(InputRefresh{in, in_slot});
+  }
+
+  const auto& outs = comp.output_bindings();
+  for (const auto& o : s.outputs()) {
+    Tape& tape = o.needs_inputs ? code.main : code.pre;
+    const std::int32_t src = compile_expr(o.expr, tape, visited);
+    const auto bit = outs.find(o.port);
+    if (bit != outs.end()) {
+      auto& pushes = o.needs_inputs ? code.main_pushes : code.pre_pushes;
+      pushes.push_back(SfgCode::Push{net_id(bit->second), src});
+    }
+  }
+
+  for (const auto& a : s.reg_assigns()) {
+    const std::int32_t src = compile_expr(a.expr, code.main, visited);
+    code.commits.push_back(
+        SfgCode::Commit{slot_of(a.reg), src, a.reg->fmt, a.reg->has_fmt});
+  }
+
+  const auto id = static_cast<std::int32_t>(sys_.sfgs_.size());
+  sys_.sfgs_.push_back(std::move(code));
+  local.emplace(&s, id);
+  return id;
+}
+
+void CompiledSystem::Builder::build(const sched::CycleScheduler& sched) {
+  sys_.max_iters_ = sched.max_iterations();
+
+  for (sched::Net* n : sched.all_nets()) {
+    const auto id = static_cast<std::int32_t>(sys_.net_slots_.size());
+    net_map_.emplace(n, id);
+    sys_.net_ids_.emplace(n->name(), id);
+    sys_.net_slots_.push_back(static_cast<std::int32_t>(sys_.slots_.size()));
+    sys_.slots_.push_back(n->last().value());
+    sys_.ext_nets_.push_back(n);
+    sys_.ext_net_slots_.push_back(sys_.net_slots_.back());
+  }
+  sys_.net_token_.assign(sys_.net_slots_.size(), 0);
+
+  for (sched::Component* c : sched.components()) {
+    Comp comp;
+    comp.name = c->name();
+    if (auto* f = dynamic_cast<sched::FsmComponent*>(c)) {
+      comp.kind = Kind::kFsm;
+      std::unordered_map<sfg::Sfg*, std::int32_t> local;
+      const fsm::Fsm& m = f->machine();
+      comp.by_state.resize(static_cast<std::size_t>(m.num_states()));
+      for (const auto& t : m.transitions()) {
+        GuardedTransition gt;
+        gt.always = t.guards.empty();
+        if (!gt.always) {
+          std::unordered_set<const Node*> visited;
+          gt.guard_slot = compile_expr(t.guards.front().expr().node(), gt.guard, visited);
+        }
+        for (auto* s : t.actions) gt.sfgs.push_back(compile_sfg(*s, *f, local));
+        gt.to = t.to;
+        comp.by_state[static_cast<std::size_t>(t.from)].push_back(std::move(gt));
+      }
+      comp.state = m.current();
+      comp.initial = m.initial_state();
+    } else if (auto* s = dynamic_cast<sched::SfgComponent*>(c)) {
+      comp.kind = Kind::kSfg;
+      std::unordered_map<sfg::Sfg*, std::int32_t> local;
+      comp.solo_sfg = compile_sfg(s->graph(), *s, local);
+    } else if (auto* d = dynamic_cast<sched::DispatchComponent*>(c)) {
+      comp.kind = Kind::kDispatch;
+      std::unordered_map<sfg::Sfg*, std::int32_t> local;
+      comp.instr_net = net_id(&d->instruction_net());
+      for (const auto& [opcode, g] : d->instruction_table())
+        comp.table.emplace(opcode, compile_sfg(*g, *d, local));
+      if (d->default_instruction() != nullptr)
+        comp.default_sfg = compile_sfg(*d->default_instruction(), *d, local);
+    } else if (auto* u = dynamic_cast<sched::UntimedComponent*>(c)) {
+      comp.kind = Kind::kUntimed;
+      comp.untimed = u;
+      for (const sched::Net* n : u->input_nets()) comp.in_nets.push_back(net_id(n));
+      for (const sched::Net* n : u->output_nets()) comp.out_nets.push_back(net_id(n));
+    } else {
+      throw std::invalid_argument("CompiledSystem: unsupported component '" +
+                                  c->name() + "'");
+    }
+    sys_.comps_.push_back(std::move(comp));
+  }
+}
+
+CompiledSystem CompiledSystem::compile(const sched::CycleScheduler& sched) {
+  CompiledSystem sys;
+  Builder(sys).build(sched);
+  return sys;
+}
+
+void CompiledSystem::run_sfg_pre(std::int32_t id) {
+  SfgCode& s = sfgs_[static_cast<std::size_t>(id)];
+  exec(s.pre, slots_.data());
+  ops_ += s.pre.size();
+  for (const auto& p : s.pre_pushes) {
+    slots_[static_cast<std::size_t>(net_slots_[static_cast<std::size_t>(p.net)])] =
+        slots_[static_cast<std::size_t>(p.src)];
+    net_token_[static_cast<std::size_t>(p.net)] = 1;
+  }
+}
+
+bool CompiledSystem::run_sfg_main(std::int32_t id) {
+  SfgCode& s = sfgs_[static_cast<std::size_t>(id)];
+  for (const auto n : s.required_nets) {
+    if (!net_token_[static_cast<std::size_t>(n)]) return false;
+  }
+  exec(s.load_inputs, slots_.data());
+  exec(s.main, slots_.data());
+  ops_ += s.load_inputs.size() + s.main.size();
+  for (const auto& p : s.main_pushes) {
+    slots_[static_cast<std::size_t>(net_slots_[static_cast<std::size_t>(p.net)])] =
+        slots_[static_cast<std::size_t>(p.src)];
+    net_token_[static_cast<std::size_t>(p.net)] = 1;
+  }
+  return true;
+}
+
+bool CompiledSystem::comp_try_fire(Comp& c) {
+  switch (c.kind) {
+    case Kind::kFsm: {
+      if (c.fired || c.pending == nullptr) return false;
+      for (const auto id : c.pending->sfgs) {
+        const SfgCode& s = sfgs_[static_cast<std::size_t>(id)];
+        for (const auto n : s.required_nets)
+          if (!net_token_[static_cast<std::size_t>(n)]) return false;
+      }
+      for (const auto id : c.pending->sfgs) run_sfg_main(id);
+      c.fired = true;
+      return true;
+    }
+    case Kind::kSfg: {
+      if (c.fired) return false;
+      if (!run_sfg_main(c.solo_sfg)) return false;
+      c.fired = true;
+      return true;
+    }
+    case Kind::kDispatch: {
+      if (c.fired) return false;
+      bool progress = false;
+      if (c.selected < 0) {
+        if (!net_token_[static_cast<std::size_t>(c.instr_net)]) return false;
+        const double v =
+            slots_[static_cast<std::size_t>(net_slots_[static_cast<std::size_t>(c.instr_net)])];
+        const long opcode = std::lround(v);
+        const auto it = c.table.find(opcode);
+        c.selected = (it != c.table.end()) ? it->second : c.default_sfg;
+        if (c.selected < 0)
+          throw std::logic_error("CompiledSystem '" + c.name + "': unknown opcode " +
+                                 std::to_string(opcode) + " and no default");
+        run_sfg_pre(c.selected);
+        progress = true;
+      }
+      if (run_sfg_main(c.selected)) {
+        c.fired = true;
+        progress = true;
+      }
+      return progress;
+    }
+    case Kind::kUntimed: {
+      if (c.fired) return false;
+      for (const auto n : c.in_nets)
+        if (!net_token_[static_cast<std::size_t>(n)]) return false;
+      std::vector<fixpt::Fixed> in;
+      in.reserve(c.in_nets.size());
+      for (const auto n : c.in_nets)
+        in.emplace_back(
+            slots_[static_cast<std::size_t>(net_slots_[static_cast<std::size_t>(n)])]);
+      const auto out = c.untimed->invoke(in);
+      if (out.size() != c.out_nets.size())
+        throw std::logic_error("CompiledSystem '" + c.name + "': untimed arity mismatch");
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto n = static_cast<std::size_t>(c.out_nets[i]);
+        slots_[static_cast<std::size_t>(net_slots_[n])] = out[i].value();
+        net_token_[n] = 1;
+      }
+      c.fired = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CompiledSystem::cycle() {
+  // Net reset + external drives (pins keep living on the sched::Net objects
+  // so tests and benches can flip them between cycles).
+  std::fill(net_token_.begin(), net_token_.end(), 0);
+  for (std::size_t i = 0; i < ext_nets_.size(); ++i) {
+    auto* n = const_cast<sched::Net*>(ext_nets_[i]);
+    n->begin_cycle();
+    if (n->has_token()) {
+      slots_[static_cast<std::size_t>(ext_net_slots_[i])] = n->token().value();
+      net_token_[i] = 1;
+    }
+  }
+  for (const auto& r : refresh_) slots_[static_cast<std::size_t>(r.slot)] = r.node->value.value();
+
+  // Phase 0: transition selection.
+  for (auto& c : comps_) {
+    c.fired = false;
+    c.pending = nullptr;
+    c.selected = -1;
+    if (c.kind == Kind::kFsm) {
+      for (const auto& gt : c.by_state[static_cast<std::size_t>(c.state)]) {
+        if (gt.always) {
+          c.pending = &gt;
+          break;
+        }
+        exec(gt.guard, slots_.data());
+        ops_ += gt.guard.size();
+        if (slots_[static_cast<std::size_t>(gt.guard_slot)] != 0.0) {
+          c.pending = &gt;
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 1: token production.
+  for (auto& c : comps_) {
+    if (c.kind == Kind::kFsm && c.pending != nullptr) {
+      for (const auto id : c.pending->sfgs) run_sfg_pre(id);
+    } else if (c.kind == Kind::kSfg) {
+      run_sfg_pre(c.solo_sfg);
+    }
+  }
+
+  // Phase 2: iterative evaluation.
+  auto done = [](const Comp& c) {
+    return c.kind == Kind::kFsm ? (c.fired || c.pending == nullptr) : c.fired;
+  };
+  int iters = 0;
+  for (;;) {
+    bool progress = false;
+    bool all_done = true;
+    for (auto& c : comps_) {
+      if (done(c)) continue;
+      if (comp_try_fire(c)) progress = true;
+      if (!done(c)) all_done = false;
+    }
+    ++iters;
+    if (all_done) break;
+    if (!progress || iters >= max_iters_) {
+      std::string blocked;
+      for (const auto& c : comps_) {
+        const bool must = (c.kind == Kind::kFsm) ? (c.pending != nullptr && !c.fired)
+                          : (c.kind == Kind::kUntimed) ? false
+                                                       : !c.fired;
+        if (must) blocked += (blocked.empty() ? "" : ", ") + c.name;
+      }
+      if (!blocked.empty())
+        throw sched::DeadlockError("compiled cycle " + std::to_string(cycles_) +
+                                   ": combinational deadlock, unfired components: " +
+                                   blocked);
+      break;
+    }
+  }
+
+  // Phase 3: register update + state commit.
+  for (auto& c : comps_) {
+    if (!c.fired) continue;
+    std::vector<std::int32_t> ran;
+    switch (c.kind) {
+      case Kind::kFsm:
+        ran.assign(c.pending->sfgs.begin(), c.pending->sfgs.end());
+        c.state = c.pending->to;
+        break;
+      case Kind::kSfg: ran.push_back(c.solo_sfg); break;
+      case Kind::kDispatch: ran.push_back(c.selected); break;
+      case Kind::kUntimed: break;
+    }
+    for (const auto id : ran) {
+      for (const auto& cm : sfgs_[static_cast<std::size_t>(id)].commits) {
+        const double v = slots_[static_cast<std::size_t>(cm.src)];
+        slots_[static_cast<std::size_t>(cm.dst)] =
+            cm.has_fmt ? fixpt::quantize(v, cm.fmt) : v;
+      }
+    }
+  }
+  ++cycles_;
+}
+
+void CompiledSystem::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) cycle();
+}
+
+CompiledSystem::Checkpoint CompiledSystem::save() const {
+  Checkpoint cp;
+  cp.slots = slots_;
+  for (const auto& c : comps_) cp.states.push_back(c.kind == Kind::kFsm ? c.state : 0);
+  cp.cycles = cycles_;
+  return cp;
+}
+
+void CompiledSystem::restore(const Checkpoint& cp) {
+  if (cp.slots.size() != slots_.size() || cp.states.size() != comps_.size())
+    throw std::invalid_argument("CompiledSystem::restore: checkpoint from another system");
+  slots_ = cp.slots;
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    if (comps_[i].kind == Kind::kFsm) comps_[i].state = cp.states[i];
+  }
+  cycles_ = cp.cycles;
+}
+
+void CompiledSystem::reset() {
+  for (const auto& r : reg_inits_) slots_[static_cast<std::size_t>(r.slot)] = r.init;
+  for (auto& c : comps_) {
+    if (c.kind == Kind::kFsm) c.state = c.initial;
+  }
+  cycles_ = 0;
+}
+
+double CompiledSystem::net_value(const std::string& name) const {
+  const auto it = net_ids_.find(name);
+  if (it == net_ids_.end())
+    throw std::out_of_range("CompiledSystem::net_value: no net '" + name + "'");
+  return slots_[static_cast<std::size_t>(
+      net_slots_[static_cast<std::size_t>(it->second)])];
+}
+
+double CompiledSystem::reg_value(const std::string& name) const {
+  const auto it = reg_slots_.find(name);
+  if (it == reg_slots_.end())
+    throw std::out_of_range("CompiledSystem::reg_value: no register '" + name + "'");
+  return slots_[static_cast<std::size_t>(it->second)];
+}
+
+void CompiledSystem::poke(const std::string& input_name, double v) {
+  const auto it = input_slots_.find(input_name);
+  if (it == input_slots_.end())
+    throw std::out_of_range("CompiledSystem::poke: no input '" + input_name + "'");
+  slots_[static_cast<std::size_t>(it->second)] = v;
+  // Also update the refresh source so the poke persists across cycles.
+  for (auto& r : refresh_) {
+    if (r.slot == it->second) r.node->value = fixpt::Fixed(v);
+  }
+}
+
+std::size_t CompiledSystem::footprint_bytes() const {
+  std::size_t bytes = slots_.capacity() * sizeof(double) +
+                      net_token_.capacity() + net_slots_.capacity() * sizeof(std::int32_t);
+  for (const auto& s : sfgs_) {
+    bytes += (s.pre.capacity() + s.main.capacity() + s.load_inputs.capacity()) * sizeof(Instr);
+    bytes += s.required_nets.capacity() * sizeof(std::int32_t);
+    bytes += (s.pre_pushes.capacity() + s.main_pushes.capacity()) * sizeof(SfgCode::Push);
+    bytes += s.commits.capacity() * sizeof(SfgCode::Commit);
+  }
+  for (const auto& c : comps_) {
+    for (const auto& st : c.by_state)
+      for (const auto& gt : st) bytes += gt.guard.capacity() * sizeof(Instr) + gt.sfgs.capacity() * 4;
+    bytes += (c.in_nets.capacity() + c.out_nets.capacity()) * sizeof(std::int32_t);
+    bytes += c.table.size() * 24;
+  }
+  return bytes;
+}
+
+}  // namespace asicpp::sim

@@ -1,0 +1,168 @@
+// Compiled-code system simulator.
+//
+// `CompiledSystem::compile` takes a system assembled for the (interpreted)
+// cycle scheduler and regenerates it as flat tapes over a slot array — the
+// paper's compiled-code simulation path (section 5): same clock-cycle
+// semantics, drastically lower per-operation cost. Compilation snapshots
+// the current register/FSM state, so a system can be compiled mid-run and
+// continues bit-identically.
+//
+// Supported component kinds: FsmComponent, SfgComponent, DispatchComponent
+// (fully compiled) and UntimedComponent (invoked as native C++, which is
+// what "high-level description" means in the paper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fixpt/format.h"
+#include "sched/cyclesched.h"
+#include "sched/fsmcomp.h"
+#include "sched/untimed.h"
+#include "sim/tape.h"
+
+namespace asicpp::sim {
+
+class CompiledSystem {
+ public:
+  /// Translate every component and net of `sched` into tape form.
+  /// Throws std::invalid_argument for unknown Component subclasses.
+  static CompiledSystem compile(const sched::CycleScheduler& sched);
+
+  /// Simulate one clock cycle. Throws sched::DeadlockError on
+  /// combinational loops, like the interpreted scheduler.
+  void cycle();
+  void run(std::uint64_t n);
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Restore registers and FSM states to their reset values.
+  void reset();
+
+  /// Full architectural state (slots + FSM states + cycle count), opaque.
+  struct Checkpoint {
+    std::vector<double> slots;
+    std::vector<std::int32_t> states;
+    std::uint64_t cycles = 0;
+  };
+  /// Snapshot / restore the simulation state — long runs can be branched
+  /// (e.g. explore a hold scenario, then rewind).
+  Checkpoint save() const;
+  void restore(const Checkpoint& cp);
+
+  /// Last token value seen on net `name`.
+  double net_value(const std::string& name) const;
+  /// Current value of register `name` (first registered with that name).
+  double reg_value(const std::string& name) const;
+  /// Override the value of an unbound input signal by name.
+  void poke(const std::string& input_name, double v);
+
+  /// Bytes of live simulation data structures (slots, tapes, tables) —
+  /// the "process size" figure of Table 1.
+  std::size_t footprint_bytes() const;
+
+  /// Total tape instructions retired (throughput accounting).
+  std::uint64_t ops_retired() const { return ops_; }
+
+  /// Emit a standalone C++ translation unit that reproduces this system's
+  /// simulation (Fig 7's "C++ RT description"): the slot array, one
+  /// straight-line function per tape, and a main() running `run_cycles`
+  /// cycles, printing the value of each net in `watch_nets` per cycle.
+  /// External pin drives are frozen at their current values. Systems with
+  /// untimed components are rejected (native C++ closures have no image).
+  void emit_cpp(std::ostream& os, const std::vector<std::string>& watch_nets,
+                std::uint64_t run_cycles) const;
+
+ private:
+  CompiledSystem() = default;
+
+  struct SfgCode {
+    Tape pre;   ///< input-independent ops (token production)
+    Tape main;  ///< input-dependent ops + register next-values
+    std::vector<Instr> load_inputs;  ///< net slot -> input slot copies
+    std::vector<std::int32_t> required_nets;
+    struct Push {
+      std::int32_t net;
+      std::int32_t src;
+    };
+    std::vector<Push> pre_pushes;
+    std::vector<Push> main_pushes;
+    struct Commit {
+      std::int32_t dst;  ///< register current-value slot
+      std::int32_t src;  ///< computed next-value slot
+      fixpt::Format fmt;
+      bool has_fmt;
+    };
+    std::vector<Commit> commits;
+  };
+
+  struct GuardedTransition {
+    bool always = false;
+    Tape guard;
+    std::int32_t guard_slot = -1;
+    std::vector<std::int32_t> sfgs;
+    std::int32_t to = -1;
+  };
+
+  enum class Kind { kFsm, kSfg, kDispatch, kUntimed };
+
+  struct Comp {
+    Kind kind;
+    std::string name;
+    // kFsm
+    std::vector<std::vector<GuardedTransition>> by_state;
+    std::int32_t state = -1;
+    std::int32_t initial = -1;
+    const GuardedTransition* pending = nullptr;
+    // kSfg / kDispatch
+    std::int32_t solo_sfg = -1;
+    std::int32_t instr_net = -1;
+    std::map<long, std::int32_t> table;
+    std::int32_t default_sfg = -1;
+    std::int32_t selected = -1;
+    // kUntimed
+    sched::UntimedComponent* untimed = nullptr;
+    std::vector<std::int32_t> in_nets;
+    std::vector<std::int32_t> out_nets;
+    // runtime
+    bool fired = false;
+  };
+
+  struct RegInit {
+    std::int32_t slot;
+    double init;
+  };
+
+  struct InputRefresh {
+    sfg::NodePtr node;
+    std::int32_t slot;
+  };
+
+  class Builder;
+
+  bool comp_try_fire(Comp& c);
+  void run_sfg_pre(std::int32_t sfg);
+  bool run_sfg_main(std::int32_t sfg);  ///< false when inputs missing
+
+  // static structures
+  std::vector<SfgCode> sfgs_;
+  std::vector<Comp> comps_;
+  std::vector<const sched::Net*> ext_nets_;      ///< external-drive sources
+  std::vector<std::int32_t> ext_net_slots_;
+  std::vector<std::int32_t> net_slots_;          ///< net id -> slot
+  std::map<std::string, std::int32_t> net_ids_;
+  std::map<std::string, std::int32_t> reg_slots_;
+  std::map<std::string, std::int32_t> input_slots_;
+  std::vector<RegInit> reg_inits_;
+  std::vector<InputRefresh> refresh_;
+  int max_iters_ = 64;
+
+  // runtime state
+  std::vector<double> slots_;
+  std::vector<std::uint8_t> net_token_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace asicpp::sim

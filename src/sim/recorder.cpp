@@ -1,0 +1,37 @@
+#include "sim/recorder.h"
+
+#include <stdexcept>
+
+namespace asicpp::sim {
+
+Recorder::Recorder(sched::CycleScheduler& sched) : sched_(&sched) {
+  sched.on_cycle_end([this](std::uint64_t) {
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      traces_[i].values.push_back(nets_[i]->last().value());
+      traces_[i].valid.push_back(nets_[i]->has_token());
+    }
+    ++cycles_;
+  });
+}
+
+void Recorder::watch(const std::string& net_name) {
+  nets_.push_back(&sched_->net(net_name));
+  traces_.push_back(Trace{net_name, {}, {}});
+}
+
+const Recorder::Trace& Recorder::trace(const std::string& net_name) const {
+  for (const auto& t : traces_) {
+    if (t.net == net_name) return t;
+  }
+  throw std::out_of_range("Recorder::trace: net '" + net_name + "' not watched");
+}
+
+void Recorder::clear() {
+  for (auto& t : traces_) {
+    t.values.clear();
+    t.valid.clear();
+  }
+  cycles_ = 0;
+}
+
+}  // namespace asicpp::sim

@@ -1,0 +1,45 @@
+// Stimuli / response recording.
+//
+// "During system simulation, the system stimuli are also translated into
+// test-benches that allow to verify the synthesis result of each
+// component" (section 6). The Recorder hooks the cycle scheduler and logs
+// the per-cycle value of selected nets; the HDL testbench generator and the
+// netlist equivalence checker replay these traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/cyclesched.h"
+
+namespace asicpp::sim {
+
+class Recorder {
+ public:
+  /// Installs a cycle-end hook on `sched`. The Recorder must outlive the
+  /// scheduler's remaining use.
+  explicit Recorder(sched::CycleScheduler& sched);
+
+  /// Start logging net `net_name` (its `last()` value each cycle).
+  void watch(const std::string& net_name);
+
+  struct Trace {
+    std::string net;
+    std::vector<double> values;  ///< one sample per recorded cycle
+    std::vector<bool> valid;     ///< token present that cycle
+  };
+
+  const std::vector<Trace>& traces() const { return traces_; }
+  const Trace& trace(const std::string& net_name) const;
+  std::uint64_t cycles_recorded() const { return cycles_; }
+  void clear();
+
+ private:
+  sched::CycleScheduler* sched_;
+  std::vector<const sched::Net*> nets_;
+  std::vector<Trace> traces_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace asicpp::sim

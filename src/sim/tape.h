@@ -1,0 +1,58 @@
+// Linear operation tapes: the compiled-code simulation format.
+//
+// The paper's code generator regenerates an "application-specific and
+// optimized compiled code simulator" from the SFG/FSM data structure
+// (section 5, Fig 7). The tape is that simulator's executable form: each
+// SFG flattens into straight-line, topologically-ordered operations over a
+// flat slot array — no graph traversal, no virtual dispatch, no
+// memoization stamps. The same tapes are pretty-printed by the C++ code
+// generator in hdl/ to produce real compilable source.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixpt/format.h"
+
+namespace asicpp::sim {
+
+enum class OpC : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kNeg,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kShl,
+  kShr,
+  kMux,    // dst = a != 0 ? b : c
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kCast,   // dst = quantize(a, fmt)
+  kCopy,   // dst = a
+  kCopyQ,  // dst = quantize(a, fmt)
+};
+
+struct Instr {
+  OpC op;
+  std::int32_t dst = -1;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  fixpt::Format fmt{};
+};
+
+using Tape = std::vector<Instr>;
+
+/// Execute `tape` over the slot array. Slot values are the quantized
+/// word-level values (doubles), identical to what interpreted evaluation
+/// computes.
+void exec(const Tape& tape, double* slots);
+
+}  // namespace asicpp::sim

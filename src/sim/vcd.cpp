@@ -1,0 +1,62 @@
+#include "sim/vcd.h"
+
+#include <ostream>
+
+namespace asicpp::sim {
+
+namespace {
+
+/// Short printable identifier for variable n (VCD id chars ! to ~).
+std::string vcd_id(std::size_t n) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const Recorder& rec, const VcdOptions& opt) {
+  const auto& traces = rec.traces();
+  os << "$date asicpp $end\n";
+  os << "$version asicpp recorder $end\n";
+  os << "$timescale " << opt.timescale << " $end\n";
+  os << "$scope module " << opt.top_scope << " $end\n";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    os << "$var real 64 " << vcd_id(2 * i) << " " << traces[i].net << " $end\n";
+    os << "$var wire 1 " << vcd_id(2 * i + 1) << " " << traces[i].net
+       << "_valid $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<double> last_val(traces.size(), 0.0);
+  std::vector<int> last_valid(traces.size(), -1);
+  for (std::uint64_t c = 0; c < rec.cycles_recorded(); ++c) {
+    bool stamped = false;
+    const auto stamp = [&] {
+      if (!stamped) {
+        os << "#" << c * static_cast<std::uint64_t>(opt.cycle_ns) << "\n";
+        stamped = true;
+      }
+    };
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const double v = traces[i].values[c];
+      const int valid = traces[i].valid[c] ? 1 : 0;
+      if (c == 0 || v != last_val[i]) {
+        stamp();
+        os << "r" << v << " " << vcd_id(2 * i) << "\n";
+        last_val[i] = v;
+      }
+      if (valid != last_valid[i]) {
+        stamp();
+        os << valid << vcd_id(2 * i + 1) << "\n";
+        last_valid[i] = valid;
+      }
+    }
+  }
+  os << "#" << rec.cycles_recorded() * static_cast<std::uint64_t>(opt.cycle_ns) << "\n";
+}
+
+}  // namespace asicpp::sim

@@ -1,0 +1,30 @@
+// VCD waveform export from recorded traces.
+//
+// The design environment's answer to waveform debugging: any Recorder
+// capture can be written as an IEEE-1364 value-change-dump and opened in
+// a standard viewer next to the generated HDL. Word-level values are
+// emitted as `real` variables (the simulator carries quantized values,
+// not bit vectors).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/recorder.h"
+
+namespace asicpp::sim {
+
+struct VcdOptions {
+  std::string timescale = "1ns";
+  std::string top_scope = "asicpp";
+  /// Nanoseconds per clock cycle in the dump.
+  int cycle_ns = 10;
+};
+
+/// Write every watched trace of `rec` as a VCD. Invalid samples (no token
+/// that cycle) are emitted as `x`... real variables cannot carry x, so
+/// they repeat the previous value; a companion 1-bit `<net>_valid` wire
+/// carries the token-present flag.
+void write_vcd(std::ostream& os, const Recorder& rec, const VcdOptions& opt = {});
+
+}  // namespace asicpp::sim

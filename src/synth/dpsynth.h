@@ -1,0 +1,65 @@
+// Component synthesis: SFGs + control to gate-level netlists.
+//
+// The Cathedral-3 stand-in (section 6): each timed component becomes a
+// synchronous netlist — registers and state bits as DFFs, every SFG
+// expression bit-blasted through the word builder, a selection network
+// (FSM priority logic or instruction decode) steering multiplexers on the
+// outputs and register next-values.
+//
+// "These tools allow operator sharing at word level": with sharing
+// enabled, add/sub/mul instances from mutually exclusive SFGs (different
+// transitions of one FSM, different instructions of one datapath) are
+// bound to shared physical units with select-controlled operand muxes; a
+// dependency-cycle repair pass splits bindings that would create
+// combinational loops.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hdl/model.h"
+#include "netlist/netlist.h"
+#include "sched/component.h"
+#include "synth/wordnet.h"
+
+namespace asicpp::synth {
+
+enum class StateEncoding { kBinary, kOneHot, kGray };
+
+struct SynthOptions {
+  bool share_operators = true;
+  StateEncoding encoding = StateEncoding::kBinary;
+  /// Controller next-state/select logic through Quine-McCluskey two-level
+  /// minimization instead of the direct priority chain.
+  bool qm_controller = true;
+};
+
+struct SynthReport {
+  int word_ops = 0;        ///< shareable word operators before binding
+  int shared_units = 0;    ///< physical units after binding
+  std::int32_t gates = 0;
+  std::int32_t dffs = 0;
+  double area = 0.0;
+  int depth = 0;
+};
+
+/// Synthesize `comp` into `nl`. Primary inputs: the component's declared
+/// input signals as buses "name[i]" (mantissa bits of the declared
+/// format), plus "instr[i]" (16 bits) for dispatch components. Primary
+/// outputs: the SFG output ports as buses in the component's merged output
+/// formats. Registers/state become DFFs clocked by the implicit clock.
+SynthReport synthesize_component(sched::Component& comp, netlist::Netlist& nl,
+                                 const SynthOptions& opt = {});
+
+/// System-linker entry point: input signals named in `provided` use the
+/// given buses (quantized into the declared input format, like the
+/// interpreted token load) instead of becoming primary inputs; for
+/// dispatch components the instruction bus is provided under the key
+/// "instr". Output-port buses are stored into `outputs` instead of being
+/// marked as netlist primary outputs.
+SynthReport synthesize_component_linked(sched::Component& comp, netlist::Netlist& nl,
+                                        const SynthOptions& opt,
+                                        const std::map<std::string, Bus>& provided,
+                                        std::map<std::string, Bus>& outputs);
+
+}  // namespace asicpp::synth

@@ -1,0 +1,24 @@
+// Gate-level post-optimization.
+//
+// "The combined netlists of datapath and controller are also post-
+// optimized by Synopsys DC to perform gate-level netlist optimizations"
+// (section 6). Our pass does the standard structural cleanups: constant
+// propagation, identity/annihilator simplification, double-inverter
+// removal, structural hashing (CSE), and dead-gate sweeping, iterated to a
+// fixpoint. The result is a fresh netlist with identical I/O behaviour.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace asicpp::synth {
+
+struct OptStats {
+  int simplified = 0;   ///< gates replaced by constants/operands/inverses
+  int deduplicated = 0; ///< structurally identical gates merged
+  int dead_removed = 0; ///< gates unreachable from outputs/state swept
+  int rounds = 0;
+};
+
+netlist::Netlist optimize(const netlist::Netlist& in, OptStats* stats = nullptr);
+
+}  // namespace asicpp::synth

@@ -1,0 +1,123 @@
+#include "synth/qm.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace asicpp::synth {
+
+int Cube::literals() const { return __builtin_popcount(care); }
+
+std::string Cube::to_string(int nvars) const {
+  std::string s;
+  for (int i = nvars - 1; i >= 0; --i) {
+    const std::uint32_t m = 1u << i;
+    s += (care & m) ? ((value & m) ? '1' : '0') : '-';
+  }
+  return s;
+}
+
+std::vector<Cube> minimize(const std::vector<std::uint32_t>& on_set,
+                           const std::vector<std::uint32_t>& dc_set, int nvars) {
+  if (nvars < 0 || nvars > 20)
+    throw std::invalid_argument("qm::minimize: nvars out of range");
+  if (on_set.empty()) return {};
+
+  const std::uint32_t full = (nvars == 32) ? ~0u : ((1u << nvars) - 1);
+
+  // Level 0: all ON and DC minterms as fully specified cubes.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> current;  // (value, care)
+  for (const auto m : on_set) current.insert({m & full, full});
+  for (const auto m : dc_set) current.insert({m & full, full});
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> combined;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> v(current.begin(), current.end());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (std::size_t j = i + 1; j < v.size(); ++j) {
+        if (v[i].second != v[j].second) continue;  // same care set required
+        const std::uint32_t diff = v[i].first ^ v[j].first;
+        if (__builtin_popcount(diff) != 1) continue;
+        next.insert({v[i].first & ~diff, v[i].second & ~diff});
+        combined.insert(v[i]);
+        combined.insert(v[j]);
+      }
+    }
+    for (const auto& c : v) {
+      if (!combined.count(c)) primes.push_back(Cube{c.first, c.second});
+    }
+    current.swap(next);
+  }
+
+  // Prime-implicant chart: cover the ON-set (don't-cares need no cover).
+  std::vector<std::uint32_t> uncovered = on_set;
+  std::sort(uncovered.begin(), uncovered.end());
+  uncovered.erase(std::unique(uncovered.begin(), uncovered.end()), uncovered.end());
+
+  std::vector<Cube> cover;
+  std::vector<bool> used(primes.size(), false);
+
+  // Essential primes first.
+  bool changed = true;
+  while (changed && !uncovered.empty()) {
+    changed = false;
+    for (const auto m : uncovered) {
+      int only = -1;
+      int count = 0;
+      for (std::size_t p = 0; p < primes.size(); ++p) {
+        if (primes[p].covers(m)) {
+          ++count;
+          only = static_cast<int>(p);
+        }
+      }
+      if (count == 1 && !used[static_cast<std::size_t>(only)]) {
+        used[static_cast<std::size_t>(only)] = true;
+        cover.push_back(primes[static_cast<std::size_t>(only)]);
+        std::erase_if(uncovered, [&](std::uint32_t x) {
+          return primes[static_cast<std::size_t>(only)].covers(x);
+        });
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Greedy cover for the remainder: pick the prime covering the most.
+  while (!uncovered.empty()) {
+    std::size_t best = primes.size();
+    std::size_t best_count = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (used[p]) continue;
+      std::size_t c = 0;
+      for (const auto m : uncovered)
+        if (primes[p].covers(m)) ++c;
+      if (c > best_count) {
+        best_count = c;
+        best = p;
+      }
+    }
+    if (best == primes.size())
+      throw std::logic_error("qm::minimize: uncoverable minterm");
+    used[best] = true;
+    cover.push_back(primes[best]);
+    std::erase_if(uncovered, [&](std::uint32_t x) { return primes[best].covers(x); });
+  }
+  return cover;
+}
+
+int cover_cost(const std::vector<Cube>& cover) {
+  int cost = 0;
+  for (const auto& c : cover) cost += c.literals();
+  return cost;
+}
+
+bool eval_cover(const std::vector<Cube>& cover, std::uint32_t input) {
+  for (const auto& c : cover)
+    if (c.covers(input)) return true;
+  return false;
+}
+
+}  // namespace asicpp::synth

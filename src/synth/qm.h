@@ -1,0 +1,43 @@
+// Two-level logic minimization (Quine-McCluskey).
+//
+// The controller synthesis path ("pure logic synthesis such as FSM
+// synthesis", section 6) flattens next-state and output functions into
+// truth tables and minimizes them into prime-implicant covers before gate
+// mapping — our stand-in for the commercial logic synthesis the paper
+// delegated to Synopsys DC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asicpp::synth {
+
+/// A product term over n variables: bit i of `care` set means variable i
+/// is tested; `value` gives the tested polarity (bits outside care are 0).
+struct Cube {
+  std::uint32_t value = 0;
+  std::uint32_t care = 0;
+
+  bool covers(std::uint32_t minterm) const { return (minterm & care) == value; }
+  int literals() const;
+  bool operator==(const Cube&) const = default;
+  /// e.g. "1-0" (MSB = highest variable index).
+  std::string to_string(int nvars) const;
+};
+
+/// Minimize the single-output function over `nvars` inputs given its ON-set
+/// minterms and optional don't-cares. Returns a prime-implicant cover
+/// (essential primes plus a greedy cover of the rest). An empty ON-set
+/// yields an empty cover (constant 0); a cover containing the universal
+/// cube means constant 1.
+std::vector<Cube> minimize(const std::vector<std::uint32_t>& on_set,
+                           const std::vector<std::uint32_t>& dc_set, int nvars);
+
+/// Total literal count of a cover (cost metric).
+int cover_cost(const std::vector<Cube>& cover);
+
+/// Evaluate a cover on an input assignment.
+bool eval_cover(const std::vector<Cube>& cover, std::uint32_t input);
+
+}  // namespace asicpp::synth

@@ -1,0 +1,41 @@
+#include "synth/report.h"
+
+#include <map>
+#include <sstream>
+
+#include "netlist/timing.h"
+
+namespace asicpp::synth {
+
+std::string format_report(const netlist::Netlist& nl, const std::string& design_name,
+                          double clock_period) {
+  std::map<netlist::GateType, int> census;
+  for (const auto& g : nl.gates()) ++census[g.type];
+
+  std::ostringstream os;
+  os << "==== synthesis report: " << design_name << " ====\n";
+  os << "cells:\n";
+  for (const auto& [t, n] : census) {
+    if (t == netlist::GateType::kInput) continue;
+    os << "  " << netlist::gate_name(t) << ": " << n << "\n";
+  }
+  os << "primary inputs:  " << nl.inputs().size() << "\n";
+  os << "primary outputs: " << nl.outputs().size() << "\n";
+  os << "combinational:   " << nl.num_comb() << " gates\n";
+  os << "sequential:      " << nl.num_dff() << " flip-flops\n";
+  os << "area:            " << nl.area() << " equivalent gates\n";
+  os << "logic depth:     " << nl.depth() << " levels\n";
+
+  const auto timing = netlist::analyze_timing(nl);
+  os << "critical path:   " << timing.critical_delay << " delay units ("
+     << timing.start_point << " -> " << timing.end_point << ", "
+     << timing.critical_path.size() << " gates)\n";
+  if (clock_period > 0.0) {
+    const double slack = timing.slack(clock_period);
+    os << "slack @ " << clock_period << ":      " << slack
+       << (slack < 0.0 ? "  (VIOLATED)" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace asicpp::synth

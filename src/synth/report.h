@@ -1,0 +1,17 @@
+// Synthesis report formatting: the classic post-synthesis summary —
+// cell census, area, sequential elements, logic depth, critical path and
+// slack — the text block every flow prints after Fig 8's last box.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace asicpp::synth {
+
+/// Human-readable synthesis summary for `nl`. `clock_period` (delay
+/// units) adds a slack line; pass 0 to omit it.
+std::string format_report(const netlist::Netlist& nl, const std::string& design_name,
+                          double clock_period = 0.0);
+
+}  // namespace asicpp::synth

@@ -1,0 +1,204 @@
+#include "synth/system.h"
+
+#include <stdexcept>
+
+#include "hdl/model.h"
+#include "sched/fsmcomp.h"
+#include "sched/untimed.h"
+
+namespace asicpp::synth {
+
+using fixpt::Format;
+using netlist::GateType;
+
+namespace {
+
+Bus placeholder_bus(netlist::Netlist& nl, const Format& f) {
+  Bus b;
+  b.fmt = f;
+  for (int i = 0; i < f.wl; ++i) b.bits.push_back(nl.add_placeholder());
+  return b;
+}
+
+}  // namespace
+
+SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
+                                    netlist::Netlist& nl, const SystemSynthSpec& spec) {
+  SystemSynthReport rep;
+  WordBuilder wb(nl);
+
+  // Classify components and learn each net's producing format.
+  struct TimedInfo {
+    sched::Component* comp;
+    hdl::CompModel model;
+  };
+  std::vector<TimedInfo> timed;
+  std::vector<sched::UntimedComponent*> untimed;
+  std::map<const sched::Net*, Format> producer_fmt;
+  std::map<const sched::Net*, std::string> producer_name;
+
+  const auto claim = [&](const sched::Net* net, const Format& f, const std::string& who) {
+    if (producer_name.count(net))
+      throw std::invalid_argument("synthesize_system: net '" + net->name() +
+                                  "' driven by both '" + producer_name.at(net) +
+                                  "' and '" + who + "'");
+    producer_fmt.emplace(net, f);
+    producer_name.emplace(net, who);
+  };
+
+  for (sched::Component* c : sys.components()) {
+    if (auto* u = dynamic_cast<sched::UntimedComponent*>(c)) {
+      untimed.push_back(u);
+      for (const sched::Net* n : u->output_nets()) {
+        const auto it = spec.net_fmt.find(n->name());
+        if (it == spec.net_fmt.end())
+          throw std::invalid_argument("synthesize_system: net '" + n->name() +
+                                      "' (untimed output) needs a net_fmt entry");
+        claim(n, it->second, c->name());
+      }
+      continue;
+    }
+    timed.push_back(TimedInfo{c, hdl::build_component_model(*c)});
+    const auto& m = timed.back().model;
+    for (const auto& [port, net] : m.out_binds) claim(net, m.out_fmt.at(port), c->name());
+  }
+
+  // Net buses: pins become primary inputs, produced nets placeholders.
+  std::map<const sched::Net*, Bus> net_bus;
+  for (const sched::Net* n : sys.all_nets()) {
+    if (n->driven()) {
+      if (producer_name.count(n))
+        throw std::invalid_argument("synthesize_system: net '" + n->name() +
+                                    "' both produced and externally driven");
+      const auto it = spec.net_fmt.find(n->name());
+      if (it == spec.net_fmt.end())
+        throw std::invalid_argument("synthesize_system: pin net '" + n->name() +
+                                    "' needs a net_fmt entry");
+      net_bus.emplace(n, wb.input("net_" + hdl::sanitize(n->name()), it->second));
+    } else if (producer_fmt.count(n)) {
+      net_bus.emplace(n, placeholder_bus(nl, producer_fmt.at(n)));
+    }
+  }
+
+  // Timed components.
+  std::map<const sched::Net*, Bus> produced;
+  for (auto& t : timed) {
+    std::map<std::string, Bus> provided;
+    for (const auto& [node, net] : t.model.in_binds) {
+      const auto it = net_bus.find(net);
+      if (it == net_bus.end())
+        throw std::invalid_argument("synthesize_system: input net '" + net->name() +
+                                    "' of '" + t.comp->name() + "' has no driver");
+      provided.emplace(node->name, it->second);
+    }
+    if (t.model.kind == hdl::CompModel::Kind::kDispatch) {
+      auto* d = dynamic_cast<sched::DispatchComponent*>(t.comp);
+      const auto it = net_bus.find(&d->instruction_net());
+      if (it == net_bus.end())
+        throw std::invalid_argument("synthesize_system: instruction net of '" +
+                                    t.comp->name() + "' has no driver");
+      provided.emplace("instr", it->second);
+    }
+    std::map<std::string, Bus> outputs;
+    rep.components[t.comp->name()] =
+        synthesize_component_linked(*t.comp, nl, spec.options, provided, outputs);
+    for (const auto& [port, net] : t.model.out_binds) {
+      const auto ob = outputs.find(port);
+      if (ob != outputs.end()) produced.emplace(net, ob->second);
+    }
+  }
+
+  // Untimed components through their structural builders.
+  for (auto* u : untimed) {
+    const auto bit = spec.untimed.find(u->name());
+    if (bit == spec.untimed.end())
+      throw std::invalid_argument("synthesize_system: untimed component '" + u->name() +
+                                  "' needs an UntimedBuilder");
+    std::vector<Bus> ins;
+    for (const sched::Net* n : u->input_nets()) {
+      const auto it = net_bus.find(n);
+      if (it == net_bus.end())
+        throw std::invalid_argument("synthesize_system: input net '" + n->name() +
+                                    "' of '" + u->name() + "' has no driver");
+      ins.push_back(it->second);
+    }
+    const auto outs = bit->second(wb, ins);
+    if (outs.size() != u->output_nets().size())
+      throw std::invalid_argument("synthesize_system: builder arity mismatch for '" +
+                                  u->name() + "'");
+    for (std::size_t i = 0; i < outs.size(); ++i)
+      produced.emplace(u->output_nets()[i], outs[i]);
+  }
+
+  // Close the placeholders.
+  for (const auto& [net, bus] : net_bus) {
+    if (net->driven()) continue;  // primary input
+    const auto it = produced.find(net);
+    if (it == produced.end())
+      throw std::invalid_argument("synthesize_system: net '" + net->name() +
+                                  "' was never produced");
+    const Bus src = wb.align(it->second, bus.fmt);
+    for (int i = 0; i < bus.width(); ++i)
+      nl.connect_placeholder(bus.bits[static_cast<std::size_t>(i)],
+                             src.bits[static_cast<std::size_t>(i)]);
+  }
+
+  // Observed nets.
+  for (const auto& name : spec.observe) {
+    const sched::Net* found = nullptr;
+    for (const auto& [net, _] : net_bus)
+      if (net->name() == name) found = net;
+    if (found == nullptr)
+      throw std::invalid_argument("synthesize_system: observe net '" + name +
+                                  "' does not exist");
+    wb.output("net_" + hdl::sanitize(name), net_bus.at(found));
+  }
+
+  if (spec.optimize) {
+    nl = optimize(nl);
+  }
+  rep.gates = nl.num_comb();
+  rep.dffs = nl.num_dff();
+  rep.area = nl.area();
+  rep.depth = nl.depth();
+  return rep;
+}
+
+UntimedBuilder make_ram_builder(int addr_bits, const Format& data_fmt) {
+  return [addr_bits, data_fmt](WordBuilder& wb, const std::vector<Bus>& in) {
+    if (in.size() != 3)
+      throw std::invalid_argument("ram builder: expects (we, addr, wdata)");
+    const std::int32_t we = wb.nonzero(in[0]);
+    const Bus& addr = in[1];
+    const Bus wdata = wb.quantize(in[2], data_fmt);
+    netlist::Netlist& nl = wb.netlist();
+
+    const int words = 1 << addr_bits;
+    // Address decode (use the low addr_bits of the address bus).
+    std::vector<std::int32_t> abit;
+    for (int b = 0; b < addr_bits; ++b)
+      abit.push_back(b < addr.width() ? addr.bits[static_cast<std::size_t>(b)] : wb.zero());
+
+    std::vector<Bus> word(static_cast<std::size_t>(words));
+    Bus rdata = wb.constant(0.0, data_fmt);
+    for (int w = 0; w < words; ++w) {
+      // One-hot select for word w.
+      std::int32_t sel = -1;
+      for (int b = 0; b < addr_bits; ++b) {
+        std::int32_t bit = abit[static_cast<std::size_t>(b)];
+        if (((w >> b) & 1) == 0) bit = nl.add_gate(GateType::kNot, bit);
+        sel = (sel < 0) ? bit : nl.add_gate(GateType::kAnd, sel, bit);
+      }
+      if (sel < 0) sel = wb.one();
+      Bus& q = word[static_cast<std::size_t>(w)];
+      q = wb.reg(data_fmt, 0.0);
+      const std::int32_t wr = nl.add_gate(GateType::kAnd, we, sel);
+      wb.set_next(q, wb.mux(wr, wdata, q, data_fmt));
+      // Read mux (read-before-write: reads the registered value).
+      rdata = wb.mux(sel, q, rdata, data_fmt);
+    }
+    return std::vector<Bus>{rdata};
+  };
+}
+
+}  // namespace asicpp::synth

@@ -1,0 +1,59 @@
+// Whole-system synthesis and linkage (Fig 8, "system linkage").
+//
+// Every timed component of a cycle-scheduler system is synthesized into a
+// single netlist; interconnect nets become internal buses (through
+// forward-reference placeholders, so component-level feedback loops link
+// cleanly as long as the bit-level logic is acyclic — which the token-
+// production rule guarantees). Untimed components need a structural image
+// supplied by the caller; `make_ram_builder` provides the standard
+// synchronous RAM used by the DECT design's storage cells.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/cyclesched.h"
+#include "synth/dpsynth.h"
+#include "synth/optimize.h"
+#include "synth/wordnet.h"
+
+namespace asicpp::synth {
+
+/// Structural image of one untimed component: receives the input-net buses
+/// in binding order and returns one bus per output net.
+using UntimedBuilder =
+    std::function<std::vector<Bus>(WordBuilder&, const std::vector<Bus>&)>;
+
+struct SystemSynthReport {
+  std::map<std::string, SynthReport> components;
+  std::int32_t gates = 0;
+  std::int32_t dffs = 0;
+  double area = 0.0;
+  int depth = 0;
+};
+
+struct SystemSynthSpec {
+  SynthOptions options;
+  /// Builders for untimed components, keyed by component name.
+  std::map<std::string, UntimedBuilder> untimed;
+  /// Formats of externally driven (pin) nets and untimed-component output
+  /// nets — anything whose format cannot be derived from a timed producer.
+  std::map<std::string, fixpt::Format> net_fmt;
+  /// Nets to expose as primary outputs "net_<name>[i]".
+  std::vector<std::string> observe;
+  /// Run the gate-level optimizer on the linked result.
+  bool optimize = true;
+};
+
+/// Synthesize all components of `sys` into one netlist. Externally driven
+/// nets become primary inputs "net_<name>[i]".
+SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
+                                    netlist::Netlist& nl, const SystemSynthSpec& spec);
+
+/// Standard synchronous RAM image matching the DECT untimed RAM protocol:
+/// inputs (we, addr, wdata), output (rdata); read-before-write semantics.
+UntimedBuilder make_ram_builder(int addr_bits, const fixpt::Format& data_fmt);
+
+}  // namespace asicpp::synth

@@ -1,0 +1,111 @@
+#include "synth/techmap.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace asicpp::synth {
+
+using netlist::Gate;
+using netlist::GateType;
+using netlist::Netlist;
+
+Netlist tech_map(const Netlist& in, TechMapStats* stats) {
+  Netlist out;
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(in.num_gates()), -1);
+
+  // Interface and state first (DFF ids must exist for feedback).
+  for (const auto& [name, id] : in.inputs())
+    remap[static_cast<std::size_t>(id)] = out.add_input(name);
+  for (std::int32_t id = 0; id < in.num_gates(); ++id) {
+    if (in.gate(id).type == GateType::kDff)
+      remap[static_cast<std::size_t>(id)] = out.add_dff(in.gate(id).init);
+  }
+
+  const auto inv = [&](std::int32_t x) { return out.add_gate(GateType::kNot, x); };
+  const auto nand2 = [&](std::int32_t a, std::int32_t b) {
+    return out.add_gate(GateType::kNand, a, b);
+  };
+  const auto nor2 = [&](std::int32_t a, std::int32_t b) {
+    return out.add_gate(GateType::kNor, a, b);
+  };
+
+  // Worklist over combinational gates (DFF D-pins may point forward).
+  std::vector<std::int32_t> pending;
+  for (std::int32_t id = 0; id < in.num_gates(); ++id) {
+    const GateType t = in.gate(id).type;
+    if (t == GateType::kInput || t == GateType::kDff) continue;
+    pending.push_back(id);
+  }
+  while (!pending.empty()) {
+    std::vector<std::int32_t> next;
+    bool progress = false;
+    for (const std::int32_t id : pending) {
+      const Gate& g = in.gate(id);
+      const int ar = netlist::gate_arity(g.type);
+      bool ready = true;
+      for (int i = 0; i < ar; ++i) {
+        if (g.in[i] < 0)
+          throw std::invalid_argument("tech_map: unconnected fanin");
+        ready = ready && remap[static_cast<std::size_t>(g.in[i])] >= 0;
+      }
+      if (!ready) {
+        next.push_back(id);
+        continue;
+      }
+      const auto a = ar > 0 ? remap[static_cast<std::size_t>(g.in[0])] : -1;
+      const auto b = ar > 1 ? remap[static_cast<std::size_t>(g.in[1])] : -1;
+      const auto c = ar > 2 ? remap[static_cast<std::size_t>(g.in[2])] : -1;
+      std::int32_t m = -1;
+      switch (g.type) {
+        case GateType::kConst0: m = out.add_gate(GateType::kConst0); break;
+        case GateType::kConst1: m = out.add_gate(GateType::kConst1); break;
+        case GateType::kBuf: m = a; break;  // identity: alias through
+        case GateType::kNot: m = inv(a); break;
+        case GateType::kNand: m = nand2(a, b); break;
+        case GateType::kNor: m = nor2(a, b); break;
+        case GateType::kAnd: m = inv(nand2(a, b)); break;
+        case GateType::kOr: m = inv(nor2(a, b)); break;
+        case GateType::kXor: {
+          const auto n1 = nand2(a, b);
+          m = nand2(nand2(a, n1), nand2(b, n1));
+          break;
+        }
+        case GateType::kXnor: {
+          const auto n1 = nand2(a, b);
+          m = inv(nand2(nand2(a, n1), nand2(b, n1)));
+          break;
+        }
+        case GateType::kMux: {
+          // sel ? a(b-input) : c : NAND(NAND(s, t), NAND(!s, f))
+          m = nand2(nand2(a, b), nand2(inv(a), c));
+          break;
+        }
+        case GateType::kInput:
+        case GateType::kDff:
+          break;
+      }
+      remap[static_cast<std::size_t>(id)] = m;
+      progress = true;
+    }
+    if (!progress) throw std::logic_error("tech_map: combinational loop");
+    pending.swap(next);
+  }
+
+  for (std::int32_t id = 0; id < in.num_gates(); ++id) {
+    const Gate& g = in.gate(id);
+    if (g.type == GateType::kDff && g.in[0] >= 0)
+      out.set_dff_input(remap[static_cast<std::size_t>(id)],
+                        remap[static_cast<std::size_t>(g.in[0])]);
+  }
+  for (const auto& [name, id] : in.outputs())
+    out.mark_output(name, remap[static_cast<std::size_t>(id)]);
+
+  if (stats != nullptr) {
+    stats->cells = out.num_comb() + out.num_dff();
+    stats->area = out.area();
+    stats->depth = out.depth();
+  }
+  return out;
+}
+
+}  // namespace asicpp::synth

@@ -1,0 +1,24 @@
+// Technology mapping onto a primitive cell library.
+//
+// The last step of the divide-and-conquer synthesis flow (Fig 8): the
+// optimized generic netlist is re-expressed with a small standard-cell
+// set — NAND2, NOR2, INV plus DFFs — the way a 0.7 µm library of the
+// paper's era would receive it. XOR/XNOR/MUX/AND/OR/BUF are decomposed;
+// behaviour is preserved exactly (checked by the equivalence tests).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace asicpp::synth {
+
+struct TechMapStats {
+  int cells = 0;       ///< mapped cell instances (excl. inputs/constants)
+  double area = 0.0;   ///< equivalent-gate area after mapping
+  int depth = 0;       ///< logic depth in mapped cells
+};
+
+/// Map `in` onto {NAND2, NOR2, NOT, DFF, CONST}. The input netlist must
+/// have no unconnected placeholders.
+netlist::Netlist tech_map(const netlist::Netlist& in, TechMapStats* stats = nullptr);
+
+}  // namespace asicpp::synth

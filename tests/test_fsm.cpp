@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "fsm/fsm.h"
+#include "sfg/clk.h"
+#include "sfg/sfg.h"
+
+namespace asicpp::fsm {
+namespace {
+
+using sfg::Clk;
+using sfg::Reg;
+using sfg::Sfg;
+using sfg::Sig;
+using fixpt::Fixed;
+using fixpt::Format;
+
+const Format kFmt{16, 7, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+
+// The Fig 4 machine: s0 --always/sfg1--> s1; s1 --eof/sfg2--> s1;
+// s1 --!eof/sfg3--> s0. `eof` is a registered condition.
+struct Fig4 {
+  Clk clk;
+  Reg eof{"eof", clk, Format{1, 1, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap}, 0.0};
+  Reg count{"count", clk, kFmt, 0.0};
+  Sfg sfg1{"sfg1"}, sfg2{"sfg2"}, sfg3{"sfg3"};
+  Fsm f{"fig4"};
+  State s0, s1;
+
+  Fig4() {
+    sfg1.assign(count, count + 1.0);
+    sfg2.assign(count, count + 10.0);
+    sfg3.assign(count, count + 100.0);
+    s0 = f.initial("s0");
+    s1 = f.state("s1");
+    s0 << always << sfg1 << s1;
+    s1 << cnd(eof) << sfg2 << s1;
+    s1 << !cnd(eof) << sfg3 << s0;
+  }
+};
+
+TEST(Fsm, Fig4Structure) {
+  Fig4 m;
+  EXPECT_EQ(m.f.num_states(), 2);
+  EXPECT_EQ(m.f.transitions().size(), 3u);
+  EXPECT_EQ(m.f.initial_state(), 0);
+  EXPECT_EQ(m.f.state_name(1), "s1");
+  EXPECT_EQ(m.f.state_index("s1"), 1);
+  EXPECT_EQ(m.f.state_index("nope"), -1);
+  EXPECT_TRUE(m.f.check().empty());
+}
+
+TEST(Fsm, Fig4ExecutionFollowsGuards) {
+  Fig4 m;
+  // eof = 0: s0 -> s1 (sfg1), s1 -> s0 (sfg3), repeat.
+  m.f.step();
+  EXPECT_EQ(m.f.current_name(), "s1");
+  EXPECT_DOUBLE_EQ(m.count.read().value(), 1.0);
+  m.f.step();
+  EXPECT_EQ(m.f.current_name(), "s0");
+  EXPECT_DOUBLE_EQ(m.count.read().value(), 101.0);
+
+  // Raise eof: s1 now self-loops with sfg2.
+  m.eof.node()->value = Fixed(1.0);
+  m.f.step();  // s0 -> s1
+  m.f.step();  // s1 -> s1 via sfg2
+  m.f.step();
+  EXPECT_EQ(m.f.current_name(), "s1");
+  EXPECT_DOUBLE_EQ(m.count.read().value(), 122.0);
+}
+
+TEST(Fsm, SelectDoesNotCommit) {
+  Fig4 m;
+  const auto* t = m.f.select(sfg::new_eval_stamp());
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(m.f.current_name(), "s0");  // unchanged until commit
+  m.f.commit(*t);
+  EXPECT_EQ(m.f.current_name(), "s1");
+}
+
+TEST(Fsm, ResetReturnsToInitial) {
+  Fig4 m;
+  m.f.step();
+  EXPECT_EQ(m.f.current_name(), "s1");
+  m.f.reset();
+  EXPECT_EQ(m.f.current_name(), "s0");
+}
+
+TEST(Fsm, TransitionPriorityIsDeclarationOrder) {
+  Clk clk;
+  Reg flag{"flag", clk, kFmt, 1.0};
+  Sfg a{"a"}, b{"b"};
+  Reg mark{"mark", clk, kFmt, 0.0};
+  a.assign(mark, Sig(1.0) + 0.0);
+  b.assign(mark, Sig(2.0) + 0.0);
+  Fsm f{"prio"};
+  State s = f.initial("s");
+  s << cnd(flag) << a << s;       // both guards true; first wins
+  s << cnd(flag.sig() > 0.0) << b << s;
+  f.step();
+  EXPECT_DOUBLE_EQ(mark.read().value(), 1.0);
+}
+
+TEST(Fsm, NoFireableTransitionReturnsNull) {
+  Clk clk;
+  Reg flag{"flag", clk, kFmt, 0.0};
+  Sfg a{"a"};
+  Fsm f{"stall"};
+  State s = f.initial("s");
+  s << cnd(flag) << a << s;
+  EXPECT_EQ(f.step(), nullptr);
+  EXPECT_EQ(f.current_name(), "s");
+}
+
+TEST(Fsm, CndCombinators) {
+  Clk clk;
+  Reg x{"x", clk, kFmt, 1.0}, y{"y", clk, kFmt, 0.0};
+  const auto stamp = sfg::new_eval_stamp();
+  EXPECT_TRUE(cnd(x).eval(stamp));
+  EXPECT_FALSE(cnd(y).eval(stamp));
+  EXPECT_FALSE((cnd(x) && cnd(y)).eval(stamp));
+  EXPECT_TRUE((cnd(x) || cnd(y)).eval(stamp));
+  EXPECT_TRUE((!cnd(y)).eval(stamp));
+  EXPECT_FALSE((!cnd(x)).eval(stamp));
+}
+
+TEST(FsmCheck, DetectsUnreachableAndSinkStates) {
+  Clk clk;
+  Reg flag{"flag", clk, kFmt, 0.0};
+  Sfg a{"a"};
+  Fsm f{"bad"};
+  State s0 = f.initial("s0");
+  State orphan = f.state("orphan");
+  (void)orphan;
+  s0 << always << a << s0;
+  const auto diags = f.check();
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_NE(diags[0].find("unreachable"), std::string::npos);
+  EXPECT_NE(diags[1].find("no outgoing transition"), std::string::npos);
+}
+
+TEST(FsmCheck, DetectsDeadTransitionAfterAlways) {
+  Clk clk;
+  Reg flag{"flag", clk, kFmt, 0.0};
+  Sfg a{"a"};
+  Fsm f{"shadow"};
+  State s = f.initial("s");
+  s << always << a << s;
+  s << cnd(flag) << a << s;  // can never fire
+  const auto diags = f.check();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("never fire"), std::string::npos);
+}
+
+TEST(FsmCheck, DetectsGuardOnUnregisteredInput) {
+  Sig x = Sig::input("x", kFmt);
+  Sfg a{"a"};
+  Fsm f{"mealy"};
+  State s = f.initial("s");
+  s << cnd(x) << a << s;
+  const auto diags = f.check();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("unregistered input 'x'"), std::string::npos);
+}
+
+TEST(FsmCheck, DetectsIncompleteTransition) {
+  Clk clk;
+  Sfg a{"a"};
+  Fsm f{"incomplete"};
+  State s = f.initial("s");
+  {
+    auto b = s << always;
+    b << a;
+  }  // builder destroyed without destination
+  s << always << a << s;          // keep the machine otherwise valid
+  const auto diags = f.check();
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("incomplete transition"), std::string::npos);
+}
+
+TEST(Fsm, GuardErrors) {
+  Clk clk;
+  Reg flag{"flag", clk, kFmt, 0.0};
+  Sfg a{"a"};
+  Fsm f{"dupguard"};
+  State s = f.initial("s");
+  auto b = s << cnd(flag);
+  EXPECT_THROW(b << cnd(flag), std::logic_error);
+  b << a << s;
+  EXPECT_THROW(f.initial("again"), std::logic_error);
+}
+
+TEST(Fsm, CrossMachineTransitionThrows) {
+  Clk clk;
+  Sfg a{"a"};
+  Fsm f1{"f1"}, f2{"f2"};
+  State s1 = f1.initial("s");
+  State s2 = f2.initial("s");
+  auto b = s1 << always;
+  b << a;
+  EXPECT_THROW(b << s2, std::logic_error);
+  b << s1;  // complete it properly
+}
+
+// Property: a ring machine of N states visits all states in order.
+class RingFsm : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingFsm, CyclesThroughAllStates) {
+  const int n = GetParam();
+  Clk clk;
+  Reg visits{"visits", clk, Format{32, 31, true, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap}, 0.0};
+  Sfg bump{"bump"};
+  bump.assign(visits, visits + 1.0);
+  Fsm f{"ring"};
+  std::vector<State> states;
+  states.push_back(f.initial("st0"));
+  for (int i = 1; i < n; ++i) states.push_back(f.state("st" + std::to_string(i)));
+  for (int i = 0; i < n; ++i)
+    states[static_cast<std::size_t>(i)] << always << bump
+                                        << states[static_cast<std::size_t>((i + 1) % n)];
+  EXPECT_TRUE(f.check().empty());
+  for (int i = 0; i < 3 * n; ++i) {
+    EXPECT_EQ(f.current(), i % n);
+    f.step();
+  }
+  EXPECT_DOUBLE_EQ(visits.read().value(), 3.0 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingFsm, ::testing::Values(1, 2, 3, 8, 32));
+
+}  // namespace
+}  // namespace asicpp::fsm

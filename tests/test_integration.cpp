@@ -1,0 +1,233 @@
+// Cross-cutting integration tests: properties that tie several subsystems
+// together end to end.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "dect/vliw.h"
+#include "fsm/fsm.h"
+#include "netlist/equiv.h"
+#include "netlist/netsim.h"
+#include "sched/cyclesched.h"
+#include "sched/fsmcomp.h"
+#include "sim/compiled.h"
+#include "sfg/clk.h"
+#include "synth/dpsynth.h"
+#include "synth/optimize.h"
+#include "synth/system.h"
+
+namespace asicpp {
+namespace {
+
+using fixpt::Fixed;
+using fixpt::Format;
+using fsm::Fsm;
+using fsm::State;
+using fsm::always;
+using fsm::cnd;
+using sfg::Clk;
+using sfg::Reg;
+using sfg::Sfg;
+using sfg::Sig;
+
+const Format kF{10, 4, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+const Format kBitF{1, 1, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap};
+
+// Build a random Mealy machine over a handful of registered flags; used to
+// compare the two controller synthesis styles gate for gate.
+struct RandomFsm {
+  Clk clk;
+  std::vector<std::unique_ptr<Reg>> flags;
+  std::vector<std::unique_ptr<Sfg>> actions;
+  std::unique_ptr<Fsm> f;
+  std::unique_ptr<sched::FsmComponent> comp;
+  std::unique_ptr<sched::CycleScheduler> sched;
+
+  explicit RandomFsm(unsigned seed) {
+    std::mt19937 rng(seed);
+    sched = std::make_unique<sched::CycleScheduler>(clk);
+    const int nflags = 2 + static_cast<int>(rng() % 2);
+    for (int i = 0; i < nflags; ++i)
+      flags.push_back(std::make_unique<Reg>("fl" + std::to_string(i), clk, kBitF, rng() % 2));
+    Sig x = Sig::input("x", kF);
+    f = std::make_unique<Fsm>("rand");
+    const int nstates = 2 + static_cast<int>(rng() % 3);
+    std::vector<State> st;
+    st.push_back(f->initial("q0"));
+    for (int i = 1; i < nstates; ++i) st.push_back(f->state("q" + std::to_string(i)));
+    int action_id = 0;
+    for (int s = 0; s < nstates; ++s) {
+      const int ntrans = 1 + static_cast<int>(rng() % 3);
+      for (int t = 0; t < ntrans; ++t) {
+        auto a = std::make_unique<Sfg>("a" + std::to_string(action_id++));
+        a->in(x).out("o", x + static_cast<double>(s + t));
+        // Each action flips one flag so the machine keeps moving.
+        auto& fl = *flags[rng() % flags.size()];
+        a->assign(fl, ~cnd(fl).expr());
+        const bool is_last = t == ntrans - 1;
+        const State to = st[rng() % st.size()];
+        if (is_last) {
+          st[static_cast<std::size_t>(s)] << always << *a << to;
+        } else {
+          auto& g = *flags[rng() % flags.size()];
+          if (rng() % 2)
+            st[static_cast<std::size_t>(s)] << cnd(g) << *a << to;
+          else
+            st[static_cast<std::size_t>(s)] << !cnd(g) << *a << to;
+        }
+        actions.push_back(std::move(a));
+      }
+    }
+    comp = std::make_unique<sched::FsmComponent>("rand", *f);
+    sched->add(*comp);
+  }
+};
+
+// Property: QM-minimized and priority-chain controllers are sequentially
+// equivalent at the gate level, for every state encoding.
+class ControllerStylesEquiv : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ControllerStylesEquiv, QmEqualsPriorityChain) {
+  const auto [seed, enc] = GetParam();
+  RandomFsm design(static_cast<unsigned>(seed) * 77 + 5);
+
+  synth::SynthOptions a;
+  a.qm_controller = true;
+  a.encoding = static_cast<synth::StateEncoding>(enc);
+  synth::SynthOptions b = a;
+  b.qm_controller = false;
+
+  netlist::Netlist na, nb;
+  synth::synthesize_component(*design.comp, na, a);
+  synth::synthesize_component(*design.comp, nb, b);
+  const auto r = netlist::check_equiv(na, nb, 128, static_cast<std::uint32_t>(seed));
+  EXPECT_TRUE(r.equal) << r.mismatch << " seed=" << seed << " enc=" << enc;
+
+  // And the optimizer must preserve both.
+  const auto ra = netlist::check_equiv(na, synth::optimize(na), 64, 3);
+  EXPECT_TRUE(ra.equal) << ra.mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerStylesEquiv,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(0, 1, 2)));
+
+// Property: every state encoding produces gate-level behaviour identical
+// to the compiled simulation of the same machine.
+class EncodingVsCompiled : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingVsCompiled, NetlistTracksCompiledSim) {
+  const int seed = GetParam();
+  RandomFsm design(static_cast<unsigned>(seed) * 131 + 29);
+  design.comp->bind_output("o", design.sched->net("o"));
+
+  synth::SynthOptions opt;
+  opt.encoding = static_cast<synth::StateEncoding>(seed % 3);
+  netlist::Netlist nl;
+  synth::synthesize_component(*design.comp, nl, opt);
+  netlist::LevelizedSim sim(nl);
+
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(*design.sched);
+
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  std::uniform_real_distribution<double> dist(kF.min_value(), kF.max_value());
+  // Find the output bus width.
+  int out_w = 0;
+  for (const auto& [name, _] : nl.outputs())
+    if (name.rfind("o[", 0) == 0) out_w = std::max(out_w, std::stoi(name.substr(2)) + 1);
+  ASSERT_GT(out_w, 0);
+
+  for (int c = 0; c < 40; ++c) {
+    const double v = fixpt::quantize(dist(rng), kF);
+    netlist::set_bus(sim, "x", kF.wl,
+                     static_cast<long long>(std::llround(std::ldexp(v, kF.frac_bits()))));
+    cs.poke("x", v);
+    sim.settle();
+    cs.cycle();
+    // Output format merged across actions; frac bits follow kF.
+    const long long got = netlist::read_bus(sim, "o", out_w, true);
+    const long long expect = static_cast<long long>(
+        std::llround(std::ldexp(cs.net_value("o"), kF.frac_bits())));
+    ASSERT_EQ(got, expect) << "seed " << seed << " cycle " << c;
+    sim.cycle();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingVsCompiled, ::testing::Range(0, 9));
+
+// The heavyweight one: the whole DECT transceiver synthesized to gates,
+// then driven through the Fig 2 hold protocol — the netlist must track
+// the compiled simulation cycle for cycle, including freeze and resume.
+TEST(DectNetlist, HoldProtocolHoldsAtGateLevel) {
+  dect::VliwParams p;
+  p.num_datapaths = 4;
+  p.num_rams = 1;
+  p.rom_length = 12;
+  dect::DectTransceiver t(p);
+  t.drive_sample(0.5);
+
+  synth::SystemSynthSpec spec;
+  spec.net_fmt["sample"] = dect::kVliwData;
+  spec.net_fmt["hold_request"] = dect::kVliwBit;
+  for (int d = 0; d < p.num_datapaths; ++d)
+    spec.net_fmt["instr_" + std::to_string(d)] = dect::kVliwAddr;
+  spec.untimed["dp0_ram"] = synth::make_ram_builder(p.ram_addr_bits, dect::kVliwData);
+  spec.net_fmt["dp0_rdata"] = dect::kVliwData;
+  const auto* program = &t.program();
+  spec.untimed["irom"] = [program, &p](synth::WordBuilder& wb,
+                                       const std::vector<synth::Bus>& in) {
+    const auto& rom = *program;
+    const std::int32_t nop = wb.nonzero(in[1]);
+    std::vector<synth::Bus> out;
+    for (int d = 0; d < p.num_datapaths; ++d) {
+      synth::Bus v = wb.constant(0.0, dect::kVliwAddr);
+      for (std::size_t a = 0; a < rom.size(); ++a) {
+        const auto m = wb.equal(in[0], wb.constant(static_cast<double>(a), dect::kVliwAddr));
+        v = wb.mux(m, wb.constant(static_cast<double>(rom[a][static_cast<std::size_t>(d)]),
+                                  dect::kVliwAddr),
+                   v, dect::kVliwAddr);
+      }
+      out.push_back(wb.mux(nop, wb.constant(0.0, dect::kVliwAddr), v, dect::kVliwAddr));
+    }
+    return out;
+  };
+  for (int d = 0; d < p.num_datapaths; ++d) spec.observe.push_back("data_" + std::to_string(d));
+  netlist::Netlist nl;
+  synth::synthesize_system(t.scheduler(), nl, spec);
+
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(t.scheduler());
+  netlist::LevelizedSim sim(nl);
+
+  const auto sample_mant = static_cast<long long>(
+      std::llround(std::ldexp(0.5, dect::kVliwData.frac_bits())));
+  const auto drive = [&](bool hold) {
+    t.set_hold_request(hold);  // the compiled sim reads the pin net
+    netlist::set_bus(sim, "net_sample", dect::kVliwData.wl, sample_mant);
+    netlist::set_bus(sim, "net_hold_request", dect::kVliwBit.wl, hold ? 1 : 0);
+  };
+
+  int cycle = 0;
+  const auto step_both = [&](bool hold, int n) {
+    for (int i = 0; i < n; ++i, ++cycle) {
+      drive(hold);
+      sim.settle();
+      cs.cycle();
+      for (int d = 0; d < p.num_datapaths; ++d) {
+        const std::string net = "net_data_" + std::to_string(d);
+        const long long got = netlist::read_bus(sim, net, dect::kVliwData.wl, true);
+        const long long expect = static_cast<long long>(std::llround(
+            std::ldexp(cs.net_value("data_" + std::to_string(d)),
+                       dect::kVliwData.frac_bits())));
+        ASSERT_EQ(got, expect) << "cycle " << cycle << " dp " << d << " hold " << hold;
+      }
+      sim.cycle();
+    }
+  };
+
+  step_both(false, 8);   // execute
+  step_both(true, 6);    // hold (freeze)
+  step_both(false, 10);  // resume
+}
+
+}  // namespace
+}  // namespace asicpp

@@ -1,0 +1,97 @@
+// Receiver-level integration: the HCOR and the VLIW transceiver cooperate
+// the way Fig 1's ASIC works — the correlator's lock gates the processing
+// machine through the Fig 2 hold pin (hold while no burst is present),
+// plus system-level HDL generation and the synthesis report.
+#include <gtest/gtest.h>
+
+#include "dect/hcor.h"
+#include "dect/link.h"
+#include "dect/vliw.h"
+#include "hdl/hdlgen.h"
+#include "synth/dpsynth.h"
+#include "synth/optimize.h"
+#include "synth/report.h"
+
+namespace asicpp::dect {
+namespace {
+
+TEST(ReceiverSystem, CorrelatorLockGatesTheTransceiver) {
+  // hold_request = !locked: the VLIW machine only advances during bursts.
+  VliwParams p;
+  p.num_datapaths = 4;
+  p.num_rams = 1;
+  p.rom_length = 12;
+  Hcor hcor;
+  DectTransceiver trx(p);
+  trx.set_hold_request(true);  // idle until the correlator locks
+  trx.run(4);                  // let hr_reg sample and the hold engage
+  ASSERT_TRUE(trx.holding());
+  const long pc_idle = trx.pc();
+
+  // A burst arrives: preamble + sync + payload symbols.
+  Burst burst;
+  for (int i = 0; i < 40; ++i) burst.bits.push_back((i * 7) % 5 < 2);
+  std::uint64_t cycles_locked = 0;
+  for (const double sym : burst.symbols()) {
+    hcor.step(sym > 0 ? 1 : 0);
+    trx.drive_sample(sym > 0 ? 0.5 : -0.5);
+    trx.set_hold_request(!hcor.locked());
+    trx.run(1);
+    if (!trx.holding()) ++cycles_locked;
+  }
+  // The machine stayed parked before sync and ran after it.
+  EXPECT_GT(cycles_locked, 20u);
+  EXPECT_GT(trx.pc(), pc_idle);
+  EXPECT_TRUE(hcor.locked());
+
+  // Burst over (random noise resets nothing until payload completes, so
+  // force the point): while locked processing continued, some datapath
+  // accumulated non-zero state.
+  bool any_active = false;
+  for (int d = 0; d < p.num_datapaths; ++d)
+    any_active = any_active || trx.datapath_acc(d) != 0.0;
+  EXPECT_TRUE(any_active);
+}
+
+TEST(ReceiverSystem, SystemHdlForBothDialects) {
+  VliwParams p;
+  p.num_datapaths = 3;
+  p.num_rams = 0;
+  p.rom_length = 8;
+  p.structural_tables = true;  // every component has an HDL image
+  DectTransceiver t(p);
+
+  for (const auto d : {hdl::Dialect::kVhdl, hdl::Dialect::kVerilog}) {
+    const std::string top = hdl::generate_system(d, t.scheduler(), "dect_rx");
+    EXPECT_NE(top.find(d == hdl::Dialect::kVhdl ? "entity dect_rx is" : "module dect_rx"),
+              std::string::npos);
+    // Controller and datapaths are instantiated and wired over nets.
+    EXPECT_NE(top.find("ctl"), std::string::npos);
+    EXPECT_NE(top.find("net_instr_0"), std::string::npos);
+    EXPECT_NE(top.find("net_data_0"), std::string::npos);
+    // Each component also generates standalone.
+    for (sched::Component* c : t.scheduler().components()) {
+      const auto unit = hdl::generate_component(d, *c);
+      EXPECT_FALSE(unit.full.empty()) << c->name();
+    }
+  }
+}
+
+TEST(ReceiverSystem, SynthesisReportReadsSanely) {
+  Hcor h;
+  netlist::Netlist raw;
+  synth::synthesize_component(h.component(), raw);
+  const netlist::Netlist nl = synth::optimize(raw);
+  const std::string rep = synth::format_report(nl, "hcor", 100.0);
+  EXPECT_NE(rep.find("==== synthesis report: hcor ===="), std::string::npos);
+  EXPECT_NE(rep.find("flip-flops"), std::string::npos);
+  EXPECT_NE(rep.find("equivalent gates"), std::string::npos);
+  EXPECT_NE(rep.find("critical path:"), std::string::npos);
+  EXPECT_NE(rep.find("slack @ 100:"), std::string::npos);
+  EXPECT_EQ(rep.find("VIOLATED"), std::string::npos);  // 100 units is easy
+  const std::string tight = synth::format_report(nl, "hcor", 1.0);
+  EXPECT_NE(tight.find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asicpp::dect

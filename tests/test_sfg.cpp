@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "sfg/clk.h"
+#include "sfg/eval.h"
+#include "sfg/sfg.h"
+#include "sfg/sig.h"
+
+namespace asicpp::sfg {
+namespace {
+
+using fixpt::Fixed;
+using fixpt::Format;
+
+const Format kFmt{16, 7, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+
+TEST(Sig, OperatorsBuildDag) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  Sig e = (a + b) * (a - b);
+  ASSERT_TRUE(e.valid());
+  EXPECT_EQ(e.node()->op, Op::kMul);
+  EXPECT_EQ(e.node()->args[0]->op, Op::kAdd);
+  EXPECT_EQ(e.node()->args[1]->op, Op::kSub);
+  // Shared leaves: the same input node appears in both subtrees.
+  EXPECT_EQ(e.node()->args[0]->args[0].get(), e.node()->args[1]->args[0].get());
+}
+
+TEST(Sig, ImplicitConstants) {
+  Sig a = Sig::input("a");
+  Sig e = a + 1.0;
+  EXPECT_EQ(e.node()->args[1]->op, Op::kConst);
+  EXPECT_DOUBLE_EQ(e.node()->args[1]->value.value(), 1.0);
+}
+
+TEST(Sig, UnconnectedThrows) {
+  Sig empty;
+  Sig a = Sig::input("a");
+  EXPECT_THROW(a + empty, std::logic_error);
+}
+
+TEST(Eval, ArithmeticAndMemoization) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  a.node()->value = Fixed(3.0);
+  b.node()->value = Fixed(4.0);
+  Sig sum = a + b;
+  Sig prod = sum * sum;  // shared subexpression
+  const auto stamp = new_eval_stamp();
+  EXPECT_DOUBLE_EQ(eval(prod.node(), stamp).value(), 49.0);
+  // Changing the input without a new stamp must give the memoized result.
+  a.node()->value = Fixed(100.0);
+  EXPECT_DOUBLE_EQ(eval(prod.node(), stamp).value(), 49.0);
+  EXPECT_DOUBLE_EQ(eval(prod.node(), new_eval_stamp()).value(), 104.0 * 104.0);
+}
+
+TEST(Eval, MuxCompareLogicShift) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  a.node()->value = Fixed(5.0);
+  b.node()->value = Fixed(3.0);
+  const auto v = [&](const Sig& s) { return eval(s.node(), new_eval_stamp()).value(); };
+  EXPECT_DOUBLE_EQ(v(a > b), 1.0);
+  EXPECT_DOUBLE_EQ(v(a < b), 0.0);
+  EXPECT_DOUBLE_EQ(v(a == 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(v(a != 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(v(mux(a > b, a, b)), 5.0);
+  EXPECT_DOUBLE_EQ(v(mux(a < b, a, b)), 3.0);
+  EXPECT_DOUBLE_EQ(v(a & b), 1.0);   // 101 & 011
+  EXPECT_DOUBLE_EQ(v(a | b), 7.0);
+  EXPECT_DOUBLE_EQ(v(a ^ b), 6.0);
+  EXPECT_DOUBLE_EQ(v(~(a > b)), 0.0);
+  EXPECT_DOUBLE_EQ(v(~(a < b)), 1.0);
+  EXPECT_DOUBLE_EQ(v(a << 2), 20.0);
+  EXPECT_DOUBLE_EQ(v(a >> 1), 2.5);
+  EXPECT_DOUBLE_EQ(v(-a), -5.0);
+}
+
+TEST(Eval, CastQuantizes) {
+  Sig a = Sig::input("a");
+  a.node()->value = Fixed(1.03);
+  Sig c = a.cast(Format{8, 3, true, fixpt::Quant::kTruncate, fixpt::Overflow::kSaturate});
+  EXPECT_DOUBLE_EQ(eval(c.node(), new_eval_stamp()).value(), 1.0);
+}
+
+TEST(Reg, ReadsCurrentValueUntilUpdate) {
+  Clk clk;
+  Reg r("r", clk, kFmt, 2.0);
+  Sfg s("acc");
+  Sig a = Sig::input("a", kFmt);
+  s.in(a).assign(r, r + a).out("o", r.sig() + a);
+  s.set_input("a", Fixed(1.0));
+  s.eval();
+  // Output used the *current* register value.
+  EXPECT_DOUBLE_EQ(s.output_value("o").value(), 3.0);
+  EXPECT_DOUBLE_EQ(r.read().value(), 2.0);  // not yet updated
+  s.update_registers();
+  EXPECT_DOUBLE_EQ(r.read().value(), 3.0);
+}
+
+TEST(Reg, ClkResetRestoresInit) {
+  Clk clk;
+  Reg r("r", clk, kFmt, 7.0);
+  Sfg s("w");
+  s.assign(r, r + 1.0);
+  s.eval();
+  s.update_registers();
+  EXPECT_DOUBLE_EQ(r.read().value(), 8.0);
+  clk.reset();
+  EXPECT_DOUBLE_EQ(r.read().value(), 7.0);
+  EXPECT_EQ(clk.cycle(), 0u);
+}
+
+TEST(Reg, ClkTickCommitsAllRegisters) {
+  Clk clk;
+  Reg a("a", clk, kFmt, 0.0), b("b", clk, kFmt, 1.0);
+  Sfg s("swap");
+  s.assign(a, b).assign(b, a);
+  s.eval();
+  clk.tick();
+  // Simultaneous swap semantics: both next-values computed from old currents.
+  EXPECT_DOUBLE_EQ(a.read().value(), 1.0);
+  EXPECT_DOUBLE_EQ(b.read().value(), 0.0);
+  EXPECT_EQ(clk.cycle(), 1u);
+}
+
+TEST(Reg, QuantizesOnCommit) {
+  Clk clk;
+  Format narrow{6, 3, true, fixpt::Quant::kTruncate, fixpt::Overflow::kSaturate};
+  Reg r("r", clk, narrow, 0.0);
+  Sfg s("w");
+  s.assign(r, Sig(100.0) + 0.0);
+  s.eval();
+  s.update_registers();
+  EXPECT_DOUBLE_EQ(r.read().value(), narrow.max_value());
+}
+
+TEST(Sfg, AccumulatorRunsCycles) {
+  Clk clk;
+  Reg acc("acc", clk, Format{24, 15, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate}, 0.0);
+  Sfg s("acc_sfg");
+  Sig x = Sig::input("x");
+  s.in(x).assign(acc, acc + x).out("sum", acc.sig());
+  for (int i = 1; i <= 10; ++i) {
+    s.set_input("x", Fixed(static_cast<double>(i)));
+    s.eval();
+    s.update_registers();
+    clk.advance();
+  }
+  EXPECT_DOUBLE_EQ(acc.read().value(), 55.0);
+  EXPECT_EQ(clk.cycle(), 10u);
+}
+
+TEST(Sfg, RegisterOnlyOutputsIdentified) {
+  Clk clk;
+  Reg r("r", clk, kFmt, 1.0);
+  Sig x = Sig::input("x", kFmt);
+  Sfg s("mix");
+  s.in(x)
+      .out("from_reg", r.sig() + 1.0)   // no input dependency
+      .out("from_input", r + x)          // depends on x
+      .assign(r, r + x);
+  s.analyze();
+  ASSERT_EQ(s.outputs().size(), 2u);
+  EXPECT_FALSE(s.outputs()[0].needs_inputs);
+  EXPECT_TRUE(s.outputs()[1].needs_inputs);
+
+  // Phase-1 evaluation computes only the register-dependent output.
+  const auto stamp = new_eval_stamp();
+  s.eval_register_outputs(stamp);
+  EXPECT_DOUBLE_EQ(s.output_value("from_reg").value(), 2.0);
+}
+
+TEST(SfgCheck, CleanDescriptionHasNoDiagnostics) {
+  Clk clk;
+  Reg r("r", clk, kFmt, 0.0);
+  Sig x = Sig::input("x", kFmt);
+  Sfg s("clean");
+  s.in(x).assign(r, r + x).out("o", r + x);
+  EXPECT_TRUE(s.check().empty());
+}
+
+TEST(SfgCheck, DetectsDanglingInput) {
+  Sig x = Sig::input("x", kFmt);
+  Sig y = Sig::input("y", kFmt);
+  Sfg s("dangling");
+  s.in(x).out("o", x + y);  // y never declared
+  const auto diags = s.check();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("dangling input"), std::string::npos);
+  EXPECT_NE(diags[0].find("'y'"), std::string::npos);
+}
+
+TEST(SfgCheck, DetectsDeadInput) {
+  Sig x = Sig::input("x", kFmt);
+  Sig y = Sig::input("y", kFmt);
+  Sfg s("dead");
+  s.in(x).in(y).out("o", x + 1.0);
+  const auto diags = s.check();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("dead code"), std::string::npos);
+  EXPECT_NE(diags[0].find("'y'"), std::string::npos);
+}
+
+TEST(SfgCheck, DetectsDuplicateOutputAndDoubleAssign) {
+  Clk clk;
+  Reg r("r", clk, kFmt, 0.0);
+  Sfg s("dup");
+  s.out("o", Sig(1.0) + 0.0).out("o", Sig(2.0) + 0.0);
+  s.assign(r, r + 1.0).assign(r, r + 2.0);
+  const auto diags = s.check();
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_NE(diags[0].find("duplicate output"), std::string::npos);
+  EXPECT_NE(diags[1].find("assigned twice"), std::string::npos);
+}
+
+TEST(Sfg, SetUnknownInputThrows) {
+  Sfg s("s");
+  EXPECT_THROW(s.set_input("nope", Fixed(0.0)), std::out_of_range);
+  EXPECT_THROW(s.output_value("nope"), std::out_of_range);
+}
+
+TEST(Sfg, InputQuantizedToDeclaredFormat) {
+  Format narrow{6, 3, true, fixpt::Quant::kTruncate, fixpt::Overflow::kSaturate};
+  Sig x = Sig::input("x", narrow);
+  Sfg s("q");
+  s.in(x).out("o", x + 0.0);
+  s.set_input("x", Fixed(100.0));
+  s.eval();
+  EXPECT_DOUBLE_EQ(s.output_value("o").value(), narrow.max_value());
+}
+
+// Property: evaluating the same randomly built expression twice under
+// different stamps gives identical results (purity), and shared nodes
+// evaluate to the same value as duplicated ones.
+class EvalPurity : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvalPurity, StableAcrossStamps) {
+  const int depth = GetParam();
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  a.node()->value = Fixed(1.25);
+  b.node()->value = Fixed(-0.5);
+  Sig e = a;
+  for (int i = 0; i < depth; ++i) {
+    e = mux(e > b, e + b, e * 2.0) - (a ^ b);
+  }
+  const double v1 = eval(e.node(), new_eval_stamp()).value();
+  const double v2 = eval(e.node(), new_eval_stamp()).value();
+  EXPECT_DOUBLE_EQ(v1, v2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, EvalPurity, ::testing::Values(1, 2, 5, 10, 20));
+
+}  // namespace
+}  // namespace asicpp::sfg

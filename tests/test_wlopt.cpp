@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "sfg/clk.h"
+#include "sfg/wlopt.h"
+
+namespace asicpp::sfg {
+namespace {
+
+using fixpt::Format;
+
+Format in_fmt() {
+  return Format{10, 1, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+}
+
+// A leaky integrator with an output cast: y = cast(acc); acc' = cast2(0.5*acc + x).
+struct Integrator {
+  Clk clk;
+  Reg acc;
+  Sig x = Sig::input("x", in_fmt());
+  Sfg s{"integ"};
+
+  Integrator()
+      : acc("acc", clk, Format{20, 3, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate},
+            0.0) {
+    s.in(x)
+        .assign(acc, (acc * 0.5 + x).cast(acc.node()->fmt))
+        .out("y", acc.sig() * 0.25);
+  }
+};
+
+TEST(WlOpt, MeetsErrorBudget) {
+  Integrator d;
+  WlOptSpec spec;
+  spec.error_budget = 1e-2;
+  spec.max_frac = 12;
+  spec.vectors = 128;
+  const auto r = optimize_wordlengths(d.s, d.clk, spec);
+  EXPECT_GT(r.knobs, 0);
+  EXPECT_LE(r.rms_error, spec.error_budget);
+  EXPECT_GT(r.bits_saved, 0);  // 12 fractional bits are overkill for 1e-2
+  // Every knob got an assignment within bounds.
+  for (const auto& [name, frac] : r.frac_bits) {
+    EXPECT_GE(frac, spec.min_frac) << name;
+    EXPECT_LE(frac, spec.max_frac) << name;
+  }
+}
+
+TEST(WlOpt, TighterBudgetKeepsMoreBits) {
+  int saved_loose, saved_tight;
+  {
+    Integrator d;
+    WlOptSpec spec;
+    spec.error_budget = 5e-2;
+    spec.max_frac = 12;
+    spec.vectors = 128;
+    saved_loose = optimize_wordlengths(d.s, d.clk, spec).bits_saved;
+  }
+  {
+    Integrator d;
+    WlOptSpec spec;
+    spec.error_budget = 1e-4;
+    spec.max_frac = 12;
+    spec.vectors = 128;
+    saved_tight = optimize_wordlengths(d.s, d.clk, spec).bits_saved;
+  }
+  EXPECT_GE(saved_loose, saved_tight);
+}
+
+TEST(WlOpt, InfeasibleBudgetLeavesGraphUntouched) {
+  Integrator d;
+  const Format before = d.acc.node()->fmt;
+  WlOptSpec spec;
+  spec.error_budget = 0.0;  // impossible: quantization always errs
+  spec.max_frac = 4;
+  spec.vectors = 64;
+  const auto r = optimize_wordlengths(d.s, d.clk, spec);
+  EXPECT_TRUE(r.frac_bits.empty());
+  EXPECT_GT(r.rms_error, 0.0);
+  EXPECT_EQ(d.acc.node()->fmt, before);
+}
+
+TEST(WlOpt, OptimizedGraphStillSimulates) {
+  Integrator d;
+  WlOptSpec spec;
+  spec.error_budget = 1e-2;
+  spec.vectors = 64;
+  optimize_wordlengths(d.s, d.clk, spec);
+  d.clk.reset();
+  d.s.set_input("x", fixpt::Fixed(1.0));
+  for (int c = 0; c < 16; ++c) {
+    d.s.eval();
+    d.s.update_registers();
+  }
+  // The integrator converges toward x / (1 - 0.5) * 0.25 = 0.5.
+  EXPECT_NEAR(d.s.output_value("y").value(), 0.5, 0.05);
+}
+
+TEST(WlOpt, RequiresOutputsAndInputFormats) {
+  Clk clk;
+  Sfg empty("empty");
+  EXPECT_THROW(optimize_wordlengths(empty, clk), std::invalid_argument);
+
+  Sig raw = Sig::input("raw");  // no format
+  Sfg s("s");
+  s.in(raw).out("o", raw + 1.0);
+  EXPECT_THROW(optimize_wordlengths(s, clk), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asicpp::sfg

@@ -1,0 +1,163 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sfg/clk.h"
+#include "sfg/eval.h"
+#include "sfg/wordlen.h"
+
+namespace asicpp::sfg {
+namespace {
+
+using fixpt::Format;
+
+Format fmt(int wl, int iwl, bool s = true) {
+  return Format{wl, iwl, s, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+}
+
+TEST(ConstantFormat, IntegersAndFractions) {
+  const Format f1 = format_for_constant(5.0);
+  EXPECT_FALSE(f1.is_signed);
+  EXPECT_EQ(f1.frac_bits(), 0);
+  EXPECT_TRUE(fixpt::representable(5.0, f1));
+
+  const Format f2 = format_for_constant(-3.25);
+  EXPECT_TRUE(f2.is_signed);
+  EXPECT_EQ(f2.frac_bits(), 2);
+  EXPECT_TRUE(fixpt::representable(-3.25, f2));
+
+  const Format f0 = format_for_constant(0.0);
+  EXPECT_GE(f0.wl, 1);
+  EXPECT_TRUE(fixpt::representable(0.0, f0));
+}
+
+TEST(ConstantFormat, IrrationalThrows) {
+  EXPECT_THROW(format_for_constant(1.0 / 3.0), FormatError);
+}
+
+TEST(InferFormat, AddGrowsOneBit) {
+  Sig a = Sig::input("a", fmt(8, 3));
+  Sig b = Sig::input("b", fmt(8, 3));
+  FormatMap m;
+  const Format& f = infer_format((a + b).node(), m);
+  EXPECT_EQ(f.iwl, 4);
+  EXPECT_EQ(f.frac_bits(), 4);
+  EXPECT_TRUE(f.is_signed);
+}
+
+TEST(InferFormat, SubOfUnsignedIsSigned) {
+  Sig a = Sig::input("a", fmt(8, 8, false));
+  Sig b = Sig::input("b", fmt(8, 8, false));
+  FormatMap m;
+  const Format& f = infer_format((a - b).node(), m);
+  EXPECT_TRUE(f.is_signed);
+}
+
+TEST(InferFormat, MulAddsWidths) {
+  Sig a = Sig::input("a", fmt(8, 3));
+  Sig b = Sig::input("b", fmt(6, 2));
+  FormatMap m;
+  const Format& f = infer_format((a * b).node(), m);
+  EXPECT_TRUE(fixpt::representable(fmt(8, 3).max_value() * fmt(6, 2).max_value(), f));
+  EXPECT_TRUE(fixpt::representable(fmt(8, 3).min_value() * fmt(6, 2).min_value(), f));
+}
+
+TEST(InferFormat, CompareIsOneBit) {
+  Sig a = Sig::input("a", fmt(8, 3));
+  FormatMap m;
+  const Format& f = infer_format((a > 1.0).node(), m);
+  EXPECT_EQ(f.wl, 1);
+  EXPECT_FALSE(f.is_signed);
+}
+
+TEST(InferFormat, ShiftsMoveBinaryPoint) {
+  // The expressions must outlive the FormatMap (raw-pointer keys), so keep
+  // named Sig handles rather than temporaries.
+  Sig a = Sig::input("a", fmt(8, 3));
+  Sig shl = a << 2;
+  Sig shr = a >> 2;
+  FormatMap m;
+  const Format& fl = infer_format(shl.node(), m);
+  EXPECT_EQ(fl.iwl, 5);
+  EXPECT_EQ(fl.frac_bits(), fmt(8, 3).frac_bits());
+  const Format& fr = infer_format(shr.node(), m);
+  EXPECT_EQ(fr.iwl, 1);
+  EXPECT_EQ(fr.wl, 8);
+}
+
+TEST(InferFormat, MuxMerges) {
+  Sig s = Sig::input("s", fmt(1, 1, false));
+  Sig a = Sig::input("a", fmt(8, 3));
+  Sig b = Sig::input("b", fmt(12, 2));
+  FormatMap m;
+  const Format& f = infer_format(mux(s, a, b).node(), m);
+  EXPECT_TRUE(fixpt::representable(fmt(8, 3).max_value(), f));
+  EXPECT_TRUE(fixpt::representable(fmt(12, 2).min_value(), f));
+}
+
+TEST(InferFormat, CastUsesDeclared) {
+  Sig a = Sig::input("a", fmt(16, 7));
+  FormatMap m;
+  const Format& f = infer_format(a.cast(fmt(6, 2)).node(), m);
+  EXPECT_EQ(f.wl, 6);
+}
+
+TEST(InferFormat, MissingLeafFormatThrows) {
+  Sig a = Sig::input("a");  // no format
+  FormatMap m;
+  EXPECT_THROW(infer_format((a + 1.0).node(), m), FormatError);
+}
+
+TEST(InferFormat, VariableShiftThrows) {
+  Sig a = Sig::input("a", fmt(8, 3));
+  // Build shl with a non-const amount by hand.
+  auto n = std::make_shared<Node>(Op::kShl);
+  n->args = {a.node(), Sig::input("amt", fmt(4, 4, false)).node()};
+  FormatMap m;
+  EXPECT_THROW(infer_format(n, m), FormatError);
+}
+
+// Property: for random expressions over formatted leaves, every runtime
+// value stays representable in the inferred format (bit growth is safe).
+class InferenceSafety : public ::testing::TestWithParam<int> {};
+
+TEST_P(InferenceSafety, ValuesAlwaysRepresentable) {
+  const int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed) * 31 + 5);
+  Sig a = Sig::input("a", fmt(8, 3));
+  Sig b = Sig::input("b", fmt(10, 4, false));
+  std::vector<Sig> pool{a, b, Sig(1.5), Sig(-2.0)};
+  for (int i = 0; i < 10; ++i) {
+    Sig x = pool[rng() % pool.size()];
+    Sig y = pool[rng() % pool.size()];
+    switch (rng() % 6) {
+      case 0: pool.push_back(x + y); break;
+      case 1: pool.push_back(x - y); break;
+      case 2: pool.push_back(x * y); break;
+      case 3: pool.push_back(mux(x > y, x, y)); break;
+      case 4: pool.push_back(x << static_cast<int>(rng() % 3)); break;
+      default: pool.push_back(-x); break;
+    }
+  }
+  FormatMap m;
+  for (const auto& s : pool) infer_format(s.node(), m);
+
+  std::uniform_real_distribution<double> da(fmt(8, 3).min_value(), fmt(8, 3).max_value());
+  std::uniform_real_distribution<double> db(0.0, fmt(10, 4, false).max_value());
+  for (int trial = 0; trial < 50; ++trial) {
+    a.node()->value = fixpt::Fixed(fixpt::quantize(da(rng), fmt(8, 3)));
+    b.node()->value = fixpt::Fixed(fixpt::quantize(db(rng), fmt(10, 4, false)));
+    const auto stamp = new_eval_stamp();
+    for (const auto& s : pool) {
+      const double v = eval(s.node(), stamp).value();
+      const Format& f = m.at(s.node().get());
+      EXPECT_TRUE(fixpt::representable(v, f))
+          << "seed " << seed << ": value " << v << " not in " << f.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InferenceSafety, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace asicpp::sfg

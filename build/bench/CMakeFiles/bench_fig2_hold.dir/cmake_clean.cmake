@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hold.dir/bench_fig2_hold.cpp.o"
+  "CMakeFiles/bench_fig2_hold.dir/bench_fig2_hold.cpp.o.d"
+  "bench_fig2_hold"
+  "bench_fig2_hold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sig.dir/bench_fig3_sig.cpp.o"
+  "CMakeFiles/bench_fig3_sig.dir/bench_fig3_sig.cpp.o.d"
+  "bench_fig3_sig"
+  "bench_fig3_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixpt.dir/bench_fixpt.cpp.o"
+  "CMakeFiles/bench_fixpt.dir/bench_fixpt.cpp.o.d"
+  "bench_fixpt"
+  "bench_fixpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dect.dir/bench_table1_dect.cpp.o"
+  "CMakeFiles/bench_table1_dect.dir/bench_table1_dect.cpp.o.d"
+  "bench_table1_dect"
+  "bench_table1_dect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

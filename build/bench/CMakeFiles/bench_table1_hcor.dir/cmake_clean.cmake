@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hcor.dir/bench_table1_hcor.cpp.o"
+  "CMakeFiles/bench_table1_hcor.dir/bench_table1_hcor.cpp.o.d"
+  "bench_table1_hcor"
+  "bench_table1_hcor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hcor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

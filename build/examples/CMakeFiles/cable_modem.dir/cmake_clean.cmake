@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_modem.dir/cable_modem.cpp.o"
+  "CMakeFiles/cable_modem.dir/cable_modem.cpp.o.d"
+  "cable_modem"
+  "cable_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

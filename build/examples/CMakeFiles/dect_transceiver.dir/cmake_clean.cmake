@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dect_transceiver.dir/dect_transceiver.cpp.o"
+  "CMakeFiles/dect_transceiver.dir/dect_transceiver.cpp.o.d"
+  "dect_transceiver"
+  "dect_transceiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dect_transceiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

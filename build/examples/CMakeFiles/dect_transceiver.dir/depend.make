@@ -1,0 +1,2 @@
+# Empty dependencies file for dect_transceiver.
+# This may be replaced when dependencies are built.

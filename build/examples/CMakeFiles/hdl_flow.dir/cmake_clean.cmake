@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdl_flow.dir/hdl_flow.cpp.o"
+  "CMakeFiles/hdl_flow.dir/hdl_flow.cpp.o.d"
+  "hdl_flow"
+  "hdl_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdl_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_compressor.dir/image_compressor.cpp.o"
+  "CMakeFiles/image_compressor.dir/image_compressor.cpp.o.d"
+  "image_compressor"
+  "image_compressor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirate_decimator.dir/multirate_decimator.cpp.o"
+  "CMakeFiles/multirate_decimator.dir/multirate_decimator.cpp.o.d"
+  "multirate_decimator"
+  "multirate_decimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirate_decimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

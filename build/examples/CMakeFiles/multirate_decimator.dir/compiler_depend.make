@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multirate_decimator.
+# This may be replaced when dependencies are built.

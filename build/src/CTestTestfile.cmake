@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("fixpt")
+subdirs("sfg")
+subdirs("fsm")
+subdirs("df")
+subdirs("sched")
+subdirs("sim")
+subdirs("eventsim")
+subdirs("netlist")
+subdirs("hdl")
+subdirs("synth")
+subdirs("dect")

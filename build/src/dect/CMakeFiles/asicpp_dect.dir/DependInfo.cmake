@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dect/hcor.cpp" "src/dect/CMakeFiles/asicpp_dect.dir/hcor.cpp.o" "gcc" "src/dect/CMakeFiles/asicpp_dect.dir/hcor.cpp.o.d"
+  "/root/repo/src/dect/link.cpp" "src/dect/CMakeFiles/asicpp_dect.dir/link.cpp.o" "gcc" "src/dect/CMakeFiles/asicpp_dect.dir/link.cpp.o.d"
+  "/root/repo/src/dect/vliw.cpp" "src/dect/CMakeFiles/asicpp_dect.dir/vliw.cpp.o" "gcc" "src/dect/CMakeFiles/asicpp_dect.dir/vliw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/asicpp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/asicpp_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfg/CMakeFiles/asicpp_sfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/df/CMakeFiles/asicpp_df.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/asicpp_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/asicpp_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asicpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/asicpp_fixpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

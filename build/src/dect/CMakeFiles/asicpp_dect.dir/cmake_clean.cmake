@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_dect.dir/hcor.cpp.o"
+  "CMakeFiles/asicpp_dect.dir/hcor.cpp.o.d"
+  "CMakeFiles/asicpp_dect.dir/link.cpp.o"
+  "CMakeFiles/asicpp_dect.dir/link.cpp.o.d"
+  "CMakeFiles/asicpp_dect.dir/vliw.cpp.o"
+  "CMakeFiles/asicpp_dect.dir/vliw.cpp.o.d"
+  "libasicpp_dect.a"
+  "libasicpp_dect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_dect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/df/dynsched.cpp" "src/df/CMakeFiles/asicpp_df.dir/dynsched.cpp.o" "gcc" "src/df/CMakeFiles/asicpp_df.dir/dynsched.cpp.o.d"
+  "/root/repo/src/df/process.cpp" "src/df/CMakeFiles/asicpp_df.dir/process.cpp.o" "gcc" "src/df/CMakeFiles/asicpp_df.dir/process.cpp.o.d"
+  "/root/repo/src/df/sdf.cpp" "src/df/CMakeFiles/asicpp_df.dir/sdf.cpp.o" "gcc" "src/df/CMakeFiles/asicpp_df.dir/sdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixpt/CMakeFiles/asicpp_fixpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_df.dir/dynsched.cpp.o"
+  "CMakeFiles/asicpp_df.dir/dynsched.cpp.o.d"
+  "CMakeFiles/asicpp_df.dir/process.cpp.o"
+  "CMakeFiles/asicpp_df.dir/process.cpp.o.d"
+  "CMakeFiles/asicpp_df.dir/sdf.cpp.o"
+  "CMakeFiles/asicpp_df.dir/sdf.cpp.o.d"
+  "libasicpp_df.a"
+  "libasicpp_df.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_df.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

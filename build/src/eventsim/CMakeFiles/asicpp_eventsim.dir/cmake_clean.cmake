@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_eventsim.dir/elaborate.cpp.o"
+  "CMakeFiles/asicpp_eventsim.dir/elaborate.cpp.o.d"
+  "CMakeFiles/asicpp_eventsim.dir/kernel.cpp.o"
+  "CMakeFiles/asicpp_eventsim.dir/kernel.cpp.o.d"
+  "libasicpp_eventsim.a"
+  "libasicpp_eventsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasicpp_eventsim.a"
+)

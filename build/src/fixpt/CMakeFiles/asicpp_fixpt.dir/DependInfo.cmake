@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixpt/bitvector.cpp" "src/fixpt/CMakeFiles/asicpp_fixpt.dir/bitvector.cpp.o" "gcc" "src/fixpt/CMakeFiles/asicpp_fixpt.dir/bitvector.cpp.o.d"
+  "/root/repo/src/fixpt/fixbits.cpp" "src/fixpt/CMakeFiles/asicpp_fixpt.dir/fixbits.cpp.o" "gcc" "src/fixpt/CMakeFiles/asicpp_fixpt.dir/fixbits.cpp.o.d"
+  "/root/repo/src/fixpt/fixed.cpp" "src/fixpt/CMakeFiles/asicpp_fixpt.dir/fixed.cpp.o" "gcc" "src/fixpt/CMakeFiles/asicpp_fixpt.dir/fixed.cpp.o.d"
+  "/root/repo/src/fixpt/format.cpp" "src/fixpt/CMakeFiles/asicpp_fixpt.dir/format.cpp.o" "gcc" "src/fixpt/CMakeFiles/asicpp_fixpt.dir/format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_fixpt.dir/bitvector.cpp.o"
+  "CMakeFiles/asicpp_fixpt.dir/bitvector.cpp.o.d"
+  "CMakeFiles/asicpp_fixpt.dir/fixbits.cpp.o"
+  "CMakeFiles/asicpp_fixpt.dir/fixbits.cpp.o.d"
+  "CMakeFiles/asicpp_fixpt.dir/fixed.cpp.o"
+  "CMakeFiles/asicpp_fixpt.dir/fixed.cpp.o.d"
+  "CMakeFiles/asicpp_fixpt.dir/format.cpp.o"
+  "CMakeFiles/asicpp_fixpt.dir/format.cpp.o.d"
+  "libasicpp_fixpt.a"
+  "libasicpp_fixpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_fixpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

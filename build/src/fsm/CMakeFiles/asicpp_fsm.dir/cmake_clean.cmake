@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_fsm.dir/fsm.cpp.o"
+  "CMakeFiles/asicpp_fsm.dir/fsm.cpp.o.d"
+  "libasicpp_fsm.a"
+  "libasicpp_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_hdl.dir/hdlgen.cpp.o"
+  "CMakeFiles/asicpp_hdl.dir/hdlgen.cpp.o.d"
+  "CMakeFiles/asicpp_hdl.dir/model.cpp.o"
+  "CMakeFiles/asicpp_hdl.dir/model.cpp.o.d"
+  "CMakeFiles/asicpp_hdl.dir/testbench.cpp.o"
+  "CMakeFiles/asicpp_hdl.dir/testbench.cpp.o.d"
+  "libasicpp_hdl.a"
+  "libasicpp_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asicpp_hdl.
+# This may be replaced when dependencies are built.

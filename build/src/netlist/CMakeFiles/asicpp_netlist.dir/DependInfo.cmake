@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/activity.cpp" "src/netlist/CMakeFiles/asicpp_netlist.dir/activity.cpp.o" "gcc" "src/netlist/CMakeFiles/asicpp_netlist.dir/activity.cpp.o.d"
+  "/root/repo/src/netlist/equiv.cpp" "src/netlist/CMakeFiles/asicpp_netlist.dir/equiv.cpp.o" "gcc" "src/netlist/CMakeFiles/asicpp_netlist.dir/equiv.cpp.o.d"
+  "/root/repo/src/netlist/fault.cpp" "src/netlist/CMakeFiles/asicpp_netlist.dir/fault.cpp.o" "gcc" "src/netlist/CMakeFiles/asicpp_netlist.dir/fault.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/asicpp_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/asicpp_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/netsim.cpp" "src/netlist/CMakeFiles/asicpp_netlist.dir/netsim.cpp.o" "gcc" "src/netlist/CMakeFiles/asicpp_netlist.dir/netsim.cpp.o.d"
+  "/root/repo/src/netlist/timing.cpp" "src/netlist/CMakeFiles/asicpp_netlist.dir/timing.cpp.o" "gcc" "src/netlist/CMakeFiles/asicpp_netlist.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

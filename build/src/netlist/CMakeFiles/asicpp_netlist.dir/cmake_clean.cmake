@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_netlist.dir/activity.cpp.o"
+  "CMakeFiles/asicpp_netlist.dir/activity.cpp.o.d"
+  "CMakeFiles/asicpp_netlist.dir/equiv.cpp.o"
+  "CMakeFiles/asicpp_netlist.dir/equiv.cpp.o.d"
+  "CMakeFiles/asicpp_netlist.dir/fault.cpp.o"
+  "CMakeFiles/asicpp_netlist.dir/fault.cpp.o.d"
+  "CMakeFiles/asicpp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/asicpp_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/asicpp_netlist.dir/netsim.cpp.o"
+  "CMakeFiles/asicpp_netlist.dir/netsim.cpp.o.d"
+  "CMakeFiles/asicpp_netlist.dir/timing.cpp.o"
+  "CMakeFiles/asicpp_netlist.dir/timing.cpp.o.d"
+  "libasicpp_netlist.a"
+  "libasicpp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

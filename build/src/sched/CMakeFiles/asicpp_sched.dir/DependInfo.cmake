@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/assert.cpp" "src/sched/CMakeFiles/asicpp_sched.dir/assert.cpp.o" "gcc" "src/sched/CMakeFiles/asicpp_sched.dir/assert.cpp.o.d"
+  "/root/repo/src/sched/cyclesched.cpp" "src/sched/CMakeFiles/asicpp_sched.dir/cyclesched.cpp.o" "gcc" "src/sched/CMakeFiles/asicpp_sched.dir/cyclesched.cpp.o.d"
+  "/root/repo/src/sched/dfadapter.cpp" "src/sched/CMakeFiles/asicpp_sched.dir/dfadapter.cpp.o" "gcc" "src/sched/CMakeFiles/asicpp_sched.dir/dfadapter.cpp.o.d"
+  "/root/repo/src/sched/fsmcomp.cpp" "src/sched/CMakeFiles/asicpp_sched.dir/fsmcomp.cpp.o" "gcc" "src/sched/CMakeFiles/asicpp_sched.dir/fsmcomp.cpp.o.d"
+  "/root/repo/src/sched/net.cpp" "src/sched/CMakeFiles/asicpp_sched.dir/net.cpp.o" "gcc" "src/sched/CMakeFiles/asicpp_sched.dir/net.cpp.o.d"
+  "/root/repo/src/sched/untimed.cpp" "src/sched/CMakeFiles/asicpp_sched.dir/untimed.cpp.o" "gcc" "src/sched/CMakeFiles/asicpp_sched.dir/untimed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/asicpp_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfg/CMakeFiles/asicpp_sfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/asicpp_fixpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_sched.dir/assert.cpp.o"
+  "CMakeFiles/asicpp_sched.dir/assert.cpp.o.d"
+  "CMakeFiles/asicpp_sched.dir/cyclesched.cpp.o"
+  "CMakeFiles/asicpp_sched.dir/cyclesched.cpp.o.d"
+  "CMakeFiles/asicpp_sched.dir/dfadapter.cpp.o"
+  "CMakeFiles/asicpp_sched.dir/dfadapter.cpp.o.d"
+  "CMakeFiles/asicpp_sched.dir/fsmcomp.cpp.o"
+  "CMakeFiles/asicpp_sched.dir/fsmcomp.cpp.o.d"
+  "CMakeFiles/asicpp_sched.dir/net.cpp.o"
+  "CMakeFiles/asicpp_sched.dir/net.cpp.o.d"
+  "CMakeFiles/asicpp_sched.dir/untimed.cpp.o"
+  "CMakeFiles/asicpp_sched.dir/untimed.cpp.o.d"
+  "libasicpp_sched.a"
+  "libasicpp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfg/clk.cpp" "src/sfg/CMakeFiles/asicpp_sfg.dir/clk.cpp.o" "gcc" "src/sfg/CMakeFiles/asicpp_sfg.dir/clk.cpp.o.d"
+  "/root/repo/src/sfg/dot.cpp" "src/sfg/CMakeFiles/asicpp_sfg.dir/dot.cpp.o" "gcc" "src/sfg/CMakeFiles/asicpp_sfg.dir/dot.cpp.o.d"
+  "/root/repo/src/sfg/eval.cpp" "src/sfg/CMakeFiles/asicpp_sfg.dir/eval.cpp.o" "gcc" "src/sfg/CMakeFiles/asicpp_sfg.dir/eval.cpp.o.d"
+  "/root/repo/src/sfg/sfg.cpp" "src/sfg/CMakeFiles/asicpp_sfg.dir/sfg.cpp.o" "gcc" "src/sfg/CMakeFiles/asicpp_sfg.dir/sfg.cpp.o.d"
+  "/root/repo/src/sfg/sig.cpp" "src/sfg/CMakeFiles/asicpp_sfg.dir/sig.cpp.o" "gcc" "src/sfg/CMakeFiles/asicpp_sfg.dir/sig.cpp.o.d"
+  "/root/repo/src/sfg/wlopt.cpp" "src/sfg/CMakeFiles/asicpp_sfg.dir/wlopt.cpp.o" "gcc" "src/sfg/CMakeFiles/asicpp_sfg.dir/wlopt.cpp.o.d"
+  "/root/repo/src/sfg/wordlen.cpp" "src/sfg/CMakeFiles/asicpp_sfg.dir/wordlen.cpp.o" "gcc" "src/sfg/CMakeFiles/asicpp_sfg.dir/wordlen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixpt/CMakeFiles/asicpp_fixpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

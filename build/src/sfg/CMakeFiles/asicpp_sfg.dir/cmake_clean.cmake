@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_sfg.dir/clk.cpp.o"
+  "CMakeFiles/asicpp_sfg.dir/clk.cpp.o.d"
+  "CMakeFiles/asicpp_sfg.dir/dot.cpp.o"
+  "CMakeFiles/asicpp_sfg.dir/dot.cpp.o.d"
+  "CMakeFiles/asicpp_sfg.dir/eval.cpp.o"
+  "CMakeFiles/asicpp_sfg.dir/eval.cpp.o.d"
+  "CMakeFiles/asicpp_sfg.dir/sfg.cpp.o"
+  "CMakeFiles/asicpp_sfg.dir/sfg.cpp.o.d"
+  "CMakeFiles/asicpp_sfg.dir/sig.cpp.o"
+  "CMakeFiles/asicpp_sfg.dir/sig.cpp.o.d"
+  "CMakeFiles/asicpp_sfg.dir/wlopt.cpp.o"
+  "CMakeFiles/asicpp_sfg.dir/wlopt.cpp.o.d"
+  "CMakeFiles/asicpp_sfg.dir/wordlen.cpp.o"
+  "CMakeFiles/asicpp_sfg.dir/wordlen.cpp.o.d"
+  "libasicpp_sfg.a"
+  "libasicpp_sfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_sfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asicpp_sfg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/compiled.cpp" "src/sim/CMakeFiles/asicpp_sim.dir/compiled.cpp.o" "gcc" "src/sim/CMakeFiles/asicpp_sim.dir/compiled.cpp.o.d"
+  "/root/repo/src/sim/cppgen.cpp" "src/sim/CMakeFiles/asicpp_sim.dir/cppgen.cpp.o" "gcc" "src/sim/CMakeFiles/asicpp_sim.dir/cppgen.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/sim/CMakeFiles/asicpp_sim.dir/recorder.cpp.o" "gcc" "src/sim/CMakeFiles/asicpp_sim.dir/recorder.cpp.o.d"
+  "/root/repo/src/sim/tape.cpp" "src/sim/CMakeFiles/asicpp_sim.dir/tape.cpp.o" "gcc" "src/sim/CMakeFiles/asicpp_sim.dir/tape.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/asicpp_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/asicpp_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/asicpp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/asicpp_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfg/CMakeFiles/asicpp_sfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/asicpp_fixpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_sim.dir/compiled.cpp.o"
+  "CMakeFiles/asicpp_sim.dir/compiled.cpp.o.d"
+  "CMakeFiles/asicpp_sim.dir/cppgen.cpp.o"
+  "CMakeFiles/asicpp_sim.dir/cppgen.cpp.o.d"
+  "CMakeFiles/asicpp_sim.dir/recorder.cpp.o"
+  "CMakeFiles/asicpp_sim.dir/recorder.cpp.o.d"
+  "CMakeFiles/asicpp_sim.dir/tape.cpp.o"
+  "CMakeFiles/asicpp_sim.dir/tape.cpp.o.d"
+  "CMakeFiles/asicpp_sim.dir/vcd.cpp.o"
+  "CMakeFiles/asicpp_sim.dir/vcd.cpp.o.d"
+  "libasicpp_sim.a"
+  "libasicpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/dpsynth.cpp" "src/synth/CMakeFiles/asicpp_synth.dir/dpsynth.cpp.o" "gcc" "src/synth/CMakeFiles/asicpp_synth.dir/dpsynth.cpp.o.d"
+  "/root/repo/src/synth/optimize.cpp" "src/synth/CMakeFiles/asicpp_synth.dir/optimize.cpp.o" "gcc" "src/synth/CMakeFiles/asicpp_synth.dir/optimize.cpp.o.d"
+  "/root/repo/src/synth/qm.cpp" "src/synth/CMakeFiles/asicpp_synth.dir/qm.cpp.o" "gcc" "src/synth/CMakeFiles/asicpp_synth.dir/qm.cpp.o.d"
+  "/root/repo/src/synth/report.cpp" "src/synth/CMakeFiles/asicpp_synth.dir/report.cpp.o" "gcc" "src/synth/CMakeFiles/asicpp_synth.dir/report.cpp.o.d"
+  "/root/repo/src/synth/system.cpp" "src/synth/CMakeFiles/asicpp_synth.dir/system.cpp.o" "gcc" "src/synth/CMakeFiles/asicpp_synth.dir/system.cpp.o.d"
+  "/root/repo/src/synth/techmap.cpp" "src/synth/CMakeFiles/asicpp_synth.dir/techmap.cpp.o" "gcc" "src/synth/CMakeFiles/asicpp_synth.dir/techmap.cpp.o.d"
+  "/root/repo/src/synth/wordnet.cpp" "src/synth/CMakeFiles/asicpp_synth.dir/wordnet.cpp.o" "gcc" "src/synth/CMakeFiles/asicpp_synth.dir/wordnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/asicpp_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/asicpp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/asicpp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asicpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/asicpp_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfg/CMakeFiles/asicpp_sfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/asicpp_fixpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

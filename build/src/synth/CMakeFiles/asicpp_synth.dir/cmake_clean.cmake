@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asicpp_synth.dir/dpsynth.cpp.o"
+  "CMakeFiles/asicpp_synth.dir/dpsynth.cpp.o.d"
+  "CMakeFiles/asicpp_synth.dir/optimize.cpp.o"
+  "CMakeFiles/asicpp_synth.dir/optimize.cpp.o.d"
+  "CMakeFiles/asicpp_synth.dir/qm.cpp.o"
+  "CMakeFiles/asicpp_synth.dir/qm.cpp.o.d"
+  "CMakeFiles/asicpp_synth.dir/report.cpp.o"
+  "CMakeFiles/asicpp_synth.dir/report.cpp.o.d"
+  "CMakeFiles/asicpp_synth.dir/system.cpp.o"
+  "CMakeFiles/asicpp_synth.dir/system.cpp.o.d"
+  "CMakeFiles/asicpp_synth.dir/techmap.cpp.o"
+  "CMakeFiles/asicpp_synth.dir/techmap.cpp.o.d"
+  "CMakeFiles/asicpp_synth.dir/wordnet.cpp.o"
+  "CMakeFiles/asicpp_synth.dir/wordnet.cpp.o.d"
+  "libasicpp_synth.a"
+  "libasicpp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asicpp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

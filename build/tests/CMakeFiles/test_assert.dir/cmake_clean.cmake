@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assert.dir/test_assert.cpp.o"
+  "CMakeFiles/test_assert.dir/test_assert.cpp.o.d"
+  "test_assert"
+  "test_assert.pdb"
+  "test_assert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

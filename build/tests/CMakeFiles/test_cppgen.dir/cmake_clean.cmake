@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cppgen.dir/test_cppgen.cpp.o"
+  "CMakeFiles/test_cppgen.dir/test_cppgen.cpp.o.d"
+  "test_cppgen"
+  "test_cppgen.pdb"
+  "test_cppgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cppgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dect.dir/test_dect.cpp.o"
+  "CMakeFiles/test_dect.dir/test_dect.cpp.o.d"
+  "test_dect"
+  "test_dect.pdb"
+  "test_dect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

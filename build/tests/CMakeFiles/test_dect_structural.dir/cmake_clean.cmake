@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dect_structural.dir/test_dect_structural.cpp.o"
+  "CMakeFiles/test_dect_structural.dir/test_dect_structural.cpp.o.d"
+  "test_dect_structural"
+  "test_dect_structural.pdb"
+  "test_dect_structural[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dect_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_df.dir/test_df.cpp.o"
+  "CMakeFiles/test_df.dir/test_df.cpp.o.d"
+  "test_df"
+  "test_df.pdb"
+  "test_df[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_df.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfadapter.dir/test_dfadapter.cpp.o"
+  "CMakeFiles/test_dfadapter.dir/test_dfadapter.cpp.o.d"
+  "test_dfadapter"
+  "test_dfadapter.pdb"
+  "test_dfadapter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfadapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixpt.dir/test_fixpt.cpp.o"
+  "CMakeFiles/test_fixpt.dir/test_fixpt.cpp.o.d"
+  "test_fixpt"
+  "test_fixpt.pdb"
+  "test_fixpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

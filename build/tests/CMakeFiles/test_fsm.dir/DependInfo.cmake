@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fsm.cpp" "tests/CMakeFiles/test_fsm.dir/test_fsm.cpp.o" "gcc" "tests/CMakeFiles/test_fsm.dir/test_fsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/asicpp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/asicpp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dect/CMakeFiles/asicpp_dect.dir/DependInfo.cmake"
+  "/root/repo/build/src/df/CMakeFiles/asicpp_df.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/asicpp_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/asicpp_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asicpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/asicpp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/asicpp_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfg/CMakeFiles/asicpp_sfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/asicpp_fixpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

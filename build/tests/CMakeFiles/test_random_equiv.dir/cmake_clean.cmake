@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_equiv.dir/test_random_equiv.cpp.o"
+  "CMakeFiles/test_random_equiv.dir/test_random_equiv.cpp.o.d"
+  "test_random_equiv"
+  "test_random_equiv.pdb"
+  "test_random_equiv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_receiver_system.dir/test_receiver_system.cpp.o"
+  "CMakeFiles/test_receiver_system.dir/test_receiver_system.cpp.o.d"
+  "test_receiver_system"
+  "test_receiver_system.pdb"
+  "test_receiver_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_receiver_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

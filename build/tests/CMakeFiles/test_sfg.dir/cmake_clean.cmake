@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfg.dir/test_sfg.cpp.o"
+  "CMakeFiles/test_sfg.dir/test_sfg.cpp.o.d"
+  "test_sfg"
+  "test_sfg.pdb"
+  "test_sfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syssynth.dir/test_syssynth.cpp.o"
+  "CMakeFiles/test_syssynth.dir/test_syssynth.cpp.o.d"
+  "test_syssynth"
+  "test_syssynth.pdb"
+  "test_syssynth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syssynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

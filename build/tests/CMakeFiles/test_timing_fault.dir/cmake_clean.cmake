@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_fault.dir/test_timing_fault.cpp.o"
+  "CMakeFiles/test_timing_fault.dir/test_timing_fault.cpp.o.d"
+  "test_timing_fault"
+  "test_timing_fault.pdb"
+  "test_timing_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wlopt.dir/test_wlopt.cpp.o"
+  "CMakeFiles/test_wlopt.dir/test_wlopt.cpp.o.d"
+  "test_wlopt"
+  "test_wlopt.pdb"
+  "test_wlopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wlopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wordlen.dir/test_wordlen.cpp.o"
+  "CMakeFiles/test_wordlen.dir/test_wordlen.cpp.o.d"
+  "test_wordlen"
+  "test_wordlen.pdb"
+  "test_wordlen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wordlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,5 +1,7 @@
 #include "df/dynsched.h"
 
+#include <chrono>
+
 namespace asicpp::df {
 
 std::size_t DynamicScheduler::sweep() {
@@ -13,12 +15,33 @@ std::size_t DynamicScheduler::sweep() {
   return fired;
 }
 
+void DynamicScheduler::fill_postmortem(Result& r) const {
+  for (const auto* q : watched_) {
+    r.queues.push_back(QueueSnapshot{q->name(), q->size(), q->capacity(),
+                                     q->total_pushed()});
+  }
+  for (const auto* p : procs_) {
+    if (p->can_fire()) continue;  // fireable processes are not blocked
+    r.blocked.push_back(BlockedProcess{p->name(), p->blocked_reason()});
+  }
+}
+
 DynamicScheduler::Result DynamicScheduler::run(std::size_t max_firings) {
   Result r;
-  while (r.firings < max_firings) {
+  const auto start = std::chrono::steady_clock::now();
+  bool wall_tripped = false;
+  while (r.firings < max_firings && !wall_tripped) {
     bool fired = false;
     for (auto* p : procs_) {
       if (r.firings >= max_firings) break;
+      if (wall_limit_s_ > 0.0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (elapsed.count() >= wall_limit_s_) {
+          wall_tripped = true;
+          break;
+        }
+      }
       if (p->can_fire()) {
         p->run_once();
         ++r.firings;
@@ -31,6 +54,41 @@ DynamicScheduler::Result DynamicScheduler::run(std::size_t max_firings) {
     if (!q->empty()) r.stranded.push_back(q->name());
   }
   r.deadlocked = !r.stranded.empty();
+  fill_postmortem(r);
+
+  // Watchdog: still-fireable processes mean the stop was the budget or the
+  // wall clock, not quiescence.
+  bool fireable = false;
+  for (const auto* p : procs_) {
+    if (p->can_fire()) fireable = true;
+  }
+  if (fireable && (r.firings >= max_firings || wall_tripped)) {
+    r.watchdog_tripped = true;
+    auto& d = diagnostics().fatal(
+        wall_tripped ? "WATCHDOG-002" : "WATCHDOG-001", "dataflow scheduler",
+        wall_tripped
+            ? "wall-clock limit (" + std::to_string(wall_limit_s_) +
+                  " s) exceeded after " + std::to_string(r.firings) +
+                  " firings with processes still ready; stopping run"
+            : "firing budget (" + std::to_string(max_firings) +
+                  ") exhausted with processes still ready; stopping run");
+    for (const auto& q : r.queues) {
+      d.note("queue '" + q.queue + "': " + std::to_string(q.tokens) +
+             " token(s), " + std::to_string(q.total_pushed) + " pushed in total");
+    }
+  } else if (r.deadlocked) {
+    auto& d = diagnostics().error(
+        "DF-001", "dataflow scheduler",
+        "deadlock: no process can fire but tokens are stranded on " +
+            std::to_string(r.stranded.size()) + " watched queue(s)");
+    for (const auto& q : r.queues) {
+      d.note("queue '" + q.queue + "': " + std::to_string(q.tokens) +
+             " token(s), " + std::to_string(q.total_pushed) + " pushed in total");
+    }
+    for (const auto& b : r.blocked) {
+      d.note("process '" + b.process + "' blocked: " + b.waiting_on);
+    }
+  }
   return r;
 }
 

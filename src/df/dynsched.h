@@ -4,7 +4,11 @@
 // untimed blocks. This scheduler repeatedly checks process firing rules,
 // selecting processes for execution as their inputs are available."
 // (section 2). Terminates when nothing can fire; distinguishes quiescence
-// (no pending tokens) from deadlock (tokens stranded on some queue).
+// (no pending tokens) from deadlock (tokens stranded on some queue). On
+// deadlock the result carries a post-mortem: per-queue token-count
+// snapshots and the firing rule each blocked process is waiting on. A
+// firing budget and an optional wall-clock limit act as run watchdogs for
+// non-terminating graphs.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "df/process.h"
+#include "diag/diag.h"
 
 namespace asicpp::df {
 
@@ -23,21 +28,52 @@ class DynamicScheduler {
   /// classification (typically all internal queues, not external sinks).
   void watch(Queue& q) { watched_.push_back(&q); }
 
-  struct Result {
-    std::size_t firings = 0;
-    bool deadlocked = false;          ///< stopped with tokens stranded
-    std::vector<std::string> stranded;  ///< names of non-empty watched queues
+  /// Token-count snapshot of one watched queue at the end of a run.
+  struct QueueSnapshot {
+    std::string queue;
+    std::size_t tokens = 0;
+    std::size_t capacity = 0;
+    std::size_t total_pushed = 0;  ///< lifetime pushes, for throughput context
   };
 
-  /// Fire ready processes until quiescent or `max_firings` reached.
+  /// A process that cannot fire, and the firing rule it is waiting on.
+  struct BlockedProcess {
+    std::string process;
+    std::string waiting_on;  ///< e.g. "needs 2 token(s) on 'a2b' (has 0)"
+  };
+
+  struct Result {
+    std::size_t firings = 0;
+    bool deadlocked = false;            ///< stopped with tokens stranded
+    std::vector<std::string> stranded;  ///< names of non-empty watched queues
+    bool watchdog_tripped = false;      ///< stopped by the firing budget / wall clock
+    std::vector<QueueSnapshot> queues;      ///< watched-queue state at stop
+    std::vector<BlockedProcess> blocked;    ///< post-mortem of unfireable processes
+  };
+
+  /// Fire ready processes until quiescent, `max_firings` reached, or the
+  /// wall-clock limit hit. Deadlocks produce a DF-001 post-mortem and
+  /// watchdog stops a WATCHDOG-001/002 diagnostic in diagnostics().
   Result run(std::size_t max_firings = 1'000'000);
 
   /// Fire each ready process at most once (one "sweep"); returns #firings.
   std::size_t sweep();
 
+  // --- diagnostics & run watchdogs ---
+
+  void attach_diagnostics(diag::DiagEngine& de) { diag_ = &de; }
+  diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
+  /// Stop run() after `seconds` of wall-clock time (0 = unlimited).
+  void set_wall_clock_limit(double seconds) { wall_limit_s_ = seconds; }
+
  private:
+  void fill_postmortem(Result& r) const;
+
   std::vector<Process*> procs_;
   std::vector<Queue*> watched_;
+  diag::DiagEngine* diag_ = nullptr;
+  diag::DiagEngine own_diag_;
+  double wall_limit_s_ = 0.0;
 };
 
 }  // namespace asicpp::df

@@ -53,6 +53,29 @@ class Process {
     return true;
   }
 
+  /// Human-readable description of why can_fire() is false, for deadlock
+  /// post-mortems: which ports are short of tokens and which output queues
+  /// are full. Subclasses with data-dependent rules should override this
+  /// alongside can_fire. Empty when the process can fire.
+  virtual std::string blocked_reason() const {
+    if (can_fire()) return {};
+    std::string r;
+    const auto sep = [&r]() -> std::string { return r.empty() ? "" : "; "; };
+    for (std::size_t i = 0; i < ins_.size(); ++i) {
+      if (ins_[i]->size() < in_rates_[i])
+        r += sep() + "needs " + std::to_string(in_rates_[i]) + " token(s) on '" +
+             ins_[i]->name() + "' (has " + std::to_string(ins_[i]->size()) + ")";
+    }
+    for (std::size_t i = 0; i < outs_.size(); ++i) {
+      if (outs_[i]->size() + out_rates_[i] > outs_[i]->capacity())
+        r += sep() + "output '" + outs_[i]->name() + "' full (" +
+             std::to_string(outs_[i]->size()) + "/" +
+             std::to_string(outs_[i]->capacity()) + ")";
+    }
+    if (r.empty()) r = "firing rule not satisfied";
+    return r;
+  }
+
   /// One iteration of the behaviour: consume inputs, produce outputs.
   virtual void fire() = 0;
 

@@ -1,0 +1,142 @@
+#include "diag/diag.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace asicpp::diag {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+    case Severity::kFatal: return "fatal";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << severity_name(severity) << " [" << code << "]";
+  if (!component.empty()) os << " " << component;
+  if (cycle != kNoCycle) os << " @cycle " << cycle;
+  os << ": " << message;
+  for (const auto& n : notes) os << "\n    note: " << n;
+  return os.str();
+}
+
+Diagnostic& DiagEngine::report(Diagnostic d) {
+  diags_.push_back(std::move(d));
+  if (error_limit_ != 0 && errors() > error_limit_) {
+    Diagnostic limit;
+    limit.severity = Severity::kFatal;
+    limit.code = "DIAG-000";
+    limit.component = "diag engine";
+    limit.message = "error limit (" + std::to_string(error_limit_) +
+                    ") exceeded, aborting accumulation";
+    limit.note(str());
+    throw Error(std::move(limit));
+  }
+  return diags_.back();
+}
+
+Diagnostic& DiagEngine::note(std::string code, std::string component,
+                             std::string message) {
+  return report(Diagnostic{Severity::kNote, std::move(code), std::move(component),
+                           kNoCycle, std::move(message), {}});
+}
+
+Diagnostic& DiagEngine::warning(std::string code, std::string component,
+                                std::string message) {
+  return report(Diagnostic{Severity::kWarning, std::move(code), std::move(component),
+                           kNoCycle, std::move(message), {}});
+}
+
+Diagnostic& DiagEngine::error(std::string code, std::string component,
+                              std::string message) {
+  return report(Diagnostic{Severity::kError, std::move(code), std::move(component),
+                           kNoCycle, std::move(message), {}});
+}
+
+Diagnostic& DiagEngine::fatal(std::string code, std::string component,
+                              std::string message) {
+  return report(Diagnostic{Severity::kFatal, std::move(code), std::move(component),
+                           kNoCycle, std::move(message), {}});
+}
+
+std::size_t DiagEngine::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+std::size_t DiagEngine::errors() const {
+  return count(Severity::kError) + count(Severity::kFatal);
+}
+
+const Diagnostic* DiagEngine::find(const std::string& code) const {
+  for (const auto& d : diags_)
+    if (d.code == code) return &d;
+  return nullptr;
+}
+
+std::string DiagEngine::str() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.str() << "\n";
+  os << "=== " << errors() << " error(s), " << warnings() << " warning(s), "
+     << count(Severity::kNote) << " note(s) ===";
+  return os.str();
+}
+
+void DiagEngine::throw_if_errors() const {
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::kError || d.severity == Severity::kFatal) {
+      Diagnostic carried = d;
+      if (errors() > 1) carried.note("full report:\n" + str());
+      throw Error(std::move(carried));
+    }
+  }
+}
+
+std::vector<int> find_cycle(const std::vector<std::vector<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 white, 1 grey, 2 black
+  std::vector<int> path;
+
+  // Recursive DFS with an explicit stack of (node, next-successor-index).
+  for (int root = 0; root < n; ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+    color[static_cast<std::size_t>(root)] = 1;
+    path.assign(1, root);
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adj[static_cast<std::size_t>(u)].size()) {
+        const int v = adj[static_cast<std::size_t>(u)][next++];
+        if (v < 0 || v >= n) continue;
+        if (color[static_cast<std::size_t>(v)] == 1) {
+          // Found a back edge: the cycle is the path suffix from v.
+          std::vector<int> cycle;
+          auto it = std::find(path.begin(), path.end(), v);
+          cycle.assign(it, path.end());
+          cycle.push_back(v);
+          return cycle;
+        }
+        if (color[static_cast<std::size_t>(v)] == 0) {
+          color[static_cast<std::size_t>(v)] = 1;
+          stack.emplace_back(v, 0);
+          path.push_back(v);
+        }
+      } else {
+        color[static_cast<std::size_t>(u)] = 2;
+        stack.pop_back();
+        path.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace asicpp::diag

@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "diag/diag.h"
+
 #include "hdl/model.h"
 #include "sched/fsmcomp.h"
 #include "sched/untimed.h"
@@ -66,9 +68,17 @@ RtModel::RtModel(Kernel& k, const sched::CycleScheduler& sys,
 
   for (sched::Component* c : sys.components()) {
     if (auto* u = dynamic_cast<sched::UntimedComponent*>(c)) {
-      if (!pure_untimed.count(u->name()))
-        throw std::invalid_argument("RtModel: untimed component '" + u->name() +
-                                    "' is not declared pure");
+      if (!pure_untimed.count(u->name())) {
+        diag::Diagnostic d;
+        d.severity = diag::Severity::kError;
+        d.code = "ELAB-001";
+        d.component = "untimed '" + u->name() + "'";
+        d.message = "RtModel: untimed component '" + u->name() +
+                    "' is not declared pure";
+        d.note("only side-effect-free untimed blocks can elaborate to "
+               "combinational processes; pass its name in `pure_untimed`");
+        throw ElabError(std::move(d));
+      }
       std::vector<Signal*> ins, outs;
       for (const sched::Net* n : u->input_nets()) ins.push_back(nets_.at(n->name()));
       for (const sched::Net* n : u->output_nets()) outs.push_back(nets_.at(n->name()));

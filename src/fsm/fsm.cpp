@@ -194,9 +194,10 @@ std::string Fsm::to_dot() const {
   return os.str();
 }
 
-std::vector<std::string> Fsm::check() const {
-  std::vector<std::string> diags = build_errors_;
-  if (initial_ < 0) diags.push_back("fsm '" + name_ + "': no initial state");
+void Fsm::check(diag::DiagEngine& de) const {
+  const std::string where = "fsm '" + name_ + "'";
+  for (const auto& e : build_errors_) de.error("FSM-006", where, e);
+  if (initial_ < 0) de.error("FSM-001", where, "no initial state");
 
   // Reachability from the initial state.
   if (initial_ >= 0) {
@@ -213,8 +214,7 @@ std::vector<std::string> Fsm::check() const {
     }
     for (int i = 0; i < num_states(); ++i) {
       if (!reach.count(i))
-        diags.push_back("fsm '" + name_ + "': state '" + state_name(i) +
-                        "' is unreachable");
+        de.warning("FSM-002", where, "state '" + state_name(i) + "' is unreachable");
     }
   }
 
@@ -225,13 +225,14 @@ std::vector<std::string> Fsm::check() const {
       if (t.from != i) continue;
       has_out = true;
       if (after_always)
-        diags.push_back("fsm '" + name_ + "': transition out of '" + state_name(i) +
-                        "' follows an unconditional transition and can never fire");
+        de.warning("FSM-003", where,
+                   "transition out of '" + state_name(i) +
+                       "' follows an unconditional transition and can never fire");
       if (t.guards.empty()) after_always = true;
     }
     if (!has_out)
-      diags.push_back("fsm '" + name_ + "': state '" + state_name(i) +
-                      "' has no outgoing transition");
+      de.warning("FSM-004", where,
+                 "state '" + state_name(i) + "' has no outgoing transition");
   }
 
   // Guards must depend on registered/constant signals only (Mealy selection
@@ -246,15 +247,23 @@ std::vector<std::string> Fsm::check() const {
         stack.pop_back();
         if (!seen.insert(n).second) continue;
         if (n->op == sfg::Op::kInput) {
-          diags.push_back("fsm '" + name_ + "': guard on '" +
-                          state_name(t.from) + "'->'" + state_name(t.to) +
-                          "' reads unregistered input '" + n->name + "'");
+          de.error("FSM-005", where,
+                   "guard on '" + state_name(t.from) + "'->'" + state_name(t.to) +
+                       "' reads unregistered input '" + n->name + "'");
         }
         for (const auto& a : n->args) stack.push_back(a.get());
       }
     }
   }
-  return diags;
+}
+
+std::vector<std::string> Fsm::check() const {
+  diag::DiagEngine de;
+  check(de);
+  std::vector<std::string> out;
+  out.reserve(de.size());
+  for (const auto& d : de.all()) out.push_back(d.str());
+  return out;
 }
 
 }  // namespace asicpp::fsm

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.h"
 #include "sfg/eval.h"
 #include "sfg/sfg.h"
 #include "sfg/sig.h"
@@ -145,9 +146,19 @@ class Fsm {
   /// nullptr.
   const Transition* step();
 
-  /// Structural diagnostics: no initial state, unreachable states, states
-  /// without outgoing transitions, guards that read unregistered inputs,
-  /// transitions unreachable because they follow an `always`.
+  /// Accumulating structural lint pass. Reports *all* violations into `de`
+  /// in one run, each with a stable code:
+  ///   FSM-001 no initial state
+  ///   FSM-002 unreachable state
+  ///   FSM-003 shadowed transition (follows an `always`, can never fire)
+  ///   FSM-004 sink state (no outgoing transition)
+  ///   FSM-005 guard reads an unregistered input (conditions must be over
+  ///           registered signals; section 3)
+  ///   FSM-006 incomplete transition (builder died without a destination)
+  void check(diag::DiagEngine& de) const;
+
+  /// Legacy convenience: run check() into a fresh engine and render each
+  /// diagnostic as one string.
   std::vector<std::string> check() const;
 
   /// Graphviz rendering of the machine (states, guarded edges, action SFG

@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace asicpp::sched {
+
+class Net;
 
 class Component {
  public:
@@ -46,6 +49,16 @@ class Component {
 
   /// Phase 3: commit register next-values and the FSM state change.
   virtual void end_cycle(std::uint64_t stamp) = 0;
+
+  // --- deadlock post-mortem introspection ---
+
+  /// Nets this component is currently blocked on (token not yet present).
+  /// Meaningful mid-phase-2, after try_fire returned without firing.
+  virtual std::vector<const Net*> waiting_nets() const { return {}; }
+
+  /// Nets this component would drive if it fired this cycle. Used to walk
+  /// the blocking dependency chain between unfired components.
+  virtual std::vector<const Net*> pending_output_nets() const { return {}; }
 
  private:
   std::string name_;

@@ -1,5 +1,9 @@
 #include "sched/cyclesched.h"
 
+#include <chrono>
+#include <set>
+#include <sstream>
+
 #include "sfg/eval.h"
 
 namespace asicpp::sched {
@@ -9,6 +13,75 @@ Net& CycleScheduler::net(const std::string& name) {
   if (it == nets_.end())
     it = nets_.emplace(name, std::make_unique<Net>(name)).first;
   return *it->second;
+}
+
+diag::Diagnostic CycleScheduler::deadlock_postmortem() const {
+  diag::Diagnostic d;
+  d.severity = diag::Severity::kFatal;
+  d.code = "SCHED-001";
+  d.component = "cycle scheduler";
+  d.cycle = clk_->cycle();
+
+  std::vector<Component*> blocked;
+  for (auto* c : comps_) {
+    if (c->must_fire()) blocked.push_back(c);
+  }
+
+  std::string names;
+  for (const auto* c : blocked) names += (names.empty() ? "" : ", ") + c->name();
+  d.message = "combinational deadlock, unfired components: " + names;
+
+  // What each blocked component is waiting for.
+  std::set<const Net*> involved;
+  for (const auto* c : blocked) {
+    std::string waits;
+    for (const Net* n : c->waiting_nets()) {
+      involved.insert(n);
+      waits += (waits.empty() ? "" : ", ") + ("'" + n->name() + "'");
+    }
+    d.note("component '" + c->name() + "' waits on net" +
+           (waits.empty() ? "s: (none — iteration bound too low?)" : "(s): " + waits));
+  }
+
+  // The blocking dependency cycle: edge A -> B when A waits on a net B
+  // would produce.
+  std::vector<std::vector<int>> adj(blocked.size());
+  for (std::size_t i = 0; i < blocked.size(); ++i) {
+    for (const Net* n : blocked[i]->waiting_nets()) {
+      for (std::size_t j = 0; j < blocked.size(); ++j) {
+        if (i == j) continue;
+        for (const Net* p : blocked[j]->pending_output_nets()) {
+          if (p == n) adj[i].push_back(static_cast<int>(j));
+        }
+      }
+    }
+  }
+  const auto cyc = diag::find_cycle(adj);
+  if (!cyc.empty()) {
+    std::string chain = blocked[static_cast<std::size_t>(cyc[0])]->name();
+    for (std::size_t k = 1; k < cyc.size(); ++k) {
+      const auto* from = blocked[static_cast<std::size_t>(cyc[k - 1])];
+      const auto* to = blocked[static_cast<std::size_t>(cyc[k])];
+      // Label the edge with a net `from` waits on that `to` produces.
+      std::string via;
+      for (const Net* n : from->waiting_nets()) {
+        for (const Net* p : to->pending_output_nets()) {
+          if (p == n) via = n->name();
+        }
+      }
+      chain += " -[" + via + "]-> " + to->name();
+    }
+    d.note("dependency cycle: " + chain);
+  }
+
+  // Last-known values of every net in the blocking set.
+  for (const Net* n : involved) {
+    std::ostringstream os;
+    os << "net '" << n->name() << "' last value = " << n->last().value()
+       << (n->has_token() ? " (token present)" : " (no token this cycle)");
+    d.note(os.str());
+  }
+  return d;
 }
 
 CycleScheduler::CycleStats CycleScheduler::cycle() {
@@ -40,13 +113,15 @@ CycleScheduler::CycleStats CycleScheduler::cycle() {
     if (all_done) break;
     if (!progress || stats.eval_iterations >= max_iters_) {
       // Anything still obliged to fire marks a combinational loop.
-      std::string blocked;
+      bool any_blocked = false;
       for (auto* c : comps_) {
-        if (c->must_fire()) blocked += (blocked.empty() ? "" : ", ") + c->name();
+        if (c->must_fire()) any_blocked = true;
       }
-      if (!blocked.empty())
-        throw DeadlockError("cycle " + std::to_string(clk_->cycle()) +
-                            ": combinational deadlock, unfired components: " + blocked);
+      if (any_blocked) {
+        diag::Diagnostic d = deadlock_postmortem();
+        diagnostics().report(d);
+        throw DeadlockError(std::move(d));
+      }
       break;  // only opportunistic untimed blocks remain unfired
     }
   }
@@ -66,8 +141,37 @@ std::vector<Net*> CycleScheduler::all_nets() const {
   return out;
 }
 
-void CycleScheduler::run(std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) cycle();
+std::uint64_t CycleScheduler::run(std::uint64_t n) {
+  watchdog_tripped_ = false;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (cycle_budget_ != 0 && clk_->cycle() >= cycle_budget_) {
+      auto& d = diagnostics().fatal(
+          "WATCHDOG-001", "cycle scheduler",
+          "cycle budget (" + std::to_string(cycle_budget_) +
+              ") exhausted after " + std::to_string(i) + " of " +
+              std::to_string(n) + " requested cycles; stopping run");
+      d.cycle = clk_->cycle();
+      watchdog_tripped_ = true;
+      return i;
+    }
+    if (wall_limit_s_ > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= wall_limit_s_) {
+        auto& d = diagnostics().fatal(
+            "WATCHDOG-002", "cycle scheduler",
+            "wall-clock limit (" + std::to_string(wall_limit_s_) +
+                " s) exceeded after " + std::to_string(i) + " of " +
+                std::to_string(n) + " requested cycles; stopping run");
+        d.cycle = clk_->cycle();
+        watchdog_tripped_ = true;
+        return i;
+      }
+    }
+    cycle();
+  }
+  return n;
 }
 
 }  // namespace asicpp::sched

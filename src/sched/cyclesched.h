@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.h"
 #include "sched/component.h"
 #include "sched/net.h"
 #include "sfg/clk.h"
@@ -36,9 +37,11 @@
 namespace asicpp::sched {
 
 /// Raised when the evaluation phase cannot complete: a genuine
-/// combinational loop between components.
-struct DeadlockError : std::runtime_error {
-  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+/// combinational loop between components. Carries a structured SCHED-001
+/// post-mortem: the unfired component set, the blocking net dependency
+/// cycle, and last-known values of the involved nets.
+struct DeadlockError : asicpp::Error {
+  explicit DeadlockError(diag::Diagnostic d) : asicpp::Error(std::move(d)) {}
 };
 
 class CycleScheduler {
@@ -60,11 +63,29 @@ class CycleScheduler {
     int fired_components = 0;
   };
 
-  /// Simulate one clock cycle. Throws DeadlockError on combinational loops.
+  /// Simulate one clock cycle. Throws DeadlockError on combinational loops
+  /// (the post-mortem is also reported into the attached engine, if any).
   CycleStats cycle();
 
-  /// Simulate `n` cycles.
-  void run(std::uint64_t n);
+  /// Simulate up to `n` cycles. Returns the number actually simulated: less
+  /// than `n` when a run watchdog trips, in which case a WATCHDOG diagnostic
+  /// is recorded in diagnostics() and the run stops gracefully.
+  std::uint64_t run(std::uint64_t n);
+
+  // --- diagnostics & run watchdogs ---
+
+  /// Route diagnostics (deadlock post-mortems, watchdog reports) into an
+  /// external engine; without this the scheduler uses an internal one,
+  /// reachable via diagnostics().
+  void attach_diagnostics(diag::DiagEngine& de) { diag_ = &de; }
+  diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
+
+  /// Stop run() once the clock reaches `max_cycles` total (0 = unlimited).
+  void set_cycle_budget(std::uint64_t max_cycles) { cycle_budget_ = max_cycles; }
+  /// Stop run() after `seconds` of wall-clock time (0 = unlimited).
+  void set_wall_clock_limit(double seconds) { wall_limit_s_ = seconds; }
+  /// True when the last run() was stopped by a watchdog.
+  bool watchdog_tripped() const { return watchdog_tripped_; }
 
   /// Invoked after each completed cycle (monitors, stimulus recorders).
   void on_cycle_end(std::function<void(std::uint64_t cycle)> cb) {
@@ -80,11 +101,18 @@ class CycleScheduler {
   int max_iterations() const { return max_iters_; }
 
  private:
+  diag::Diagnostic deadlock_postmortem() const;
+
   sfg::Clk* clk_;
   std::vector<Component*> comps_;
   std::map<std::string, std::unique_ptr<Net>> nets_;
   std::vector<std::function<void(std::uint64_t)>> monitors_;
   int max_iters_ = 64;
+  diag::DiagEngine* diag_ = nullptr;
+  diag::DiagEngine own_diag_;
+  std::uint64_t cycle_budget_ = 0;
+  double wall_limit_s_ = 0.0;
+  bool watchdog_tripped_ = false;
 };
 
 }  // namespace asicpp::sched

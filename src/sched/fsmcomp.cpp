@@ -18,6 +18,23 @@ void TimedBase::bind_output(const std::string& port, Net& net) {
     throw std::logic_error("bind_output: port '" + port + "' already bound");
 }
 
+std::vector<const Net*> TimedBase::missing_inputs(const sfg::Sfg& s) const {
+  std::vector<const Net*> missing;
+  for (const auto& in : s.inputs()) {
+    for (const auto& b : in_binds_) {
+      if (b.node == in && !b.net->has_token()) missing.push_back(b.net);
+    }
+  }
+  return missing;
+}
+
+void TimedBase::bound_outputs(const sfg::Sfg& s, std::vector<const Net*>& out) const {
+  for (const auto& o : s.outputs()) {
+    const auto it = out_binds_.find(o.port);
+    if (it != out_binds_.end()) out.push_back(it->second);
+  }
+}
+
 bool TimedBase::inputs_ready(sfg::Sfg& s) const {
   for (const auto& in : s.inputs()) {
     for (const auto& b : in_binds_) {
@@ -82,6 +99,22 @@ void FsmComponent::end_cycle(std::uint64_t) {
   pending_ = nullptr;
 }
 
+std::vector<const Net*> FsmComponent::waiting_nets() const {
+  std::vector<const Net*> nets;
+  if (pending_ == nullptr || fired_) return nets;
+  for (const auto* s : pending_->actions) {
+    for (const Net* n : missing_inputs(*s)) nets.push_back(n);
+  }
+  return nets;
+}
+
+std::vector<const Net*> FsmComponent::pending_output_nets() const {
+  std::vector<const Net*> nets;
+  if (pending_ == nullptr || fired_) return nets;
+  for (const auto* s : pending_->actions) bound_outputs(*s, nets);
+  return nets;
+}
+
 // --- SfgComponent ---
 
 void SfgComponent::begin_cycle(std::uint64_t) { fired_ = false; }
@@ -102,6 +135,17 @@ bool SfgComponent::try_fire(std::uint64_t stamp) {
 
 void SfgComponent::end_cycle(std::uint64_t) {
   if (fired_) sfg_->update_registers();
+}
+
+std::vector<const Net*> SfgComponent::waiting_nets() const {
+  if (fired_) return {};
+  return missing_inputs(*sfg_);
+}
+
+std::vector<const Net*> SfgComponent::pending_output_nets() const {
+  std::vector<const Net*> nets;
+  if (!fired_) bound_outputs(*sfg_, nets);
+  return nets;
 }
 
 // --- DispatchComponent ---
@@ -151,6 +195,23 @@ bool DispatchComponent::try_fire(std::uint64_t stamp) {
 void DispatchComponent::end_cycle(std::uint64_t) {
   if (fired_ && selected_ != nullptr) selected_->update_registers();
   selected_ = nullptr;
+}
+
+std::vector<const Net*> DispatchComponent::waiting_nets() const {
+  if (fired_) return {};
+  if (selected_ == nullptr) return {instr_net_};  // waiting on the instruction token
+  return missing_inputs(*selected_);
+}
+
+std::vector<const Net*> DispatchComponent::pending_output_nets() const {
+  std::vector<const Net*> nets;
+  if (fired_) return nets;
+  if (selected_ != nullptr) {
+    bound_outputs(*selected_, nets);
+  } else {
+    for (const auto& [_, net] : out_binds_) nets.push_back(net);
+  }
+  return nets;
 }
 
 }  // namespace asicpp::sched

@@ -46,6 +46,11 @@ class TimedBase : public Component {
 
  protected:
 
+  /// Bound input nets declared by `s` that do not yet carry a token.
+  std::vector<const Net*> missing_inputs(const sfg::Sfg& s) const;
+  /// Bound output nets of `s`'s ports.
+  void bound_outputs(const sfg::Sfg& s, std::vector<const Net*>& out) const;
+
   /// All bound inputs that `s` declares have tokens waiting.
   bool inputs_ready(sfg::Sfg& s) const;
   /// Copy net tokens into the input signals declared by `s`.
@@ -69,6 +74,8 @@ class FsmComponent : public TimedBase {
   bool done() const override { return fired_ || pending_ == nullptr; }
   bool must_fire() const override { return pending_ != nullptr && !fired_; }
   void end_cycle(std::uint64_t stamp) override;
+  std::vector<const Net*> waiting_nets() const override;
+  std::vector<const Net*> pending_output_nets() const override;
 
   fsm::Fsm& machine() const { return *fsm_; }
   bool fired() const { return fired_; }
@@ -90,6 +97,8 @@ class SfgComponent : public TimedBase {
   bool done() const override { return fired_; }
   bool must_fire() const override { return !fired_; }
   void end_cycle(std::uint64_t stamp) override;
+  std::vector<const Net*> waiting_nets() const override;
+  std::vector<const Net*> pending_output_nets() const override;
 
   sfg::Sfg& graph() const { return *sfg_; }
 
@@ -118,6 +127,8 @@ class DispatchComponent : public TimedBase {
   bool done() const override { return fired_; }
   bool must_fire() const override { return !fired_; }
   void end_cycle(std::uint64_t stamp) override;
+  std::vector<const Net*> waiting_nets() const override;
+  std::vector<const Net*> pending_output_nets() const override;
 
   Net& instruction_net() const { return *instr_net_; }
   const std::map<long, sfg::Sfg*>& instruction_table() const { return table_; }

@@ -40,6 +40,17 @@ class UntimedComponent : public Component {
   bool done() const override { return fired_; }
   bool must_fire() const override { return false; }
   void end_cycle(std::uint64_t) override {}
+  std::vector<const Net*> waiting_nets() const override {
+    std::vector<const Net*> nets;
+    if (fired_) return nets;
+    for (const Net* n : ins_)
+      if (!n->has_token()) nets.push_back(n);
+    return nets;
+  }
+  std::vector<const Net*> pending_output_nets() const override {
+    if (fired_) return {};
+    return {outs_.begin(), outs_.end()};
+  }
 
   std::size_t firings() const { return firings_; }
 

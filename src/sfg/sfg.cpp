@@ -27,6 +27,16 @@ std::unordered_set<const Node*> reachable_inputs(const NodePtr& n) {
   return found;
 }
 
+/// Every node reachable from `n`, deduplicated across calls via `seen`.
+void collect_nodes(const NodePtr& n, std::unordered_set<const Node*>& seen,
+                   std::vector<const Node*>& order) {
+  if (!seen.insert(n.get()).second) return;
+  order.push_back(n.get());
+  for (const auto& a : n->args) collect_nodes(a, seen, order);
+}
+
+bool is_bitwise(Op op) { return op == Op::kAnd || op == Op::kOr || op == Op::kXor; }
+
 }  // namespace
 
 Sfg& Sfg::in(const Sig& s) {
@@ -62,9 +72,9 @@ bool Sfg::depends_on_declared_input(const NodePtr& n) const {
   return !found.empty();
 }
 
-std::vector<std::string> Sfg::check() {
+void Sfg::check(diag::DiagEngine& de) {
   analyze();
-  std::vector<std::string> diags;
+  const std::string where = "sfg '" + name_ + "'";
 
   std::unordered_set<const Node*> declared;
   for (const auto& i : inputs_) declared.insert(i.get());
@@ -80,28 +90,88 @@ std::vector<std::string> Sfg::check() {
 
   for (const Node* i : used) {
     if (!declared.count(i))
-      diags.push_back("dangling input: expression in sfg '" + name_ +
-                      "' reads undeclared input '" + i->name + "'");
+      de.error("SFG-001", where,
+               "dangling input: expression reads undeclared input '" + i->name + "'");
   }
   for (const auto& i : inputs_) {
     if (!used.count(i.get()))
-      diags.push_back("dead code: input '" + i->name + "' of sfg '" + name_ +
-                      "' is never used");
+      de.warning("SFG-002", where,
+                 "dead code: input '" + i->name + "' is never used");
   }
 
   std::unordered_set<std::string> ports;
   for (const auto& o : outputs_) {
     if (!ports.insert(o.port).second)
-      diags.push_back("duplicate output port '" + o.port + "' in sfg '" + name_ + "'");
+      de.error("SFG-003", where, "duplicate output port '" + o.port + "'");
   }
 
   std::unordered_set<const Node*> targets;
   for (const auto& a : assigns_) {
     if (!targets.insert(a.reg.get()).second)
-      diags.push_back("register '" + a.reg->name + "' assigned twice in sfg '" +
-                      name_ + "'");
+      de.error("SFG-004", where,
+               "register '" + a.reg->name + "' assigned twice");
   }
-  return diags;
+
+  // Width lint over the whole expression DAG: bitwise operators silently
+  // reinterpret the mantissa, so mixing declared widths is suspect;
+  // assignments whose source carries a declared format wider than the
+  // register's quantize away bits every cycle.
+  std::unordered_set<const Node*> seen;
+  std::vector<const Node*> nodes;
+  for (const auto& o : outputs_) collect_nodes(o.expr, seen, nodes);
+  for (const auto& a : assigns_) collect_nodes(a.expr, seen, nodes);
+  for (const Node* n : nodes) {
+    if (!is_bitwise(n->op) || n->args.size() < 2) continue;
+    const Node* a = n->args[0].get();
+    const Node* b = n->args[1].get();
+    if (a->has_fmt && b->has_fmt && a->fmt.wl != b->fmt.wl) {
+      auto leaf = [](const Node* x) {
+        return x->name.empty() ? std::string(op_name(x->op)) : "'" + x->name + "'";
+      };
+      de.warning("SFG-005", where,
+                 "width mismatch: bitwise " + std::string(op_name(n->op)) +
+                     " mixes " + leaf(a) + " <" + std::to_string(a->fmt.wl) +
+                     " bits> with " + leaf(b) + " <" + std::to_string(b->fmt.wl) +
+                     " bits>");
+    }
+  }
+  for (const auto& a : assigns_) {
+    const Node* src = a.expr.get();
+    if (src->has_fmt && a.reg->has_fmt && src->fmt.wl > a.reg->fmt.wl) {
+      de.warning("SFG-005", where,
+                 "width mismatch: expression <" + std::to_string(src->fmt.wl) +
+                     " bits> assigned to register '" + a.reg->name + "' <" +
+                     std::to_string(a.reg->fmt.wl) +
+                     " bits> narrows on every cycle");
+    }
+  }
+
+  // Clock-domain lint: every register read or written by one SFG must be
+  // bound to the same clock, or the three-phase scheduler's register-update
+  // phase commits them at inconsistent times.
+  std::unordered_set<const Node*> reg_seen;
+  std::vector<const Node*> clocked;
+  auto collect_reg = [&](const Node* r) {
+    if (r->op == Op::kReg && r->clk != nullptr && reg_seen.insert(r).second)
+      clocked.push_back(r);
+  };
+  for (const Node* n : nodes) collect_reg(n);
+  for (const auto& a : assigns_) collect_reg(a.reg.get());
+  for (const Node* r : clocked) {
+    if (r->clk != clocked.front()->clk)
+      de.error("SFG-006", where,
+               "multiple clocks: registers '" + clocked.front()->name + "' and '" +
+                   r->name + "' are bound to different clock objects");
+  }
+}
+
+std::vector<std::string> Sfg::check() {
+  diag::DiagEngine de;
+  check(de);
+  std::vector<std::string> out;
+  out.reserve(de.size());
+  for (const auto& d : de.all()) out.push_back(d.str());
+  return out;
 }
 
 void Sfg::set_input(const std::string& port, const fixpt::Fixed& v) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.h"
 #include "fixpt/fixed.h"
 #include "sfg/sig.h"
 
@@ -48,9 +49,19 @@ class Sfg {
   /// Dependency analysis; runs lazily before simulation / checks.
   void analyze();
 
-  /// Semantic diagnostics: dangling inputs (expression reaches an input
-  /// signal that was not declared), dead inputs (declared but unused),
-  /// duplicate output ports, double assignment to one register.
+  /// Accumulating lint pass. Reports *all* violations of this SFG into
+  /// `de` in one run, each with a stable code:
+  ///   SFG-001 dangling input (expression reaches an undeclared input)
+  ///   SFG-002 dead code (declared input never used)
+  ///   SFG-003 duplicate output port
+  ///   SFG-004 double assignment to one register
+  ///   SFG-005 width mismatch (bitwise op on different widths; assignment
+  ///           that silently narrows into the register format)
+  ///   SFG-006 registers of one SFG bound to different clocks
+  void check(diag::DiagEngine& de);
+
+  /// Legacy convenience: run check() into a fresh engine and render each
+  /// diagnostic as one string.
   std::vector<std::string> check();
 
   // --- simulation (interpreted mode) ---

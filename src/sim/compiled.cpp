@@ -1,6 +1,9 @@
 #include "sim/compiled.h"
 
+#include <chrono>
 #include <cmath>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -185,6 +188,7 @@ void CompiledSystem::Builder::build(const sched::CycleScheduler& sched) {
     const auto id = static_cast<std::int32_t>(sys_.net_slots_.size());
     net_map_.emplace(n, id);
     sys_.net_ids_.emplace(n->name(), id);
+    sys_.net_names_.push_back(n->name());
     sys_.net_slots_.push_back(static_cast<std::int32_t>(sys_.slots_.size()));
     sys_.slots_.push_back(n->last().value());
     sys_.ext_nets_.push_back(n);
@@ -231,8 +235,9 @@ void CompiledSystem::Builder::build(const sched::CycleScheduler& sched) {
       for (const sched::Net* n : u->input_nets()) comp.in_nets.push_back(net_id(n));
       for (const sched::Net* n : u->output_nets()) comp.out_nets.push_back(net_id(n));
     } else {
-      throw std::invalid_argument("CompiledSystem: unsupported component '" +
-                                  c->name() + "'");
+      throw ElabError(diag::Diagnostic{
+          diag::Severity::kError, "SIM-001", "compiled simulator", diag::kNoCycle,
+          "unsupported component '" + c->name() + "'", {}});
     }
     sys_.comps_.push_back(std::move(comp));
   }
@@ -242,6 +247,138 @@ CompiledSystem CompiledSystem::compile(const sched::CycleScheduler& sched) {
   CompiledSystem sys;
   Builder(sys).build(sched);
   return sys;
+}
+
+bool CompiledSystem::comp_blocked(const Comp& c) const {
+  switch (c.kind) {
+    case Kind::kFsm: return c.pending != nullptr && !c.fired;
+    case Kind::kUntimed: return false;  // opportunistic
+    default: return !c.fired;
+  }
+}
+
+std::vector<std::int32_t> CompiledSystem::comp_waiting_nets(const Comp& c) const {
+  std::vector<std::int32_t> nets;
+  const auto missing_of = [&](std::int32_t sfg_id) {
+    for (const auto n : sfgs_[static_cast<std::size_t>(sfg_id)].required_nets) {
+      if (!net_token_[static_cast<std::size_t>(n)]) nets.push_back(n);
+    }
+  };
+  switch (c.kind) {
+    case Kind::kFsm:
+      if (c.pending != nullptr)
+        for (const auto id : c.pending->sfgs) missing_of(id);
+      break;
+    case Kind::kSfg: missing_of(c.solo_sfg); break;
+    case Kind::kDispatch:
+      if (c.selected < 0) {
+        if (!net_token_[static_cast<std::size_t>(c.instr_net)]) nets.push_back(c.instr_net);
+      } else {
+        missing_of(c.selected);
+      }
+      break;
+    case Kind::kUntimed:
+      for (const auto n : c.in_nets) {
+        if (!net_token_[static_cast<std::size_t>(n)]) nets.push_back(n);
+      }
+      break;
+  }
+  return nets;
+}
+
+std::vector<std::int32_t> CompiledSystem::comp_pending_outputs(const Comp& c) const {
+  std::vector<std::int32_t> nets;
+  const auto pushes_of = [&](std::int32_t sfg_id) {
+    const SfgCode& s = sfgs_[static_cast<std::size_t>(sfg_id)];
+    for (const auto& p : s.pre_pushes) nets.push_back(p.net);
+    for (const auto& p : s.main_pushes) nets.push_back(p.net);
+  };
+  switch (c.kind) {
+    case Kind::kFsm:
+      if (c.pending != nullptr)
+        for (const auto id : c.pending->sfgs) pushes_of(id);
+      break;
+    case Kind::kSfg: pushes_of(c.solo_sfg); break;
+    case Kind::kDispatch:
+      if (c.selected >= 0) {
+        pushes_of(c.selected);
+      } else {
+        for (const auto& [_, id] : c.table) pushes_of(id);
+        if (c.default_sfg >= 0) pushes_of(c.default_sfg);
+      }
+      break;
+    case Kind::kUntimed:
+      nets = c.out_nets;
+      break;
+  }
+  return nets;
+}
+
+diag::Diagnostic CompiledSystem::deadlock_postmortem() const {
+  diag::Diagnostic d;
+  d.severity = diag::Severity::kFatal;
+  d.code = "SCHED-001";
+  d.component = "compiled simulator";
+  d.cycle = cycles_;
+
+  std::vector<const Comp*> blocked;
+  for (const auto& c : comps_) {
+    if (comp_blocked(c)) blocked.push_back(&c);
+  }
+
+  std::string names;
+  for (const auto* c : blocked) names += (names.empty() ? "" : ", ") + c->name;
+  d.message = "combinational deadlock, unfired components: " + names;
+
+  std::set<std::int32_t> involved;
+  for (const auto* c : blocked) {
+    std::string waits;
+    for (const auto n : comp_waiting_nets(*c)) {
+      involved.insert(n);
+      waits += (waits.empty() ? "" : ", ") +
+               ("'" + net_names_[static_cast<std::size_t>(n)] + "'");
+    }
+    d.note("component '" + c->name + "' waits on net" +
+           (waits.empty() ? "s: (none — iteration bound too low?)" : "(s): " + waits));
+  }
+
+  std::vector<std::vector<int>> adj(blocked.size());
+  for (std::size_t i = 0; i < blocked.size(); ++i) {
+    for (const auto n : comp_waiting_nets(*blocked[i])) {
+      for (std::size_t j = 0; j < blocked.size(); ++j) {
+        if (i == j) continue;
+        for (const auto p : comp_pending_outputs(*blocked[j])) {
+          if (p == n) adj[i].push_back(static_cast<int>(j));
+        }
+      }
+    }
+  }
+  const auto cyc = diag::find_cycle(adj);
+  if (!cyc.empty()) {
+    std::string chain = blocked[static_cast<std::size_t>(cyc[0])]->name;
+    for (std::size_t k = 1; k < cyc.size(); ++k) {
+      const auto* from = blocked[static_cast<std::size_t>(cyc[k - 1])];
+      const auto* to = blocked[static_cast<std::size_t>(cyc[k])];
+      std::string via;
+      for (const auto n : comp_waiting_nets(*from)) {
+        for (const auto p : comp_pending_outputs(*to)) {
+          if (p == n) via = net_names_[static_cast<std::size_t>(n)];
+        }
+      }
+      chain += " -[" + via + "]-> " + to->name;
+    }
+    d.note("dependency cycle: " + chain);
+  }
+
+  for (const auto n : involved) {
+    std::ostringstream os;
+    os << "net '" << net_names_[static_cast<std::size_t>(n)] << "' last value = "
+       << slots_[static_cast<std::size_t>(net_slots_[static_cast<std::size_t>(n)])]
+       << (net_token_[static_cast<std::size_t>(n)] ? " (token present)"
+                                                   : " (no token this cycle)");
+    d.note(os.str());
+  }
+  return d;
 }
 
 void CompiledSystem::run_sfg_pre(std::int32_t id) {
@@ -396,17 +533,15 @@ void CompiledSystem::cycle() {
     ++iters;
     if (all_done) break;
     if (!progress || iters >= max_iters_) {
-      std::string blocked;
+      bool any_blocked = false;
       for (const auto& c : comps_) {
-        const bool must = (c.kind == Kind::kFsm) ? (c.pending != nullptr && !c.fired)
-                          : (c.kind == Kind::kUntimed) ? false
-                                                       : !c.fired;
-        if (must) blocked += (blocked.empty() ? "" : ", ") + c.name;
+        if (comp_blocked(c)) any_blocked = true;
       }
-      if (!blocked.empty())
-        throw sched::DeadlockError("compiled cycle " + std::to_string(cycles_) +
-                                   ": combinational deadlock, unfired components: " +
-                                   blocked);
+      if (any_blocked) {
+        diag::Diagnostic d = deadlock_postmortem();
+        diagnostics().report(d);
+        throw sched::DeadlockError(std::move(d));
+      }
       break;
     }
   }
@@ -435,8 +570,39 @@ void CompiledSystem::cycle() {
   ++cycles_;
 }
 
-void CompiledSystem::run(std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) cycle();
+std::uint64_t CompiledSystem::run(std::uint64_t n) {
+  watchdog_tripped_ = false;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (cycle_budget_ != 0 && cycles_ >= cycle_budget_) {
+      auto& d = diagnostics().fatal(
+          "WATCHDOG-001", "compiled simulator",
+          "cycle budget (" + std::to_string(cycle_budget_) +
+              ") exhausted after " + std::to_string(i) + " of " +
+              std::to_string(n) + " requested cycles; stopping run");
+      d.cycle = cycles_;
+      watchdog_tripped_ = true;
+      return i;
+    }
+    // The wall clock is sampled every cycle; a compiled cycle is orders of
+    // magnitude heavier than one steady_clock read.
+    if (wall_limit_s_ > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= wall_limit_s_) {
+        auto& d = diagnostics().fatal(
+            "WATCHDOG-002", "compiled simulator",
+            "wall-clock limit (" + std::to_string(wall_limit_s_) +
+                " s) exceeded after " + std::to_string(i) + " of " +
+                std::to_string(n) + " requested cycles; stopping run");
+        d.cycle = cycles_;
+        watchdog_tripped_ = true;
+        return i;
+      }
+    }
+    cycle();
+  }
+  return n;
 }
 
 CompiledSystem::Checkpoint CompiledSystem::save() const {

@@ -32,10 +32,26 @@ class CompiledSystem {
   static CompiledSystem compile(const sched::CycleScheduler& sched);
 
   /// Simulate one clock cycle. Throws sched::DeadlockError on
-  /// combinational loops, like the interpreted scheduler.
+  /// combinational loops, like the interpreted scheduler; the SCHED-001
+  /// post-mortem names the unfired components, the blocking dependency
+  /// cycle, and last-known net values.
   void cycle();
-  void run(std::uint64_t n);
+
+  /// Simulate up to `n` cycles. Returns the number actually simulated:
+  /// less than `n` when a run watchdog trips (a WATCHDOG diagnostic is
+  /// recorded in diagnostics() and the run stops gracefully).
+  std::uint64_t run(std::uint64_t n);
   std::uint64_t cycles() const { return cycles_; }
+
+  // --- diagnostics & run watchdogs ---
+
+  void attach_diagnostics(diag::DiagEngine& de) { diag_ = &de; }
+  diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
+  /// Stop run() once cycles() reaches `max_cycles` total (0 = unlimited).
+  void set_cycle_budget(std::uint64_t max_cycles) { cycle_budget_ = max_cycles; }
+  /// Stop run() after `seconds` of wall-clock time (0 = unlimited).
+  void set_wall_clock_limit(double seconds) { wall_limit_s_ = seconds; }
+  bool watchdog_tripped() const { return watchdog_tripped_; }
 
   /// Restore registers and FSM states to their reset values.
   void reset();
@@ -145,12 +161,18 @@ class CompiledSystem {
   void run_sfg_pre(std::int32_t sfg);
   bool run_sfg_main(std::int32_t sfg);  ///< false when inputs missing
 
+  bool comp_blocked(const Comp& c) const;
+  std::vector<std::int32_t> comp_waiting_nets(const Comp& c) const;
+  std::vector<std::int32_t> comp_pending_outputs(const Comp& c) const;
+  diag::Diagnostic deadlock_postmortem() const;
+
   // static structures
   std::vector<SfgCode> sfgs_;
   std::vector<Comp> comps_;
   std::vector<const sched::Net*> ext_nets_;      ///< external-drive sources
   std::vector<std::int32_t> ext_net_slots_;
   std::vector<std::int32_t> net_slots_;          ///< net id -> slot
+  std::vector<std::string> net_names_;           ///< net id -> name
   std::map<std::string, std::int32_t> net_ids_;
   std::map<std::string, std::int32_t> reg_slots_;
   std::map<std::string, std::int32_t> input_slots_;
@@ -163,6 +185,11 @@ class CompiledSystem {
   std::vector<std::uint8_t> net_token_;
   std::uint64_t cycles_ = 0;
   std::uint64_t ops_ = 0;
+  diag::DiagEngine* diag_ = nullptr;
+  diag::DiagEngine own_diag_;
+  std::uint64_t cycle_budget_ = 0;
+  double wall_limit_s_ = 0.0;
+  bool watchdog_tripped_ = false;
 };
 
 }  // namespace asicpp::sim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "diag/diag.h"
 #include "hdl/model.h"
 #include "sched/fsmcomp.h"
 #include "sched/untimed.h"
@@ -12,6 +13,18 @@ using fixpt::Format;
 using netlist::GateType;
 
 namespace {
+
+/// Elaboration failure during system synthesis: a structured ElabError
+/// (which still derives std::invalid_argument for legacy catch sites).
+[[noreturn]] void syn_fail(const std::string& code, const std::string& component,
+                           const std::string& message) {
+  diag::Diagnostic d;
+  d.severity = diag::Severity::kError;
+  d.code = code;
+  d.component = component;
+  d.message = message;
+  throw ElabError(std::move(d));
+}
 
 Bus placeholder_bus(netlist::Netlist& nl, const Format& f) {
   Bus b;
@@ -39,9 +52,9 @@ SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
 
   const auto claim = [&](const sched::Net* net, const Format& f, const std::string& who) {
     if (producer_name.count(net))
-      throw std::invalid_argument("synthesize_system: net '" + net->name() +
-                                  "' driven by both '" + producer_name.at(net) +
-                                  "' and '" + who + "'");
+      syn_fail("SYN-001", "net '" + net->name() + "'",
+               "synthesize_system: net '" + net->name() + "' driven by both '" +
+                   producer_name.at(net) + "' and '" + who + "'");
     producer_fmt.emplace(net, f);
     producer_name.emplace(net, who);
   };
@@ -52,8 +65,9 @@ SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
       for (const sched::Net* n : u->output_nets()) {
         const auto it = spec.net_fmt.find(n->name());
         if (it == spec.net_fmt.end())
-          throw std::invalid_argument("synthesize_system: net '" + n->name() +
-                                      "' (untimed output) needs a net_fmt entry");
+          syn_fail("SYN-002", "untimed '" + u->name() + "'",
+                   "synthesize_system: net '" + n->name() +
+                       "' (untimed output) needs a net_fmt entry");
         claim(n, it->second, c->name());
       }
       continue;
@@ -68,12 +82,14 @@ SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
   for (const sched::Net* n : sys.all_nets()) {
     if (n->driven()) {
       if (producer_name.count(n))
-        throw std::invalid_argument("synthesize_system: net '" + n->name() +
-                                    "' both produced and externally driven");
+        syn_fail("SYN-003", "net '" + n->name() + "'",
+                 "synthesize_system: net '" + n->name() +
+                     "' both produced and externally driven");
       const auto it = spec.net_fmt.find(n->name());
       if (it == spec.net_fmt.end())
-        throw std::invalid_argument("synthesize_system: pin net '" + n->name() +
-                                    "' needs a net_fmt entry");
+        syn_fail("SYN-002", "net '" + n->name() + "'",
+                 "synthesize_system: pin net '" + n->name() +
+                     "' needs a net_fmt entry");
       net_bus.emplace(n, wb.input("net_" + hdl::sanitize(n->name()), it->second));
     } else if (producer_fmt.count(n)) {
       net_bus.emplace(n, placeholder_bus(nl, producer_fmt.at(n)));
@@ -87,16 +103,18 @@ SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
     for (const auto& [node, net] : t.model.in_binds) {
       const auto it = net_bus.find(net);
       if (it == net_bus.end())
-        throw std::invalid_argument("synthesize_system: input net '" + net->name() +
-                                    "' of '" + t.comp->name() + "' has no driver");
+        syn_fail("SYN-004", "component '" + t.comp->name() + "'",
+                 "synthesize_system: input net '" + net->name() + "' of '" +
+                     t.comp->name() + "' has no driver");
       provided.emplace(node->name, it->second);
     }
     if (t.model.kind == hdl::CompModel::Kind::kDispatch) {
       auto* d = dynamic_cast<sched::DispatchComponent*>(t.comp);
       const auto it = net_bus.find(&d->instruction_net());
       if (it == net_bus.end())
-        throw std::invalid_argument("synthesize_system: instruction net of '" +
-                                    t.comp->name() + "' has no driver");
+        syn_fail("SYN-004", "component '" + t.comp->name() + "'",
+                 "synthesize_system: instruction net of '" + t.comp->name() +
+                     "' has no driver");
       provided.emplace("instr", it->second);
     }
     std::map<std::string, Bus> outputs;
@@ -112,20 +130,22 @@ SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
   for (auto* u : untimed) {
     const auto bit = spec.untimed.find(u->name());
     if (bit == spec.untimed.end())
-      throw std::invalid_argument("synthesize_system: untimed component '" + u->name() +
-                                  "' needs an UntimedBuilder");
+      syn_fail("SYN-005", "untimed '" + u->name() + "'",
+               "synthesize_system: untimed component '" + u->name() +
+                   "' needs an UntimedBuilder");
     std::vector<Bus> ins;
     for (const sched::Net* n : u->input_nets()) {
       const auto it = net_bus.find(n);
       if (it == net_bus.end())
-        throw std::invalid_argument("synthesize_system: input net '" + n->name() +
-                                    "' of '" + u->name() + "' has no driver");
+        syn_fail("SYN-004", "untimed '" + u->name() + "'",
+                 "synthesize_system: input net '" + n->name() + "' of '" +
+                     u->name() + "' has no driver");
       ins.push_back(it->second);
     }
     const auto outs = bit->second(wb, ins);
     if (outs.size() != u->output_nets().size())
-      throw std::invalid_argument("synthesize_system: builder arity mismatch for '" +
-                                  u->name() + "'");
+      syn_fail("SYN-006", "untimed '" + u->name() + "'",
+               "synthesize_system: builder arity mismatch for '" + u->name() + "'");
     for (std::size_t i = 0; i < outs.size(); ++i)
       produced.emplace(u->output_nets()[i], outs[i]);
   }
@@ -135,8 +155,8 @@ SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
     if (net->driven()) continue;  // primary input
     const auto it = produced.find(net);
     if (it == produced.end())
-      throw std::invalid_argument("synthesize_system: net '" + net->name() +
-                                  "' was never produced");
+      syn_fail("SYN-007", "net '" + net->name() + "'",
+               "synthesize_system: net '" + net->name() + "' was never produced");
     const Bus src = wb.align(it->second, bus.fmt);
     for (int i = 0; i < bus.width(); ++i)
       nl.connect_placeholder(bus.bits[static_cast<std::size_t>(i)],
@@ -149,8 +169,8 @@ SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
     for (const auto& [net, _] : net_bus)
       if (net->name() == name) found = net;
     if (found == nullptr)
-      throw std::invalid_argument("synthesize_system: observe net '" + name +
-                                  "' does not exist");
+      syn_fail("SYN-008", "net '" + name + "'",
+               "synthesize_system: observe net '" + name + "' does not exist");
     wb.output("net_" + hdl::sanitize(name), net_bus.at(found));
   }
 
@@ -167,7 +187,7 @@ SystemSynthReport synthesize_system(const sched::CycleScheduler& sys,
 UntimedBuilder make_ram_builder(int addr_bits, const Format& data_fmt) {
   return [addr_bits, data_fmt](WordBuilder& wb, const std::vector<Bus>& in) {
     if (in.size() != 3)
-      throw std::invalid_argument("ram builder: expects (we, addr, wdata)");
+      syn_fail("SYN-006", "ram builder", "ram builder: expects (we, addr, wdata)");
     const std::int32_t we = wb.nonzero(in[0]);
     const Bus& addr = in[1];
     const Bus wdata = wb.quantize(in[2], data_fmt);

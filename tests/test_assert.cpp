@@ -96,6 +96,60 @@ TEST(AssertionMonitor, StableWhileVerifiesHoldProtocol) {
   EXPECT_FALSE(mon2.ok());
 }
 
+TEST(AssertionMonitor, EventuallySatisfiedOnFinalCycle) {
+  Counter c;
+  sched::AssertionMonitor mon(c.sched);
+  // o shows 4 exactly at the end of the 5th (final) cycle: the obligation
+  // is discharged at the last possible check, not a cycle earlier.
+  mon.eventually("reaches 4 on last cycle",
+                 [&] { return c.sched.net("o").last().value() >= 4.0; });
+  c.sched.run(4);
+  EXPECT_FALSE(mon.ok());  // one cycle short: still pending
+  c.sched.run(1);
+  EXPECT_TRUE(mon.ok());
+  EXPECT_EQ(mon.cycles_checked(), 5u);
+}
+
+TEST(AssertionMonitor, StableWhileOnNeverChangingNet) {
+  // A constant driver: the freeze check must never fire even when armed for
+  // the whole run, and re-arming after a gap must not misread the old value.
+  Clk clk;
+  Reg hold("holdv", clk, kF, 7.0);
+  Sfg s("const_s");
+  s.out("o", hold.sig()).assign(hold, hold.sig());
+  sched::CycleScheduler sched{clk};
+  sched::SfgComponent comp{"const", s};
+  comp.bind_output("o", sched.net("o"));
+  sched.add(comp);
+
+  bool watch = true;
+  sched::AssertionMonitor mon(sched);
+  mon.stable_while("constant net stays stable", "o", [&] { return watch; });
+  sched.run(6);
+  watch = false;
+  sched.run(3);
+  watch = true;
+  sched.run(6);
+  EXPECT_TRUE(mon.ok());
+  EXPECT_EQ(mon.cycles_checked(), 15u);
+}
+
+TEST(AssertionMonitor, GradeWithZeroCycles) {
+  // Grading before any cycle ran: always/never/stable have nothing to
+  // check and pass vacuously; only the eventually obligation fails.
+  Counter c;
+  sched::AssertionMonitor mon(c.sched);
+  mon.always("vacuous always", [] { return false; });
+  mon.never("vacuous never", [] { return true; });
+  mon.stable_while("vacuous stable", "o", [] { return true; });
+  mon.eventually("pending obligation", [] { return true; });
+  const auto v = mon.grade();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].label, "pending obligation");
+  EXPECT_EQ(v[0].cycle, 0u);
+  EXPECT_EQ(mon.cycles_checked(), 0u);
+}
+
 TEST(Checkpoint, SaveRestoreBranchesARun) {
   Counter c;
   sim::CompiledSystem cs = sim::CompiledSystem::compile(c.sched);

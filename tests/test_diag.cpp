@@ -1,0 +1,370 @@
+// Structured diagnostics: DiagEngine accumulation, accumulating lint over a
+// deliberately broken design, combinational-deadlock post-mortems in both
+// simulation engines (including the generated standalone simulator), and
+// the cycle/firing-budget run watchdogs.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "df/dynsched.h"
+#include "df/process.h"
+#include "diag/diag.h"
+#include "sched/cyclesched.h"
+#include "sched/fsmcomp.h"
+#include "sim/compiled.h"
+#include "sfg/clk.h"
+#include "sfg/sfg.h"
+
+namespace asicpp {
+namespace {
+
+using fixpt::Fixed;
+using fixpt::Format;
+using sched::CycleScheduler;
+using sched::SfgComponent;
+using sfg::Clk;
+using sfg::Reg;
+using sfg::Sfg;
+using sfg::Sig;
+
+const Format kFmt{16, 7, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+const Format kNarrow{8, 4, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+
+TEST(DiagEngine, AccumulatesCountsAndFinds) {
+  diag::DiagEngine de;
+  EXPECT_TRUE(de.empty());
+  EXPECT_TRUE(de.ok());
+
+  de.warning("SFG-002", "sfg 's'", "dead code");
+  de.error("SFG-001", "sfg 's'", "dangling input").note("declared nowhere");
+  de.fatal("SCHED-001", "cycle scheduler", "deadlock");
+
+  EXPECT_EQ(de.size(), 3u);
+  EXPECT_EQ(de.warnings(), 1u);
+  EXPECT_EQ(de.errors(), 2u);  // kError + kFatal
+  EXPECT_FALSE(de.ok());
+
+  ASSERT_TRUE(de.has("SFG-001"));
+  EXPECT_FALSE(de.has("FSM-001"));
+  const diag::Diagnostic* d = de.find("SFG-001");
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->notes.size(), 1u);
+  EXPECT_EQ(d->notes[0], "declared nowhere");
+
+  // Pretty-printing carries severity, code, and the summary line.
+  const std::string rep = de.str();
+  EXPECT_NE(rep.find("error [SFG-001]"), std::string::npos);
+  EXPECT_NE(rep.find("warning [SFG-002]"), std::string::npos);
+  EXPECT_NE(rep.find("fatal [SCHED-001]"), std::string::npos);
+  EXPECT_NE(rep.find("2 error(s)"), std::string::npos);
+
+  EXPECT_THROW(de.throw_if_errors(), asicpp::Error);
+  de.clear();
+  EXPECT_TRUE(de.ok());
+  EXPECT_NO_THROW(de.throw_if_errors());
+}
+
+TEST(DiagEngine, ErrorLimitAbortsCascades) {
+  diag::DiagEngine de;
+  de.set_error_limit(2);
+  de.error("SYN-001", "a", "one");
+  de.error("SYN-001", "b", "two");
+  EXPECT_THROW(de.error("SYN-001", "c", "three"), asicpp::Error);
+}
+
+TEST(DiagEngine, FindCycleOnSmallGraphs) {
+  // 0 -> 1 -> 2 -> 0 plus a dangling 3.
+  const auto cyc = diag::find_cycle({{1}, {2}, {0}, {}});
+  ASSERT_GE(cyc.size(), 4u);
+  EXPECT_EQ(cyc.front(), cyc.back());
+  // Acyclic diamond.
+  EXPECT_TRUE(diag::find_cycle({{1, 2}, {3}, {3}, {}}).empty());
+  // Self loop.
+  const auto self = diag::find_cycle({{0}});
+  ASSERT_EQ(self.size(), 2u);
+  EXPECT_EQ(self.front(), self.back());
+}
+
+// The issue's acceptance test: one check() pass over a deliberately broken
+// design reports ALL violations — a dangling input, a width mismatch, and
+// dead code — as one report with stable codes, instead of stopping at the
+// first fault.
+TEST(DiagLint, BrokenDesignReportsAllViolationsInOneRun) {
+  Clk clk;
+  Reg r("r", clk, kNarrow, 0.0);
+  Sig x = Sig::input("x", kFmt);
+  Sig y = Sig::input("y", kFmt);  // read but never declared -> SFG-001
+  Sig z = Sig::input("z", kFmt);  // declared but never read -> SFG-002
+  Sfg s("broken");
+  s.in(x).in(z);
+  s.out("o", x + y);
+  s.assign(r, (x + 1.0).cast(kFmt));  // 16 bits into an 8-bit reg -> SFG-005
+
+  diag::DiagEngine de;
+  s.check(de);
+
+  EXPECT_EQ(de.size(), 3u) << de.str();
+  ASSERT_TRUE(de.has("SFG-001")) << de.str();
+  ASSERT_TRUE(de.has("SFG-002")) << de.str();
+  ASSERT_TRUE(de.has("SFG-005")) << de.str();
+  EXPECT_NE(de.find("SFG-001")->message.find("'y'"), std::string::npos);
+  EXPECT_NE(de.find("SFG-002")->message.find("'z'"), std::string::npos);
+  EXPECT_NE(de.find("SFG-005")->message.find("narrows"), std::string::npos);
+  EXPECT_EQ(de.find("SFG-001")->component, "sfg 'broken'");
+  EXPECT_EQ(de.errors(), 1u);
+  EXPECT_EQ(de.warnings(), 2u);
+}
+
+TEST(DiagLint, MultiClockRegistersFlagged) {
+  Clk clk_a, clk_b;
+  Reg ra("ra", clk_a, kFmt, 0.0);
+  Reg rb("rb", clk_b, kFmt, 0.0);
+  Sfg s("twoclk");
+  s.assign(ra, ra + 1.0).assign(rb, rb + 1.0).out("o", ra + rb);
+  diag::DiagEngine de;
+  s.check(de);
+  ASSERT_TRUE(de.has("SFG-006")) << de.str();
+  EXPECT_NE(de.find("SFG-006")->message.find("different clock"), std::string::npos);
+}
+
+/// Two combinational components feeding each other: the canonical deadlock.
+struct CombLoop {
+  Clk clk;
+  Sig a = Sig::input("a", kFmt);
+  Sfg sa{"sa"};
+  SfgComponent ca{"ca", sa};
+  Sig b = Sig::input("b", kFmt);
+  Sfg sb{"sb"};
+  SfgComponent cb{"cb", sb};
+  CycleScheduler sched{clk};
+
+  CombLoop() {
+    sa.in(a).out("oa", a + 1.0);
+    sb.in(b).out("ob", b + 1.0);
+    ca.bind_input(a, sched.net("b2a"));
+    ca.bind_output("oa", sched.net("a2b"));
+    cb.bind_input(b, sched.net("a2b"));
+    cb.bind_output("ob", sched.net("b2a"));
+    sched.add(ca);
+    sched.add(cb);
+  }
+};
+
+// The issue's acceptance test: the deadlock post-mortem names the unfired
+// components and the blocking net dependency cycle.
+TEST(DeadlockPostmortem, SchedulerNamesUnfiredComponentsAndCycle) {
+  CombLoop sys;
+  diag::DiagEngine de;
+  sys.sched.attach_diagnostics(de);
+
+  try {
+    sys.sched.cycle();
+    FAIL() << "expected DeadlockError";
+  } catch (const sched::DeadlockError& e) {
+    const diag::Diagnostic& d = e.diagnostic();
+    EXPECT_EQ(d.code, "SCHED-001");
+    EXPECT_EQ(d.severity, diag::Severity::kFatal);
+    EXPECT_NE(d.message.find("unfired components"), std::string::npos);
+    EXPECT_NE(d.message.find("ca"), std::string::npos);
+    EXPECT_NE(d.message.find("cb"), std::string::npos);
+
+    // Notes carry the per-component waits and the reconstructed cycle.
+    bool saw_wait = false, saw_cycle = false;
+    for (const auto& n : d.notes) {
+      if (n.find("waits on net") != std::string::npos &&
+          n.find("'ca'") != std::string::npos &&
+          n.find("b2a") != std::string::npos)
+        saw_wait = true;
+      if (n.find("dependency cycle") != std::string::npos &&
+          n.find("ca") != std::string::npos && n.find("cb") != std::string::npos)
+        saw_cycle = true;
+    }
+    EXPECT_TRUE(saw_wait) << diag::Diagnostic(d).str();
+    EXPECT_TRUE(saw_cycle) << diag::Diagnostic(d).str();
+  }
+  // The same post-mortem landed in the attached engine.
+  ASSERT_TRUE(de.has("SCHED-001"));
+  EXPECT_FALSE(de.ok());
+}
+
+TEST(DeadlockPostmortem, CompiledSimulatorMatchesScheduler) {
+  CombLoop sys;
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.sched);
+  try {
+    cs.cycle();
+    FAIL() << "expected DeadlockError";
+  } catch (const sched::DeadlockError& e) {
+    const diag::Diagnostic& d = e.diagnostic();
+    EXPECT_EQ(d.code, "SCHED-001");
+    EXPECT_NE(d.message.find("ca"), std::string::npos);
+    EXPECT_NE(d.message.find("cb"), std::string::npos);
+    bool saw_cycle = false;
+    for (const auto& n : d.notes)
+      if (n.find("dependency cycle") != std::string::npos) saw_cycle = true;
+    EXPECT_TRUE(saw_cycle);
+  }
+  EXPECT_TRUE(cs.diagnostics().has("SCHED-001"));
+}
+
+// The generated standalone simulator must explain a deadlock the same way:
+// exit code 3 and the unfired component names on the diagnostic line.
+TEST(DeadlockPostmortem, GeneratedSimulatorNamesUnfiredComponents) {
+  CombLoop sys;
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.sched);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string src = dir + "/gen_deadlock.cpp";
+  const std::string bin = dir + "/gen_deadlock";
+  {
+    std::ofstream os(src);
+    cs.emit_cpp(os, {}, 1);
+  }
+  const std::string compile = "c++ -O2 -std=c++17 -o " + bin + " " + src + " 2>&1";
+  FILE* cp = popen(compile.c_str(), "r");
+  ASSERT_NE(cp, nullptr);
+  std::string text;
+  char buf[256];
+  while (fgets(buf, sizeof buf, cp) != nullptr) text += buf;
+  ASSERT_EQ(pclose(cp), 0) << "compile failed:\n" << text;
+
+  FILE* rp = popen((bin + " 2>&1").c_str(), "r");
+  ASSERT_NE(rp, nullptr);
+  text.clear();
+  while (fgets(buf, sizeof buf, rp) != nullptr) text += buf;
+  const int rc = pclose(rp);
+  EXPECT_EQ(WEXITSTATUS(rc), 3);
+  EXPECT_NE(text.find("DEADLOCK at cycle 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("unfired components"), std::string::npos) << text;
+  EXPECT_NE(text.find("ca"), std::string::npos) << text;
+  EXPECT_NE(text.find("cb"), std::string::npos) << text;
+}
+
+/// A free-running counter for watchdog tests.
+struct Counter {
+  Clk clk;
+  Reg count{"count", clk, kFmt, 0.0};
+  Sfg s{"count_s"};
+  CycleScheduler sched{clk};
+  SfgComponent comp{"counter", s};
+
+  Counter() {
+    s.out("o", count.sig()).assign(count, (count + 1.0).cast(kFmt));
+    comp.bind_output("o", sched.net("o"));
+    sched.add(comp);
+  }
+};
+
+TEST(Watchdog, CycleSchedulerBudgetStopsGracefully) {
+  Counter c;
+  c.sched.set_cycle_budget(5);
+  const std::uint64_t done = c.sched.run(100);
+  EXPECT_EQ(done, 5u);
+  EXPECT_EQ(c.sched.cycles(), 5u);
+  EXPECT_TRUE(c.sched.watchdog_tripped());
+  ASSERT_TRUE(c.sched.diagnostics().has("WATCHDOG-001"));
+  const auto* d = c.sched.diagnostics().find("WATCHDOG-001");
+  EXPECT_EQ(d->severity, diag::Severity::kFatal);
+  EXPECT_EQ(d->cycle, 5u);
+
+  // Raising the budget lets the run continue; the flag resets.
+  c.sched.set_cycle_budget(8);
+  EXPECT_EQ(c.sched.run(2), 2u);
+  EXPECT_FALSE(c.sched.watchdog_tripped());
+}
+
+TEST(Watchdog, CompiledSystemBudgetStopsGracefully) {
+  Counter c;
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(c.sched);
+  diag::DiagEngine de;
+  cs.attach_diagnostics(de);
+  cs.set_cycle_budget(7);
+  EXPECT_EQ(cs.run(50), 7u);
+  EXPECT_EQ(cs.cycles(), 7u);
+  EXPECT_TRUE(cs.watchdog_tripped());
+  EXPECT_TRUE(de.has("WATCHDOG-001"));
+  EXPECT_DOUBLE_EQ(cs.reg_value("count"), 7.0);  // state is consistent
+}
+
+TEST(Watchdog, WallClockLimitStopsRun) {
+  Counter c;
+  c.sched.set_wall_clock_limit(1e-9);  // trips on the first check
+  const std::uint64_t done = c.sched.run(1'000'000);
+  EXPECT_LT(done, 1'000'000u);
+  EXPECT_TRUE(c.sched.watchdog_tripped());
+  EXPECT_TRUE(c.sched.diagnostics().has("WATCHDOG-002"));
+}
+
+// The issue's acceptance test: a non-terminating dataflow graph stops at
+// the firing budget with a WATCHDOG diagnostic and a queue snapshot.
+TEST(Watchdog, DataflowFiringBudgetStopsNonTerminatingGraph) {
+  df::Queue out("out");
+  df::FnProcess src("src", [](const std::vector<df::Token>&,
+                              std::vector<df::Token>& o) {
+    o.push_back(df::Token(1.0));
+  });
+  src.connect_out(out);
+
+  df::DynamicScheduler ds;
+  ds.add(src);
+  ds.watch(out);
+  const auto r = ds.run(25);
+
+  EXPECT_EQ(r.firings, 25u);
+  EXPECT_TRUE(r.watchdog_tripped);
+  ASSERT_TRUE(ds.diagnostics().has("WATCHDOG-001")) << ds.diagnostics().str();
+  const auto* d = ds.diagnostics().find("WATCHDOG-001");
+  bool saw_queue = false;
+  for (const auto& n : d->notes)
+    if (n.find("'out'") != std::string::npos &&
+        n.find("25") != std::string::npos)
+      saw_queue = true;
+  EXPECT_TRUE(saw_queue) << ds.diagnostics().str();
+  ASSERT_EQ(r.queues.size(), 1u);
+  EXPECT_EQ(r.queues[0].tokens, 25u);
+  EXPECT_EQ(r.queues[0].total_pushed, 25u);
+}
+
+TEST(DeadlockPostmortem, DataflowReportsBlockedFiringRules) {
+  // Consumer needs 2 tokens per firing but only ever sees 1: stranded
+  // token, no progress -> DF-001 with the firing rule it waits on.
+  df::Queue a2b("a2b");
+  df::FnProcess cons("cons", [](const std::vector<df::Token>&,
+                                std::vector<df::Token>&) {});
+  cons.connect_in(a2b, 2);
+  a2b.push(df::Token(1.0));
+
+  df::DynamicScheduler ds;
+  ds.add(cons);
+  ds.watch(a2b);
+  const auto r = ds.run();
+
+  EXPECT_EQ(r.firings, 0u);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_FALSE(r.watchdog_tripped);
+  ASSERT_EQ(r.blocked.size(), 1u);
+  EXPECT_EQ(r.blocked[0].process, "cons");
+  EXPECT_EQ(r.blocked[0].waiting_on, "needs 2 token(s) on 'a2b' (has 1)");
+  ASSERT_TRUE(ds.diagnostics().has("DF-001")) << ds.diagnostics().str();
+  const auto* d = ds.diagnostics().find("DF-001");
+  bool saw_rule = false;
+  for (const auto& n : d->notes)
+    if (n.find("needs 2 token(s) on 'a2b'") != std::string::npos) saw_rule = true;
+  EXPECT_TRUE(saw_rule) << ds.diagnostics().str();
+}
+
+TEST(DiagErrors, ElabErrorCarriesCodeAndStaysInvalidArgument) {
+  diag::Diagnostic d;
+  d.code = "ELAB-001";
+  d.component = "untimed 'ram'";
+  d.message = "not declared pure";
+  const ElabError e(std::move(d));
+  EXPECT_EQ(e.code(), "ELAB-001");
+  EXPECT_NE(std::string(e.what()).find("ELAB-001"), std::string::npos);
+  const std::invalid_argument& base = e;  // legacy catch sites still work
+  EXPECT_NE(std::string(base.what()).find("not declared pure"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asicpp

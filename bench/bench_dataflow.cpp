@@ -47,7 +47,7 @@ void BM_Dataflow_DynamicScheduler(benchmark::State& state) {
   sched.add(c.snk);
   for (auto _ : state) {
     c.src.run_once();
-    sched.run(16);
+    sched.run(RunOptions{}.for_firings(16));
   }
   state.counters["firings/s"] = benchmark::Counter(
       static_cast<double>(state.iterations() * 4), benchmark::Counter::kIsRate);

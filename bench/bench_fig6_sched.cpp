@@ -5,6 +5,7 @@
 // (plain two-phase RT semantics) the loop is an apparent deadlock.
 #include <benchmark/benchmark.h>
 
+#include "common.h"
 #include "sched/cyclesched.h"
 #include "sched/fsmcomp.h"
 #include "sched/untimed.h"
@@ -63,6 +64,66 @@ void BM_Fig6_CircularLoopCycle(benchmark::State& state) {
   state.counters["eval_sweeps"] = iters;
 }
 BENCHMARK(BM_Fig6_CircularLoopCycle);
+
+// Levelized vs iterative phase-2 kernels on the figure's circular system.
+// Thanks to phase-1 token production the loop is *levelizable* (comp1's
+// output is register-only, so no phase-2 edge closes the cycle) — the
+// static walk fires every component exactly once with zero retry passes.
+void BM_Fig6_CircularLoopMode(benchmark::State& state, ScheduleMode mode) {
+  Fig6System sys;
+  sys.sched.set_schedule_mode(mode);
+  std::uint64_t retries = 0, levelized = 0;
+  for (auto _ : state) {
+    const auto st = sys.sched.cycle();
+    if (st.eval_iterations > 1) retries += static_cast<std::uint64_t>(st.eval_iterations - 1);
+    levelized += st.levelized ? 1 : 0;
+  }
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["retry_passes"] = static_cast<double>(retries);
+  state.counters["levelized_cycles"] = static_cast<double>(levelized);
+}
+BENCHMARK_CAPTURE(BM_Fig6_CircularLoopMode, levelized, ScheduleMode::kLevelized);
+BENCHMARK_CAPTURE(BM_Fig6_CircularLoopMode, iterative, ScheduleMode::kIterative);
+
+// The depth sweep with the mode pinned: components are deliberately added
+// in reverse dependency order, so the iterative kernel needs ~n sweeps per
+// cycle while the level walk stays one pass regardless of depth.
+void BM_Fig6_PipelineDepthMode(benchmark::State& state, ScheduleMode mode) {
+  const int n = static_cast<int>(state.range(0));
+  Clk clk;
+  CycleScheduler sched(clk);
+  Reg seed("seed", clk, kF, 1.0);
+  Sfg src("src");
+  src.out("o", seed.sig()).assign(seed, (seed + 1.0).cast(kF));
+  SfgComponent csrc("src", src);
+  csrc.bind_output("o", sched.net("s0"));
+  std::vector<std::unique_ptr<Sfg>> sfgs;
+  std::vector<std::unique_ptr<SfgComponent>> comps;
+  for (int i = 0; i < n; ++i) {
+    Sig x = Sig::input("x" + std::to_string(i), kF);
+    auto s = std::make_unique<Sfg>("st" + std::to_string(i));
+    s->in(x).out("o", x + 1.0);
+    auto c = std::make_unique<SfgComponent>("c" + std::to_string(i), *s);
+    c->bind_input(x, sched.net("s" + std::to_string(i)));
+    c->bind_output("o", sched.net("s" + std::to_string(i + 1)));
+    sfgs.push_back(std::move(s));
+    comps.push_back(std::move(c));
+  }
+  for (int i = n - 1; i >= 0; --i) sched.add(*comps[static_cast<std::size_t>(i)]);
+  sched.add(csrc);
+  sched.set_schedule_mode(mode);
+  std::uint64_t retries = 0;
+  for (auto _ : state) {
+    const auto st = sched.cycle();
+    if (st.eval_iterations > 1) retries += static_cast<std::uint64_t>(st.eval_iterations - 1);
+  }
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["retry_passes"] = static_cast<double>(retries);
+}
+BENCHMARK_CAPTURE(BM_Fig6_PipelineDepthMode, levelized, ScheduleMode::kLevelized)->Arg(32);
+BENCHMARK_CAPTURE(BM_Fig6_PipelineDepthMode, iterative, ScheduleMode::kIterative)->Arg(32);
 
 void BM_Fig6_PipelineDepthSweep(benchmark::State& state) {
   // Cost of the iterative evaluation phase vs combinational chain length.
@@ -134,6 +195,7 @@ int main(int argc, char** argv) {
                 "(benchmarks below) ==\n\n");
   }
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  asicpp::bench::JsonReporter reporter("fig6_sched");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

@@ -2,10 +2,88 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
 
 namespace asicpp::bench {
+
+/// Console reporter that additionally accumulates every run into a
+/// machine-readable record and flushes `BENCH_<tag>.json` on Finalize().
+/// Each record carries the benchmark name, wall seconds, iteration count,
+/// and every user counter (cycles/s rates, retry_passes, ...), so CI can
+/// diff scheduler throughput across commits without scraping console
+/// output. The file lands in $ASICPP_BENCH_DIR (default: the current
+/// working directory).
+class JsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonReporter(std::string tag) : tag_(std::move(tag)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const auto& r : reports) {
+      Record rec;
+      rec.name = r.benchmark_name();
+      rec.iterations = static_cast<double>(r.iterations);
+      rec.wall_seconds = r.real_accumulated_time;
+      for (const auto& [cname, counter] : r.counters)
+        rec.counters.emplace_back(cname, counter.value);
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    const std::string path = json_path();
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    os << "{\n  \"tag\": \"" << tag_ << "\",\n  \"benchmarks\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      os << (i ? "," : "") << "\n    {\"name\": \"" << escape(r.name)
+         << "\", \"iterations\": " << r.iterations
+         << ", \"wall_seconds\": " << r.wall_seconds;
+      for (const auto& [cname, value] : r.counters)
+        os << ", \"" << escape(cname) << "\": " << value;
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+    std::fprintf(stderr, "bench: wrote %s (%zu records)\n", path.c_str(),
+                 records_.size());
+  }
+
+  std::string json_path() const {
+    std::string dir;
+    if (const char* d = std::getenv("ASICPP_BENCH_DIR")) dir = std::string(d) + "/";
+    return dir + "BENCH_" + tag_ + ".json";
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double iterations = 0;
+    double wall_seconds = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string tag_;
+  std::vector<Record> records_;
+};
 
 /// Lines in a repository source file (ASICPP_SOURCE_DIR is baked in by the
 /// build). Returns 0 when unreadable.

@@ -95,7 +95,7 @@ int main() {
   for (const double s : samples) q_in.push(df::Token(s));
   df::DynamicScheduler dsched;
   dsched.add(decimate);
-  dsched.run();
+  dsched.run(RunOptions{});
 
   std::printf("\n== dataflow vs cycle-true, decimated outputs ==\n");
   std::printf("%-6s %-12s %-12s\n", "n", "dataflow", "cycle-true");

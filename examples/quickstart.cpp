@@ -36,7 +36,9 @@ int main() {
   avg.in(x).out("y", (x + z1) >> 1).assign(z1, x);
 
   // Semantic checks: dangling inputs / dead code.
-  for (const auto& diag : avg.check()) std::printf("check: %s\n", diag.c_str());
+  diag::DiagEngine checks;
+  avg.check(checks);
+  for (const auto& d : checks.all()) std::printf("check: %s\n", d.str().c_str());
 
   // 2. System assembly: one component on the interconnect.
   sched::CycleScheduler sched(clk);

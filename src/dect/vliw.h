@@ -58,7 +58,10 @@ class DectTransceiver {
   /// Drive the equalizer input sample pin.
   void drive_sample(double v);
 
-  void run(std::uint64_t cycles) { sched_.run(cycles); }
+  RunResult run(std::uint64_t cycles) {
+    return sched_.run(RunOptions{}.for_cycles(cycles));
+  }
+  RunResult run(const RunOptions& opts) { return sched_.run(opts); }
 
   // --- observability ---
   long pc() const;

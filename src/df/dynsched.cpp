@@ -26,30 +26,45 @@ void DynamicScheduler::fill_postmortem(Result& r) const {
   }
 }
 
-DynamicScheduler::Result DynamicScheduler::run(std::size_t max_firings) {
+DynamicScheduler::Result DynamicScheduler::run_impl(std::size_t max_firings,
+                                                    double wall_limit) {
   Result r;
   const auto start = std::chrono::steady_clock::now();
+  std::uint64_t sweeps = 0;
   bool wall_tripped = false;
   while (r.firings < max_firings && !wall_tripped) {
     bool fired = false;
-    for (auto* p : procs_) {
+    for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
+      Process* p = procs_[pi];
       if (r.firings >= max_firings) break;
-      if (wall_limit_s_ > 0.0) {
+      if (wall_limit > 0.0) {
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
-        if (elapsed.count() >= wall_limit_s_) {
+        if (elapsed.count() >= wall_limit) {
           wall_tripped = true;
           break;
         }
       }
       if (p->can_fire()) {
-        p->run_once();
+        if (profile_) {
+          const auto t0 = std::chrono::steady_clock::now();
+          p->run_once();
+          prof_[pi].second += std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+          ++prof_[pi].first;
+        } else {
+          p->run_once();
+        }
         ++r.firings;
         fired = true;
       }
     }
+    ++sweeps;
+    if (on_sweep_) on_sweep_(sweeps);
     if (!fired) break;
   }
+  r.wall_clock_tripped = wall_tripped;
   for (auto* q : watched_) {
     if (!q->empty()) r.stranded.push_back(q->name());
   }
@@ -67,7 +82,7 @@ DynamicScheduler::Result DynamicScheduler::run(std::size_t max_firings) {
     auto& d = diagnostics().fatal(
         wall_tripped ? "WATCHDOG-002" : "WATCHDOG-001", "dataflow scheduler",
         wall_tripped
-            ? "wall-clock limit (" + std::to_string(wall_limit_s_) +
+            ? "wall-clock limit (" + std::to_string(wall_limit) +
                   " s) exceeded after " + std::to_string(r.firings) +
                   " firings with processes still ready; stopping run"
             : "firing budget (" + std::to_string(max_firings) +
@@ -90,6 +105,50 @@ DynamicScheduler::Result DynamicScheduler::run(std::size_t max_firings) {
     }
   }
   return r;
+}
+
+RunResult DynamicScheduler::run(const RunOptions& opts) {
+  struct Restore {
+    DynamicScheduler* s;
+    diag::DiagEngine* diag;
+    ~Restore() {
+      s->diag_ = diag;
+      s->profile_ = false;
+      s->on_sweep_ = nullptr;
+    }
+  } restore{this, diag_};
+  if (opts.diagnostics != nullptr) diag_ = opts.diagnostics;
+  profile_ = opts.profile;
+  if (profile_) prof_.assign(procs_.size(), {0, 0.0});
+  on_sweep_ = opts.on_cycle_end;
+
+  const std::size_t budget = opts.firings != 0 ? opts.firings : 1'000'000;
+  const double wall = opts.wall_clock_s > 0.0 ? opts.wall_clock_s : wall_limit_s_;
+  last_ = run_impl(budget, wall);
+
+  RunResult r;
+  r.firings = last_.firings;
+  r.schedule = ScheduleMode::kIterative;  // dataflow firing order is dynamic
+  if (last_.watchdog_tripped) {
+    r.stop = last_.wall_clock_tripped ? StopReason::kWallClock
+                                      : StopReason::kFiringBudget;
+  } else {
+    r.stop = last_.deadlocked ? StopReason::kDeadlock : StopReason::kQuiescent;
+  }
+  if (opts.profile) {
+    r.timing.reserve(procs_.size());
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      if (prof_[i].first == 0) continue;
+      r.timing.push_back(
+          ComponentTiming{procs_[i]->name(), prof_[i].first, prof_[i].second});
+    }
+  }
+  return r;
+}
+
+DynamicScheduler::Result DynamicScheduler::run(std::size_t max_firings) {
+  last_ = run_impl(max_firings, wall_limit_s_);
+  return last_;
 }
 
 }  // namespace asicpp::df

@@ -29,6 +29,8 @@
 //   FSM-003 shadowed transition     FSM-004 sink state
 //   FSM-005 guard on raw input      FSM-006 incomplete transition
 //   SCHED-001 combinational deadlock (cycle scheduler / compiled sim)
+//   SCHED-002 schedule invalidated (level walk missed or unlevelizable
+//             system under ScheduleMode::kLevelized; iterative fallback)
 //   DF-001  dataflow deadlock       DF-002 stranded tokens at quiescence
 //   WATCHDOG-001 cycle/firing budget exhausted
 //   WATCHDOG-002 wall-clock limit exceeded

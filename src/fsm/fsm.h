@@ -159,6 +159,7 @@ class Fsm {
 
   /// Legacy convenience: run check() into a fresh engine and render each
   /// diagnostic as one string.
+  [[deprecated("use check(diag::DiagEngine&)")]]
   std::vector<std::string> check() const;
 
   /// Graphviz rendering of the machine (states, guarded edges, action SFG

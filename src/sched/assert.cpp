@@ -77,4 +77,12 @@ std::vector<AssertionMonitor::Violation> AssertionMonitor::grade() const {
   return v;
 }
 
+bool AssertionMonitor::ok() const {
+  if (!violations_.empty()) return false;
+  for (const auto& r : rules_) {
+    if (r->kind == Rule::Kind::kEventually && !r->satisfied) return false;
+  }
+  return true;
+}
+
 }  // namespace asicpp::sched

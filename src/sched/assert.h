@@ -42,7 +42,10 @@ class AssertionMonitor {
   /// Grade the run: folds pending `eventually` obligations into failures.
   std::vector<Violation> grade() const;
 
-  bool ok() const { return grade().empty(); }
+  /// True when grade() would be empty. Short-circuits on the first recorded
+  /// violation or unsatisfied `eventually` rule instead of materializing the
+  /// full grade() vector (monitors are often polled every cycle).
+  bool ok() const;
   std::uint64_t cycles_checked() const { return cycles_; }
 
  private:

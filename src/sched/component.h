@@ -60,6 +60,32 @@ class Component {
   /// the blocking dependency chain between unfired components.
   virtual std::vector<const Net*> pending_output_nets() const { return {}; }
 
+  // --- static scheduling (levelized kernel) ---
+
+  /// Conservative cycle-independent firing dependencies, unioned over all
+  /// FSM transitions / dispatch instructions. `schedulable == false` (the
+  /// default) means the component's firing order is data-dependent and the
+  /// whole system must keep the iterative scheduler.
+  struct StaticDeps {
+    bool schedulable = false;
+    /// Input nets whose tokens must be present before the component fires.
+    std::vector<const Net*> fire_requires;
+    /// Output nets the firing puts tokens on during phase 2 (outputs that
+    /// are produced in phase 1 — register/constant-only — are omitted;
+    /// they impose no ordering).
+    std::vector<const Net*> fire_produces;
+    /// Instruction-dispatched components split into a decode step (which
+    /// performs the deferred register-only token pushes) and the firing
+    /// proper; the firing implicitly orders after the decode.
+    bool has_decode = false;
+    std::vector<const Net*> decode_requires;
+    std::vector<const Net*> decode_produces;
+  };
+
+  /// Describe this component to the static levelizer. The default marks the
+  /// component unschedulable, forcing iterative fallback.
+  virtual StaticDeps static_deps() const { return {}; }
+
  private:
   std::string name_;
 };

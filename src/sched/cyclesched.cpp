@@ -10,8 +10,10 @@ namespace asicpp::sched {
 
 Net& CycleScheduler::net(const std::string& name) {
   auto it = nets_.find(name);
-  if (it == nets_.end())
+  if (it == nets_.end()) {
     it = nets_.emplace(name, std::make_unique<Net>(name)).first;
+    net_list_.push_back(it->second.get());
+  }
   return *it->second;
 }
 
@@ -88,7 +90,7 @@ CycleScheduler::CycleStats CycleScheduler::cycle() {
   const std::uint64_t stamp = sfg::new_eval_stamp();
   CycleStats stats;
 
-  for (auto& [_, n] : nets_) n->begin_cycle();
+  for (Net* n : net_list_) n->begin_cycle();
 
   // Phase 0: transition selection.
   for (auto* c : comps_) c->begin_cycle(stamp);
@@ -96,33 +98,99 @@ CycleScheduler::CycleStats CycleScheduler::cycle() {
   // Phase 1: token production.
   for (auto* c : comps_) c->produce_tokens(stamp);
 
-  // Phase 2: iterative evaluation.
-  bool all_done = false;
-  while (!all_done) {
-    bool progress = false;
-    all_done = true;
-    for (auto* c : comps_) {
-      if (c->done()) continue;
-      if (c->try_fire(stamp)) {
-        progress = true;
-        ++stats.fired_components;
-      }
-      if (!c->done()) all_done = false;
+  const auto fire = [&](Component* c) {
+    if (!profile_) return c->try_fire(stamp);
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool f = c->try_fire(stamp);
+    auto& [firings, seconds] = prof_[c];
+    seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (f) ++firings;
+    return f;
+  };
+
+  // Phase 2, levelized: walk the cached static order once — every producer
+  // precedes its consumers, so one pass fires everything with zero retries.
+  bool need_iterative = true;
+  bool walk_missed = false;
+  if (mode_ != ScheduleMode::kIterative) {
+    refresh_schedule();
+    if (mode_ == ScheduleMode::kLevelized && !schedule_.valid() && !sched002_reported_) {
+      auto& d = diagnostics().warning(
+          "SCHED-002", "cycle scheduler",
+          "levelized schedule requested but the system cannot be statically "
+          "ordered (" + schedule_.reason() + "); running iteratively");
+      d.cycle = clk_->cycle();
+      sched002_reported_ = true;
     }
-    ++stats.eval_iterations;
-    if (all_done) break;
-    if (!progress || stats.eval_iterations >= max_iters_) {
-      // Anything still obliged to fire marks a combinational loop.
-      bool any_blocked = false;
+    if (schedule_.valid() && schedule_failures_ < 2) {
+      for (const auto& slot : schedule_.order()) {
+        if (!slot.comp->done() && fire(slot.comp)) ++stats.fired_components;
+      }
+      ++stats.eval_iterations;
+      need_iterative = false;
       for (auto* c : comps_) {
-        if (c->must_fire()) any_blocked = true;
+        if (c->must_fire()) {
+          need_iterative = true;
+          break;
+        }
       }
-      if (any_blocked) {
-        diag::Diagnostic d = deadlock_postmortem();
-        diagnostics().report(d);
-        throw DeadlockError(std::move(d));
+      if (need_iterative) {
+        // The static order no longer matches the system (e.g. bindings
+        // changed after levelization). Finish the cycle iteratively; the
+        // SCHED-002 report waits until recovery succeeds — when the sweep
+        // deadlocks too, SCHED-001 is the real story.
+        walk_missed = true;
+      } else {
+        stats.levelized = true;
+        schedule_failures_ = 0;
       }
-      break;  // only opportunistic untimed blocks remain unfired
+    }
+  }
+
+  // Phase 2, iterative evaluation (also the fallback path after a missed
+  // level walk: fired components are skipped, the sweep finishes the rest).
+  if (need_iterative) {
+    bool all_done = false;
+    while (!all_done) {
+      bool progress = false;
+      all_done = true;
+      for (auto* c : comps_) {
+        if (c->done()) continue;
+        if (fire(c)) {
+          progress = true;
+          ++stats.fired_components;
+        }
+        if (!c->done()) all_done = false;
+      }
+      ++stats.eval_iterations;
+      if (all_done) break;
+      if (!progress || stats.eval_iterations >= max_iters_) {
+        // Anything still obliged to fire marks a combinational loop.
+        bool any_blocked = false;
+        for (auto* c : comps_) {
+          if (c->must_fire()) any_blocked = true;
+        }
+        if (any_blocked) {
+          diag::Diagnostic d = deadlock_postmortem();
+          diagnostics().report(d);
+          throw DeadlockError(std::move(d));
+        }
+        break;  // only opportunistic untimed blocks remain unfired
+      }
+    }
+    if (walk_missed) {
+      ++schedule_failures_;
+      auto& d = diagnostics().warning(
+          "SCHED-002", "cycle scheduler",
+          "schedule invalidated: the static level walk left components "
+          "unfired; cycle recovered iteratively and the order will be "
+          "re-levelized" +
+              std::string(schedule_failures_ >= 2
+                              ? " (repeat miss — reverting to iterative mode)"
+                              : ""));
+      d.cycle = clk_->cycle();
+      schedule_stale_ = true;
     }
   }
 
@@ -141,37 +209,82 @@ std::vector<Net*> CycleScheduler::all_nets() const {
   return out;
 }
 
-std::uint64_t CycleScheduler::run(std::uint64_t n) {
+RunResult CycleScheduler::run(const RunOptions& opts) {
+  // Scoped overrides: options replace the sticky engine state for this run
+  // only, restored even when a cycle throws DeadlockError.
+  struct Restore {
+    CycleScheduler* s;
+    diag::DiagEngine* diag;
+    ScheduleMode mode;
+    ~Restore() {
+      s->diag_ = diag;
+      s->mode_ = mode;
+      s->profile_ = false;
+    }
+  } restore{this, diag_, mode_};
+  if (opts.diagnostics != nullptr) diag_ = opts.diagnostics;
+  mode_ = opts.schedule;
+  profile_ = opts.profile;
+  prof_.clear();
+
+  const std::uint64_t budget =
+      opts.cycle_budget != 0 ? opts.cycle_budget : cycle_budget_;
+  const double wall = opts.wall_clock_s > 0.0 ? opts.wall_clock_s : wall_limit_s_;
+
+  RunResult r;
   watchdog_tripped_ = false;
   const auto start = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < n; ++i) {
-    if (cycle_budget_ != 0 && clk_->cycle() >= cycle_budget_) {
+  for (std::uint64_t i = 0; i < opts.cycles; ++i) {
+    if (budget != 0 && clk_->cycle() >= budget) {
       auto& d = diagnostics().fatal(
           "WATCHDOG-001", "cycle scheduler",
-          "cycle budget (" + std::to_string(cycle_budget_) +
-              ") exhausted after " + std::to_string(i) + " of " +
-              std::to_string(n) + " requested cycles; stopping run");
+          "cycle budget (" + std::to_string(budget) + ") exhausted after " +
+              std::to_string(i) + " of " + std::to_string(opts.cycles) +
+              " requested cycles; stopping run");
       d.cycle = clk_->cycle();
       watchdog_tripped_ = true;
-      return i;
+      r.stop = StopReason::kCycleBudget;
+      break;
     }
-    if (wall_limit_s_ > 0.0) {
+    if (wall > 0.0) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - start;
-      if (elapsed.count() >= wall_limit_s_) {
+      if (elapsed.count() >= wall) {
         auto& d = diagnostics().fatal(
             "WATCHDOG-002", "cycle scheduler",
-            "wall-clock limit (" + std::to_string(wall_limit_s_) +
-                " s) exceeded after " + std::to_string(i) + " of " +
-                std::to_string(n) + " requested cycles; stopping run");
+            "wall-clock limit (" + std::to_string(wall) + " s) exceeded after " +
+                std::to_string(i) + " of " + std::to_string(opts.cycles) +
+                " requested cycles; stopping run");
         d.cycle = clk_->cycle();
         watchdog_tripped_ = true;
-        return i;
+        r.stop = StopReason::kWallClock;
+        break;
       }
     }
-    cycle();
+    const CycleStats st = cycle();
+    ++r.cycles;
+    r.firings += static_cast<std::uint64_t>(st.fired_components);
+    if (st.eval_iterations > 1)
+      r.retry_passes += static_cast<std::uint64_t>(st.eval_iterations - 1);
+    if (st.levelized) ++r.levelized_cycles;
+    if (opts.on_cycle_end) opts.on_cycle_end(clk_->cycle());
   }
-  return n;
+  r.schedule = (r.levelized_cycles > 0 && r.levelized_cycles * 2 >= r.cycles)
+                   ? ScheduleMode::kLevelized
+                   : ScheduleMode::kIterative;
+  if (opts.profile) {
+    r.timing.reserve(comps_.size());
+    for (auto* c : comps_) {
+      const auto it = prof_.find(c);
+      if (it == prof_.end()) continue;
+      r.timing.push_back(ComponentTiming{c->name(), it->second.first, it->second.second});
+    }
+  }
+  return r;
+}
+
+std::uint64_t CycleScheduler::run(std::uint64_t n) {
+  return run(RunOptions{}.for_cycles(n)).cycles;
 }
 
 }  // namespace asicpp::sched

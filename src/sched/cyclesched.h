@@ -32,6 +32,8 @@
 #include "diag/diag.h"
 #include "sched/component.h"
 #include "sched/net.h"
+#include "sched/run.h"
+#include "sched/schedule.h"
 #include "sfg/clk.h"
 
 namespace asicpp::sched {
@@ -50,7 +52,10 @@ class CycleScheduler {
 
   /// Register a component. Components are evaluated in registration order
   /// within each sweep, but results are order-independent by construction.
-  void add(Component& c) { comps_.push_back(&c); }
+  void add(Component& c) {
+    comps_.push_back(&c);
+    invalidate_schedule();
+  }
 
   /// Create or fetch the interconnect net `name`.
   Net& net(const std::string& name);
@@ -61,16 +66,41 @@ class CycleScheduler {
   struct CycleStats {
     int eval_iterations = 0;
     int fired_components = 0;
+    bool levelized = false;  ///< phase 2 completed via the static level walk
   };
 
   /// Simulate one clock cycle. Throws DeadlockError on combinational loops
   /// (the post-mortem is also reported into the attached engine, if any).
   CycleStats cycle();
 
-  /// Simulate up to `n` cycles. Returns the number actually simulated: less
-  /// than `n` when a run watchdog trips, in which case a WATCHDOG diagnostic
-  /// is recorded in diagnostics() and the run stops gracefully.
+  /// Simulate per `opts`: cycle count, watchdogs, schedule mode, hooks.
+  /// This is the primary entry point shared with the other engines.
+  RunResult run(const RunOptions& opts);
+
+  /// Simulate up to `n` cycles; returns the number actually simulated.
+  [[deprecated("use run(RunOptions{}.for_cycles(n))")]]
   std::uint64_t run(std::uint64_t n);
+
+  // --- static schedule ---
+
+  /// Phase-2 evaluation order policy for cycle() calls outside run().
+  void set_schedule_mode(ScheduleMode m) { mode_ = m; }
+  ScheduleMode schedule_mode() const { return mode_; }
+
+  /// The levelized schedule, rebuilt lazily after structural changes.
+  /// invalid() when the system cannot be statically ordered.
+  const Schedule& schedule() {
+    refresh_schedule();
+    return schedule_;
+  }
+
+  /// Drop the cached level order (bindings changed behind the scheduler's
+  /// back); it is re-levelized before the next cycle.
+  void invalidate_schedule() {
+    schedule_stale_ = true;
+    schedule_failures_ = 0;
+    sched002_reported_ = false;
+  }
 
   // --- diagnostics & run watchdogs ---
 
@@ -81,8 +111,10 @@ class CycleScheduler {
   diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
 
   /// Stop run() once the clock reaches `max_cycles` total (0 = unlimited).
+  [[deprecated("use RunOptions::budget / RunOptions::cycle_budget")]]
   void set_cycle_budget(std::uint64_t max_cycles) { cycle_budget_ = max_cycles; }
   /// Stop run() after `seconds` of wall-clock time (0 = unlimited).
+  [[deprecated("use RunOptions::within / RunOptions::wall_clock_s")]]
   void set_wall_clock_limit(double seconds) { wall_limit_s_ = seconds; }
   /// True when the last run() was stopped by a watchdog.
   bool watchdog_tripped() const { return watchdog_tripped_; }
@@ -102,10 +134,16 @@ class CycleScheduler {
 
  private:
   diag::Diagnostic deadlock_postmortem() const;
+  void refresh_schedule() {
+    if (!schedule_stale_) return;
+    schedule_ = Schedule::build(comps_);
+    schedule_stale_ = false;
+  }
 
   sfg::Clk* clk_;
   std::vector<Component*> comps_;
   std::map<std::string, std::unique_ptr<Net>> nets_;
+  std::vector<Net*> net_list_;  ///< flat creation-order view of nets_, for the hot per-cycle sweep
   std::vector<std::function<void(std::uint64_t)>> monitors_;
   int max_iters_ = 64;
   diag::DiagEngine* diag_ = nullptr;
@@ -113,6 +151,13 @@ class CycleScheduler {
   std::uint64_t cycle_budget_ = 0;
   double wall_limit_s_ = 0.0;
   bool watchdog_tripped_ = false;
+  ScheduleMode mode_ = ScheduleMode::kAuto;
+  Schedule schedule_;
+  bool schedule_stale_ = true;
+  int schedule_failures_ = 0;   // consecutive walk misses; >= 2 disables the walk
+  bool sched002_reported_ = false;
+  bool profile_ = false;
+  std::map<Component*, std::pair<std::uint64_t, double>> prof_;
 };
 
 }  // namespace asicpp::sched

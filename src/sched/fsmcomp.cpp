@@ -18,6 +18,24 @@ void TimedBase::bind_output(const std::string& port, Net& net) {
     throw std::logic_error("bind_output: port '" + port + "' already bound");
 }
 
+void TimedBase::static_requires(const sfg::Sfg& s, std::vector<const Net*>& req) const {
+  for (const auto& in : s.inputs()) {
+    for (const auto& b : in_binds_) {
+      if (b.node == in) req.push_back(b.net);
+    }
+  }
+}
+
+void TimedBase::static_produces(const sfg::Sfg& s, bool needs_inputs,
+                                std::vector<const Net*>& out) const {
+  s.analyze();  // the needs_inputs classification is filled lazily
+  for (const auto& o : s.outputs()) {
+    if (o.needs_inputs != needs_inputs) continue;
+    const auto it = out_binds_.find(o.port);
+    if (it != out_binds_.end()) out.push_back(it->second);
+  }
+}
+
 std::vector<const Net*> TimedBase::missing_inputs(const sfg::Sfg& s) const {
   std::vector<const Net*> missing;
   for (const auto& in : s.inputs()) {
@@ -115,6 +133,21 @@ std::vector<const Net*> FsmComponent::pending_output_nets() const {
   return nets;
 }
 
+Component::StaticDeps FsmComponent::static_deps() const {
+  StaticDeps d;
+  d.schedulable = true;
+  // Union over every transition: the order is valid whichever one phase 0
+  // selects. Register-only (pre) outputs go out in phase 1 and impose no
+  // ordering, so only needs_inputs products enter the graph.
+  for (const auto& t : fsm_->transitions()) {
+    for (const auto* s : t.actions) {
+      static_requires(*s, d.fire_requires);
+      static_produces(*s, /*needs_inputs=*/true, d.fire_produces);
+    }
+  }
+  return d;
+}
+
 // --- SfgComponent ---
 
 void SfgComponent::begin_cycle(std::uint64_t) { fired_ = false; }
@@ -146,6 +179,14 @@ std::vector<const Net*> SfgComponent::pending_output_nets() const {
   std::vector<const Net*> nets;
   if (!fired_) bound_outputs(*sfg_, nets);
   return nets;
+}
+
+Component::StaticDeps SfgComponent::static_deps() const {
+  StaticDeps d;
+  d.schedulable = true;
+  static_requires(*sfg_, d.fire_requires);
+  static_produces(*sfg_, /*needs_inputs=*/true, d.fire_produces);
+  return d;
 }
 
 // --- DispatchComponent ---
@@ -212,6 +253,27 @@ std::vector<const Net*> DispatchComponent::pending_output_nets() const {
     for (const auto& [_, net] : out_binds_) nets.push_back(net);
   }
   return nets;
+}
+
+Component::StaticDeps DispatchComponent::static_deps() const {
+  StaticDeps d;
+  d.schedulable = true;
+  // Two schedule actions: the decode step consumes the instruction token
+  // and performs the deferred register-only pushes; the firing proper runs
+  // after it. Unioned over the whole instruction table plus the default.
+  d.has_decode = true;
+  d.decode_requires.push_back(instr_net_);
+  const auto add = [&](const sfg::Sfg& s) {
+    static_requires(s, d.fire_requires);
+    static_produces(s, /*needs_inputs=*/true, d.fire_produces);
+    static_produces(s, /*needs_inputs=*/false, d.decode_produces);
+  };
+  for (const auto& [opcode, s] : table_) {
+    (void)opcode;
+    add(*s);
+  }
+  if (default_ != nullptr) add(*default_);
+  return d;
 }
 
 }  // namespace asicpp::sched

@@ -46,6 +46,13 @@ class TimedBase : public Component {
 
  protected:
 
+  /// Static-scheduling helpers: accumulate the bound input nets `s`
+  /// declares, and the bound output nets of `s` on the phase selected by
+  /// `needs_inputs` (true: phase-2 products; false: register-only outputs).
+  void static_requires(const sfg::Sfg& s, std::vector<const Net*>& req) const;
+  void static_produces(const sfg::Sfg& s, bool needs_inputs,
+                       std::vector<const Net*>& out) const;
+
   /// Bound input nets declared by `s` that do not yet carry a token.
   std::vector<const Net*> missing_inputs(const sfg::Sfg& s) const;
   /// Bound output nets of `s`'s ports.
@@ -76,6 +83,7 @@ class FsmComponent : public TimedBase {
   void end_cycle(std::uint64_t stamp) override;
   std::vector<const Net*> waiting_nets() const override;
   std::vector<const Net*> pending_output_nets() const override;
+  StaticDeps static_deps() const override;
 
   fsm::Fsm& machine() const { return *fsm_; }
   bool fired() const { return fired_; }
@@ -99,6 +107,7 @@ class SfgComponent : public TimedBase {
   void end_cycle(std::uint64_t stamp) override;
   std::vector<const Net*> waiting_nets() const override;
   std::vector<const Net*> pending_output_nets() const override;
+  StaticDeps static_deps() const override;
 
   sfg::Sfg& graph() const { return *sfg_; }
 
@@ -129,6 +138,7 @@ class DispatchComponent : public TimedBase {
   void end_cycle(std::uint64_t stamp) override;
   std::vector<const Net*> waiting_nets() const override;
   std::vector<const Net*> pending_output_nets() const override;
+  StaticDeps static_deps() const override;
 
   Net& instruction_net() const { return *instr_net_; }
   const std::map<long, sfg::Sfg*>& instruction_table() const { return table_; }

@@ -1,0 +1,139 @@
+// Unified engine run API.
+//
+// All three simulation engines — the interpreted `sched::CycleScheduler`,
+// the compiled-tape `sim::CompiledSystem`, and the dataflow
+// `df::DynamicScheduler` — accept one `RunOptions` (budgets, watchdogs,
+// trace hooks, schedule mode) and return one `RunResult` (work done, retry
+// accounting, per-component timing, stop reason). The per-engine watchdog
+// setters that predate this header remain as thin `[[deprecated]]` shims.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "diag/diag.h"
+
+namespace asicpp {
+
+/// How the cycle engines order the phase-2 evaluation sweep.
+enum class ScheduleMode {
+  /// Use the levelized static schedule when the system admits one, fall
+  /// back to iterative relaxation otherwise (the default).
+  kAuto,
+  /// Require the levelized schedule; when the system cannot be levelized a
+  /// SCHED-002 diagnostic is recorded and the run proceeds iteratively.
+  kLevelized,
+  /// Always use the original iterative three-phase relaxation.
+  kIterative,
+};
+
+const char* schedule_mode_name(ScheduleMode m);
+
+/// Why a run() returned.
+enum class StopReason {
+  kCompleted,     ///< the requested cycle count was simulated
+  kQuiescent,     ///< dataflow: no process can fire, no tokens stranded
+  kDeadlock,      ///< dataflow: no process can fire, tokens stranded
+  kCycleBudget,   ///< WATCHDOG-001: total cycle budget exhausted
+  kFiringBudget,  ///< WATCHDOG-001: dataflow firing budget exhausted
+  kWallClock,     ///< WATCHDOG-002: wall-clock limit exceeded
+};
+
+const char* stop_reason_name(StopReason r);
+
+/// One engine run request. Plain aggregate — use designated initializers or
+/// the fluent setters: `run(RunOptions{}.for_cycles(100).within(0.5))`.
+struct RunOptions {
+  /// Cycle engines: cycles to simulate in this call (0 = none).
+  std::uint64_t cycles = 0;
+  /// Dataflow engine: firing budget for this call (0 = engine default).
+  std::uint64_t firings = 0;
+  /// Watchdog: stop once the engine's *total* cycle count reaches this
+  /// value (0 = unlimited). Mirrors the deprecated set_cycle_budget().
+  std::uint64_t cycle_budget = 0;
+  /// Watchdog: stop after this much wall-clock time in seconds
+  /// (0 = unlimited). Mirrors the deprecated set_wall_clock_limit().
+  double wall_clock_s = 0.0;
+  /// Phase-2 evaluation order policy (cycle engines).
+  ScheduleMode schedule = ScheduleMode::kAuto;
+  /// Collect per-component firing counts and wall time into
+  /// RunResult::timing (adds two clock reads per firing).
+  bool profile = false;
+  /// Route diagnostics (watchdog reports, SCHED-002, post-mortems) into
+  /// this engine for the duration of the run instead of the attached one.
+  diag::DiagEngine* diagnostics = nullptr;
+  /// Trace / recorder hook, invoked after every completed cycle (cycle
+  /// engines) or after every firing sweep (dataflow engine).
+  std::function<void(std::uint64_t)> on_cycle_end;
+
+  RunOptions& for_cycles(std::uint64_t n) { cycles = n; return *this; }
+  RunOptions& for_firings(std::uint64_t n) { firings = n; return *this; }
+  RunOptions& budget(std::uint64_t total_cycles) { cycle_budget = total_cycles; return *this; }
+  RunOptions& within(double seconds) { wall_clock_s = seconds; return *this; }
+  RunOptions& mode(ScheduleMode m) { schedule = m; return *this; }
+  RunOptions& profiled(bool on = true) { profile = on; return *this; }
+  RunOptions& into(diag::DiagEngine& de) { diagnostics = &de; return *this; }
+  RunOptions& on_cycle(std::function<void(std::uint64_t)> cb) {
+    on_cycle_end = std::move(cb);
+    return *this;
+  }
+};
+
+/// Wall time and firing count of one component (or dataflow process)
+/// across a profiled run.
+struct ComponentTiming {
+  std::string component;
+  std::uint64_t firings = 0;
+  double seconds = 0.0;
+};
+
+/// What a run did. Common to all three engines; fields an engine cannot
+/// populate stay at their defaults (e.g. retry_passes for the dataflow
+/// scheduler, firings deltas for a watchdog-stopped run).
+struct RunResult {
+  /// Cycles simulated by this call (cycle engines).
+  std::uint64_t cycles = 0;
+  /// Component / process firings during this call.
+  std::uint64_t firings = 0;
+  /// Phase-2 evaluation sweeps beyond the first, summed over the run. Zero
+  /// in steady-state levelized execution; the iterative scheduler pays one
+  /// or more retry passes per cycle on deep combinational chains.
+  std::uint64_t retry_passes = 0;
+  /// Cycles that executed via the levelized static schedule.
+  std::uint64_t levelized_cycles = 0;
+  /// Schedule mode actually used for the majority of the run.
+  ScheduleMode schedule = ScheduleMode::kIterative;
+  StopReason stop = StopReason::kCompleted;
+  /// Per-component timing, populated when RunOptions::profile is set.
+  std::vector<ComponentTiming> timing;
+
+  bool watchdog_tripped() const {
+    return stop == StopReason::kCycleBudget || stop == StopReason::kFiringBudget ||
+           stop == StopReason::kWallClock;
+  }
+};
+
+inline const char* schedule_mode_name(ScheduleMode m) {
+  switch (m) {
+    case ScheduleMode::kAuto: return "auto";
+    case ScheduleMode::kLevelized: return "levelized";
+    case ScheduleMode::kIterative: return "iterative";
+  }
+  return "?";
+}
+
+inline const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::kCompleted: return "completed";
+    case StopReason::kQuiescent: return "quiescent";
+    case StopReason::kDeadlock: return "deadlock";
+    case StopReason::kCycleBudget: return "cycle budget";
+    case StopReason::kFiringBudget: return "firing budget";
+    case StopReason::kWallClock: return "wall clock";
+  }
+  return "?";
+}
+
+}  // namespace asicpp

@@ -51,6 +51,13 @@ class UntimedComponent : public Component {
     if (fired_) return {};
     return {outs_.begin(), outs_.end()};
   }
+  StaticDeps static_deps() const override {
+    StaticDeps d;
+    d.schedulable = true;
+    d.fire_requires.assign(ins_.begin(), ins_.end());
+    d.fire_produces.assign(outs_.begin(), outs_.end());
+    return d;
+  }
 
   std::size_t firings() const { return firings_; }
 

@@ -61,7 +61,7 @@ Sfg& Sfg::assign(const Reg& r, const Sig& expr) {
   return *this;
 }
 
-void Sfg::analyze() {
+void Sfg::analyze() const {
   if (analyzed_) return;
   for (auto& o : outputs_) o.needs_inputs = depends_on_declared_input(o.expr);
   analyzed_ = true;

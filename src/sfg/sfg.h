@@ -46,8 +46,10 @@ class Sfg {
   const std::vector<Output>& outputs() const { return outputs_; }
   const std::vector<RegAssign>& reg_assigns() const { return assigns_; }
 
-  /// Dependency analysis; runs lazily before simulation / checks.
-  void analyze();
+  /// Dependency analysis; runs lazily before simulation / checks /
+  /// static scheduling. Const: it only fills the memoized needs_inputs
+  /// classification of the declared outputs.
+  void analyze() const;
 
   /// Accumulating lint pass. Reports *all* violations of this SFG into
   /// `de` in one run, each with a stable code:
@@ -62,6 +64,7 @@ class Sfg {
 
   /// Legacy convenience: run check() into a fresh engine and render each
   /// diagnostic as one string.
+  [[deprecated("use check(diag::DiagEngine&)")]]
   std::vector<std::string> check();
 
   // --- simulation (interpreted mode) ---
@@ -91,9 +94,9 @@ class Sfg {
 
   std::string name_;
   std::vector<NodePtr> inputs_;
-  std::vector<Output> outputs_;
+  mutable std::vector<Output> outputs_;  ///< mutable: analyze() memoizes needs_inputs
   std::vector<RegAssign> assigns_;
-  bool analyzed_ = false;
+  mutable bool analyzed_ = false;
 };
 
 }  // namespace asicpp::sfg

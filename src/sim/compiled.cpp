@@ -1,5 +1,6 @@
 #include "sim/compiled.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <set>
@@ -7,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "sched/schedule.h"
 
 namespace asicpp::sim {
 
@@ -246,7 +249,109 @@ void CompiledSystem::Builder::build(const sched::CycleScheduler& sched) {
 CompiledSystem CompiledSystem::compile(const sched::CycleScheduler& sched) {
   CompiledSystem sys;
   Builder(sys).build(sched);
+  sys.build_schedule();
   return sys;
+}
+
+void CompiledSystem::build_schedule() {
+  // Mirror of sched::Schedule::build over the compiled structures: one
+  // action per component, two for dispatch (decode performs the deferred
+  // pre-pushes, the firing orders after it). FSM pre-pushes run in phase 1
+  // and impose no ordering, so only main_pushes count as products there.
+  std::vector<std::pair<std::int32_t, bool>> act;  // comp index, is_decode
+  std::vector<std::vector<std::int32_t>> needs;
+  std::vector<std::vector<std::int32_t>> produces;
+  std::vector<int> after;
+
+  const auto dedup = [](std::vector<std::int32_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  const auto sfg_needs = [&](std::int32_t id, std::vector<std::int32_t>& v) {
+    for (const auto n : sfgs_[static_cast<std::size_t>(id)].required_nets) v.push_back(n);
+  };
+  const auto sfg_main_products = [&](std::int32_t id, std::vector<std::int32_t>& v) {
+    for (const auto& p : sfgs_[static_cast<std::size_t>(id)].main_pushes) v.push_back(p.net);
+  };
+  const auto sfg_pre_products = [&](std::int32_t id, std::vector<std::int32_t>& v) {
+    for (const auto& p : sfgs_[static_cast<std::size_t>(id)].pre_pushes) v.push_back(p.net);
+  };
+
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    const Comp& c = comps_[i];
+    std::vector<std::int32_t> req;
+    std::vector<std::int32_t> prod;
+    int decode_idx = -1;
+    switch (c.kind) {
+      case Kind::kFsm:
+        for (const auto& st : c.by_state) {
+          for (const auto& gt : st) {
+            for (const auto id : gt.sfgs) {
+              sfg_needs(id, req);
+              sfg_main_products(id, prod);
+            }
+          }
+        }
+        break;
+      case Kind::kSfg:
+        sfg_needs(c.solo_sfg, req);
+        sfg_main_products(c.solo_sfg, prod);
+        break;
+      case Kind::kDispatch: {
+        std::vector<std::int32_t> dprod;
+        const auto each = [&](std::int32_t id) {
+          sfg_needs(id, req);
+          sfg_main_products(id, prod);
+          sfg_pre_products(id, dprod);
+        };
+        for (const auto& [opcode, id] : c.table) {
+          (void)opcode;
+          each(id);
+        }
+        if (c.default_sfg >= 0) each(c.default_sfg);
+        dedup(dprod);
+        decode_idx = static_cast<int>(act.size());
+        act.emplace_back(static_cast<std::int32_t>(i), true);
+        needs.push_back({c.instr_net});
+        produces.push_back(std::move(dprod));
+        after.push_back(-1);
+        break;
+      }
+      case Kind::kUntimed:
+        req = c.in_nets;
+        prod = c.out_nets;
+        break;
+    }
+    dedup(req);
+    dedup(prod);
+    act.emplace_back(static_cast<std::int32_t>(i), false);
+    needs.push_back(std::move(req));
+    produces.push_back(std::move(prod));
+    after.push_back(decode_idx);
+  }
+
+  std::vector<int> cyc;
+  const std::vector<int> levels = sched::levelize_actions(needs, produces, after, &cyc);
+  if (levels.size() != act.size()) {
+    std::string msg = "dependency cycle:";
+    for (const int a : cyc) {
+      const std::string& name = comps_[static_cast<std::size_t>(act[static_cast<std::size_t>(a)].first)].name;
+      if (msg.rfind(name) == std::string::npos) msg += " " + name;
+    }
+    sched_reason_ = msg;
+    return;
+  }
+  std::vector<int> idx(act.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](int a, int b) { return levels[a] < levels[b]; });
+  level_order_.reserve(idx.size());
+  for (const int i : idx) {
+    level_order_.push_back(SchedSlot{act[static_cast<std::size_t>(i)].first,
+                                     act[static_cast<std::size_t>(i)].second, levels[i]});
+    sched_levels_ = std::max(sched_levels_, levels[i] + 1);
+  }
+  levelizable_ = true;
 }
 
 bool CompiledSystem::comp_blocked(const Comp& c) const {
@@ -517,32 +622,88 @@ void CompiledSystem::cycle() {
     }
   }
 
-  // Phase 2: iterative evaluation.
   auto done = [](const Comp& c) {
     return c.kind == Kind::kFsm ? (c.fired || c.pending == nullptr) : c.fired;
   };
-  int iters = 0;
-  for (;;) {
-    bool progress = false;
-    bool all_done = true;
-    for (auto& c : comps_) {
-      if (done(c)) continue;
-      if (comp_try_fire(c)) progress = true;
-      if (!done(c)) all_done = false;
+  const auto fire = [&](Comp& c) {
+    if (!profile_) return comp_try_fire(c);
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool f = comp_try_fire(c);
+    auto& e = prof_[static_cast<std::size_t>(&c - comps_.data())];
+    e.second +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (f) ++e.first;
+    return f;
+  };
+
+  // Phase 2, levelized: one pass over the precomputed level order.
+  bool need_iterative = true;
+  bool walk_missed = false;
+  if (mode_ != ScheduleMode::kIterative && levelizable_ && sched_failures_ < 2) {
+    for (const auto& s : level_order_) {
+      Comp& c = comps_[static_cast<std::size_t>(s.comp)];
+      if (!done(c) && fire(c)) ++fired_total_;
     }
-    ++iters;
-    if (all_done) break;
-    if (!progress || iters >= max_iters_) {
-      bool any_blocked = false;
-      for (const auto& c : comps_) {
-        if (comp_blocked(c)) any_blocked = true;
+    need_iterative = false;
+    for (const auto& c : comps_) {
+      if (comp_blocked(c)) {
+        need_iterative = true;
+        walk_missed = true;
+        break;
       }
-      if (any_blocked) {
-        diag::Diagnostic d = deadlock_postmortem();
-        diagnostics().report(d);
-        throw sched::DeadlockError(std::move(d));
+    }
+    if (!need_iterative) {
+      ++levelized_cycles_total_;
+      sched_failures_ = 0;
+    }
+  } else if (mode_ == ScheduleMode::kLevelized && !levelizable_ && !sched002_reported_) {
+    auto& d = diagnostics().warning(
+        "SCHED-002", "compiled simulator",
+        "levelized schedule requested but the system cannot be statically "
+        "ordered (" + sched_reason_ + "); running iteratively");
+    d.cycle = cycles_;
+    sched002_reported_ = true;
+  }
+
+  // Phase 2, iterative evaluation (also the fallback after a missed walk).
+  if (need_iterative) {
+    int iters = walk_missed ? 1 : 0;
+    for (;;) {
+      bool progress = false;
+      bool all_done = true;
+      for (auto& c : comps_) {
+        if (done(c)) continue;
+        if (fire(c)) {
+          progress = true;
+          ++fired_total_;
+        }
+        if (!done(c)) all_done = false;
       }
-      break;
+      ++iters;
+      if (iters > 1) ++retry_passes_total_;
+      if (all_done) break;
+      if (!progress || iters >= max_iters_) {
+        bool any_blocked = false;
+        for (const auto& c : comps_) {
+          if (comp_blocked(c)) any_blocked = true;
+        }
+        if (any_blocked) {
+          diag::Diagnostic d = deadlock_postmortem();
+          diagnostics().report(d);
+          throw sched::DeadlockError(std::move(d));
+        }
+        break;
+      }
+    }
+    if (walk_missed) {
+      ++sched_failures_;
+      auto& d = diagnostics().warning(
+          "SCHED-002", "compiled simulator",
+          "schedule invalidated: the static level walk left components "
+          "unfired; cycle recovered iteratively" +
+              std::string(sched_failures_ >= 2 ? " (repeat miss — reverting to iterative mode)"
+                                               : ""));
+      d.cycle = cycles_;
     }
   }
 
@@ -570,39 +731,83 @@ void CompiledSystem::cycle() {
   ++cycles_;
 }
 
-std::uint64_t CompiledSystem::run(std::uint64_t n) {
+RunResult CompiledSystem::run(const RunOptions& opts) {
+  struct Restore {
+    CompiledSystem* s;
+    diag::DiagEngine* diag;
+    ScheduleMode mode;
+    ~Restore() {
+      s->diag_ = diag;
+      s->mode_ = mode;
+      s->profile_ = false;
+    }
+  } restore{this, diag_, mode_};
+  if (opts.diagnostics != nullptr) diag_ = opts.diagnostics;
+  mode_ = opts.schedule;
+  profile_ = opts.profile;
+  if (profile_) prof_.assign(comps_.size(), {0, 0.0});
+
+  const std::uint64_t budget =
+      opts.cycle_budget != 0 ? opts.cycle_budget : cycle_budget_;
+  const double wall = opts.wall_clock_s > 0.0 ? opts.wall_clock_s : wall_limit_s_;
+
+  RunResult r;
+  const std::uint64_t retry0 = retry_passes_total_;
+  const std::uint64_t level0 = levelized_cycles_total_;
+  const std::uint64_t fired0 = fired_total_;
   watchdog_tripped_ = false;
   const auto start = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < n; ++i) {
-    if (cycle_budget_ != 0 && cycles_ >= cycle_budget_) {
+  for (std::uint64_t i = 0; i < opts.cycles; ++i) {
+    if (budget != 0 && cycles_ >= budget) {
       auto& d = diagnostics().fatal(
           "WATCHDOG-001", "compiled simulator",
-          "cycle budget (" + std::to_string(cycle_budget_) +
-              ") exhausted after " + std::to_string(i) + " of " +
-              std::to_string(n) + " requested cycles; stopping run");
+          "cycle budget (" + std::to_string(budget) + ") exhausted after " +
+              std::to_string(i) + " of " + std::to_string(opts.cycles) +
+              " requested cycles; stopping run");
       d.cycle = cycles_;
       watchdog_tripped_ = true;
-      return i;
+      r.stop = StopReason::kCycleBudget;
+      break;
     }
     // The wall clock is sampled every cycle; a compiled cycle is orders of
     // magnitude heavier than one steady_clock read.
-    if (wall_limit_s_ > 0.0) {
+    if (wall > 0.0) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - start;
-      if (elapsed.count() >= wall_limit_s_) {
+      if (elapsed.count() >= wall) {
         auto& d = diagnostics().fatal(
             "WATCHDOG-002", "compiled simulator",
-            "wall-clock limit (" + std::to_string(wall_limit_s_) +
-                " s) exceeded after " + std::to_string(i) + " of " +
-                std::to_string(n) + " requested cycles; stopping run");
+            "wall-clock limit (" + std::to_string(wall) + " s) exceeded after " +
+                std::to_string(i) + " of " + std::to_string(opts.cycles) +
+                " requested cycles; stopping run");
         d.cycle = cycles_;
         watchdog_tripped_ = true;
-        return i;
+        r.stop = StopReason::kWallClock;
+        break;
       }
     }
     cycle();
+    ++r.cycles;
+    if (opts.on_cycle_end) opts.on_cycle_end(cycles_);
   }
-  return n;
+  r.retry_passes = retry_passes_total_ - retry0;
+  r.levelized_cycles = levelized_cycles_total_ - level0;
+  r.firings = fired_total_ - fired0;
+  r.schedule = (r.levelized_cycles > 0 && r.levelized_cycles * 2 >= r.cycles)
+                   ? ScheduleMode::kLevelized
+                   : ScheduleMode::kIterative;
+  if (opts.profile) {
+    r.timing.reserve(comps_.size());
+    for (std::size_t i = 0; i < comps_.size(); ++i) {
+      if (prof_[i].first == 0 && prof_[i].second == 0.0) continue;
+      r.timing.push_back(ComponentTiming{comps_[i].name, prof_[i].first, prof_[i].second});
+    }
+  }
+  return r;
+}
+
+std::uint64_t CompiledSystem::run(std::uint64_t n) {
+  return run(RunOptions{}.for_cycles(n)).cycles;
 }
 
 CompiledSystem::Checkpoint CompiledSystem::save() const {

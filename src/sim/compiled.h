@@ -20,6 +20,7 @@
 #include "fixpt/format.h"
 #include "sched/cyclesched.h"
 #include "sched/fsmcomp.h"
+#include "sched/run.h"
 #include "sched/untimed.h"
 #include "sim/tape.h"
 
@@ -37,19 +38,36 @@ class CompiledSystem {
   /// cycle, and last-known net values.
   void cycle();
 
-  /// Simulate up to `n` cycles. Returns the number actually simulated:
-  /// less than `n` when a run watchdog trips (a WATCHDOG diagnostic is
-  /// recorded in diagnostics() and the run stops gracefully).
+  /// Simulate per `opts`: cycle count, watchdogs, schedule mode, hooks.
+  /// The unified entry point shared with CycleScheduler / DynamicScheduler.
+  RunResult run(const RunOptions& opts);
+
+  /// Simulate up to `n` cycles; returns the number actually simulated.
+  [[deprecated("use run(RunOptions{}.for_cycles(n))")]]
   std::uint64_t run(std::uint64_t n);
   std::uint64_t cycles() const { return cycles_; }
+
+  // --- static schedule ---
+
+  /// Phase-2 evaluation order policy for cycle() calls outside run().
+  void set_schedule_mode(ScheduleMode m) { mode_ = m; }
+  ScheduleMode schedule_mode() const { return mode_; }
+  /// True when compile() found a valid level order for the system.
+  bool levelizable() const { return levelizable_; }
+  /// Why levelization failed (empty when levelizable()).
+  const std::string& schedule_reason() const { return sched_reason_; }
+  /// Number of levels in the static order (0 when not levelizable).
+  int schedule_levels() const { return sched_levels_; }
 
   // --- diagnostics & run watchdogs ---
 
   void attach_diagnostics(diag::DiagEngine& de) { diag_ = &de; }
   diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
   /// Stop run() once cycles() reaches `max_cycles` total (0 = unlimited).
+  [[deprecated("use RunOptions::budget / RunOptions::cycle_budget")]]
   void set_cycle_budget(std::uint64_t max_cycles) { cycle_budget_ = max_cycles; }
   /// Stop run() after `seconds` of wall-clock time (0 = unlimited).
+  [[deprecated("use RunOptions::within / RunOptions::wall_clock_s")]]
   void set_wall_clock_limit(double seconds) { wall_limit_s_ = seconds; }
   bool watchdog_tripped() const { return watchdog_tripped_; }
 
@@ -155,8 +173,17 @@ class CompiledSystem {
     std::int32_t slot;
   };
 
+  /// One step of the static level order: a component firing, or — for
+  /// dispatch components — the decode/token-production step preceding it.
+  struct SchedSlot {
+    std::int32_t comp;
+    bool decode;
+    int level;
+  };
+
   class Builder;
 
+  void build_schedule();
   bool comp_try_fire(Comp& c);
   void run_sfg_pre(std::int32_t sfg);
   bool run_sfg_main(std::int32_t sfg);  ///< false when inputs missing
@@ -180,11 +207,25 @@ class CompiledSystem {
   std::vector<InputRefresh> refresh_;
   int max_iters_ = 64;
 
+  // static schedule (built once by compile())
+  std::vector<SchedSlot> level_order_;
+  bool levelizable_ = false;
+  int sched_levels_ = 0;
+  std::string sched_reason_;
+
   // runtime state
   std::vector<double> slots_;
   std::vector<std::uint8_t> net_token_;
   std::uint64_t cycles_ = 0;
   std::uint64_t ops_ = 0;
+  std::uint64_t retry_passes_total_ = 0;
+  std::uint64_t levelized_cycles_total_ = 0;
+  std::uint64_t fired_total_ = 0;
+  ScheduleMode mode_ = ScheduleMode::kAuto;
+  int sched_failures_ = 0;  // walk misses; >= 2 disables the level walk
+  bool sched002_reported_ = false;
+  bool profile_ = false;
+  std::vector<std::pair<std::uint64_t, double>> prof_;  // per comps_ index
   diag::DiagEngine* diag_ = nullptr;
   diag::DiagEngine own_diag_;
   std::uint64_t cycle_budget_ = 0;

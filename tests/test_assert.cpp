@@ -41,7 +41,7 @@ TEST(AssertionMonitor, AlwaysAndNeverGradeCorrectly) {
   mon.always("o is nonnegative", [&] { return c.sched.net("o").last().value() >= 0.0; });
   mon.never("o hits 100", [&] { return c.sched.net("o").last().value() == 100.0; });
   mon.always("o below 5 (will fail)", [&] { return c.sched.net("o").last().value() < 5.0; });
-  c.sched.run(10);
+  c.sched.run(RunOptions{}.for_cycles(10));
   const auto v = mon.grade();
   ASSERT_EQ(v.size(), 5u);  // o = 5..9 violate the < 5 rule
   EXPECT_EQ(v[0].label, "o below 5 (will fail)");
@@ -56,7 +56,7 @@ TEST(AssertionMonitor, EventuallySatisfiedAndPending) {
   mon.eventually("reaches 3", [&] { return c.sched.net("o").last().value() >= 3.0; });
   mon.eventually("reaches 1000 (never)",
                  [&] { return c.sched.net("o").last().value() >= 1000.0; });
-  c.sched.run(8);
+  c.sched.run(RunOptions{}.for_cycles(8));
   const auto v = mon.grade();
   ASSERT_EQ(v.size(), 1u);
   EXPECT_EQ(v[0].label, "reaches 1000 (never)");
@@ -103,9 +103,9 @@ TEST(AssertionMonitor, EventuallySatisfiedOnFinalCycle) {
   // is discharged at the last possible check, not a cycle earlier.
   mon.eventually("reaches 4 on last cycle",
                  [&] { return c.sched.net("o").last().value() >= 4.0; });
-  c.sched.run(4);
+  c.sched.run(RunOptions{}.for_cycles(4));
   EXPECT_FALSE(mon.ok());  // one cycle short: still pending
-  c.sched.run(1);
+  c.sched.run(RunOptions{}.for_cycles(1));
   EXPECT_TRUE(mon.ok());
   EXPECT_EQ(mon.cycles_checked(), 5u);
 }
@@ -125,11 +125,11 @@ TEST(AssertionMonitor, StableWhileOnNeverChangingNet) {
   bool watch = true;
   sched::AssertionMonitor mon(sched);
   mon.stable_while("constant net stays stable", "o", [&] { return watch; });
-  sched.run(6);
+  sched.run(RunOptions{}.for_cycles(6));
   watch = false;
-  sched.run(3);
+  sched.run(RunOptions{}.for_cycles(3));
   watch = true;
-  sched.run(6);
+  sched.run(RunOptions{}.for_cycles(6));
   EXPECT_TRUE(mon.ok());
   EXPECT_EQ(mon.cycles_checked(), 15u);
 }
@@ -153,16 +153,16 @@ TEST(AssertionMonitor, GradeWithZeroCycles) {
 TEST(Checkpoint, SaveRestoreBranchesARun) {
   Counter c;
   sim::CompiledSystem cs = sim::CompiledSystem::compile(c.sched);
-  cs.run(5);
+  cs.run(RunOptions{}.for_cycles(5));
   const auto cp = cs.save();
   EXPECT_EQ(cp.cycles, 5u);
 
-  cs.run(7);
+  cs.run(RunOptions{}.for_cycles(7));
   const double after12 = cs.reg_value("count");
   cs.restore(cp);
   EXPECT_EQ(cs.cycles(), 5u);
   EXPECT_DOUBLE_EQ(cs.reg_value("count"), 5.0);
-  cs.run(7);
+  cs.run(RunOptions{}.for_cycles(7));
   EXPECT_DOUBLE_EQ(cs.reg_value("count"), after12);  // replay is identical
 }
 

@@ -109,7 +109,7 @@ TEST(HdlEdge, VerilogTestbenchGolden) {
   sched.add(comp);
   sim::Recorder rec(sched);
   rec.watch("o");
-  sched.run(3);
+  sched.run(RunOptions{}.for_cycles(3));
 
   hdl::TestbenchSpec spec;
   spec.dut_name = "cnt";
@@ -157,7 +157,7 @@ TEST(RecorderEdge, ValidFlagsTrackTokenPresence) {
 
   sim::Recorder rec(sched);
   rec.watch("o");
-  sched.run(6);
+  sched.run(RunOptions{}.for_cycles(6));
   const auto& t = rec.trace("o");
   EXPECT_TRUE(t.valid[0]);
   EXPECT_FALSE(t.valid[1]);

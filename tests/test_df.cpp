@@ -106,7 +106,8 @@ TEST(DynamicScheduler, RunsPipelineToQuiescence) {
   sched.add(stage2);
   sched.watch(src_q);
   sched.watch(mid);
-  const auto r = sched.run();
+  sched.run(RunOptions{});
+  const auto& r = sched.last_result();
   EXPECT_EQ(r.firings, 10u);
   EXPECT_FALSE(r.deadlocked);
   EXPECT_EQ(sink_q.size(), 5u);
@@ -134,7 +135,8 @@ TEST(DynamicScheduler, ReportsDeadlockWithStrandedTokens) {
   sched.watch(ext);
   sched.watch(a2b);
   sched.watch(b2a);
-  const auto r = sched.run();
+  sched.run(RunOptions{});
+  const auto& r = sched.last_result();
   EXPECT_EQ(r.firings, 0u);
   EXPECT_TRUE(r.deadlocked);
   ASSERT_EQ(r.stranded.size(), 1u);
@@ -154,7 +156,8 @@ TEST(DynamicScheduler, InitialTokenBreaksCycle) {
   DynamicScheduler sched;
   sched.add(a);
   sched.add(b);
-  const auto r = sched.run(/*max_firings=*/100);
+  sched.run(RunOptions{}.for_firings(100));
+  const auto& r = sched.last_result();
   EXPECT_EQ(r.firings, 100u);  // cycles forever, bounded by budget
 }
 

@@ -49,7 +49,7 @@ TEST(DataflowAdapter, DecimatorFiresEveryThirdCycle) {
   sched.on_cycle_end([&](std::uint64_t) {
     if (sched.net("sums").has_token()) sums.push_back(sched.net("sums").token().value());
   });
-  sched.run(11);
+  sched.run(RunOptions{}.for_cycles(11));
   // Firing after samples {0,1,2}, {3,4,5}, {6,7,8}; each sum drains one
   // cycle later through the phase-1 buffer.
   ASSERT_EQ(sums.size(), 3u);
@@ -74,7 +74,7 @@ TEST(DataflowAdapter, InterpolatorBacklogGrowsWithRateMismatch) {
   ad.bind_output(sched.net("up"), 3);
   sched.add(ad);
 
-  sched.run(6);
+  sched.run(RunOptions{}.for_cycles(6));
   // 6 firings produce 18 tokens; 5 drained (none on the first cycle).
   EXPECT_EQ(ad.firings(), 6u);
   EXPECT_EQ(ad.output_backlog(0), 13u);
@@ -104,7 +104,7 @@ TEST(DataflowAdapter, MultiInputZip) {
   ad.bind_output(sched.net("scaled"));
   sched.add(ad);
 
-  sched.run(6);
+  sched.run(RunOptions{}.for_cycles(6));
   // One cycle of buffering: cycle 6 drains the product of sample 4.
   EXPECT_DOUBLE_EQ(sched.net("scaled").last().value(), 4.0 * 0.5);
 }
@@ -119,7 +119,7 @@ TEST(DataflowAdapter, StarvedInputIsNotDeadlock) {
   ad.bind_input(sched.net("never_driven"));
   ad.bind_output(sched.net("out"));
   sched.add(ad);
-  EXPECT_NO_THROW(sched.run(3));
+  EXPECT_NO_THROW(sched.run(RunOptions{}.for_cycles(3)));
   EXPECT_EQ(ad.firings(), 0u);
 }
 

@@ -258,9 +258,10 @@ struct Counter {
 
 TEST(Watchdog, CycleSchedulerBudgetStopsGracefully) {
   Counter c;
-  c.sched.set_cycle_budget(5);
-  const std::uint64_t done = c.sched.run(100);
-  EXPECT_EQ(done, 5u);
+  const RunResult r = c.sched.run(RunOptions{}.for_cycles(100).budget(5));
+  EXPECT_EQ(r.cycles, 5u);
+  EXPECT_EQ(r.stop, StopReason::kCycleBudget);
+  EXPECT_TRUE(r.watchdog_tripped());
   EXPECT_EQ(c.sched.cycles(), 5u);
   EXPECT_TRUE(c.sched.watchdog_tripped());
   ASSERT_TRUE(c.sched.diagnostics().has("WATCHDOG-001"));
@@ -269,8 +270,9 @@ TEST(Watchdog, CycleSchedulerBudgetStopsGracefully) {
   EXPECT_EQ(d->cycle, 5u);
 
   // Raising the budget lets the run continue; the flag resets.
-  c.sched.set_cycle_budget(8);
-  EXPECT_EQ(c.sched.run(2), 2u);
+  const RunResult r2 = c.sched.run(RunOptions{}.for_cycles(2).budget(8));
+  EXPECT_EQ(r2.cycles, 2u);
+  EXPECT_EQ(r2.stop, StopReason::kCompleted);
   EXPECT_FALSE(c.sched.watchdog_tripped());
 }
 
@@ -279,8 +281,9 @@ TEST(Watchdog, CompiledSystemBudgetStopsGracefully) {
   sim::CompiledSystem cs = sim::CompiledSystem::compile(c.sched);
   diag::DiagEngine de;
   cs.attach_diagnostics(de);
-  cs.set_cycle_budget(7);
-  EXPECT_EQ(cs.run(50), 7u);
+  const RunResult r = cs.run(RunOptions{}.for_cycles(50).budget(7));
+  EXPECT_EQ(r.cycles, 7u);
+  EXPECT_EQ(r.stop, StopReason::kCycleBudget);
   EXPECT_EQ(cs.cycles(), 7u);
   EXPECT_TRUE(cs.watchdog_tripped());
   EXPECT_TRUE(de.has("WATCHDOG-001"));
@@ -289,9 +292,10 @@ TEST(Watchdog, CompiledSystemBudgetStopsGracefully) {
 
 TEST(Watchdog, WallClockLimitStopsRun) {
   Counter c;
-  c.sched.set_wall_clock_limit(1e-9);  // trips on the first check
-  const std::uint64_t done = c.sched.run(1'000'000);
-  EXPECT_LT(done, 1'000'000u);
+  // 1e-9 s trips on the first check.
+  const RunResult r = c.sched.run(RunOptions{}.for_cycles(1'000'000).within(1e-9));
+  EXPECT_LT(r.cycles, 1'000'000u);
+  EXPECT_EQ(r.stop, StopReason::kWallClock);
   EXPECT_TRUE(c.sched.watchdog_tripped());
   EXPECT_TRUE(c.sched.diagnostics().has("WATCHDOG-002"));
 }
@@ -309,8 +313,11 @@ TEST(Watchdog, DataflowFiringBudgetStopsNonTerminatingGraph) {
   df::DynamicScheduler ds;
   ds.add(src);
   ds.watch(out);
-  const auto r = ds.run(25);
+  const RunResult rr = ds.run(RunOptions{}.for_firings(25));
+  const auto& r = ds.last_result();
 
+  EXPECT_EQ(rr.firings, 25u);
+  EXPECT_EQ(rr.stop, StopReason::kFiringBudget);
   EXPECT_EQ(r.firings, 25u);
   EXPECT_TRUE(r.watchdog_tripped);
   ASSERT_TRUE(ds.diagnostics().has("WATCHDOG-001")) << ds.diagnostics().str();
@@ -338,8 +345,10 @@ TEST(DeadlockPostmortem, DataflowReportsBlockedFiringRules) {
   df::DynamicScheduler ds;
   ds.add(cons);
   ds.watch(a2b);
-  const auto r = ds.run();
+  const RunResult rr = ds.run(RunOptions{});
+  const auto& r = ds.last_result();
 
+  EXPECT_EQ(rr.stop, StopReason::kDeadlock);
   EXPECT_EQ(r.firings, 0u);
   EXPECT_TRUE(r.deadlocked);
   EXPECT_FALSE(r.watchdog_tripped);

@@ -46,7 +46,9 @@ TEST(Fsm, Fig4Structure) {
   EXPECT_EQ(m.f.state_name(1), "s1");
   EXPECT_EQ(m.f.state_index("s1"), 1);
   EXPECT_EQ(m.f.state_index("nope"), -1);
-  EXPECT_TRUE(m.f.check().empty());
+  diag::DiagEngine de;
+  m.f.check(de);
+  EXPECT_TRUE(de.empty()) << de.str();
 }
 
 TEST(Fsm, Fig4ExecutionFollowsGuards) {
@@ -132,10 +134,14 @@ TEST(FsmCheck, DetectsUnreachableAndSinkStates) {
   State orphan = f.state("orphan");
   (void)orphan;
   s0 << always << a << s0;
-  const auto diags = f.check();
+  diag::DiagEngine de;
+  f.check(de);
+  const auto& diags = de.all();
   ASSERT_EQ(diags.size(), 2u);
-  EXPECT_NE(diags[0].find("unreachable"), std::string::npos);
-  EXPECT_NE(diags[1].find("no outgoing transition"), std::string::npos);
+  EXPECT_EQ(diags[0].code, "FSM-002");
+  EXPECT_NE(diags[0].str().find("unreachable"), std::string::npos);
+  EXPECT_EQ(diags[1].code, "FSM-004");
+  EXPECT_NE(diags[1].str().find("no outgoing transition"), std::string::npos);
 }
 
 TEST(FsmCheck, DetectsDeadTransitionAfterAlways) {
@@ -146,9 +152,12 @@ TEST(FsmCheck, DetectsDeadTransitionAfterAlways) {
   State s = f.initial("s");
   s << always << a << s;
   s << cnd(flag) << a << s;  // can never fire
-  const auto diags = f.check();
+  diag::DiagEngine de;
+  f.check(de);
+  const auto& diags = de.all();
   ASSERT_EQ(diags.size(), 1u);
-  EXPECT_NE(diags[0].find("never fire"), std::string::npos);
+  EXPECT_EQ(diags[0].code, "FSM-003");
+  EXPECT_NE(diags[0].str().find("never fire"), std::string::npos);
 }
 
 TEST(FsmCheck, DetectsGuardOnUnregisteredInput) {
@@ -157,9 +166,12 @@ TEST(FsmCheck, DetectsGuardOnUnregisteredInput) {
   Fsm f{"mealy"};
   State s = f.initial("s");
   s << cnd(x) << a << s;
-  const auto diags = f.check();
+  diag::DiagEngine de;
+  f.check(de);
+  const auto& diags = de.all();
   ASSERT_EQ(diags.size(), 1u);
-  EXPECT_NE(diags[0].find("unregistered input 'x'"), std::string::npos);
+  EXPECT_EQ(diags[0].code, "FSM-005");
+  EXPECT_NE(diags[0].str().find("unregistered input 'x'"), std::string::npos);
 }
 
 TEST(FsmCheck, DetectsIncompleteTransition) {
@@ -172,9 +184,12 @@ TEST(FsmCheck, DetectsIncompleteTransition) {
     b << a;
   }  // builder destroyed without destination
   s << always << a << s;          // keep the machine otherwise valid
-  const auto diags = f.check();
+  diag::DiagEngine de;
+  f.check(de);
+  const auto& diags = de.all();
   ASSERT_GE(diags.size(), 1u);
-  EXPECT_NE(diags[0].find("incomplete transition"), std::string::npos);
+  EXPECT_EQ(diags[0].code, "FSM-006");
+  EXPECT_NE(diags[0].str().find("incomplete transition"), std::string::npos);
 }
 
 TEST(Fsm, GuardErrors) {
@@ -217,7 +232,9 @@ TEST_P(RingFsm, CyclesThroughAllStates) {
   for (int i = 0; i < n; ++i)
     states[static_cast<std::size_t>(i)] << always << bump
                                         << states[static_cast<std::size_t>((i + 1) % n)];
-  EXPECT_TRUE(f.check().empty());
+  diag::DiagEngine de;
+  f.check(de);
+  EXPECT_TRUE(de.empty()) << de.str();
   for (int i = 0; i < 3 * n; ++i) {
     EXPECT_EQ(f.current(), i % n);
     f.step();

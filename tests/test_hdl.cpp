@@ -206,7 +206,7 @@ TEST(Testbench, ReplaysRecordedTraces) {
   sim::Recorder rec(a.sched);
   rec.watch("x");
   rec.watch("sum");
-  a.sched.run(4);
+  a.sched.run(RunOptions{}.for_cycles(4));
 
   TestbenchSpec spec;
   spec.dut_name = "acc_unit";

@@ -100,7 +100,7 @@ TEST(CycleScheduler, OrderIndependence) {
       sched.add(cprod);
       sched.add(ccons);
     }
-    sched.run(4);
+    sched.run(RunOptions{}.for_cycles(4));
     EXPECT_DOUBLE_EQ(sched.net("out").last().value(), 6.0) << consumer_first;
   }
 }
@@ -260,7 +260,7 @@ TEST(CycleScheduler, ControllerDispatchRamRoundTrip) {
   sched.add(ram);
 
   // 4 write/read pairs: writes store 10*k at address k, reads accumulate.
-  sched.run(8);
+  sched.run(RunOptions{}.for_cycles(8));
   EXPECT_DOUBLE_EQ(storage[0], 0.0);
   EXPECT_DOUBLE_EQ(storage[1], 10.0);
   EXPECT_DOUBLE_EQ(storage[2], 20.0);
@@ -306,7 +306,7 @@ TEST(CycleScheduler, MonitorsSeeEveryCycle) {
   sched.add(c);
   std::vector<std::uint64_t> seen;
   sched.on_cycle_end([&](std::uint64_t cyc) { seen.push_back(cyc); });
-  sched.run(3);
+  sched.run(RunOptions{}.for_cycles(3));
   ASSERT_EQ(seen.size(), 3u);
   EXPECT_EQ(seen[0], 1u);
   EXPECT_EQ(seen[2], 3u);
@@ -315,10 +315,12 @@ TEST(CycleScheduler, MonitorsSeeEveryCycle) {
 
 TEST(CycleScheduler, MaxIterationsBoundsEvaluation) {
   // Chain src -> A -> B registered in reverse order needs 2 evaluation
-  // sweeps; with the cap at 1 the scheduler must declare deadlock even
-  // though progress was still being made.
+  // sweeps; with the cap at 1 the iterative scheduler must declare deadlock
+  // even though progress was still being made. (The levelized schedule is
+  // immune — see the companion assertions at the end.)
   Clk clk;
   CycleScheduler sched(clk);
+  sched.set_schedule_mode(ScheduleMode::kIterative);
   sched.set_max_iterations(1);
   Reg counter("counter", clk, kFmt, 0.0);
   Sfg src("src");
@@ -344,6 +346,15 @@ TEST(CycleScheduler, MaxIterationsBoundsEvaluation) {
   sched.set_max_iterations(8);
   EXPECT_NO_THROW(sched.cycle());
   EXPECT_DOUBLE_EQ(sched.net("n2").last().value(), counter.read().value() - 1.0 + 2.0);
+
+  // The static level walk fires the whole chain in a single pass, so even
+  // the pathological iteration cap of 1 completes the cycle.
+  sched.set_schedule_mode(ScheduleMode::kAuto);
+  sched.set_max_iterations(1);
+  CycleScheduler::CycleStats st{};
+  EXPECT_NO_THROW(st = sched.cycle());
+  EXPECT_TRUE(st.levelized);
+  EXPECT_EQ(st.eval_iterations, 1);
 }
 
 // Property: an N-stage combinational pipeline settles in one cycle and the

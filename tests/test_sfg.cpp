@@ -176,7 +176,9 @@ TEST(SfgCheck, CleanDescriptionHasNoDiagnostics) {
   Sig x = Sig::input("x", kFmt);
   Sfg s("clean");
   s.in(x).assign(r, r + x).out("o", r + x);
-  EXPECT_TRUE(s.check().empty());
+  diag::DiagEngine de;
+  s.check(de);
+  EXPECT_TRUE(de.empty()) << de.str();
 }
 
 TEST(SfgCheck, DetectsDanglingInput) {
@@ -184,10 +186,13 @@ TEST(SfgCheck, DetectsDanglingInput) {
   Sig y = Sig::input("y", kFmt);
   Sfg s("dangling");
   s.in(x).out("o", x + y);  // y never declared
-  const auto diags = s.check();
+  diag::DiagEngine de;
+  s.check(de);
+  const auto& diags = de.all();
   ASSERT_EQ(diags.size(), 1u);
-  EXPECT_NE(diags[0].find("dangling input"), std::string::npos);
-  EXPECT_NE(diags[0].find("'y'"), std::string::npos);
+  EXPECT_EQ(diags[0].code, "SFG-001");
+  EXPECT_NE(diags[0].str().find("dangling input"), std::string::npos);
+  EXPECT_NE(diags[0].str().find("'y'"), std::string::npos);
 }
 
 TEST(SfgCheck, DetectsDeadInput) {
@@ -195,10 +200,13 @@ TEST(SfgCheck, DetectsDeadInput) {
   Sig y = Sig::input("y", kFmt);
   Sfg s("dead");
   s.in(x).in(y).out("o", x + 1.0);
-  const auto diags = s.check();
+  diag::DiagEngine de;
+  s.check(de);
+  const auto& diags = de.all();
   ASSERT_EQ(diags.size(), 1u);
-  EXPECT_NE(diags[0].find("dead code"), std::string::npos);
-  EXPECT_NE(diags[0].find("'y'"), std::string::npos);
+  EXPECT_EQ(diags[0].code, "SFG-002");
+  EXPECT_NE(diags[0].str().find("dead code"), std::string::npos);
+  EXPECT_NE(diags[0].str().find("'y'"), std::string::npos);
 }
 
 TEST(SfgCheck, DetectsDuplicateOutputAndDoubleAssign) {
@@ -207,10 +215,14 @@ TEST(SfgCheck, DetectsDuplicateOutputAndDoubleAssign) {
   Sfg s("dup");
   s.out("o", Sig(1.0) + 0.0).out("o", Sig(2.0) + 0.0);
   s.assign(r, r + 1.0).assign(r, r + 2.0);
-  const auto diags = s.check();
+  diag::DiagEngine de;
+  s.check(de);
+  const auto& diags = de.all();
   ASSERT_EQ(diags.size(), 2u);
-  EXPECT_NE(diags[0].find("duplicate output"), std::string::npos);
-  EXPECT_NE(diags[1].find("assigned twice"), std::string::npos);
+  EXPECT_EQ(diags[0].code, "SFG-003");
+  EXPECT_NE(diags[0].str().find("duplicate output"), std::string::npos);
+  EXPECT_EQ(diags[1].code, "SFG-004");
+  EXPECT_NE(diags[1].str().find("assigned twice"), std::string::npos);
 }
 
 TEST(Sfg, SetUnknownInputThrows) {

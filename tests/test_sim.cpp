@@ -89,18 +89,18 @@ TEST(CompiledSystem, MatchesInterpretedCycleByCycle) {
 TEST(CompiledSystem, ResetRestoresRegisters) {
   ProdCons sys;
   CompiledSystem cs = CompiledSystem::compile(sys.sched);
-  cs.run(7);
+  cs.run(RunOptions{}.for_cycles(7));
   EXPECT_DOUBLE_EQ(cs.reg_value("counter"), 7.0);
   cs.reset();
   EXPECT_DOUBLE_EQ(cs.reg_value("counter"), 0.0);
   EXPECT_EQ(cs.cycles(), 0u);
-  cs.run(3);
+  cs.run(RunOptions{}.for_cycles(3));
   EXPECT_DOUBLE_EQ(cs.reg_value("counter"), 3.0);
 }
 
 TEST(CompiledSystem, CompileMidRunContinuesBitIdentically) {
   ProdCons sys;
-  sys.sched.run(5);  // advance interpreted state first
+  sys.sched.run(RunOptions{}.for_cycles(5));  // advance interpreted state first
   CompiledSystem cs = CompiledSystem::compile(sys.sched);
   sys.sched.cycle();
   cs.cycle();
@@ -195,7 +195,7 @@ TEST(CompiledSystem, DispatchAndUntimedRamMatchInterpreted) {
   // run compiled 8 cycles, check against the hand-computed expectation the
   // interpreted test (test_sched) already validated.
   CompiledSystem cs = CompiledSystem::compile(sched);
-  cs.run(8);
+  cs.run(RunOptions{}.for_cycles(8));
   EXPECT_DOUBLE_EQ(storage[1], 10.0);
   EXPECT_DOUBLE_EQ(storage[3], 30.0);
   EXPECT_DOUBLE_EQ(cs.reg_value("acc"), 60.0);
@@ -214,10 +214,10 @@ TEST(CompiledSystem, PokeUnboundInput) {
   s.set_input("gain", Fixed(2.0));
 
   CompiledSystem cs = CompiledSystem::compile(sched);
-  cs.run(3);
+  cs.run(RunOptions{}.for_cycles(3));
   EXPECT_DOUBLE_EQ(cs.reg_value("r"), 8.0);
   cs.poke("gain", 3.0);
-  cs.run(1);
+  cs.run(RunOptions{}.for_cycles(1));
   EXPECT_DOUBLE_EQ(cs.reg_value("r"), 24.0);
 }
 
@@ -234,10 +234,10 @@ TEST(CompiledSystem, ExternalDriveVisible) {
   sched.net("pin").drive(Fixed(2.0));
 
   CompiledSystem cs = CompiledSystem::compile(sched);
-  cs.run(3);
+  cs.run(RunOptions{}.for_cycles(3));
   EXPECT_DOUBLE_EQ(cs.reg_value("r"), 6.0);
   sched.net("pin").drive(Fixed(5.0));  // flip the pin mid-run
-  cs.run(1);
+  cs.run(RunOptions{}.for_cycles(1));
   EXPECT_DOUBLE_EQ(cs.reg_value("r"), 11.0);
 }
 
@@ -266,7 +266,7 @@ TEST(CompiledSystem, FootprintAndOpsNonZero) {
   ProdCons sys;
   CompiledSystem cs = CompiledSystem::compile(sys.sched);
   EXPECT_GT(cs.footprint_bytes(), 0u);
-  cs.run(10);
+  cs.run(RunOptions{}.for_cycles(10));
   EXPECT_GT(cs.ops_retired(), 0u);
 }
 
@@ -283,7 +283,7 @@ TEST(Recorder, CapturesWatchedNets) {
   Recorder rec(sys.sched);
   rec.watch("out");
   rec.watch("data");
-  sys.sched.run(4);
+  sys.sched.run(RunOptions{}.for_cycles(4));
   EXPECT_EQ(rec.cycles_recorded(), 4u);
   const auto& t = rec.trace("out");
   ASSERT_EQ(t.values.size(), 4u);

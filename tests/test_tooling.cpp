@@ -43,7 +43,7 @@ TEST(Vcd, WritesHeaderAndChanges) {
   Counter c;
   sim::Recorder rec(c.sched);
   rec.watch("o");
-  c.sched.run(4);
+  c.sched.run(RunOptions{}.for_cycles(4));
 
   std::ostringstream os;
   sim::write_vcd(os, rec);
@@ -71,7 +71,7 @@ TEST(Vcd, NoRedundantChanges) {
   sched.add(comp);
   sim::Recorder rec(sched);
   rec.watch("o");
-  sched.run(6);
+  sched.run(RunOptions{}.for_cycles(6));
   std::ostringstream os;
   sim::write_vcd(os, rec);
   const std::string vcd = os.str();

@@ -19,11 +19,11 @@ TEST(Umbrella, EndToEndSmokeThroughSingleInclude) {
   comp.bind_output("y", sched.net("y"));
   sched.add(comp);
   sched.net("x").drive(fixpt::Fixed(1.0));
-  sched.run(4);
+  sched.run(RunOptions{}.for_cycles(4));
   EXPECT_DOUBLE_EQ(acc.read().value(), 4.0);
 
   sim::CompiledSystem cs = sim::CompiledSystem::compile(sched);
-  cs.run(2);
+  cs.run(RunOptions{}.for_cycles(2));
   EXPECT_DOUBLE_EQ(cs.reg_value("acc"), 6.0);
 
   netlist::Netlist nl;

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json snapshots against a committed baseline.
+
+Matches benchmarks by name inside same-tag files and compares per-iteration
+wall time. Regressions beyond the threshold produce GitHub Actions warning
+annotations (::warning::) — never a nonzero exit: bench hardware drifts
+between runners, so the signal is advisory.
+
+Usage:
+  python3 scripts/compare_bench.py --baseline bench/baseline --fresh . \
+      [--threshold 0.20]
+"""
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_dir(path):
+    """tag -> {benchmark name -> seconds per iteration}"""
+    out = {}
+    for f in glob.glob(os.path.join(path, "BENCH_*.json")):
+        with open(f) as fh:
+            doc = json.load(fh)
+        per_iter = {}
+        for b in doc.get("benchmarks", []):
+            iters = b.get("iterations", 0)
+            if iters > 0:
+                per_iter[b["name"]] = b["wall_seconds"] / iters
+        out[doc.get("tag", os.path.basename(f))] = per_iter
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--fresh", required=True)
+    ap.add_argument("--threshold", type=float, default=0.20)
+    args = ap.parse_args()
+
+    base = load_dir(args.baseline)
+    fresh = load_dir(args.fresh)
+    if not base:
+        print(f"no baseline snapshots under {args.baseline}; nothing to compare")
+        return 0
+    if not fresh:
+        print(f"::warning::no fresh BENCH_*.json under {args.fresh}")
+        return 0
+
+    compared = regressed = 0
+    for tag, benches in sorted(fresh.items()):
+        ref = base.get(tag)
+        if ref is None:
+            print(f"tag '{tag}': no baseline, skipping")
+            continue
+        for name, t in sorted(benches.items()):
+            t0 = ref.get(name)
+            if t0 is None or t0 <= 0:
+                continue
+            compared += 1
+            ratio = t / t0
+            line = (f"{tag}/{name}: {t * 1e6:.2f}us vs baseline "
+                    f"{t0 * 1e6:.2f}us ({ratio:.0%} of baseline)")
+            if ratio > 1.0 + args.threshold:
+                regressed += 1
+                print(f"::warning title=bench regression::{line}")
+            else:
+                print(line)
+    print(f"compared {compared} benchmark(s), "
+          f"{regressed} over the {args.threshold:.0%} threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@
 //   ELAB-001 impure untimed block in RT elaboration
 //   SYN-001..SYN-009 system-synthesis elaboration errors
 //   SIM-001 unsupported component in compiled simulation
+//   VERIFY-001..VERIFY-004 differential verification (see verify/diffrun.h)
 #pragma once
 
 #include <cstdint>

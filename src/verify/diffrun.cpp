@@ -1,0 +1,342 @@
+#include "verify/diffrun.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/equiv.h"
+#include "netlist/netsim.h"
+#include "sim/compiled.h"
+#include "synth/system.h"
+
+namespace asicpp::verify {
+
+namespace {
+
+std::string engine_pair(Engine a, Engine b) {
+  return std::string(engine_name(a)) + " vs " + engine_name(b);
+}
+
+std::string scratch_dir(const DiffOptions& opts) {
+  if (!opts.workdir.empty()) return opts.workdir;
+  if (const char* t = std::getenv("TMPDIR")) return t;
+  return "/tmp";
+}
+
+/// Run `cmd` through the shell, capturing stdout+stderr.
+int run_command(const std::string& cmd, std::string* out) {
+  FILE* p = popen((cmd + " 2>&1").c_str(), "r");
+  if (p == nullptr) {
+    *out = "popen failed";
+    return -1;
+  }
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, p) != nullptr) *out += buf;
+  return pclose(p);
+}
+
+EngineTrace run_interpreted(const Spec& spec, Engine which) {
+  EngineTrace t;
+  t.engine = which;
+  System sys(spec);
+  sys.scheduler().set_schedule_mode(which == Engine::kLevelized
+                                        ? ScheduleMode::kLevelized
+                                        : ScheduleMode::kIterative);
+  const auto probes = spec.probes();
+  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+    sys.scheduler().cycle();
+    std::vector<double> row;
+    row.reserve(probes.size());
+    for (const std::string& n : probes)
+      row.push_back(sys.scheduler().net(n).last().value());
+    t.values.push_back(std::move(row));
+  }
+  t.ran = true;
+  return t;
+}
+
+EngineTrace run_compiled(const Spec& spec) {
+  EngineTrace t;
+  t.engine = Engine::kCompiled;
+  if (spec.has(CompKind::kAdapter)) {
+    t.skip_reason = "dataflow adapters have no compiled-simulation image";
+    return t;
+  }
+  System sys(spec);
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.scheduler());
+  const auto probes = spec.probes();
+  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+    cs.cycle();
+    std::vector<double> row;
+    row.reserve(probes.size());
+    for (const std::string& n : probes) row.push_back(cs.net_value(n));
+    t.values.push_back(std::move(row));
+  }
+  t.ran = true;
+  return t;
+}
+
+EngineTrace run_cppgen(const Spec& spec, const DiffOptions& opts) {
+  EngineTrace t;
+  t.engine = Engine::kCppgen;
+  if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed)) {
+    t.skip_reason = "untimed/adapter behaviour has no generated-code image";
+    return t;
+  }
+  System sys(spec);
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.scheduler());
+  const auto probes = spec.probes();
+
+  static int counter = 0;
+  const std::string stem = scratch_dir(opts) + "/asicpp_fuzz_" +
+                           std::to_string(getpid()) + "_" +
+                           std::to_string(counter++) + "_s" +
+                           std::to_string(spec.seed);
+  const std::string src = stem + ".cpp", bin = stem + ".bin";
+  {
+    std::ofstream os(src);
+    if (!os) {
+      t.fail_reason = "cannot write " + src;
+      return t;
+    }
+    cs.emit_cpp(os, probes, spec.cycles);
+  }
+  std::string text;
+  if (run_command(opts.cxx + " -O2 -std=c++17 -o " + bin + " " + src, &text) !=
+      0) {
+    t.fail_reason = "generated simulator failed to compile: " + text;
+    std::remove(src.c_str());
+    return t;
+  }
+  text.clear();
+  const int rc = run_command(bin, &text);
+  std::remove(src.c_str());
+  std::remove(bin.c_str());
+  if (rc != 0) {
+    t.fail_reason = "generated simulator exited with status " +
+                    std::to_string(rc) + ": " + text;
+    return t;
+  }
+  std::istringstream is(text);
+  std::vector<double> flat;
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty()) flat.push_back(std::atof(line.c_str()));
+  if (flat.size() != spec.cycles * probes.size()) {
+    t.fail_reason = "generated simulator printed " +
+                    std::to_string(flat.size()) + " values, expected " +
+                    std::to_string(spec.cycles * probes.size());
+    return t;
+  }
+  for (std::uint64_t c = 0; c < spec.cycles; ++c)
+    t.values.emplace_back(flat.begin() + static_cast<long>(c * probes.size()),
+                          flat.begin() +
+                              static_cast<long>((c + 1) * probes.size()));
+  t.ran = true;
+  return t;
+}
+
+EngineTrace run_gates(const Spec& spec) {
+  EngineTrace t;
+  t.engine = Engine::kGates;
+  if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed)) {
+    t.skip_reason = "untimed/adapter behaviour has no gate-level image";
+    return t;
+  }
+  System sys(spec);
+  const auto probes = spec.probes();
+  synth::SystemSynthSpec sspec;
+  sspec.observe = probes;
+  netlist::Netlist nl;
+  synth::synthesize_system(sys.scheduler(), nl, sspec);
+
+  // Bus widths of the observed outputs, recovered from the port names.
+  std::vector<int> widths(probes.size(), 0);
+  for (const auto& [name, gate] : nl.outputs()) {
+    (void)gate;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const std::string prefix = "net_" + probes[i] + "[";
+      if (name.rfind(prefix, 0) == 0)
+        widths[i] = std::max(widths[i],
+                             std::stoi(name.substr(prefix.size())) + 1);
+    }
+  }
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    if (widths[i] <= 0)
+      throw std::runtime_error("gates: observed net '" + probes[i] +
+                               "' has no output bus");
+
+  const fixpt::Format f = spec.fmt();
+  netlist::LevelizedSim sim(nl);
+  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+    sim.settle();
+    std::vector<double> row;
+    row.reserve(probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const long long mant = netlist::read_bus(sim, "net_" + probes[i],
+                                               widths[i], f.is_signed);
+      row.push_back(std::ldexp(static_cast<double>(mant), -f.frac_bits()));
+    }
+    t.values.push_back(std::move(row));
+    sim.cycle();
+  }
+  t.ran = true;
+  return t;
+}
+
+}  // namespace
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::kIterative: return "iterative";
+    case Engine::kLevelized: return "levelized";
+    case Engine::kCompiled: return "compiled";
+    case Engine::kCppgen: return "cppgen";
+    case Engine::kGates: return "gates";
+  }
+  return "?";
+}
+
+bool parse_engine(const std::string& name, Engine* out) {
+  for (const Engine e : all_engines()) {
+    if (name == engine_name(e)) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Engine> all_engines() {
+  return {Engine::kIterative, Engine::kLevelized, Engine::kCompiled,
+          Engine::kCppgen, Engine::kGates};
+}
+
+int DiffResult::engines_ran() const {
+  int n = 0;
+  for (const EngineTrace& t : traces) n += t.ran ? 1 : 0;
+  return n;
+}
+
+bool DiffResult::engine_failed() const {
+  for (const EngineTrace& t : traces)
+    if (!t.fail_reason.empty()) return true;
+  return false;
+}
+
+const Divergence* DiffResult::first() const {
+  const Divergence* best = nullptr;
+  for (const Divergence& d : divergences)
+    if (best == nullptr || d.cycle < best->cycle) best = &d;
+  return best;
+}
+
+std::string DiffResult::summary() const {
+  std::ostringstream os;
+  for (const EngineTrace& t : traces) {
+    os << engine_name(t.engine) << ": ";
+    if (t.ran)
+      os << "ran, " << t.values.size() << " cycles";
+    else if (!t.skip_reason.empty())
+      os << "skipped (" << t.skip_reason << ")";
+    else
+      os << "FAILED (" << t.fail_reason << ")";
+    os << "\n";
+  }
+  for (const Divergence& d : divergences)
+    os << "divergence " << engine_pair(d.ref, d.other) << " at cycle "
+       << d.cycle << " net '" << d.net << "': " << d.ref_value << " vs "
+       << d.other_value << "\n";
+  if (ok()) os << "all engines agree\n";
+  return os.str();
+}
+
+DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
+  DiffResult r;
+  r.probes = spec.probes();
+  const std::vector<Engine> engines =
+      opts.engines.empty() ? all_engines() : opts.engines;
+
+  for (const Engine e : engines) {
+    EngineTrace t;
+    try {
+      switch (e) {
+        case Engine::kIterative:
+        case Engine::kLevelized: t = run_interpreted(spec, e); break;
+        case Engine::kCompiled: t = run_compiled(spec); break;
+        case Engine::kCppgen: t = run_cppgen(spec, opts); break;
+        case Engine::kGates: t = run_gates(spec); break;
+      }
+    } catch (const std::exception& ex) {
+      t = EngineTrace{};
+      t.engine = e;
+      t.fail_reason = ex.what();
+    }
+    if (t.ran && opts.mutant.enabled && opts.mutant.engine == e &&
+        opts.mutant.cycle < t.values.size()) {
+      for (std::size_t i = 0; i < r.probes.size(); ++i)
+        if (r.probes[i] == opts.mutant.net)
+          t.values[opts.mutant.cycle][i] += opts.mutant.delta;
+    }
+    r.traces.push_back(std::move(t));
+  }
+
+  // Compare every ran engine against the first one that ran.
+  const EngineTrace* ref = nullptr;
+  for (const EngineTrace& t : r.traces)
+    if (t.ran) {
+      ref = &t;
+      break;
+    }
+  if (ref != nullptr) {
+    for (const EngineTrace& t : r.traces) {
+      if (!t.ran || &t == ref) continue;
+      bool found = false;
+      for (std::uint64_t c = 0; c < ref->values.size() && !found; ++c) {
+        for (std::size_t i = 0; i < r.probes.size() && !found; ++i) {
+          const double a = ref->values[c][i];
+          const double b = t.values[c][i];
+          if (a != b) {
+            r.divergences.push_back(Divergence{ref->engine, t.engine, c,
+                                               r.probes[i], a, b});
+            found = true;
+          }
+        }
+      }
+    }
+  }
+
+  if (opts.diagnostics != nullptr) {
+    diag::DiagEngine& de = *opts.diagnostics;
+    for (const EngineTrace& t : r.traces) {
+      if (!t.skip_reason.empty())
+        de.note("VERIFY-003", std::string("engine '") + engine_name(t.engine) + "'",
+                "skipped: " + t.skip_reason);
+      if (!t.fail_reason.empty())
+        de.error("VERIFY-002", std::string("engine '") + engine_name(t.engine) + "'",
+                 "engine failed on generated spec (seed " +
+                     std::to_string(spec.seed) + "): " + t.fail_reason);
+    }
+    for (const Divergence& d : r.divergences) {
+      auto& rec = de.error(
+          "VERIFY-001", engine_pair(d.ref, d.other),
+          "cross-representation trace divergence on net '" + d.net + "'");
+      rec.cycle = d.cycle;
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "%s = %.17g, %s = %.17g",
+                    engine_name(d.ref), d.ref_value, engine_name(d.other),
+                    d.other_value);
+      rec.note(buf);
+      rec.note("spec: seed " + std::to_string(spec.seed) + ", " +
+               std::to_string(spec.comps.size()) + " components, " +
+               std::to_string(spec.cycles) + " cycles");
+    }
+  }
+  return r;
+}
+
+}  // namespace asicpp::verify

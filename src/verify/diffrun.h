@@ -1,0 +1,112 @@
+// Differential execution driver: one spec, every execution path.
+//
+// Elaborates a generated design once per engine and replays it through
+// every representation the environment can translate the description into
+// (section 4-6 of the paper):
+//
+//   kIterative — interpreted CycleScheduler, iterative three-phase sweep
+//   kLevelized — interpreted CycleScheduler, levelized static schedule
+//                (falls back iteratively for unschedulable systems)
+//   kCompiled  — CompiledSystem flat-tape simulation
+//   kCppgen    — the emitted standalone C++ simulator, compiled with the
+//                host compiler, run, and its printed trace parsed back
+//   kGates     — whole-system synthesis to a gate netlist, simulated with
+//                netlist::LevelizedSim, output buses read back as values
+//
+// Every engine produces a cycle-by-cycle trace of all component output
+// nets; traces are compared bit for bit against the first engine that ran
+// and the first divergence per pair is reported as a structured VERIFY-001
+// diagnostic. Engines that cannot represent a spec (dataflow adapters
+// have no compiled/gate image, untimed closures have no generated-code
+// image) are skipped with VERIFY-003; an engine that throws mid-run is a
+// finding in itself (VERIFY-002).
+//
+// Stable code registry (documented in DESIGN.md section 7):
+//   VERIFY-001 cross-representation trace divergence
+//   VERIFY-002 engine failed to execute the spec
+//   VERIFY-003 engine skipped (spec outside the engine's domain)
+//   VERIFY-004 auto-shrink summary (see verify/shrink.h)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diag/diag.h"
+#include "verify/gen.h"
+
+namespace asicpp::verify {
+
+enum class Engine { kIterative, kLevelized, kCompiled, kCppgen, kGates };
+
+const char* engine_name(Engine e);
+/// Parse "iterative", "levelized", "compiled", "cppgen", "gates".
+bool parse_engine(const std::string& name, Engine* out);
+std::vector<Engine> all_engines();
+
+/// Test-only hook: perturb one engine's captured trace at (cycle, net) by
+/// `delta`, faking a translation bug so the detection and shrinking
+/// machinery can be exercised end to end. Addressed by net *name* so the
+/// injected divergence survives structural shrinking.
+struct TraceMutant {
+  bool enabled = false;
+  Engine engine = Engine::kIterative;
+  std::uint64_t cycle = 0;
+  std::string net;
+  double delta = 1.0;
+};
+
+struct DiffOptions {
+  /// Engines to run, in order; the first that runs is the reference
+  /// trace. Empty = all engines.
+  std::vector<Engine> engines;
+  /// Scratch directory for the generated-simulator engine (default:
+  /// $TMPDIR or /tmp).
+  std::string workdir;
+  /// Host compiler for the generated simulator.
+  std::string cxx = "c++";
+  /// Route VERIFY diagnostics into this engine (optional; the DiffResult
+  /// carries the findings either way).
+  diag::DiagEngine* diagnostics = nullptr;
+  TraceMutant mutant;
+};
+
+struct EngineTrace {
+  Engine engine = Engine::kIterative;
+  bool ran = false;
+  std::string skip_reason;  ///< non-empty: VERIFY-003, engine not applicable
+  std::string fail_reason;  ///< non-empty: VERIFY-002, engine blew up
+  /// Captured values, values[cycle][probe] — probe order matches
+  /// DiffResult::probes.
+  std::vector<std::vector<double>> values;
+};
+
+struct Divergence {
+  Engine ref = Engine::kIterative;
+  Engine other = Engine::kIterative;
+  std::uint64_t cycle = 0;
+  std::string net;
+  double ref_value = 0.0;
+  double other_value = 0.0;
+};
+
+struct DiffResult {
+  std::vector<std::string> probes;
+  std::vector<EngineTrace> traces;
+  /// First divergence of each non-reference engine against the reference.
+  std::vector<Divergence> divergences;
+
+  int engines_ran() const;
+  bool engine_failed() const;
+  /// Clean: every selected engine either agreed cycle-for-cycle with the
+  /// reference or was legitimately skipped.
+  bool ok() const { return divergences.empty() && !engine_failed(); }
+  /// The earliest divergence (by cycle), or nullptr.
+  const Divergence* first() const;
+  std::string summary() const;
+};
+
+/// Run `spec` through the selected engines and compare all traces.
+DiffResult diff_run(const Spec& spec, const DiffOptions& opts = {});
+
+}  // namespace asicpp::verify

@@ -1,0 +1,169 @@
+// Seeded random system generation for differential verification.
+//
+// The paper's claim (sections 4-6) is that one C++ description keeps the
+// same clock-cycle/bit-true semantics across every representation it is
+// translated into: interpreted simulation, compiled-code simulation, the
+// generated standalone C++ simulator, and synthesized gates. The fuzzing
+// harness checks that claim on *generated* designs. Central to it is a
+// declarative `Spec` — a seed-free, structural description of a mixed
+// FSM/SFG/dispatch/dataflow system — that can be
+//
+//   * generated deterministically from a seed (`generate`),
+//   * materialized into a fresh live system per engine (`System`),
+//   * structurally reduced by the auto-shrinker (verify/shrink.h),
+//   * serialized for a fuzz corpus (`to_text`) and re-emitted as
+//     compilable C++ builder code for standalone repros (`emit_spec_cpp`).
+//
+// Components are topologically ordered: component i drives net "w<net>"
+// and may only read nets of earlier components, so every spec is a DAG by
+// construction and the token-production rule breaks the apparent cycles.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "df/process.h"
+#include "fixpt/format.h"
+#include "fsm/fsm.h"
+#include "sched/cyclesched.h"
+#include "sched/dfadapter.h"
+#include "sched/fsmcomp.h"
+#include "sched/untimed.h"
+#include "sfg/clk.h"
+#include "sfg/sig.h"
+
+namespace asicpp::verify {
+
+/// Expression node over a component's value pool. Operands `a` and `b`
+/// index the pool: registers first, then declared inputs, then the two
+/// constants (0.75, -1.5), then previously built expressions.
+enum class OpKind {
+  kAdd,     ///< a + b
+  kSub,     ///< a - b
+  kMulCast, ///< (a * b).cast(fmt) — bounds bit growth
+  kMux,     ///< mux(a > b, a, b)
+  kNeg,     ///< -a
+  kCmpXor,  ///< (a == b) ^ (a < b)
+  kCast,    ///< a.cast(fmt)
+};
+
+const char* op_name(OpKind op);
+
+struct ExprSpec {
+  OpKind op = OpKind::kAdd;
+  int a = 0;
+  int b = 0;
+};
+
+enum class CompKind {
+  kSfg,      ///< always-on datapath (a source when it has no inputs)
+  kFsm,      ///< two-state Mealy FSM with a registered guard
+  kOpSource, ///< phase register emitting opcodes 1/2 for a dispatcher
+  kDispatch, ///< instruction-dispatched datapath (two instructions)
+  kAdapter,  ///< dataflow process behind a DataflowAdapter (1:1 rates)
+  kUntimed,  ///< stateless untimed block (native C++ behaviour)
+};
+
+const char* comp_kind_name(CompKind k);
+
+struct RegSpec {
+  double init = 0.0;
+  int next = 0;  ///< pool index of the next-value expression
+};
+
+struct CompSpec {
+  CompKind kind = CompKind::kSfg;
+  int net = 0;                  ///< output net id; the net is named "w<net>"
+  std::vector<int> inputs;      ///< net ids read (must be earlier comps' nets)
+  std::vector<RegSpec> regs;    ///< local registers
+  std::vector<ExprSpec> exprs;  ///< expression forest appended to the pool
+  int out = 0;                  ///< pool index of the output expression
+  /// kFsm: output of the alternate state's SFG; kDispatch: output of the
+  /// second instruction's SFG. Ignored otherwise.
+  int out_alt = 0;
+  /// kFsm: the registered guard is `reg0 < guard_thresh`.
+  double guard_thresh = 0.0;
+  /// kAdapter: token gain; kUntimed: multiplier of the native behaviour.
+  double gain = 2.0;
+
+  int pool_size() const;  ///< regs + inputs + 2 constants + exprs
+};
+
+struct Spec {
+  int wl = 10;   ///< total wordlength of the system format
+  int iwl = 3;   ///< integer bits (excluding sign)
+  std::uint64_t cycles = 48;  ///< differential trace length
+  unsigned seed = 0;          ///< provenance only; the spec is seed-free
+  std::vector<CompSpec> comps;
+
+  fixpt::Format fmt() const {
+    return fixpt::Format{wl, iwl, true, fixpt::Quant::kRound,
+                         fixpt::Overflow::kSaturate};
+  }
+  std::string net_name(int net) const { return "w" + std::to_string(net); }
+  bool has(CompKind k) const;
+  /// Output nets of every component, in component order (the probe list).
+  std::vector<std::string> probes() const;
+};
+
+/// Structural validity check: topological input references, pool index
+/// bounds, dispatch/op-source pairing, format sanity. Returns an empty
+/// string when valid, else a one-line description of the first problem.
+std::string validate(const Spec& s);
+
+struct GenConfig {
+  int min_comps = 3;
+  int max_comps = 8;
+  int min_wl = 7;
+  int max_wl = 14;
+  std::uint64_t min_cycles = 24;
+  std::uint64_t max_cycles = 64;
+  int max_exprs = 8;  ///< expression-forest depth per component
+  bool allow_fsm = true;
+  bool allow_dispatch = true;
+  bool allow_adapter = true;
+  bool allow_untimed = true;
+};
+
+/// Deterministically generate a valid random spec for `seed`.
+Spec generate(const GenConfig& cfg, unsigned seed);
+
+/// A live materialization of a Spec: one clock, one cycle scheduler, and
+/// all the owned design objects. Each engine of the differential driver
+/// builds its own System from the same spec.
+class System {
+ public:
+  explicit System(const Spec& spec);
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  sched::CycleScheduler& scheduler() { return *sched_; }
+  sfg::Clk& clk() { return *clk_; }
+  const Spec& spec() const { return spec_; }
+
+ private:
+  void build_comp(const CompSpec& c);
+
+  Spec spec_;
+  std::unique_ptr<sfg::Clk> clk_;
+  std::unique_ptr<sched::CycleScheduler> sched_;
+  std::vector<std::unique_ptr<sfg::Reg>> regs_;
+  std::vector<std::unique_ptr<sfg::Sig>> sigs_;
+  std::vector<std::unique_ptr<sfg::Sfg>> sfgs_;
+  std::vector<std::unique_ptr<fsm::Fsm>> fsms_;
+  std::vector<std::unique_ptr<df::Process>> procs_;
+  std::vector<std::unique_ptr<sched::Component>> comps_;
+};
+
+/// Canonical single-line-per-component text form (corpus files, dedup,
+/// determinism tests).
+std::string to_text(const Spec& s);
+
+/// Emit C++ statements that rebuild `s` into a `Spec` variable named
+/// `var` (used by the shrinker's standalone repro emitter).
+void emit_spec_cpp(const Spec& s, const std::string& var, std::ostream& os);
+
+}  // namespace asicpp::verify

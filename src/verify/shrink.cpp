@@ -1,0 +1,331 @@
+#include "verify/shrink.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace asicpp::verify {
+
+namespace {
+
+bool is_pool_kind(CompKind k) {
+  return k == CompKind::kSfg || k == CompKind::kFsm ||
+         k == CompKind::kDispatch;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Search state: the "still fails" predicate with a run budget, keeping
+/// the differential result of the last accepted (failing) candidate.
+struct Ctx {
+  const DiffOptions* dopts = nullptr;
+  int attempts = 0;
+  int max_attempts = 0;
+  DiffResult last;
+
+  bool still_fails(const Spec& cand) {
+    if (attempts >= max_attempts) return false;
+    if (!validate(cand).empty()) return false;
+    ++attempts;
+    DiffOptions o = *dopts;
+    o.diagnostics = nullptr;  // stay quiet during the search
+    DiffResult r = diff_run(cand, o);
+    if (r.ok()) return false;
+    last = std::move(r);
+    return true;
+  }
+};
+
+/// Remove component `idx`, re-routing consumers of its net to the
+/// component's own first input net so chains collapse. Sources (no
+/// inputs) are only removable once nothing reads them.
+bool remove_comp(const Spec& s, std::size_t idx, Spec* out) {
+  const CompSpec& victim = s.comps[idx];
+  const int bypass = victim.inputs.empty() ? -1 : victim.inputs[0];
+  *out = s;
+  out->comps.erase(out->comps.begin() + static_cast<long>(idx));
+  for (CompSpec& c : out->comps)
+    for (int& in : c.inputs)
+      if (in == victim.net) {
+        if (bypass < 0) return false;
+        in = bypass;
+      }
+  return true;
+}
+
+/// After erasing pool slot `removed`, renumber all pool references.
+/// Fails when anything still referenced the removed slot.
+bool shift_refs(CompSpec& c, int removed) {
+  const auto fix = [removed](int& v) {
+    if (v == removed) return false;
+    if (v > removed) --v;
+    return true;
+  };
+  for (ExprSpec& e : c.exprs)
+    if (!fix(e.a) || !fix(e.b)) return false;
+  for (RegSpec& r : c.regs)
+    if (!fix(r.next)) return false;
+  return fix(c.out) && fix(c.out_alt);
+}
+
+bool op_uses_b(OpKind op) {
+  return op != OpKind::kNeg && op != OpKind::kCast;
+}
+
+/// Drop expressions no output / register next-value (transitively)
+/// reaches. Only the trailing dead run is removable without renumbering.
+bool truncate_exprs(CompSpec& c) {
+  if (c.exprs.empty()) return false;
+  const std::size_t data_inputs =
+      c.kind == CompKind::kDispatch ? 0 : c.inputs.size();
+  const int base = static_cast<int>(c.regs.size() + data_inputs) + 2;
+  std::vector<char> used(c.exprs.size(), 0);
+  const auto mark = [&](int idx, const auto& self) -> void {
+    if (idx < base) return;
+    const std::size_t e = static_cast<std::size_t>(idx - base);
+    if (used[e]) return;
+    used[e] = 1;
+    self(c.exprs[e].a, self);
+    if (op_uses_b(c.exprs[e].op)) self(c.exprs[e].b, self);
+  };
+  mark(c.out, mark);
+  if (c.kind == CompKind::kFsm || c.kind == CompKind::kDispatch)
+    mark(c.out_alt, mark);
+  for (const RegSpec& r : c.regs) mark(r.next, mark);
+  bool changed = false;
+  while (!c.exprs.empty() && !used.back()) {
+    c.exprs.pop_back();
+    used.pop_back();
+    changed = true;
+  }
+  return changed;
+}
+
+const char* engine_token(Engine e) {
+  switch (e) {
+    case Engine::kIterative: return "Engine::kIterative";
+    case Engine::kLevelized: return "Engine::kLevelized";
+    case Engine::kCompiled: return "Engine::kCompiled";
+    case Engine::kCppgen: return "Engine::kCppgen";
+    case Engine::kGates: return "Engine::kGates";
+  }
+  return "Engine::kIterative";
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Spec& failing, const DiffOptions& dopts,
+                    const ShrinkOptions& sopts) {
+  Ctx ctx;
+  ctx.dopts = &dopts;
+  ctx.max_attempts = sopts.max_attempts;
+
+  ShrinkResult res;
+  res.minimal = failing;
+  if (!ctx.still_fails(failing)) {
+    // Not actually failing (or invalid): nothing to reduce. Report the
+    // clean differential result so callers can see why.
+    DiffOptions o = dopts;
+    o.diagnostics = nullptr;
+    res.final_diff = diff_run(failing, o);
+    res.attempts = ctx.attempts;
+    return res;
+  }
+
+  Spec cur = failing;
+  bool progress = true;
+  while (progress && ctx.attempts < ctx.max_attempts) {
+    progress = false;
+
+    // Cycles: cut to just past the first divergence; with engine
+    // failures only (no divergence cycle to aim at), bisect downward.
+    if (const Divergence* d = ctx.last.first()) {
+      if (d->cycle + 1 < cur.cycles) {
+        Spec cand = cur;
+        cand.cycles = d->cycle + 1;
+        if (ctx.still_fails(cand)) {
+          cur = std::move(cand);
+          ++res.reductions;
+          progress = true;
+        }
+      }
+    } else {
+      while (cur.cycles > 1 && ctx.attempts < ctx.max_attempts) {
+        Spec cand = cur;
+        cand.cycles = cur.cycles / 2;
+        if (!ctx.still_fails(cand)) break;
+        cur = std::move(cand);
+        ++res.reductions;
+        progress = true;
+      }
+    }
+
+    // Components, last to first, so consumers go before their sources.
+    for (std::size_t i = cur.comps.size();
+         i-- > 0 && cur.comps.size() > 1 && ctx.attempts < ctx.max_attempts;) {
+      Spec cand;
+      if (!remove_comp(cur, i, &cand)) continue;
+      if (ctx.still_fails(cand)) {
+        cur = std::move(cand);
+        ++res.reductions;
+        progress = true;
+      }
+    }
+
+    // Signals: re-point outputs and register next-values at the
+    // shallowest pool entry that still fails, then drop dead registers
+    // and unread inputs.
+    for (std::size_t i = 0;
+         i < cur.comps.size() && ctx.attempts < ctx.max_attempts; ++i) {
+      if (!is_pool_kind(cur.comps[i].kind)) continue;
+      const auto reduce_index = [&](int CompSpec::* field) {
+        for (int v = 0; v < cur.comps[i].*field; ++v) {
+          Spec cand = cur;
+          cand.comps[i].*field = v;
+          if (ctx.still_fails(cand)) {
+            cur = std::move(cand);
+            ++res.reductions;
+            progress = true;
+            return;
+          }
+        }
+      };
+      reduce_index(&CompSpec::out);
+      if (cur.comps[i].kind != CompKind::kSfg) reduce_index(&CompSpec::out_alt);
+      for (std::size_t k = 0; k < cur.comps[i].regs.size(); ++k) {
+        for (int v = 0; v < cur.comps[i].regs[k].next; ++v) {
+          Spec cand = cur;
+          cand.comps[i].regs[k].next = v;
+          if (ctx.still_fails(cand)) {
+            cur = std::move(cand);
+            ++res.reductions;
+            progress = true;
+            break;
+          }
+        }
+      }
+      for (std::size_t k = cur.comps[i].regs.size(); k-- > 0;) {
+        Spec cand = cur;
+        cand.comps[i].regs.erase(cand.comps[i].regs.begin() +
+                                 static_cast<long>(k));
+        if (!shift_refs(cand.comps[i], static_cast<int>(k))) continue;
+        if (ctx.still_fails(cand)) {
+          cur = std::move(cand);
+          ++res.reductions;
+          progress = true;
+        }
+      }
+      if (cur.comps[i].kind != CompKind::kDispatch) {
+        for (std::size_t j = cur.comps[i].inputs.size(); j-- > 0;) {
+          Spec cand = cur;
+          cand.comps[i].inputs.erase(cand.comps[i].inputs.begin() +
+                                     static_cast<long>(j));
+          if (!shift_refs(cand.comps[i],
+                          static_cast<int>(cand.comps[i].regs.size() + j)))
+            continue;
+          if (ctx.still_fails(cand)) {
+            cur = std::move(cand);
+            ++res.reductions;
+            progress = true;
+          }
+        }
+      }
+    }
+
+    // Canonicalize: zero dead alternate outputs, truncate unreachable
+    // expression tails. One candidate, one verification run.
+    {
+      Spec cand = cur;
+      bool changed = false;
+      for (CompSpec& c : cand.comps) {
+        if (c.kind != CompKind::kFsm && c.kind != CompKind::kDispatch &&
+            c.out_alt != 0) {
+          c.out_alt = 0;
+          changed = true;
+        }
+        if (is_pool_kind(c.kind) && truncate_exprs(c)) changed = true;
+      }
+      if (changed && ctx.still_fails(cand)) {
+        cur = std::move(cand);
+        ++res.reductions;
+        progress = true;
+      }
+    }
+  }
+
+  res.minimal = cur;
+  res.attempts = ctx.attempts;
+  res.final_diff = std::move(ctx.last);
+
+  if (dopts.diagnostics != nullptr) {
+    auto& rec = dopts.diagnostics->note(
+        "VERIFY-004", "shrink",
+        "minimized seed " + std::to_string(failing.seed) + " repro to " +
+            std::to_string(res.minimal.comps.size()) + " component(s), " +
+            std::to_string(res.minimal.cycles) + " cycle(s)");
+    rec.note("was " + std::to_string(failing.comps.size()) +
+             " component(s), " + std::to_string(failing.cycles) +
+             " cycle(s); " + std::to_string(res.reductions) +
+             " reductions in " + std::to_string(res.attempts) +
+             " differential runs");
+  }
+  return res;
+}
+
+void emit_repro(const Spec& spec, const DiffOptions& opts, std::ostream& os) {
+  os << "// Minimal differential repro emitted by asicpp-fuzz (seed "
+     << spec.seed << ").\n"
+     << "// Canonical spec:\n";
+  {
+    std::istringstream text(to_text(spec));
+    std::string line;
+    while (std::getline(text, line)) os << "//   " << line << "\n";
+  }
+  os << "//\n"
+     << "// Build from the repository root after building the libraries:\n"
+     << "//   c++ -O2 -std=c++20 -I src repro.cpp \\\n"
+     << "//     build/src/verify/libasicpp_verify.a "
+        "build/src/synth/libasicpp_synth.a \\\n"
+     << "//     build/src/hdl/libasicpp_hdl.a build/src/sim/libasicpp_sim.a "
+        "\\\n"
+     << "//     build/src/netlist/libasicpp_netlist.a \\\n"
+     << "//     build/src/sched/libasicpp_sched.a "
+        "build/src/fsm/libasicpp_fsm.a \\\n"
+     << "//     build/src/df/libasicpp_df.a build/src/sfg/libasicpp_sfg.a "
+        "\\\n"
+     << "//     build/src/fixpt/libasicpp_fixpt.a "
+        "build/src/diag/libasicpp_diag.a -o repro\n"
+     << "#include <cstdio>\n"
+     << "\n"
+     << "#include \"verify/diffrun.h\"\n"
+     << "#include \"verify/gen.h\"\n"
+     << "\n"
+     << "int main() {\n"
+     << "  using namespace asicpp::verify;\n";
+  emit_spec_cpp(spec, "spec", os);
+  os << "\n  DiffOptions opts;\n";
+  for (const Engine e : opts.engines)
+    os << "  opts.engines.push_back(" << engine_token(e) << ");\n";
+  if (opts.mutant.enabled) {
+    os << "  // Test-only trace mutant carried over from the fuzz run; the\n"
+       << "  // divergence below is injected, not a real translation bug.\n"
+       << "  opts.mutant.enabled = true;\n"
+       << "  opts.mutant.engine = " << engine_token(opts.mutant.engine)
+       << ";\n"
+       << "  opts.mutant.cycle = " << opts.mutant.cycle << ";\n"
+       << "  opts.mutant.net = \"" << opts.mutant.net << "\";\n"
+       << "  opts.mutant.delta = " << fmt_double(opts.mutant.delta) << ";\n";
+  }
+  os << "\n"
+     << "  const DiffResult r = diff_run(spec, opts);\n"
+     << "  std::fputs(r.summary().c_str(), stdout);\n"
+     << "  return r.ok() ? 0 : 1;\n"
+     << "}\n";
+}
+
+}  // namespace asicpp::verify

@@ -1,0 +1,54 @@
+// Auto-shrinking of failing differential specs.
+//
+// When diff_run finds a divergence, the raw generated system is rarely the
+// story you want to debug: most of its components, expressions, and cycles
+// are noise. The shrinker delta-debugs the *spec* — never the live system —
+// against the "still fails" predicate, over three structural axes:
+//
+//   components — drop one component at a time (consumers of its net are
+//                re-routed to the dropped component's own input net, so
+//                chains collapse instead of pinning their whole depth);
+//   signals    — re-point outputs / register next-values at earlier,
+//                shallower pool entries and truncate the unreachable tail
+//                of each expression forest;
+//   cycles     — cut the trace to just past the first divergence.
+//
+// Reduction is greedy-to-fixpoint: passes repeat until a full round makes
+// no progress or the run budget is exhausted. The minimized spec can be
+// emitted as a standalone compilable C++ program (`emit_repro`) that
+// rebuilds the system and reruns the differential comparison.
+#pragma once
+
+#include <iosfwd>
+
+#include "verify/diffrun.h"
+#include "verify/gen.h"
+
+namespace asicpp::verify {
+
+struct ShrinkOptions {
+  /// Cap on diff_run invocations across the whole reduction.
+  int max_attempts = 400;
+};
+
+struct ShrinkResult {
+  Spec minimal;
+  int attempts = 0;    ///< diff_run invocations spent
+  int reductions = 0;  ///< accepted reduction steps
+  /// Differential result of the minimized spec (still failing).
+  DiffResult final_diff;
+};
+
+/// Reduce `failing` (a spec for which diff_run(spec, dopts) is not ok)
+/// to a minimal still-failing spec. When `dopts.diagnostics` is set, a
+/// VERIFY-004 note summarizing the reduction is reported.
+ShrinkResult shrink(const Spec& failing, const DiffOptions& dopts,
+                    const ShrinkOptions& sopts = {});
+
+/// Emit a standalone C++ translation unit that rebuilds `spec`, reruns the
+/// differential comparison with the same engine selection (and injected
+/// mutant, when one was enabled), prints the trace summary, and exits
+/// nonzero on divergence.
+void emit_repro(const Spec& spec, const DiffOptions& opts, std::ostream& os);
+
+}  // namespace asicpp::verify

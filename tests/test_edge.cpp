@@ -64,7 +64,7 @@ TEST(CompiledEdge, FsmStallCycleMatchesInterpreted) {
   sched.cycle();
   EXPECT_DOUBLE_EQ(count.read().value(), 1.0);
   sim::CompiledSystem cs2 = sim::CompiledSystem::compile(sched);
-  cs2.run(4);
+  cs2.run(RunOptions{}.for_cycles(4));
   EXPECT_DOUBLE_EQ(cs2.reg_value("count"), 5.0);
 }
 

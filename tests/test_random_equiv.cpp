@@ -1,273 +1,129 @@
-// Randomized cross-engine equivalence: for generated designs, all four
-// execution levels (interpreted, compiled tape, elaborated RT, synthesized
-// gates) must agree cycle for cycle — and within the interpreted engine,
-// the levelized static schedule must reproduce the iterative scheduler's
-// net traces bit for bit.
-#include <algorithm>
-#include <cmath>
-#include <memory>
-#include <random>
-
+// Randomized cross-engine equivalence, driven by the verify library: for
+// generated designs, every execution level the environment can translate
+// the description into (interpreted iterative/levelized scheduling,
+// compiled tape, elaborated RT, synthesized gates) must agree cycle for
+// cycle. The seeded generator and the trace comparison live in
+// src/verify (gen.h, diffrun.h); this suite pins the equivalence claims
+// as plain unit tests while the asicpp-fuzz CLI scales the same check to
+// hundreds of seeds in the nightly differential gate.
 #include <gtest/gtest.h>
 
-#include "df/process.h"
 #include "eventsim/elaborate.h"
-#include "netlist/equiv.h"
-#include "netlist/netsim.h"
-#include "sched/cyclesched.h"
-#include "sched/dfadapter.h"
-#include "sched/fsmcomp.h"
-#include "sched/untimed.h"
-#include "sim/compiled.h"
-#include "sfg/clk.h"
-#include "synth/dpsynth.h"
-#include "synth/optimize.h"
+#include "eventsim/kernel.h"
+#include "verify/diffrun.h"
+#include "verify/gen.h"
 
 namespace asicpp {
 namespace {
 
-using fixpt::Fixed;
-using fixpt::Format;
-using sfg::Clk;
-using sfg::Reg;
-using sfg::Sfg;
-using sfg::Sig;
+using namespace asicpp::verify;
 
-const Format kF{10, 4, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
-
-// A random register machine: a few registers, a random expression forest
-// feeding outputs and next-values. Deterministic per seed.
-struct RandomDesign {
-  Clk clk;
-  sched::CycleScheduler sched{clk};
-  std::vector<std::unique_ptr<Reg>> regs;
-  std::unique_ptr<Sfg> s;
-  std::unique_ptr<sched::SfgComponent> comp;
-
-  explicit RandomDesign(unsigned seed) {
-    std::mt19937 rng(seed * 2654435761u + 17);
-    const int nregs = 2 + static_cast<int>(rng() % 3);
-    for (int i = 0; i < nregs; ++i) {
-      regs.push_back(std::make_unique<Reg>(
-          "r" + std::to_string(i), clk, kF,
-          fixpt::quantize(static_cast<double>(static_cast<int>(rng() % 13)) - 6.0, kF)));
-    }
-    std::vector<Sig> pool;
-    for (const auto& r : regs) pool.push_back(r->sig());
-    pool.push_back(Sig(0.75));
-    pool.push_back(Sig(-1.5));
-    for (int i = 0; i < 10; ++i) {
-      Sig a = pool[rng() % pool.size()];
-      Sig b = pool[rng() % pool.size()];
-      switch (rng() % 7) {
-        case 0: pool.push_back(a + b); break;
-        case 1: pool.push_back(a - b); break;
-        case 2: pool.push_back((a * b).cast(kF)); break;
-        case 3: pool.push_back(mux(a > b, a, b)); break;
-        case 4: pool.push_back(-a); break;
-        case 5: pool.push_back((a == b) ^ (a < b)); break;
-        default: pool.push_back(a.cast(kF)); break;
-      }
-    }
-    s = std::make_unique<Sfg>("rand");
-    s->out("o", pool.back());
-    for (std::size_t i = 0; i < regs.size(); ++i) {
-      s->assign(*regs[i], pool[pool.size() - 1 - i % 4].cast(kF));
-    }
-    comp = std::make_unique<sched::SfgComponent>("rand", *s);
-    comp->bind_output("o", sched.net("o"));
-    sched.add(*comp);
-  }
-};
+// Specs every engine can represent: no dataflow adapters, no untimed
+// closures.
+GenConfig timed_cfg() {
+  GenConfig cfg;
+  cfg.allow_adapter = false;
+  cfg.allow_untimed = false;
+  return cfg;
+}
 
 class FourLevelEquiv : public ::testing::TestWithParam<int> {};
 
 TEST_P(FourLevelEquiv, AllEnginesAgree) {
   const auto seed = static_cast<unsigned>(GetParam());
-
-  // Each engine owns an identical design instance.
-  RandomDesign interp(seed);
-  RandomDesign taped(seed);
-  RandomDesign elab(seed);
-  RandomDesign gates(seed);
-
-  sim::CompiledSystem cs = sim::CompiledSystem::compile(taped.sched);
-  eventsim::Kernel k;
-  eventsim::RtModel rt(k, elab.sched);
-  netlist::Netlist nl;
-  synth::synthesize_component(*gates.comp, nl);
-  const netlist::Netlist opt = synth::optimize(nl);
-  netlist::LevelizedSim gate_sim(opt);
-
-  // Output format of the netlist bus.
-  int out_w = 0;
-  for (const auto& [name, _] : opt.outputs())
-    if (name.rfind("o[", 0) == 0) out_w = std::max(out_w, std::stoi(name.substr(2)) + 1);
-  ASSERT_GT(out_w, 0);
-  sfg::FormatMap fmts;
-  sfg::infer_formats(*interp.s, fmts);
-  const Format of = fmts.at(interp.s->outputs().front().expr.get());
-
-  for (int c = 0; c < 24; ++c) {
-    interp.sched.cycle();
-    cs.cycle();
-    rt.eval();
-    gate_sim.settle();
-
-    const double expect = interp.sched.net("o").last().value();
-    ASSERT_DOUBLE_EQ(cs.net_value("o"), expect) << "tape, cycle " << c << " seed " << seed;
-    ASSERT_DOUBLE_EQ(rt.net("o").read(), expect) << "rt, cycle " << c << " seed " << seed;
-    const long long mant = netlist::read_bus(gate_sim, "o", out_w, of.is_signed);
-    ASSERT_EQ(mant, static_cast<long long>(std::llround(std::ldexp(expect, of.frac_bits()))))
-        << "gates, cycle " << c << " seed " << seed;
-
-    rt.commit();
-    gate_sim.cycle();
-  }
+  const Spec spec = generate(timed_cfg(), seed);
+  DiffOptions opts;
+  opts.engines = {Engine::kIterative, Engine::kLevelized, Engine::kCompiled,
+                  Engine::kGates};
+  const DiffResult r = diff_run(spec, opts);
+  EXPECT_TRUE(r.ok()) << "seed " << seed << "\n"
+                      << to_text(spec) << r.summary();
+  EXPECT_EQ(r.engines_ran(), 4) << "seed " << seed << "\n" << r.summary();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FourLevelEquiv, ::testing::Range(0, 12));
-
-// A random multi-component system: register-driven sources feeding a
-// random DAG of combinational components chained by nets, registered in
-// shuffled order so the iterative scheduler pays retry passes that the
-// level walk avoids. Deterministic per seed.
-struct RandomSystem {
-  Clk clk;
-  sched::CycleScheduler sched{clk};
-  std::vector<std::unique_ptr<Reg>> regs;
-  std::vector<std::unique_ptr<Sig>> ins;
-  std::vector<std::unique_ptr<Sfg>> sfgs;
-  std::vector<std::unique_ptr<sched::SfgComponent>> comps;
-  std::vector<std::string> net_names;
-
-  explicit RandomSystem(unsigned seed) {
-    std::mt19937 rng(seed * 2246822519u + 3);
-    for (int i = 0; i < 2; ++i) {
-      regs.push_back(std::make_unique<Reg>("r" + std::to_string(i), clk, kF,
-                                           fixpt::quantize(1.0 + i, kF)));
-      auto s = std::make_unique<Sfg>("src" + std::to_string(i));
-      s->out("o", regs.back()->sig());
-      s->assign(*regs.back(),
-                (regs.back()->sig() + (i == 0 ? 0.625 : -0.375)).cast(kF));
-      auto c = std::make_unique<sched::SfgComponent>("src" + std::to_string(i), *s);
-      const std::string n = "w" + std::to_string(i);
-      c->bind_output("o", sched.net(n));
-      net_names.push_back(n);
-      sfgs.push_back(std::move(s));
-      comps.push_back(std::move(c));
-    }
-    const int n = 4 + static_cast<int>(rng() % 5);
-    for (int i = 0; i < n; ++i) {
-      // Inputs come from already-created nets only, so the system is a DAG.
-      const std::string na = net_names[rng() % net_names.size()];
-      const std::string nb = net_names[rng() % net_names.size()];
-      ins.push_back(std::make_unique<Sig>(Sig::input("a" + std::to_string(i), kF)));
-      Sig& a = *ins.back();
-      ins.push_back(std::make_unique<Sig>(Sig::input("b" + std::to_string(i), kF)));
-      Sig& b = *ins.back();
-      Sig e = a;
-      switch (rng() % 5) {
-        case 0: e = a + b; break;
-        case 1: e = a - b; break;
-        case 2: e = (a * b).cast(kF); break;
-        case 3: e = mux(a > b, a, b); break;
-        default: e = -a; break;
-      }
-      auto s = std::make_unique<Sfg>("c" + std::to_string(i));
-      s->in(a).in(b).out("o", e.cast(kF));
-      auto c = std::make_unique<sched::SfgComponent>("c" + std::to_string(i), *s);
-      c->bind_input(a, sched.net(na));
-      c->bind_input(b, sched.net(nb));
-      const std::string out = "w" + std::to_string(2 + i);
-      c->bind_output("o", sched.net(out));
-      net_names.push_back(out);
-      sfgs.push_back(std::move(s));
-      comps.push_back(std::move(c));
-    }
-    std::shuffle(comps.begin(), comps.end(), rng);
-    for (auto& c : comps) sched.add(*c);
-  }
-};
+INSTANTIATE_TEST_SUITE_P(Seeds, FourLevelEquiv, ::testing::Range(0, 10));
 
 class LevelizedEquiv : public ::testing::TestWithParam<int> {};
 
+// The levelized static schedule must reproduce the iterative scheduler's
+// net traces bit for bit — including on systems with adapters and untimed
+// blocks, where the level walk falls back iteratively.
 TEST_P(LevelizedEquiv, TracesMatchIterativeBitForBit) {
   const auto seed = static_cast<unsigned>(GetParam());
-  RandomSystem lev(seed), iter(seed);
-  lev.sched.set_schedule_mode(ScheduleMode::kLevelized);
-  iter.sched.set_schedule_mode(ScheduleMode::kIterative);
-  ASSERT_TRUE(lev.sched.schedule().valid()) << lev.sched.schedule().reason();
-
-  for (int c = 0; c < 32; ++c) {
-    const auto sl = lev.sched.cycle();
-    const auto si = iter.sched.cycle();
-    ASSERT_TRUE(sl.levelized) << "cycle " << c << " seed " << seed;
-    ASSERT_EQ(sl.eval_iterations, 1) << "cycle " << c << " seed " << seed;
-    ASSERT_FALSE(si.levelized);
-    ASSERT_EQ(sl.fired_components, si.fired_components) << "cycle " << c;
-    for (const auto& n : lev.net_names) {
-      ASSERT_EQ(lev.sched.net(n).has_token(), iter.sched.net(n).has_token())
-          << "net " << n << " cycle " << c << " seed " << seed;
-      ASSERT_DOUBLE_EQ(lev.sched.net(n).last().value(), iter.sched.net(n).last().value())
-          << "net " << n << " cycle " << c << " seed " << seed;
-    }
-  }
-  EXPECT_FALSE(lev.sched.diagnostics().has("SCHED-002"));
+  const Spec spec = generate(GenConfig{}, seed);
+  DiffOptions opts;
+  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  const DiffResult r = diff_run(spec, opts);
+  EXPECT_TRUE(r.ok()) << "seed " << seed << "\n"
+                      << to_text(spec) << r.summary();
+  EXPECT_EQ(r.engines_ran(), 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LevelizedEquiv, ::testing::Range(0, 16));
 
-// A dataflow adapter has no static firing order, so the same system must
-// quietly fall back to the iterative scheduler under kAuto — with traces
-// identical to an explicitly iterative run.
-struct AdapterSystem {
-  Clk clk;
-  sched::CycleScheduler sched{clk};
-  Reg n{"n", clk, kF, 0.0};
-  Sfg s{"src"};
-  sched::SfgComponent src{"src", s};
-  df::FnProcess dbl{"dbl", [](const std::vector<df::Token>& i, std::vector<df::Token>& o) {
-    o.push_back(i[0] * df::Token(2.0));
-  }};
-  sched::DataflowAdapter ad{"dbl", dbl};
-  sched::UntimedComponent cons{"cons", [](const std::vector<fixpt::Fixed>& i) {
-    return std::vector<fixpt::Fixed>{fixpt::quantize(i[0].value() + 1.0, kF)};
-  }};
+class RtEquiv : public ::testing::TestWithParam<int> {};
 
-  AdapterSystem() {
-    s.out("o", n.sig()).assign(n, (n + 1.0).cast(kF));
-    src.bind_output("o", sched.net("samples"));
-    ad.bind_input(sched.net("samples"));
-    ad.bind_output(sched.net("doubled"));
-    cons.bind_input(sched.net("doubled"));
-    cons.bind_output(sched.net("plus1"));
-    sched.add(cons);
-    sched.add(ad);
-    sched.add(src);
+// Elaborated RT (event-driven kernel) against the interpreted scheduler.
+// The RT level is not one of the diff driver's engines, so this test keeps
+// the event-driven path honest against the same generated systems.
+TEST_P(RtEquiv, ElaboratedModelMatchesInterpreted) {
+  const auto seed = static_cast<unsigned>(GetParam());
+  GenConfig cfg = timed_cfg();
+  cfg.max_comps = 5;
+  const Spec spec = generate(cfg, seed);
+
+  System interp(spec);
+  System elab(spec);
+  eventsim::Kernel k;
+  eventsim::RtModel rt(k, elab.scheduler());
+
+  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+    interp.scheduler().cycle();
+    rt.eval();
+    for (const std::string& n : spec.probes())
+      ASSERT_DOUBLE_EQ(rt.net(n).read(),
+                       interp.scheduler().net(n).last().value())
+          << "net " << n << " cycle " << c << " seed " << seed;
+    rt.commit();
   }
-};
+}
 
+INSTANTIATE_TEST_SUITE_P(Seeds, RtEquiv, ::testing::Range(0, 8));
+
+// Systems with dataflow adapters have no static schedule; under kAuto the
+// scheduler must quietly fall back to the iterative sweep with identical
+// traces (formerly the hand-rolled AdapterSystem test).
 TEST(LevelizedEquivFallback, AdapterSystemMatchesIterativeUnderAuto) {
-  AdapterSystem autos, iter;
-  iter.sched.set_schedule_mode(ScheduleMode::kIterative);
-  EXPECT_FALSE(autos.sched.schedule().valid());
+  const GenConfig cfg;
+  int checked = 0;
+  for (unsigned seed = 0; seed < 200 && checked < 3; ++seed) {
+    const Spec spec = generate(cfg, seed);
+    if (!spec.has(CompKind::kAdapter)) continue;
+    ++checked;
 
-  const RunResult ra = autos.sched.run(RunOptions{}.for_cycles(24));
-  const RunResult ri = iter.sched.run(RunOptions{}.for_cycles(24));
-  EXPECT_EQ(ra.levelized_cycles, 0u);
-  EXPECT_EQ(ra.schedule, ScheduleMode::kIterative);
-  EXPECT_EQ(ra.firings, ri.firings);
-  EXPECT_FALSE(autos.sched.diagnostics().has("SCHED-002"));
-  for (const char* nn : {"samples", "doubled", "plus1"}) {
-    EXPECT_EQ(autos.sched.net(nn).has_token(), iter.sched.net(nn).has_token()) << nn;
-    EXPECT_DOUBLE_EQ(autos.sched.net(nn).last().value(), iter.sched.net(nn).last().value()) << nn;
+    System autos(spec);
+    System iter(spec);
+    iter.scheduler().set_schedule_mode(ScheduleMode::kIterative);
+    EXPECT_FALSE(autos.scheduler().schedule().valid()) << "seed " << seed;
+
+    const RunResult ra =
+        autos.scheduler().run(RunOptions{}.for_cycles(spec.cycles));
+    const RunResult ri =
+        iter.scheduler().run(RunOptions{}.for_cycles(spec.cycles));
+    EXPECT_EQ(ra.levelized_cycles, 0u);
+    EXPECT_EQ(ra.schedule, ScheduleMode::kIterative);
+    EXPECT_EQ(ra.firings, ri.firings);
+    EXPECT_FALSE(autos.scheduler().diagnostics().has("SCHED-002"));
+    for (const std::string& n : spec.probes()) {
+      EXPECT_EQ(autos.scheduler().net(n).has_token(),
+                iter.scheduler().net(n).has_token())
+          << "net " << n << " seed " << seed;
+      EXPECT_DOUBLE_EQ(autos.scheduler().net(n).last().value(),
+                       iter.scheduler().net(n).last().value())
+          << "net " << n << " seed " << seed;
+    }
   }
-  // The consumer's output tracks its input (the narrow format saturates
-  // the counter long before cycle 24, identically in both modes).
-  EXPECT_DOUBLE_EQ(
-      autos.sched.net("plus1").last().value(),
-      fixpt::quantize(autos.sched.net("doubled").last().value() + 1.0, kF));
+  EXPECT_EQ(checked, 3);
 }
 
 }  // namespace

@@ -1,0 +1,284 @@
+// asicpp-fuzz: differential fuzzing front end.
+//
+// Generates seeded random systems (verify/gen.h), replays each one through
+// every selected execution engine (verify/diffrun.h), and on divergence
+// auto-shrinks the spec to a minimal repro (verify/shrink.h) written to the
+// corpus directory as a standalone compilable C++ test case.
+//
+//   asicpp-fuzz --seeds 200                      # nightly gate shape
+//   asicpp-fuzz --seeds 50 --engines iterative,levelized,compiled
+//   asicpp-fuzz --seeds 10 --corpus-dir corpus --json fuzz.json
+//
+// Exit status: 0 all seeds clean, 1 divergence or engine failure, 2 usage.
+//
+// --mutant ENGINE:CYCLE:NET:DELTA is a test-only hook that perturbs one
+// engine's captured trace, faking a translation bug so the detection and
+// shrinking pipeline can be exercised end to end (see tests/test_verify.cpp
+// and the satellite CI job).
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diag/diag.h"
+#include "verify/diffrun.h"
+#include "verify/gen.h"
+#include "verify/shrink.h"
+
+using namespace asicpp;
+using namespace asicpp::verify;
+
+namespace {
+
+struct Args {
+  int seeds = 50;
+  unsigned seed_base = 0;
+  std::vector<Engine> engines;  // empty = all
+  std::string corpus_dir;
+  std::string json_path;
+  std::string cxx = "c++";
+  int max_attempts = 400;
+  bool verbose = false;
+  TraceMutant mutant;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --seeds N         number of seeds to fuzz (default 50)\n"
+      "  --seed-base N     first seed (default 0)\n"
+      "  --engines LIST    comma-separated subset of: iterative, levelized,\n"
+      "                    compiled, cppgen, gates (default: all)\n"
+      "  --corpus-dir DIR  write failing spec + shrunken repro files here\n"
+      "  --json FILE       write a machine-readable result summary\n"
+      "  --cxx CC          host compiler for the cppgen engine (default c++)\n"
+      "  --max-attempts N  shrinker run budget per failure (default 400)\n"
+      "  --verbose         log every seed, not just failures\n"
+      "  --mutant E:C:N:D  test-only: perturb engine E's trace at cycle C,\n"
+      "                    net N, by delta D (e.g. levelized:7:w2:0.5)\n",
+      argv0);
+  return 2;
+}
+
+bool parse_mutant(const std::string& arg, TraceMutant* m) {
+  std::istringstream is(arg);
+  std::string engine, cycle, net, delta;
+  if (!std::getline(is, engine, ':') || !std::getline(is, cycle, ':') ||
+      !std::getline(is, net, ':') || !std::getline(is, delta))
+    return false;
+  if (!parse_engine(engine, &m->engine)) return false;
+  m->cycle = std::strtoull(cycle.c_str(), nullptr, 10);
+  m->net = net;
+  m->delta = std::atof(delta.c_str());
+  m->enabled = true;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string opt = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (opt == "--seeds") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->seeds = std::atoi(v);
+    } else if (opt == "--seed-base") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->seed_base = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (opt == "--engines") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      std::istringstream is(v);
+      std::string name;
+      while (std::getline(is, name, ',')) {
+        Engine e;
+        if (!parse_engine(name, &e)) {
+          std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+          return false;
+        }
+        a->engines.push_back(e);
+      }
+      if (a->engines.empty()) return false;
+    } else if (opt == "--corpus-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->corpus_dir = v;
+    } else if (opt == "--json") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->json_path = v;
+    } else if (opt == "--cxx") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->cxx = v;
+    } else if (opt == "--max-attempts") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->max_attempts = std::atoi(v);
+    } else if (opt == "--verbose") {
+      a->verbose = true;
+    } else if (opt == "--mutant") {
+      const char* v = value();
+      if (v == nullptr || !parse_mutant(v, &a->mutant)) {
+        std::fprintf(stderr, "bad --mutant, expected ENGINE:CYCLE:NET:DELTA\n");
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", opt.c_str());
+      return false;
+    }
+  }
+  return a->seeds > 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\')
+      out += std::string("\\") + c;
+    else if (c == '\n')
+      out += "\\n";
+    else if (static_cast<unsigned char>(c) < 0x20)
+      out += ' ';
+    else
+      out += c;
+  }
+  return out;
+}
+
+struct Failure {
+  unsigned seed = 0;
+  std::string code;       // leading VERIFY code
+  std::string detail;     // first divergence / failure description
+  std::size_t shrunk_comps = 0;
+  std::uint64_t shrunk_cycles = 0;
+  std::string repro_path;
+};
+
+void write_json(const Args& args, int clean,
+                const std::vector<Failure>& failures, std::ostream& os) {
+  os << "{\n  \"tool\": \"asicpp-fuzz\",\n"
+     << "  \"seeds\": " << args.seeds << ",\n"
+     << "  \"seed_base\": " << args.seed_base << ",\n"
+     << "  \"engines\": [";
+  const std::vector<Engine> engines =
+      args.engines.empty() ? all_engines() : args.engines;
+  for (std::size_t i = 0; i < engines.size(); ++i)
+    os << (i ? ", " : "") << "\"" << engine_name(engines[i]) << "\"";
+  os << "],\n"
+     << "  \"clean\": " << clean << ",\n"
+     << "  \"failures\": [";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const Failure& f = failures[i];
+    os << (i ? "," : "") << "\n    {\"seed\": " << f.seed << ", \"code\": \""
+       << json_escape(f.code) << "\", \"detail\": \"" << json_escape(f.detail)
+       << "\", \"shrunk_components\": " << f.shrunk_comps
+       << ", \"shrunk_cycles\": " << f.shrunk_cycles << ", \"repro\": \""
+       << json_escape(f.repro_path) << "\"}";
+  }
+  os << (failures.empty() ? "" : "\n  ") << "],\n"
+     << "  \"ok\": " << (failures.empty() ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage(argv[0]);
+  if (!args.corpus_dir.empty())
+    ::mkdir(args.corpus_dir.c_str(), 0755);  // EEXIST is fine
+
+  DiffOptions dopts;
+  dopts.engines = args.engines;
+  dopts.cxx = args.cxx;
+  dopts.mutant = args.mutant;
+
+  const GenConfig cfg;
+  int clean = 0;
+  std::vector<Failure> failures;
+
+  for (int k = 0; k < args.seeds; ++k) {
+    const unsigned seed = args.seed_base + static_cast<unsigned>(k);
+    const Spec spec = generate(cfg, seed);
+    diag::DiagEngine de;
+    DiffOptions per = dopts;
+    per.diagnostics = &de;
+    const DiffResult r = diff_run(spec, per);
+    if (r.ok()) {
+      ++clean;
+      if (args.verbose)
+        std::printf("seed %u: ok (%d engines ran, %zu comps, %llu cycles)\n",
+                    seed, r.engines_ran(), spec.comps.size(),
+                    static_cast<unsigned long long>(spec.cycles));
+      continue;
+    }
+
+    Failure f;
+    f.seed = seed;
+    if (const Divergence* d = r.first()) {
+      f.code = "VERIFY-001";
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s vs %s diverge at cycle %llu net %s (%.17g vs %.17g)",
+                    engine_name(d->ref), engine_name(d->other),
+                    static_cast<unsigned long long>(d->cycle), d->net.c_str(),
+                    d->ref_value, d->other_value);
+      f.detail = buf;
+    } else {
+      f.code = "VERIFY-002";
+      for (const EngineTrace& t : r.traces)
+        if (!t.fail_reason.empty()) {
+          f.detail = std::string(engine_name(t.engine)) + ": " + t.fail_reason;
+          break;
+        }
+    }
+    std::fprintf(stderr, "seed %u: FAIL [%s] %s\n", seed, f.code.c_str(),
+                 f.detail.c_str());
+
+    ShrinkOptions sopts;
+    sopts.max_attempts = args.max_attempts;
+    const ShrinkResult sr = shrink(spec, per, sopts);
+    f.shrunk_comps = sr.minimal.comps.size();
+    f.shrunk_cycles = sr.minimal.cycles;
+    std::fprintf(stderr,
+                 "seed %u: shrunk %zu -> %zu components, %llu -> %llu cycles "
+                 "(%d runs)\n",
+                 seed, spec.comps.size(), sr.minimal.comps.size(),
+                 static_cast<unsigned long long>(spec.cycles),
+                 static_cast<unsigned long long>(sr.minimal.cycles),
+                 sr.attempts);
+
+    if (!args.corpus_dir.empty()) {
+      const std::string stem =
+          args.corpus_dir + "/seed" + std::to_string(seed);
+      std::ofstream spec_os(stem + ".spec");
+      spec_os << to_text(sr.minimal);
+      std::ofstream repro_os(stem + "_repro.cpp");
+      emit_repro(sr.minimal, per, repro_os);
+      f.repro_path = stem + "_repro.cpp";
+      std::fprintf(stderr, "seed %u: repro written to %s\n", seed,
+                   f.repro_path.c_str());
+    }
+    for (const diag::Diagnostic& d : de.all())
+      std::fprintf(stderr, "  %s\n", d.str().c_str());
+    failures.push_back(std::move(f));
+  }
+
+  std::printf("asicpp-fuzz: %d/%d seeds clean, %zu failure(s)\n", clean,
+              args.seeds, failures.size());
+  if (!args.json_path.empty()) {
+    std::ofstream os(args.json_path);
+    write_json(args, clean, failures, os);
+  }
+  return failures.empty() ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 #include "common.h"
 #include "dect/vliw.h"
 #include "netlist/netsim.h"
+#include "opt/options.h"
 #include "sim/compiled.h"
 #include "synth/system.h"
 
@@ -134,6 +135,40 @@ void BM_Dect_CompiledMode(benchmark::State& state, ScheduleMode mode) {
 }
 BENCHMARK_CAPTURE(BM_Dect_CompiledMode, levelized, ScheduleMode::kLevelized);
 BENCHMARK_CAPTURE(BM_Dect_CompiledMode, iterative, ScheduleMode::kIterative);
+
+// Optimizer ablation on the full transceiver, interpreted path.
+// `passes_off` pins PassOptions::none() — the legacy recursive expression
+// walk every datapath SFG used before the lowered IR existed; `passes_on`
+// evaluates the pass-optimized slot-indexed tape. Same scheduler, same
+// system, so the ratio isolates what lowering + the pass pipeline buys.
+void BM_Dect_OptPassesInterpreted(benchmark::State& state, bool optimize) {
+  DectTransceiver t;
+  t.drive_sample(0.5);
+  t.scheduler().set_pass_options(optimize ? opt::PassOptions{} : opt::PassOptions::none());
+  for (auto _ : state) t.scheduler().cycle();
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_Dect_OptPassesInterpreted, passes_on, true);
+BENCHMARK_CAPTURE(BM_Dect_OptPassesInterpreted, passes_off, false);
+
+// Same ablation on the compiled tape: `passes_off` compiles the raw
+// lowering (PassOptions::raw()), `passes_on` the optimized one.
+// instrs_raw/instrs_opt report the tape slimming across all 22 datapaths
+// from the aggregated PassStats.
+void BM_Dect_OptPassesCompiled(benchmark::State& state, bool optimize) {
+  DectTransceiver t;
+  t.drive_sample(0.5);
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(
+      t.scheduler(), optimize ? opt::PassOptions{} : opt::PassOptions::raw());
+  for (auto _ : state) cs.cycle();
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["instrs_raw"] = static_cast<double>(cs.pass_stats().instrs_before);
+  state.counters["instrs_opt"] = static_cast<double>(cs.pass_stats().instrs_after);
+}
+BENCHMARK_CAPTURE(BM_Dect_OptPassesCompiled, passes_on, true);
+BENCHMARK_CAPTURE(BM_Dect_OptPassesCompiled, passes_off, false);
 
 void BM_Dect_CompiledCode(benchmark::State& state) {
   DectTransceiver t;

@@ -123,8 +123,7 @@ RunResult DynamicScheduler::run(const RunOptions& opts) {
   on_sweep_ = opts.on_cycle_end;
 
   const std::size_t budget = opts.firings != 0 ? opts.firings : 1'000'000;
-  const double wall = opts.wall_clock_s > 0.0 ? opts.wall_clock_s : wall_limit_s_;
-  last_ = run_impl(budget, wall);
+  last_ = run_impl(budget, opts.wall_clock_s);
 
   RunResult r;
   r.firings = last_.firings;
@@ -144,11 +143,6 @@ RunResult DynamicScheduler::run(const RunOptions& opts) {
     }
   }
   return r;
-}
-
-DynamicScheduler::Result DynamicScheduler::run(std::size_t max_firings) {
-  last_ = run_impl(max_firings, wall_limit_s_);
-  return last_;
 }
 
 }  // namespace asicpp::df

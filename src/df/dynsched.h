@@ -59,12 +59,6 @@ class DynamicScheduler {
   /// detailed dataflow post-mortem remains available via last_result().
   RunResult run(const RunOptions& opts);
 
-  /// Fire ready processes until quiescent, `max_firings` reached, or the
-  /// wall-clock limit hit. Deadlocks produce a DF-001 post-mortem and
-  /// watchdog stops a WATCHDOG-001/002 diagnostic in diagnostics().
-  [[deprecated("use run(RunOptions{}.for_firings(n)) and last_result()")]]
-  Result run(std::size_t max_firings = 1'000'000);
-
   /// Queue / blocked-process post-mortem of the most recent run().
   const Result& last_result() const { return last_; }
 
@@ -75,9 +69,6 @@ class DynamicScheduler {
 
   void attach_diagnostics(diag::DiagEngine& de) { diag_ = &de; }
   diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
-  /// Stop run() after `seconds` of wall-clock time (0 = unlimited).
-  [[deprecated("use RunOptions::within / RunOptions::wall_clock_s")]]
-  void set_wall_clock_limit(double seconds) { wall_limit_s_ = seconds; }
 
  private:
   Result run_impl(std::size_t max_firings, double wall_limit);
@@ -88,7 +79,6 @@ class DynamicScheduler {
   Result last_;
   diag::DiagEngine* diag_ = nullptr;
   diag::DiagEngine own_diag_;
-  double wall_limit_s_ = 0.0;
   bool profile_ = false;
   std::vector<std::pair<std::uint64_t, double>> prof_;  // per procs_ index
   std::function<void(std::uint64_t)> on_sweep_;

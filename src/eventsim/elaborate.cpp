@@ -38,7 +38,9 @@ std::vector<sfg::Sfg*> select_actions(const CompModel& m, Signal* instr_sig,
       const auto* t = m.fsm->select(stamp);
       if (taken != nullptr) *taken = t;
       if (t == nullptr) return {};
-      return {t->actions.begin(), t->actions.end()};
+      std::vector<sfg::Sfg*> acts;
+      for (auto* s : t->actions) acts.push_back(&m.optimized(*s));
+      return acts;
     }
     case CompModel::Kind::kDispatch: {
       const long opcode = std::lround(instr_sig->read());

@@ -257,13 +257,4 @@ void Fsm::check(diag::DiagEngine& de) const {
   }
 }
 
-std::vector<std::string> Fsm::check() const {
-  diag::DiagEngine de;
-  check(de);
-  std::vector<std::string> out;
-  out.reserve(de.size());
-  for (const auto& d : de.all()) out.push_back(d.str());
-  return out;
-}
-
 }  // namespace asicpp::fsm

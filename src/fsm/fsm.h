@@ -157,11 +157,6 @@ class Fsm {
   ///   FSM-006 incomplete transition (builder died without a destination)
   void check(diag::DiagEngine& de) const;
 
-  /// Legacy convenience: run check() into a fresh engine and render each
-  /// diagnostic as one string.
-  [[deprecated("use check(diag::DiagEngine&)")]]
-  std::vector<std::string> check() const;
-
   /// Graphviz rendering of the machine (states, guarded edges, action SFG
   /// names) — the diagram style of Figs 2 and 4.
   std::string to_dot() const;

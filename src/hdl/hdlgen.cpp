@@ -80,7 +80,9 @@ std::string Writer::ref(const NodePtr& n) const {
     case Op::kConst:
       return literal(mantissa_of(n.get(), fmt(n)), width(n));
     default:
-      return "n" + std::to_string(n->id);
+      // Optimizer-created nodes carry a deterministic name; everything else
+      // falls back to the node id (stable within one generation).
+      return n->name.empty() ? "n" + std::to_string(n->id) : sanitize(n->name);
   }
 }
 
@@ -436,7 +438,7 @@ HdlComponent Writer::emit() {
             ctl << ind << (first ? (vhdl ? "  if " : "  if (") : (vhdl ? "  elsif " : "  else if ("))
                 << guard << (vhdl ? " then\n" : ") begin\n");
           }
-          for (auto* s : t.actions) emit_assignments(ctl, *s, ind + "    ");
+          for (auto* s : t.actions) emit_assignments(ctl, m_.optimized(*s), ind + "    ");
           ctl << ind << "    state_next " << (vhdl ? "<= st_" : "= ST_")
               << sanitize(m_.fsm->state_name(t.to)) << ";\n";
           if (!vhdl) ctl << ind << "  end\n";

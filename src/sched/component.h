@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+namespace asicpp::sfg {
+class Sfg;
+}
+
 namespace asicpp::sched {
 
 class Net;
@@ -85,6 +89,11 @@ class Component {
   /// Describe this component to the static levelizer. The default marks the
   /// component unschedulable, forcing iterative fallback.
   virtual StaticDeps static_deps() const { return {}; }
+
+  /// Append every SFG this component can execute. The scheduler uses this
+  /// to apply run-wide optimizer pass options; untimed components own no
+  /// SFGs and keep the default no-op.
+  virtual void collect_sfgs(std::vector<sfg::Sfg*>& out) const { (void)out; }
 
  private:
   std::string name_;

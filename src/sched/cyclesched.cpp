@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "sfg/eval.h"
+#include "sfg/sfg.h"
 
 namespace asicpp::sched {
 
@@ -226,10 +227,10 @@ RunResult CycleScheduler::run(const RunOptions& opts) {
   mode_ = opts.schedule;
   profile_ = opts.profile;
   prof_.clear();
+  set_pass_options(opts.passes);
 
-  const std::uint64_t budget =
-      opts.cycle_budget != 0 ? opts.cycle_budget : cycle_budget_;
-  const double wall = opts.wall_clock_s > 0.0 ? opts.wall_clock_s : wall_limit_s_;
+  const std::uint64_t budget = opts.cycle_budget;
+  const double wall = opts.wall_clock_s;
 
   RunResult r;
   watchdog_tripped_ = false;
@@ -283,8 +284,10 @@ RunResult CycleScheduler::run(const RunOptions& opts) {
   return r;
 }
 
-std::uint64_t CycleScheduler::run(std::uint64_t n) {
-  return run(RunOptions{}.for_cycles(n)).cycles;
+void CycleScheduler::set_pass_options(const opt::PassOptions& p) {
+  std::vector<sfg::Sfg*> sfgs;
+  for (auto* c : comps_) c->collect_sfgs(sfgs);
+  for (auto* s : sfgs) s->set_pass_options(p);
 }
 
 }  // namespace asicpp::sched

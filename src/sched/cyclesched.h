@@ -73,13 +73,15 @@ class CycleScheduler {
   /// (the post-mortem is also reported into the attached engine, if any).
   CycleStats cycle();
 
-  /// Simulate per `opts`: cycle count, watchdogs, schedule mode, hooks.
-  /// This is the primary entry point shared with the other engines.
+  /// Simulate per `opts`: cycle count, watchdogs, schedule mode, hooks,
+  /// optimizer passes. The primary entry point shared with the other
+  /// engines. Applies `opts.passes` to every SFG of every component before
+  /// the first cycle.
   RunResult run(const RunOptions& opts);
 
-  /// Simulate up to `n` cycles; returns the number actually simulated.
-  [[deprecated("use run(RunOptions{}.for_cycles(n))")]]
-  std::uint64_t run(std::uint64_t n);
+  /// Apply optimizer pass options to every SFG of every registered
+  /// component (for cycle() calls outside run()).
+  void set_pass_options(const opt::PassOptions& p);
 
   // --- static schedule ---
 
@@ -110,12 +112,6 @@ class CycleScheduler {
   void attach_diagnostics(diag::DiagEngine& de) { diag_ = &de; }
   diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
 
-  /// Stop run() once the clock reaches `max_cycles` total (0 = unlimited).
-  [[deprecated("use RunOptions::budget / RunOptions::cycle_budget")]]
-  void set_cycle_budget(std::uint64_t max_cycles) { cycle_budget_ = max_cycles; }
-  /// Stop run() after `seconds` of wall-clock time (0 = unlimited).
-  [[deprecated("use RunOptions::within / RunOptions::wall_clock_s")]]
-  void set_wall_clock_limit(double seconds) { wall_limit_s_ = seconds; }
   /// True when the last run() was stopped by a watchdog.
   bool watchdog_tripped() const { return watchdog_tripped_; }
 
@@ -148,8 +144,6 @@ class CycleScheduler {
   int max_iters_ = 64;
   diag::DiagEngine* diag_ = nullptr;
   diag::DiagEngine own_diag_;
-  std::uint64_t cycle_budget_ = 0;
-  double wall_limit_s_ = 0.0;
   bool watchdog_tripped_ = false;
   ScheduleMode mode_ = ScheduleMode::kAuto;
   Schedule schedule_;

@@ -148,6 +148,12 @@ Component::StaticDeps FsmComponent::static_deps() const {
   return d;
 }
 
+void FsmComponent::collect_sfgs(std::vector<sfg::Sfg*>& out) const {
+  for (const auto& t : fsm_->transitions()) {
+    for (auto* s : t.actions) out.push_back(s);
+  }
+}
+
 // --- SfgComponent ---
 
 void SfgComponent::begin_cycle(std::uint64_t) { fired_ = false; }
@@ -274,6 +280,14 @@ Component::StaticDeps DispatchComponent::static_deps() const {
   }
   if (default_ != nullptr) add(*default_);
   return d;
+}
+
+void DispatchComponent::collect_sfgs(std::vector<sfg::Sfg*>& out) const {
+  for (const auto& [opcode, s] : table_) {
+    (void)opcode;
+    out.push_back(s);
+  }
+  if (default_ != nullptr) out.push_back(default_);
 }
 
 }  // namespace asicpp::sched

@@ -84,6 +84,7 @@ class FsmComponent : public TimedBase {
   std::vector<const Net*> waiting_nets() const override;
   std::vector<const Net*> pending_output_nets() const override;
   StaticDeps static_deps() const override;
+  void collect_sfgs(std::vector<sfg::Sfg*>& out) const override;
 
   fsm::Fsm& machine() const { return *fsm_; }
   bool fired() const { return fired_; }
@@ -108,6 +109,9 @@ class SfgComponent : public TimedBase {
   std::vector<const Net*> waiting_nets() const override;
   std::vector<const Net*> pending_output_nets() const override;
   StaticDeps static_deps() const override;
+  void collect_sfgs(std::vector<sfg::Sfg*>& out) const override {
+    out.push_back(sfg_);
+  }
 
   sfg::Sfg& graph() const { return *sfg_; }
 
@@ -139,6 +143,7 @@ class DispatchComponent : public TimedBase {
   std::vector<const Net*> waiting_nets() const override;
   std::vector<const Net*> pending_output_nets() const override;
   StaticDeps static_deps() const override;
+  void collect_sfgs(std::vector<sfg::Sfg*>& out) const override;
 
   Net& instruction_net() const { return *instr_net_; }
   const std::map<long, sfg::Sfg*>& instruction_table() const { return table_; }

@@ -3,9 +3,8 @@
 // All three simulation engines — the interpreted `sched::CycleScheduler`,
 // the compiled-tape `sim::CompiledSystem`, and the dataflow
 // `df::DynamicScheduler` — accept one `RunOptions` (budgets, watchdogs,
-// trace hooks, schedule mode) and return one `RunResult` (work done, retry
-// accounting, per-component timing, stop reason). The per-engine watchdog
-// setters that predate this header remain as thin `[[deprecated]]` shims.
+// trace hooks, schedule mode, optimizer passes) and return one `RunResult`
+// (work done, retry accounting, per-component timing, stop reason).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +13,7 @@
 #include <vector>
 
 #include "diag/diag.h"
+#include "opt/options.h"
 
 namespace asicpp {
 
@@ -51,10 +51,10 @@ struct RunOptions {
   /// Dataflow engine: firing budget for this call (0 = engine default).
   std::uint64_t firings = 0;
   /// Watchdog: stop once the engine's *total* cycle count reaches this
-  /// value (0 = unlimited). Mirrors the deprecated set_cycle_budget().
+  /// value (0 = unlimited).
   std::uint64_t cycle_budget = 0;
   /// Watchdog: stop after this much wall-clock time in seconds
-  /// (0 = unlimited). Mirrors the deprecated set_wall_clock_limit().
+  /// (0 = unlimited).
   double wall_clock_s = 0.0;
   /// Phase-2 evaluation order policy (cycle engines).
   ScheduleMode schedule = ScheduleMode::kAuto;
@@ -67,6 +67,11 @@ struct RunOptions {
   /// Trace / recorder hook, invoked after every completed cycle (cycle
   /// engines) or after every firing sweep (dataflow engine).
   std::function<void(std::uint64_t)> on_cycle_end;
+  /// Optimization pass pipeline applied to every SFG the run evaluates
+  /// (interpreted cycle engine). Defaults to all passes on; PassOptions::
+  /// none() restores the pre-IR recursive evaluation, the differential
+  /// reference. The compiled engine fixes its passes at compile() time.
+  opt::PassOptions passes{};
 
   RunOptions& for_cycles(std::uint64_t n) { cycles = n; return *this; }
   RunOptions& for_firings(std::uint64_t n) { firings = n; return *this; }
@@ -79,6 +84,7 @@ struct RunOptions {
     on_cycle_end = std::move(cb);
     return *this;
   }
+  RunOptions& with_passes(const opt::PassOptions& p) { passes = p; return *this; }
 };
 
 /// Wall time and firing count of one component (or dataflow process)

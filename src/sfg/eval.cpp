@@ -1,8 +1,9 @@
 #include "sfg/eval.h"
 
 #include <atomic>
-#include <cmath>
 #include <stdexcept>
+
+#include "opt/semantics.h"
 
 namespace asicpp::sfg {
 
@@ -11,44 +12,18 @@ std::uint64_t new_eval_stamp() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
-namespace {
-
-long long as_int(const fixpt::Fixed& v) {
-  return static_cast<long long>(std::llround(v.value()));
-}
-
-}  // namespace
-
 fixpt::Fixed apply_op(const Node& n, const fixpt::Fixed* argv, int argc) {
-  using fixpt::Fixed;
-  switch (n.op) {
-    case Op::kAdd: return argv[0] + argv[1];
-    case Op::kSub: return argv[0] - argv[1];
-    case Op::kMul: return argv[0] * argv[1];
-    case Op::kNeg: return -argv[0];
-    // Bitwise operators act on the integer interpretation of the value;
-    // they are intended for flags, instruction words and address math.
-    case Op::kAnd: return Fixed(static_cast<double>(as_int(argv[0]) & as_int(argv[1])));
-    case Op::kOr: return Fixed(static_cast<double>(as_int(argv[0]) | as_int(argv[1])));
-    case Op::kXor: return Fixed(static_cast<double>(as_int(argv[0]) ^ as_int(argv[1])));
-    case Op::kNot: return Fixed(as_int(argv[0]) == 0 ? 1.0 : 0.0);
-    case Op::kShl: return Fixed(std::ldexp(argv[0].value(), static_cast<int>(argv[1].value())));
-    case Op::kShr: return Fixed(std::ldexp(argv[0].value(), -static_cast<int>(argv[1].value())));
-    case Op::kMux: return argv[0].value() != 0.0 ? argv[1] : argv[2];
-    case Op::kEq: return Fixed(argv[0] == argv[1] ? 1.0 : 0.0);
-    case Op::kNe: return Fixed(argv[0] != argv[1] ? 1.0 : 0.0);
-    case Op::kLt: return Fixed(argv[0] < argv[1] ? 1.0 : 0.0);
-    case Op::kLe: return Fixed(argv[0] <= argv[1] ? 1.0 : 0.0);
-    case Op::kGt: return Fixed(argv[0] > argv[1] ? 1.0 : 0.0);
-    case Op::kGe: return Fixed(argv[0] >= argv[1] ? 1.0 : 0.0);
-    case Op::kCast: return argv[0].cast(n.fmt);
-    case Op::kInput:
-    case Op::kConst:
-    case Op::kReg:
-      break;
-  }
+  // Ops whose Fixed result carries format metadata forward are handled
+  // here; the *value* semantics of every operator live in one place,
+  // opt::apply_op_value, shared with the tape executor and the code
+  // generator.
+  if (n.op == Op::kMux)
+    return argv[0].value() != 0.0 ? argv[1] : argv[2];
+  if (n.op == Op::kCast) return argv[0].cast(n.fmt);
   (void)argc;
-  throw std::logic_error("apply_op: leaf node has no operator");
+  return fixpt::Fixed(opt::apply_op_value(
+      n.op, argv[0].value(), n.args.size() > 1 ? argv[1].value() : 0.0,
+      n.args.size() > 2 ? argv[2].value() : 0.0, n.fmt));
 }
 
 fixpt::Fixed eval(const NodePtr& n, std::uint64_t stamp) {

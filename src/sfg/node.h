@@ -41,6 +41,10 @@ enum class Op {
   kGt,
   kGe,
   kCast,  ///< re-quantize into the node's format
+
+  kCount,  ///< sentinel — keep last; op_arity/op_is_compare static_assert
+           ///< against it so a new enumerator fails to compile everywhere
+           ///< instead of silently misreporting
 };
 
 /// Human-readable mnemonic, e.g. "add".

@@ -4,9 +4,17 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "opt/ir.h"
+#include "opt/passes.h"
+#include "opt/semantics.h"
 #include "sfg/eval.h"
 
 namespace asicpp::sfg {
+
+Sfg::Sfg(std::string name) : name_(std::move(name)) {}
+Sfg::~Sfg() = default;
+Sfg::Sfg(Sfg&&) noexcept = default;
+Sfg& Sfg::operator=(Sfg&&) noexcept = default;
 
 namespace {
 
@@ -44,6 +52,7 @@ Sfg& Sfg::in(const Sig& s) {
     throw std::invalid_argument("Sfg::in: not an input signal");
   inputs_.push_back(s.node());
   analyzed_ = false;
+  lowered_.reset();
   return *this;
 }
 
@@ -51,6 +60,7 @@ Sfg& Sfg::out(const std::string& port, const Sig& expr) {
   if (!expr.valid()) throw std::invalid_argument("Sfg::out: unconnected expression");
   outputs_.push_back(Output{port, expr.node(), false});
   analyzed_ = false;
+  lowered_.reset();
   return *this;
 }
 
@@ -58,7 +68,36 @@ Sfg& Sfg::assign(const Reg& r, const Sig& expr) {
   if (!expr.valid()) throw std::invalid_argument("Sfg::assign: unconnected expression");
   assigns_.push_back(RegAssign{r.node(), expr.node()});
   analyzed_ = false;
+  lowered_.reset();
   return *this;
+}
+
+Sfg& Sfg::assign_node(NodePtr reg, NodePtr expr) {
+  if (reg == nullptr || reg->op != Op::kReg)
+    throw std::invalid_argument("Sfg::assign_node: not a registered signal");
+  if (expr == nullptr)
+    throw std::invalid_argument("Sfg::assign_node: unconnected expression");
+  assigns_.push_back(RegAssign{std::move(reg), std::move(expr)});
+  analyzed_ = false;
+  lowered_.reset();
+  return *this;
+}
+
+void Sfg::set_pass_options(const opt::PassOptions& p) {
+  if (popts_ == p) return;
+  popts_ = p;
+  lowered_.reset();
+}
+
+void Sfg::invalidate_lowered() { lowered_.reset(); }
+
+const opt::LoweredSfg& Sfg::lowered() const {
+  if (!lowered_) {
+    auto l = std::make_unique<opt::LoweredSfg>(opt::lower(*this));
+    opt::run_passes(*l, popts_);
+    lowered_ = std::move(l);
+  }
+  return *lowered_;
 }
 
 void Sfg::analyze() const {
@@ -165,15 +204,6 @@ void Sfg::check(diag::DiagEngine& de) {
   }
 }
 
-std::vector<std::string> Sfg::check() {
-  diag::DiagEngine de;
-  check(de);
-  std::vector<std::string> out;
-  out.reserve(de.size());
-  for (const auto& d : de.all()) out.push_back(d.str());
-  return out;
-}
-
 void Sfg::set_input(const std::string& port, const fixpt::Fixed& v) {
   for (auto& i : inputs_) {
     if (i->name == port) {
@@ -184,8 +214,32 @@ void Sfg::set_input(const std::string& port, const fixpt::Fixed& v) {
   throw std::out_of_range("Sfg::set_input: no input named '" + port + "'");
 }
 
+void Sfg::eval_lowered(bool pre_only) {
+  const opt::LoweredSfg& l = lowered();
+  slots_.resize(l.ins.size());
+  opt::exec_lowered(l, slots_.data(), pre_only);
+  for (const auto& o : l.outputs) {
+    if (pre_only && o.needs_inputs) continue;
+    // Leaf expressions keep their own value (inputs/registers are
+    // authoritative); interior expressions get the result written back —
+    // possibly from a redirected slot after simplification — so
+    // output_value()/push_outputs observe the recursive walk's protocol.
+    if (op_arity(o.node->op) != 0)
+      o.node->value = fixpt::Fixed(slots_[static_cast<std::size_t>(o.slot)]);
+  }
+  if (pre_only) return;
+  for (const auto& a : l.assigns) {
+    a.reg->next = fixpt::Fixed(slots_[static_cast<std::size_t>(a.slot)]);
+    a.reg->next_set = true;
+  }
+}
+
 void Sfg::eval_register_outputs(std::uint64_t stamp) {
   analyze();
+  if (popts_.lower) {
+    eval_lowered(/*pre_only=*/true);
+    return;
+  }
   for (auto& o : outputs_) {
     if (!o.needs_inputs) asicpp::sfg::eval(o.expr, stamp);
   }
@@ -193,6 +247,10 @@ void Sfg::eval_register_outputs(std::uint64_t stamp) {
 
 void Sfg::eval(std::uint64_t stamp) {
   analyze();
+  if (popts_.lower) {
+    eval_lowered(/*pre_only=*/false);
+    return;
+  }
   for (auto& o : outputs_) asicpp::sfg::eval(o.expr, stamp);
   for (auto& a : assigns_) {
     a.reg->next = asicpp::sfg::eval(a.expr, stamp);

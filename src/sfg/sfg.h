@@ -10,18 +10,27 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "diag/diag.h"
 #include "fixpt/fixed.h"
+#include "opt/options.h"
 #include "sfg/sig.h"
+
+namespace asicpp::opt {
+struct LoweredSfg;
+}
 
 namespace asicpp::sfg {
 
 class Sfg {
  public:
-  explicit Sfg(std::string name) : name_(std::move(name)) {}
+  explicit Sfg(std::string name);
+  ~Sfg();
+  Sfg(Sfg&&) noexcept;
+  Sfg& operator=(Sfg&&) noexcept;
 
   const std::string& name() const { return name_; }
 
@@ -31,6 +40,9 @@ class Sfg {
   Sfg& out(const std::string& port, const Sig& expr);
   /// Schedule `expr` as the next value of registered signal `r`.
   Sfg& assign(const Reg& r, const Sig& expr);
+  /// Node-level assign, used when materializing a pass-optimized clone
+  /// (hdl/synth consumption); `reg` must be a registered-signal node.
+  Sfg& assign_node(NodePtr reg, NodePtr expr);
 
   struct Output {
     std::string port;
@@ -62,12 +74,21 @@ class Sfg {
   ///   SFG-006 registers of one SFG bound to different clocks
   void check(diag::DiagEngine& de);
 
-  /// Legacy convenience: run check() into a fresh engine and render each
-  /// diagnostic as one string.
-  [[deprecated("use check(diag::DiagEngine&)")]]
-  std::vector<std::string> check();
-
   // --- simulation (interpreted mode) ---
+
+  /// Pass pipeline applied when this SFG is lowered for evaluation. The
+  /// default runs every pass; PassOptions::none() restores the original
+  /// recursive graph walk (the differential reference).
+  void set_pass_options(const opt::PassOptions& p);
+  const opt::PassOptions& pass_options() const { return popts_; }
+
+  /// Drop the cached lowered form (formats or values were mutated behind
+  /// the Sfg's back, e.g. by wordlength optimization knobs).
+  void invalidate_lowered();
+
+  /// Lowered, pass-optimized form of this SFG (built lazily). Also the
+  /// source of the optimizer's instruction-count statistics.
+  const opt::LoweredSfg& lowered() const;
 
   /// Set the current value of a declared input by port name.
   void set_input(const std::string& port, const fixpt::Fixed& v);
@@ -91,12 +112,16 @@ class Sfg {
 
  private:
   bool depends_on_declared_input(const NodePtr& n) const;
+  void eval_lowered(bool pre_only);
 
   std::string name_;
   std::vector<NodePtr> inputs_;
   mutable std::vector<Output> outputs_;  ///< mutable: analyze() memoizes needs_inputs
   std::vector<RegAssign> assigns_;
   mutable bool analyzed_ = false;
+  opt::PassOptions popts_{};
+  mutable std::unique_ptr<opt::LoweredSfg> lowered_;
+  mutable std::vector<double> slots_;  ///< IR value slots, reused per eval
 };
 
 }  // namespace asicpp::sfg

@@ -35,9 +35,18 @@ const char* op_name(Op op) {
     case Op::kGt: return "gt";
     case Op::kGe: return "ge";
     case Op::kCast: return "cast";
+    case Op::kCount: break;
   }
   return "?";
 }
+
+// The switches below are exhaustive on purpose (no default): adding an Op
+// enumerator turns into a -Wswitch compile error here rather than a silent
+// arity-2/non-compare misclassification. The static_assert pins the
+// expected enumerator count so even a build without -Wswitch trips.
+static_assert(static_cast<int>(Op::kCount) == 21,
+              "Op changed: update op_name/op_arity/op_is_compare, the "
+              "opt/semantics.h helpers, and every lowering consumer");
 
 int op_arity(Op op) {
   switch (op) {
@@ -49,14 +58,27 @@ int op_arity(Op op) {
     case Op::kNot:
     case Op::kCast:
       return 1;
-    case Op::kMux:
-      return 3;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
     case Op::kShl:
     case Op::kShr:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
       return 2;
-    default:
-      return 2;
+    case Op::kMux:
+      return 3;
+    case Op::kCount:
+      break;
   }
+  throw std::logic_error("op_arity: invalid Op");
 }
 
 bool op_is_compare(Op op) {
@@ -68,9 +90,26 @@ bool op_is_compare(Op op) {
     case Op::kGt:
     case Op::kGe:
       return true;
-    default:
+    case Op::kInput:
+    case Op::kConst:
+    case Op::kReg:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kNeg:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kNot:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kMux:
+    case Op::kCast:
       return false;
+    case Op::kCount:
+      break;
   }
+  throw std::logic_error("op_is_compare: invalid Op");
 }
 
 namespace {

@@ -66,8 +66,10 @@ WlOptResult optimize_wordlengths(Sfg& s, Clk& clk, const WlOptSpec& spec) {
     }
   }
 
-  // One simulation run; returns per-cycle output samples.
+  // One simulation run; returns per-cycle output samples. The knob formats
+  // changed behind the Sfg's cache, so the lowered form is rebuilt first.
   const auto run = [&](std::vector<double>& out_samples) {
+    s.invalidate_lowered();
     clk.reset();
     for (const auto& v : stim) {
       std::size_t k = 0;

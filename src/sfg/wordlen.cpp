@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "opt/ir.h"
 
 namespace asicpp::sfg {
 
@@ -49,48 +52,46 @@ Format int_logic(const Format& a, const Format& b) {
 
 const Format kBit{1, 1, false, fixpt::Quant::kTruncate, fixpt::Overflow::kWrap};
 
-}  // namespace
+/// Leaf format: declared, or derived from the constant's value.
+Format leaf_format(const opt::LIns& i) {
+  const Node* n = i.origin.get();
+  if (i.op == Op::kConst)
+    return (n != nullptr && n->has_fmt) ? n->fmt
+                                        : format_for_constant(i.cval);
+  if (n == nullptr || !n->has_fmt)
+    throw FormatError(std::string(op_name(i.op)) + " '" +
+                      (n != nullptr ? n->name : std::string()) +
+                      "' has no declared format");
+  return n->fmt;
+}
 
-const Format& infer_format(const NodePtr& n, FormatMap& map) {
-  const auto it = map.find(n.get());
-  if (it != map.end()) return it->second;
-
+/// Bit-growth rule for one interior instruction of the lowered IR, given
+/// its already-inferred operand formats. The one place the growth rules
+/// live; every consumer (HDL signal sizing, datapath bit-blasting) sees
+/// formats computed by this function.
+Format op_format(const opt::LoweredSfg& l, const opt::LIns& i,
+                 const std::vector<Format>& fmts) {
+  const auto fa = [&]() -> const Format& { return fmts[static_cast<std::size_t>(i.a)]; };
+  const auto fb = [&]() -> const Format& { return fmts[static_cast<std::size_t>(i.b)]; };
+  const auto fc = [&]() -> const Format& { return fmts[static_cast<std::size_t>(i.c)]; };
   Format f;
-  switch (n->op) {
-    case Op::kInput:
-    case Op::kReg:
-      if (!n->has_fmt)
-        throw FormatError(std::string(op_name(n->op)) + " '" + n->name +
-                          "' has no declared format");
-      f = n->fmt;
-      break;
-    case Op::kConst:
-      f = n->has_fmt ? n->fmt : format_for_constant(n->value.value());
-      break;
+  switch (i.op) {
     case Op::kCast:
-      infer_format(n->args[0], map);
-      f = n->fmt;
+      f = i.fmt;
       break;
     case Op::kAdd:
-    case Op::kSub: {
-      const Format& a = infer_format(n->args[0], map);
-      const Format& b = infer_format(n->args[1], map);
-      f = fixpt::add_format(a, b);
-      if (n->op == Op::kSub && !f.is_signed) {
+    case Op::kSub:
+      f = fixpt::add_format(fa(), fb());
+      if (i.op == Op::kSub && !f.is_signed) {
         f.is_signed = true;
         f.wl += 1;
       }
       break;
-    }
-    case Op::kMul: {
-      const Format& a = infer_format(n->args[0], map);
-      const Format& b = infer_format(n->args[1], map);
-      f = fixpt::mul_format(a, b);
+    case Op::kMul:
+      f = fixpt::mul_format(fa(), fb());
       break;
-    }
-    case Op::kNeg: {
-      const Format& a = infer_format(n->args[0], map);
-      f = a;
+    case Op::kNeg:
+      f = fa();
       if (!f.is_signed) {
         f.is_signed = true;
         f.wl += 1;
@@ -98,28 +99,22 @@ const Format& infer_format(const NodePtr& n, FormatMap& map) {
       f.iwl += 1;  // -min overflows otherwise
       f.wl += 1;
       break;
-    }
     case Op::kAnd:
     case Op::kOr:
-    case Op::kXor: {
-      const Format& a = infer_format(n->args[0], map);
-      const Format& b = infer_format(n->args[1], map);
-      f = int_logic(a, b);
+    case Op::kXor:
+      f = int_logic(fa(), fb());
       break;
-    }
     case Op::kNot:
-      infer_format(n->args[0], map);
       f = kBit;
       break;
     case Op::kShl:
     case Op::kShr: {
-      const Format& a = infer_format(n->args[0], map);
-      infer_format(n->args[1], map);
-      if (n->args[1]->op != Op::kConst)
+      const opt::LIns& amt = l.ins[static_cast<std::size_t>(i.b)];
+      if (amt.op != Op::kConst)
         throw FormatError("shift amount must be a constant");
-      const int sh = static_cast<int>(n->args[1]->value.value());
-      f = a;
-      if (n->op == Op::kShl) {
+      const int sh = static_cast<int>(amt.cval);
+      f = fa();
+      if (i.op == Op::kShl) {
         f.iwl += sh;
         f.wl += sh;
       } else {
@@ -127,25 +122,53 @@ const Format& infer_format(const NodePtr& n, FormatMap& map) {
       }
       break;
     }
-    case Op::kMux: {
-      infer_format(n->args[0], map);
-      const Format& a = infer_format(n->args[1], map);
-      const Format& b = infer_format(n->args[2], map);
-      f = merge(a, b);
+    case Op::kMux:
+      f = merge(fb(), fc());
       break;
-    }
     case Op::kEq:
     case Op::kNe:
     case Op::kLt:
     case Op::kLe:
     case Op::kGt:
     case Op::kGe:
-      infer_format(n->args[0], map);
-      infer_format(n->args[1], map);
       f = kBit;
       break;
+    case Op::kInput:
+    case Op::kConst:
+    case Op::kReg:
+    case Op::kCount:
+      throw FormatError("op_format: not an interior operator");
   }
-  return map.emplace(n.get(), f).first->second;
+  return f;
+}
+
+/// Linear sweep over a raw (unoptimized) lowering: every slot's format is
+/// computed from the slots below it, memoizing per origin node into `map`
+/// so repeated inference over shared subgraphs stays O(1).
+void infer_lowered(const opt::LoweredSfg& l, FormatMap& map) {
+  std::vector<Format> fmts(l.ins.size());
+  for (std::size_t s = 0; s < l.ins.size(); ++s) {
+    const opt::LIns& i = l.ins[s];
+    const Node* n = i.origin.get();
+    if (n != nullptr) {
+      const auto it = map.find(n);
+      if (it != map.end()) {
+        fmts[s] = it->second;
+        continue;
+      }
+    }
+    fmts[s] = i.is_leaf() ? leaf_format(i) : op_format(l, i, fmts);
+    if (n != nullptr) map.emplace(n, fmts[s]);
+  }
+}
+
+}  // namespace
+
+const Format& infer_format(const NodePtr& n, FormatMap& map) {
+  const auto it = map.find(n.get());
+  if (it != map.end()) return it->second;
+  infer_lowered(opt::lower_expr(n), map);
+  return map.at(n.get());
 }
 
 void infer_formats(Sfg& s, FormatMap& map) {

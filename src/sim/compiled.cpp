@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "opt/ir.h"
+#include "opt/passes.h"
 #include "sched/schedule.h"
 
 namespace asicpp::sim {
@@ -17,52 +19,29 @@ using sfg::Node;
 using sfg::NodePtr;
 using sfg::Op;
 
-namespace {
-
-OpC opc_for(Op op) {
-  switch (op) {
-    case Op::kAdd: return OpC::kAdd;
-    case Op::kSub: return OpC::kSub;
-    case Op::kMul: return OpC::kMul;
-    case Op::kNeg: return OpC::kNeg;
-    case Op::kAnd: return OpC::kAnd;
-    case Op::kOr: return OpC::kOr;
-    case Op::kXor: return OpC::kXor;
-    case Op::kNot: return OpC::kNot;
-    case Op::kShl: return OpC::kShl;
-    case Op::kShr: return OpC::kShr;
-    case Op::kMux: return OpC::kMux;
-    case Op::kEq: return OpC::kEq;
-    case Op::kNe: return OpC::kNe;
-    case Op::kLt: return OpC::kLt;
-    case Op::kLe: return OpC::kLe;
-    case Op::kGt: return OpC::kGt;
-    case Op::kGe: return OpC::kGe;
-    case Op::kCast: return OpC::kCast;
-    default: throw std::logic_error("opc_for: leaf node");
-  }
-}
-
-}  // namespace
-
 class CompiledSystem::Builder {
  public:
-  explicit Builder(CompiledSystem& sys) : sys_(sys) {}
+  Builder(CompiledSystem& sys, const opt::PassOptions& passes)
+      : sys_(sys), popts_(passes) {}
 
   void build(const sched::CycleScheduler& sched);
 
  private:
   std::int32_t slot_of(const NodePtr& n);
-  bool depends_on_input(const Node* n);
-  std::int32_t compile_expr(const NodePtr& n, Tape& tape,
-                            std::unordered_set<const Node*>& visited);
+  /// Global slot for each lowered-IR slot: leaves map onto their origin
+  /// node's persistent slot (pass-created constants get a fresh slot
+  /// pre-initialized to their value), interiors get fresh scratch slots.
+  std::vector<std::int32_t> map_slots(const opt::LoweredSfg& l);
+  static Instr emit_ins(const opt::LoweredSfg& l, std::size_t idx,
+                        const std::vector<std::int32_t>& g);
+  std::int32_t compile_expr(const NodePtr& n, Tape& tape);
   std::int32_t net_id(const sched::Net* n) const;
   std::int32_t compile_sfg(sfg::Sfg& s, const sched::TimedBase& comp,
                            std::unordered_map<sfg::Sfg*, std::int32_t>& local);
 
   CompiledSystem& sys_;
+  opt::PassOptions popts_;
   std::unordered_map<const Node*, std::int32_t> slots_;
-  std::unordered_map<const Node*, int> dep_memo_;  // -1 unknown, 0 no, 1 yes
   std::unordered_map<const sched::Net*, std::int32_t> net_map_;
 };
 
@@ -81,46 +60,45 @@ std::int32_t CompiledSystem::Builder::slot_of(const NodePtr& n) {
   return slot;
 }
 
-bool CompiledSystem::Builder::depends_on_input(const Node* n) {
-  const auto it = dep_memo_.find(n);
-  if (it != dep_memo_.end()) return it->second != 0;
-  bool dep = (n->op == Op::kInput);
-  if (!dep) {
-    for (const auto& a : n->args) {
-      if (depends_on_input(a.get())) {
-        dep = true;
-        break;
-      }
+std::vector<std::int32_t> CompiledSystem::Builder::map_slots(
+    const opt::LoweredSfg& l) {
+  std::vector<std::int32_t> g(l.ins.size(), -1);
+  for (std::size_t i = 0; i < l.ins.size(); ++i) {
+    const opt::LIns& ins = l.ins[i];
+    if (ins.is_leaf() && ins.origin != nullptr) {
+      g[i] = slot_of(ins.origin);
+    } else if (ins.is_leaf()) {
+      // Pass-created constant: its slot is never written, so the initial
+      // value is the value.
+      g[i] = static_cast<std::int32_t>(sys_.slots_.size());
+      sys_.slots_.push_back(ins.cval);
+    } else {
+      g[i] = static_cast<std::int32_t>(sys_.slots_.size());
+      sys_.slots_.push_back(0.0);
     }
   }
-  dep_memo_[n] = dep ? 1 : 0;
-  return dep;
+  return g;
 }
 
-std::int32_t CompiledSystem::Builder::compile_expr(
-    const NodePtr& n, Tape& tape, std::unordered_set<const Node*>& visited) {
-  switch (n->op) {
-    case Op::kInput:
-    case Op::kConst:
-    case Op::kReg:
-      return slot_of(n);
-    default:
-      break;
+Instr CompiledSystem::Builder::emit_ins(const opt::LoweredSfg& l,
+                                        std::size_t idx,
+                                        const std::vector<std::int32_t>& g) {
+  const opt::LIns& i = l.ins[idx];
+  const auto arg = [&](std::int32_t s) {
+    return s >= 0 ? g[static_cast<std::size_t>(s)] : -1;
+  };
+  return Instr::apply(i.op, g[idx], arg(i.a), arg(i.b), arg(i.c), i.fmt);
+}
+
+std::int32_t CompiledSystem::Builder::compile_expr(const NodePtr& n, Tape& tape) {
+  opt::LoweredSfg l = opt::lower_expr(n);
+  opt::run_passes(l, popts_);
+  sys_.pass_stats_ += l.stats;
+  const auto g = map_slots(l);
+  for (std::size_t i = 0; i < l.ins.size(); ++i) {
+    if (!l.ins[i].is_leaf()) tape.push_back(emit_ins(l, i, g));
   }
-  const std::int32_t dst = slot_of(n);
-  if (!visited.insert(n.get()).second) return dst;
-  std::int32_t argv[3] = {-1, -1, -1};
-  for (std::size_t i = 0; i < n->args.size() && i < 3; ++i)
-    argv[i] = compile_expr(n->args[i], tape, visited);
-  Instr in;
-  in.op = opc_for(n->op);
-  in.dst = dst;
-  in.a = argv[0];
-  in.b = argv[1];
-  in.c = argv[2];
-  if (n->op == Op::kCast) in.fmt = n->fmt;
-  tape.push_back(in);
-  return dst;
+  return g[static_cast<std::size_t>(l.outputs.front().slot)];
 }
 
 std::int32_t CompiledSystem::Builder::net_id(const sched::Net* n) const {
@@ -138,7 +116,13 @@ std::int32_t CompiledSystem::Builder::compile_sfg(
 
   s.analyze();
   SfgCode code;
-  std::unordered_set<const Node*> visited;
+
+  // Lower the whole SFG once and run the pass pipeline over it; the tapes
+  // below are straight re-emissions of the optimized IR.
+  opt::LoweredSfg l = opt::lower(s);
+  opt::run_passes(l, popts_);
+  sys_.pass_stats_ += l.stats;
+  const auto g = map_slots(l);
 
   // Input plumbing: bound inputs load from net slots (quantized per the
   // declared format); unbound inputs refresh from the live node each cycle
@@ -150,32 +134,40 @@ std::int32_t CompiledSystem::Builder::compile_sfg(
     for (const auto& b : binds) {
       if (b.node != in) continue;
       bound = true;
-      Instr ld;
-      ld.op = in->has_fmt ? OpC::kCopyQ : OpC::kCopy;
-      ld.dst = in_slot;
-      ld.a = sys_.net_slots_[static_cast<std::size_t>(net_id(b.net))];
-      ld.fmt = in->fmt;
-      code.load_inputs.push_back(ld);
+      const auto net_slot =
+          sys_.net_slots_[static_cast<std::size_t>(net_id(b.net))];
+      code.load_inputs.push_back(in->has_fmt
+                                     ? Instr::copy_q(in_slot, net_slot, in->fmt)
+                                     : Instr::copy(in_slot, net_slot));
       code.required_nets.push_back(net_id(b.net));
     }
     if (!bound) sys_.refresh_.push_back(InputRefresh{in, in_slot});
   }
 
-  const auto& outs = comp.output_bindings();
-  for (const auto& o : s.outputs()) {
-    Tape& tape = o.needs_inputs ? code.main : code.pre;
-    const std::int32_t src = compile_expr(o.expr, tape, visited);
-    const auto bit = outs.find(o.port);
-    if (bit != outs.end()) {
-      auto& pushes = o.needs_inputs ? code.main_pushes : code.pre_pushes;
-      pushes.push_back(SfgCode::Push{net_id(bit->second), src});
-    }
+  // Pre tape: the input-independent reachable subset, self-contained so it
+  // can run in the token-production phase; main tape: everything else.
+  // The pre phase always precedes main within one cycle and registers only
+  // commit in phase 3, so pre-computed slots stay valid for main.
+  std::vector<char> in_pre(l.ins.size(), 0);
+  for (const auto idx : l.pre) in_pre[static_cast<std::size_t>(idx)] = 1;
+  for (std::size_t i = 0; i < l.ins.size(); ++i) {
+    if (l.ins[i].is_leaf()) continue;
+    (in_pre[i] ? code.pre : code.main).push_back(emit_ins(l, i, g));
   }
 
-  for (const auto& a : s.reg_assigns()) {
-    const std::int32_t src = compile_expr(a.expr, code.main, visited);
-    code.commits.push_back(
-        SfgCode::Commit{slot_of(a.reg), src, a.reg->fmt, a.reg->has_fmt});
+  const auto& outs = comp.output_bindings();
+  for (const auto& o : l.outputs) {
+    const auto bit = outs.find(o.port);
+    if (bit == outs.end()) continue;
+    auto& pushes = o.needs_inputs ? code.main_pushes : code.pre_pushes;
+    pushes.push_back(
+        SfgCode::Push{net_id(bit->second), g[static_cast<std::size_t>(o.slot)]});
+  }
+
+  for (const auto& a : l.assigns) {
+    code.commits.push_back(SfgCode::Commit{slot_of(a.reg),
+                                           g[static_cast<std::size_t>(a.slot)],
+                                           a.reg->fmt, a.reg->has_fmt});
   }
 
   const auto id = static_cast<std::int32_t>(sys_.sfgs_.size());
@@ -210,10 +202,8 @@ void CompiledSystem::Builder::build(const sched::CycleScheduler& sched) {
       for (const auto& t : m.transitions()) {
         GuardedTransition gt;
         gt.always = t.guards.empty();
-        if (!gt.always) {
-          std::unordered_set<const Node*> visited;
-          gt.guard_slot = compile_expr(t.guards.front().expr().node(), gt.guard, visited);
-        }
+        if (!gt.always)
+          gt.guard_slot = compile_expr(t.guards.front().expr().node(), gt.guard);
         for (auto* s : t.actions) gt.sfgs.push_back(compile_sfg(*s, *f, local));
         gt.to = t.to;
         comp.by_state[static_cast<std::size_t>(t.from)].push_back(std::move(gt));
@@ -246,9 +236,10 @@ void CompiledSystem::Builder::build(const sched::CycleScheduler& sched) {
   }
 }
 
-CompiledSystem CompiledSystem::compile(const sched::CycleScheduler& sched) {
+CompiledSystem CompiledSystem::compile(const sched::CycleScheduler& sched,
+                                       const opt::PassOptions& passes) {
   CompiledSystem sys;
-  Builder(sys).build(sched);
+  Builder(sys, passes).build(sched);
   sys.build_schedule();
   return sys;
 }
@@ -747,9 +738,8 @@ RunResult CompiledSystem::run(const RunOptions& opts) {
   profile_ = opts.profile;
   if (profile_) prof_.assign(comps_.size(), {0, 0.0});
 
-  const std::uint64_t budget =
-      opts.cycle_budget != 0 ? opts.cycle_budget : cycle_budget_;
-  const double wall = opts.wall_clock_s > 0.0 ? opts.wall_clock_s : wall_limit_s_;
+  const std::uint64_t budget = opts.cycle_budget;
+  const double wall = opts.wall_clock_s;
 
   RunResult r;
   const std::uint64_t retry0 = retry_passes_total_;
@@ -804,10 +794,6 @@ RunResult CompiledSystem::run(const RunOptions& opts) {
     }
   }
   return r;
-}
-
-std::uint64_t CompiledSystem::run(std::uint64_t n) {
-  return run(RunOptions{}.for_cycles(n)).cycles;
 }
 
 CompiledSystem::Checkpoint CompiledSystem::save() const {

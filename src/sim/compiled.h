@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fixpt/format.h"
+#include "opt/options.h"
 #include "sched/cyclesched.h"
 #include "sched/fsmcomp.h"
 #include "sched/run.h"
@@ -28,9 +29,13 @@ namespace asicpp::sim {
 
 class CompiledSystem {
  public:
-  /// Translate every component and net of `sched` into tape form.
+  /// Translate every component and net of `sched` into tape form, running
+  /// the optimization pass pipeline (`passes`) over each SFG's lowered IR
+  /// before tape emission. PassOptions::raw() compiles the unoptimized
+  /// graphs — the differential reference for the pass pipeline.
   /// Throws std::invalid_argument for unknown Component subclasses.
-  static CompiledSystem compile(const sched::CycleScheduler& sched);
+  static CompiledSystem compile(const sched::CycleScheduler& sched,
+                                const opt::PassOptions& passes = {});
 
   /// Simulate one clock cycle. Throws sched::DeadlockError on
   /// combinational loops, like the interpreted scheduler; the SCHED-001
@@ -42,10 +47,11 @@ class CompiledSystem {
   /// The unified entry point shared with CycleScheduler / DynamicScheduler.
   RunResult run(const RunOptions& opts);
 
-  /// Simulate up to `n` cycles; returns the number actually simulated.
-  [[deprecated("use run(RunOptions{}.for_cycles(n))")]]
-  std::uint64_t run(std::uint64_t n);
   std::uint64_t cycles() const { return cycles_; }
+
+  /// Aggregated optimizer statistics across every compiled SFG (instruction
+  /// counts before/after the pass pipeline, per-pass hit counters).
+  const opt::PassStats& pass_stats() const { return pass_stats_; }
 
   // --- static schedule ---
 
@@ -63,12 +69,6 @@ class CompiledSystem {
 
   void attach_diagnostics(diag::DiagEngine& de) { diag_ = &de; }
   diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
-  /// Stop run() once cycles() reaches `max_cycles` total (0 = unlimited).
-  [[deprecated("use RunOptions::budget / RunOptions::cycle_budget")]]
-  void set_cycle_budget(std::uint64_t max_cycles) { cycle_budget_ = max_cycles; }
-  /// Stop run() after `seconds` of wall-clock time (0 = unlimited).
-  [[deprecated("use RunOptions::within / RunOptions::wall_clock_s")]]
-  void set_wall_clock_limit(double seconds) { wall_limit_s_ = seconds; }
   bool watchdog_tripped() const { return watchdog_tripped_; }
 
   /// Restore registers and FSM states to their reset values.
@@ -228,9 +228,8 @@ class CompiledSystem {
   std::vector<std::pair<std::uint64_t, double>> prof_;  // per comps_ index
   diag::DiagEngine* diag_ = nullptr;
   diag::DiagEngine own_diag_;
-  std::uint64_t cycle_budget_ = 0;
-  double wall_limit_s_ = 0.0;
   bool watchdog_tripped_ = false;
+  opt::PassStats pass_stats_{};
 };
 
 }  // namespace asicpp::sim

@@ -1,39 +1,17 @@
 #include "sim/tape.h"
 
-#include <cmath>
+#include "opt/semantics.h"
 
 namespace asicpp::sim {
 
-namespace {
-long long as_int(double v) { return static_cast<long long>(std::llround(v)); }
-}  // namespace
-
 void exec(const Tape& tape, double* s) {
   for (const Instr& i : tape) {
-    switch (i.op) {
-      case OpC::kAdd: s[i.dst] = s[i.a] + s[i.b]; break;
-      case OpC::kSub: s[i.dst] = s[i.a] - s[i.b]; break;
-      case OpC::kMul: s[i.dst] = s[i.a] * s[i.b]; break;
-      case OpC::kNeg: s[i.dst] = -s[i.a]; break;
-      case OpC::kAnd: s[i.dst] = static_cast<double>(as_int(s[i.a]) & as_int(s[i.b])); break;
-      case OpC::kOr: s[i.dst] = static_cast<double>(as_int(s[i.a]) | as_int(s[i.b])); break;
-      case OpC::kXor: s[i.dst] = static_cast<double>(as_int(s[i.a]) ^ as_int(s[i.b])); break;
-      case OpC::kNot: s[i.dst] = (as_int(s[i.a]) == 0) ? 1.0 : 0.0; break;
-      case OpC::kShl: s[i.dst] = std::ldexp(s[i.a], static_cast<int>(s[i.b])); break;
-      case OpC::kShr: s[i.dst] = std::ldexp(s[i.a], -static_cast<int>(s[i.b])); break;
-      case OpC::kMux: s[i.dst] = (s[i.a] != 0.0) ? s[i.b] : s[i.c]; break;
-      case OpC::kEq: s[i.dst] = (s[i.a] == s[i.b]) ? 1.0 : 0.0; break;
-      case OpC::kNe: s[i.dst] = (s[i.a] != s[i.b]) ? 1.0 : 0.0; break;
-      case OpC::kLt: s[i.dst] = (s[i.a] < s[i.b]) ? 1.0 : 0.0; break;
-      case OpC::kLe: s[i.dst] = (s[i.a] <= s[i.b]) ? 1.0 : 0.0; break;
-      case OpC::kGt: s[i.dst] = (s[i.a] > s[i.b]) ? 1.0 : 0.0; break;
-      case OpC::kGe: s[i.dst] = (s[i.a] >= s[i.b]) ? 1.0 : 0.0; break;
-      case OpC::kCast:
-      case OpC::kCopyQ:
-        s[i.dst] = fixpt::quantize(s[i.a], i.fmt);
-        break;
-      case OpC::kCopy: s[i.dst] = s[i.a]; break;
+    if (i.op == sfg::Op::kCount) {
+      s[i.dst] = i.quant ? fixpt::quantize(s[i.a], i.fmt) : s[i.a];
+      continue;
     }
+    s[i.dst] = opt::apply_op_value(i.op, s[i.a], i.b >= 0 ? s[i.b] : 0.0,
+                                   i.c >= 0 ? s[i.c] : 0.0, i.fmt);
   }
 }
 

@@ -3,49 +3,59 @@
 // The paper's code generator regenerates an "application-specific and
 // optimized compiled code simulator" from the SFG/FSM data structure
 // (section 5, Fig 7). The tape is that simulator's executable form: each
-// SFG flattens into straight-line, topologically-ordered operations over a
-// flat slot array — no graph traversal, no virtual dispatch, no
-// memoization stamps. The same tapes are pretty-printed by the C++ code
-// generator in hdl/ to produce real compilable source.
+// SFG's lowered IR (see opt/ir.h) maps onto straight-line, topologically
+// ordered operations over a flat slot array — no graph traversal, no
+// virtual dispatch, no memoization stamps. Operator semantics are not
+// re-implemented here: execution delegates to opt::apply_op_value, the one
+// definition shared with interpreted eval and the C++ code generator.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "fixpt/format.h"
+#include "sfg/node.h"
 
 namespace asicpp::sim {
 
-enum class OpC : std::uint8_t {
-  kAdd,
-  kSub,
-  kMul,
-  kNeg,
-  kAnd,
-  kOr,
-  kXor,
-  kNot,
-  kShl,
-  kShr,
-  kMux,    // dst = a != 0 ? b : c
-  kEq,
-  kNe,
-  kLt,
-  kLe,
-  kGt,
-  kGe,
-  kCast,   // dst = quantize(a, fmt)
-  kCopy,   // dst = a
-  kCopyQ,  // dst = quantize(a, fmt)
-};
-
 struct Instr {
-  OpC op;
+  /// Operator applied via opt::apply_op_value. The sentinel sfg::Op::kCount
+  /// marks a plain copy (dst = a), quantized through `fmt` when `quant` is
+  /// set — the form used for net-to-input loads.
+  sfg::Op op = sfg::Op::kCount;
+  bool quant = false;
   std::int32_t dst = -1;
   std::int32_t a = -1;
   std::int32_t b = -1;
   std::int32_t c = -1;
   fixpt::Format fmt{};
+
+  static Instr apply(sfg::Op op, std::int32_t dst, std::int32_t a,
+                     std::int32_t b = -1, std::int32_t c = -1,
+                     const fixpt::Format& fmt = {}) {
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    i.c = c;
+    i.fmt = fmt;
+    return i;
+  }
+  static Instr copy(std::int32_t dst, std::int32_t a) {
+    Instr i;
+    i.dst = dst;
+    i.a = a;
+    return i;
+  }
+  static Instr copy_q(std::int32_t dst, std::int32_t a, const fixpt::Format& fmt) {
+    Instr i;
+    i.quant = true;
+    i.dst = dst;
+    i.a = a;
+    i.fmt = fmt;
+    return i;
+  }
 };
 
 using Tape = std::vector<Instr>;

@@ -582,8 +582,8 @@ void CompSynth::build_fsm_selects() {
       }
       Mode m;
       m.sel = sel;
-      m.sfgs.assign(f.transitions()[static_cast<std::size_t>(t)].actions.begin(),
-                    f.transitions()[static_cast<std::size_t>(t)].actions.end());
+      for (auto* s : f.transitions()[static_cast<std::size_t>(t)].actions)
+        m.sfgs.push_back(&m_.optimized(*s));
       m.to_state = f.transitions()[static_cast<std::size_t>(t)].to;
       modes_.push_back(m);
     }
@@ -604,7 +604,7 @@ void CompSynth::build_fsm_selects() {
       prior = (prior < 0) ? sel : wb_.netlist().add_gate(GateType::kOr, prior, sel);
       Mode m;
       m.sel = sel;
-      m.sfgs.assign(tr.actions.begin(), tr.actions.end());
+      for (auto* s : tr.actions) m.sfgs.push_back(&m_.optimized(*s));
       m.to_state = tr.to;
       modes_.push_back(m);
     }

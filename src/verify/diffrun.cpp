@@ -39,13 +39,15 @@ int run_command(const std::string& cmd, std::string* out) {
   return pclose(p);
 }
 
-EngineTrace run_interpreted(const Spec& spec, Engine which) {
+EngineTrace run_interpreted(const Spec& spec, Engine which,
+                            const opt::PassOptions& passes) {
   EngineTrace t;
   t.engine = which;
   System sys(spec);
   sys.scheduler().set_schedule_mode(which == Engine::kLevelized
                                         ? ScheduleMode::kLevelized
                                         : ScheduleMode::kIterative);
+  sys.scheduler().set_pass_options(passes);
   const auto probes = spec.probes();
   for (std::uint64_t c = 0; c < spec.cycles; ++c) {
     sys.scheduler().cycle();
@@ -59,7 +61,7 @@ EngineTrace run_interpreted(const Spec& spec, Engine which) {
   return t;
 }
 
-EngineTrace run_compiled(const Spec& spec) {
+EngineTrace run_compiled(const Spec& spec, const opt::PassOptions& passes) {
   EngineTrace t;
   t.engine = Engine::kCompiled;
   if (spec.has(CompKind::kAdapter)) {
@@ -67,7 +69,7 @@ EngineTrace run_compiled(const Spec& spec) {
     return t;
   }
   System sys(spec);
-  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.scheduler());
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.scheduler(), passes);
   const auto probes = spec.probes();
   for (std::uint64_t c = 0; c < spec.cycles; ++c) {
     cs.cycle();
@@ -88,7 +90,8 @@ EngineTrace run_cppgen(const Spec& spec, const DiffOptions& opts) {
     return t;
   }
   System sys(spec);
-  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.scheduler());
+  sim::CompiledSystem cs =
+      sim::CompiledSystem::compile(sys.scheduler(), opts.passes);
   const auto probes = spec.probes();
 
   static int counter = 0;
@@ -225,6 +228,8 @@ int DiffResult::engines_ran() const {
 bool DiffResult::engine_failed() const {
   for (const EngineTrace& t : traces)
     if (!t.fail_reason.empty()) return true;
+  for (const EngineTrace& t : noopt_traces)
+    if (!t.fail_reason.empty()) return true;
   return false;
 }
 
@@ -247,10 +252,24 @@ std::string DiffResult::summary() const {
       os << "FAILED (" << t.fail_reason << ")";
     os << "\n";
   }
+  for (const EngineTrace& t : noopt_traces) {
+    os << engine_name(t.engine) << " (passes off): ";
+    if (t.ran)
+      os << "ran, " << t.values.size() << " cycles";
+    else if (!t.skip_reason.empty())
+      os << "skipped (" << t.skip_reason << ")";
+    else
+      os << "FAILED (" << t.fail_reason << ")";
+    os << "\n";
+  }
   for (const Divergence& d : divergences)
     os << "divergence " << engine_pair(d.ref, d.other) << " at cycle "
        << d.cycle << " net '" << d.net << "': " << d.ref_value << " vs "
        << d.other_value << "\n";
+  for (const Divergence& d : pass_divergences)
+    os << "pass divergence " << engine_pair(d.ref, d.other)
+       << " (passes off) at cycle " << d.cycle << " net '" << d.net
+       << "': " << d.ref_value << " vs " << d.other_value << "\n";
   if (ok()) os << "all engines agree\n";
   return os.str();
 }
@@ -266,8 +285,10 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
     try {
       switch (e) {
         case Engine::kIterative:
-        case Engine::kLevelized: t = run_interpreted(spec, e); break;
-        case Engine::kCompiled: t = run_compiled(spec); break;
+        case Engine::kLevelized:
+          t = run_interpreted(spec, e, opts.passes);
+          break;
+        case Engine::kCompiled: t = run_compiled(spec, opts.passes); break;
         case Engine::kCppgen: t = run_cppgen(spec, opts); break;
         case Engine::kGates: t = run_gates(spec); break;
       }
@@ -285,6 +306,25 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
     r.traces.push_back(std::move(t));
   }
 
+  // The passes-off axis: replay through the recursive interpreter (no
+  // lowering at all) and the raw, unoptimized compiled tape.
+  if (opts.pass_axis) {
+    const auto replay = [&](Engine e, const opt::PassOptions& p) {
+      EngineTrace t;
+      try {
+        t = (e == Engine::kIterative) ? run_interpreted(spec, e, p)
+                                      : run_compiled(spec, p);
+      } catch (const std::exception& ex) {
+        t = EngineTrace{};
+        t.engine = e;
+        t.fail_reason = ex.what();
+      }
+      r.noopt_traces.push_back(std::move(t));
+    };
+    replay(Engine::kIterative, opt::PassOptions::none());
+    replay(Engine::kCompiled, opt::PassOptions::raw());
+  }
+
   // Compare every ran engine against the first one that ran.
   const EngineTrace* ref = nullptr;
   for (const EngineTrace& t : r.traces)
@@ -292,21 +332,29 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
       ref = &t;
       break;
     }
+  const auto first_divergence = [&](const EngineTrace& t,
+                                    std::vector<Divergence>& out) {
+    bool found = false;
+    for (std::uint64_t c = 0; c < ref->values.size() && !found; ++c) {
+      for (std::size_t i = 0; i < r.probes.size() && !found; ++i) {
+        const double a = ref->values[c][i];
+        const double b = t.values[c][i];
+        if (a != b) {
+          out.push_back(
+              Divergence{ref->engine, t.engine, c, r.probes[i], a, b});
+          found = true;
+        }
+      }
+    }
+  };
   if (ref != nullptr) {
     for (const EngineTrace& t : r.traces) {
       if (!t.ran || &t == ref) continue;
-      bool found = false;
-      for (std::uint64_t c = 0; c < ref->values.size() && !found; ++c) {
-        for (std::size_t i = 0; i < r.probes.size() && !found; ++i) {
-          const double a = ref->values[c][i];
-          const double b = t.values[c][i];
-          if (a != b) {
-            r.divergences.push_back(Divergence{ref->engine, t.engine, c,
-                                               r.probes[i], a, b});
-            found = true;
-          }
-        }
-      }
+      first_divergence(t, r.divergences);
+    }
+    for (const EngineTrace& t : r.noopt_traces) {
+      if (!t.ran) continue;
+      first_divergence(t, r.pass_divergences);
     }
   }
 
@@ -321,6 +369,14 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
                  "engine failed on generated spec (seed " +
                      std::to_string(spec.seed) + "): " + t.fail_reason);
     }
+    for (const EngineTrace& t : r.noopt_traces) {
+      if (!t.fail_reason.empty())
+        de.error("VERIFY-002",
+                 std::string("engine '") + engine_name(t.engine) +
+                     "' (passes off)",
+                 "engine failed on generated spec (seed " +
+                     std::to_string(spec.seed) + "): " + t.fail_reason);
+    }
     for (const Divergence& d : r.divergences) {
       auto& rec = de.error(
           "VERIFY-001", engine_pair(d.ref, d.other),
@@ -328,6 +384,22 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
       rec.cycle = d.cycle;
       char buf[128];
       std::snprintf(buf, sizeof buf, "%s = %.17g, %s = %.17g",
+                    engine_name(d.ref), d.ref_value, engine_name(d.other),
+                    d.other_value);
+      rec.note(buf);
+      rec.note("spec: seed " + std::to_string(spec.seed) + ", " +
+               std::to_string(spec.comps.size()) + " components, " +
+               std::to_string(spec.cycles) + " cycles");
+    }
+    for (const Divergence& d : r.pass_divergences) {
+      auto& rec = de.error(
+          "VERIFY-005", engine_pair(d.ref, d.other),
+          "optimizer pass pipeline changed observable behaviour on net '" +
+              d.net + "'");
+      rec.cycle = d.cycle;
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "%s (passes on) = %.17g, %s (passes off) = %.17g",
                     engine_name(d.ref), d.ref_value, engine_name(d.other),
                     d.other_value);
       rec.note(buf);

@@ -21,11 +21,19 @@
 // image) are skipped with VERIFY-003; an engine that throws mid-run is a
 // finding in itself (VERIFY-002).
 //
+// In addition to the engine axis, every spec is replayed with the
+// optimizer pass pipeline disabled (`pass_axis`): the interpreted engine
+// falls back to the original recursive graph walk and the compiled engine
+// to the raw, unoptimized tape. A divergence between the optimized
+// reference and a passes-off replay is a VERIFY-005 finding — an
+// optimization pass changed observable behaviour.
+//
 // Stable code registry (documented in DESIGN.md section 7):
 //   VERIFY-001 cross-representation trace divergence
 //   VERIFY-002 engine failed to execute the spec
 //   VERIFY-003 engine skipped (spec outside the engine's domain)
 //   VERIFY-004 auto-shrink summary (see verify/shrink.h)
+//   VERIFY-005 optimizer pass pipeline changed observable behaviour
 #pragma once
 
 #include <cstdint>
@@ -33,6 +41,7 @@
 #include <vector>
 
 #include "diag/diag.h"
+#include "opt/options.h"
 #include "verify/gen.h"
 
 namespace asicpp::verify {
@@ -69,6 +78,12 @@ struct DiffOptions {
   /// carries the findings either way).
   diag::DiagEngine* diagnostics = nullptr;
   TraceMutant mutant;
+  /// Optimizer pipeline applied to every engine's lowered graphs.
+  opt::PassOptions passes{};
+  /// Replay the spec with the optimizer disabled (recursive interpreter +
+  /// raw compiled tape) and diff against the optimized reference;
+  /// mismatches are VERIFY-005 findings.
+  bool pass_axis = true;
 };
 
 struct EngineTrace {
@@ -95,12 +110,19 @@ struct DiffResult {
   std::vector<EngineTrace> traces;
   /// First divergence of each non-reference engine against the reference.
   std::vector<Divergence> divergences;
+  /// Passes-off replays (pass_axis) and their divergences against the
+  /// optimized reference (VERIFY-005).
+  std::vector<EngineTrace> noopt_traces;
+  std::vector<Divergence> pass_divergences;
 
   int engines_ran() const;
   bool engine_failed() const;
   /// Clean: every selected engine either agreed cycle-for-cycle with the
-  /// reference or was legitimately skipped.
-  bool ok() const { return divergences.empty() && !engine_failed(); }
+  /// reference or was legitimately skipped, and the passes-off replays
+  /// agreed too.
+  bool ok() const {
+    return divergences.empty() && pass_divergences.empty() && !engine_failed();
+  }
   /// The earliest divergence (by cycle), or nullptr.
   const Divergence* first() const;
   std::string summary() const;

@@ -1,0 +1,356 @@
+// The optimizer pass pipeline: golden-form unit tests for each pass over
+// the lowered IR, pipeline toggles, the rebuild round-trip, and the
+// randomized optimized-vs-unoptimized equivalence suite (every engine,
+// every seed, passes on must equal passes off bit for bit).
+#include <gtest/gtest.h>
+
+#include "opt/ir.h"
+#include "opt/passes.h"
+#include "opt/semantics.h"
+#include "sfg/clk.h"
+#include "sfg/sfg.h"
+#include "sfg/sig.h"
+#include "sim/compiled.h"
+#include "verify/diffrun.h"
+#include "verify/gen.h"
+
+namespace asicpp {
+namespace {
+
+using fixpt::Fixed;
+using fixpt::Format;
+using sfg::Op;
+using sfg::Reg;
+using sfg::Sfg;
+using sfg::Sig;
+
+// --- lowering ---
+
+TEST(Lower, TopologicalSlotsAndSharing) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  Sig sum = a + b;
+  Sfg s("t");
+  s.in(a).in(b).out("o", sum * sum);
+  const opt::LoweredSfg l = opt::lower(s);
+  // a, b, a+b, (a+b)*(a+b): the shared subexpression gets exactly one slot.
+  ASSERT_EQ(l.ins.size(), 4u);
+  for (const auto& i : l.ins) {
+    for (const std::int32_t arg : {i.a, i.b, i.c}) {
+      if (arg >= 0) {
+        EXPECT_LT(arg, &i - l.ins.data());
+      }
+    }
+  }
+  const auto& mul = l.ins[static_cast<std::size_t>(l.outputs[0].slot)];
+  EXPECT_EQ(mul.op, Op::kMul);
+  EXPECT_EQ(mul.a, mul.b);
+}
+
+TEST(Lower, ExecMatchesRecursiveEval) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  a.node()->value = Fixed(5.0);
+  b.node()->value = Fixed(3.0);
+  Sfg s("t");
+  s.in(a).in(b).out("o", mux(a > b, a - b, b - a) * 2.0);
+  const opt::LoweredSfg l = opt::lower(s);
+  std::vector<double> slots(l.ins.size());
+  opt::exec_lowered(l, slots.data());
+  EXPECT_DOUBLE_EQ(slots[static_cast<std::size_t>(l.outputs[0].slot)], 4.0);
+}
+
+// --- constant folding ---
+
+TEST(Fold, AllConstOperatorBecomesConst) {
+  Sfg s("t");
+  s.out("o", Sig(2.0) + 3.0);
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::fold_constants(l), 1);
+  const auto& o = l.ins[static_cast<std::size_t>(l.outputs[0].slot)];
+  EXPECT_EQ(o.op, Op::kConst);
+  EXPECT_DOUBLE_EQ(o.cval, 5.0);
+}
+
+TEST(Fold, MuxConstantSelectorRedirectsToArm) {
+  Sig a = Sig::input("a");
+  Sfg s("t");
+  s.in(a).out("o", mux(Sig(1.0), a + 2.0, a - 2.0));
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::fold_constants(l), 1);
+  const auto& o = l.ins[static_cast<std::size_t>(l.outputs[0].slot)];
+  EXPECT_EQ(o.op, Op::kAdd);  // the taken arm, not the mux
+}
+
+TEST(Fold, CascadesToFixpoint) {
+  // (2+3)*(4-1) folds completely across rounds of run_passes.
+  Sfg s("t");
+  s.out("o", (Sig(2.0) + 3.0) * (Sig(4.0) - 1.0));
+  opt::LoweredSfg l = opt::lower(s);
+  const opt::PassStats st = opt::run_passes(l, opt::PassOptions{});
+  EXPECT_EQ(st.folded, 3);
+  ASSERT_EQ(l.ins.size(), 1u);  // DCE leaves just the folded constant
+  EXPECT_EQ(l.ins[0].op, Op::kConst);
+  EXPECT_DOUBLE_EQ(l.ins[0].cval, 15.0);
+}
+
+TEST(Fold, FoldedCastKeepsFormat) {
+  const Format f{8, 3, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+  Sfg s("t");
+  s.out("o", Sig(1.26).cast(f));
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::fold_constants(l), 1);
+  const auto& o = l.ins[static_cast<std::size_t>(l.outputs[0].slot)];
+  EXPECT_EQ(o.op, Op::kConst);
+  EXPECT_TRUE(o.has_fmt);  // quantization boundary survives for wordlen
+  EXPECT_DOUBLE_EQ(o.cval, fixpt::quantize(1.26, f));
+}
+
+// --- algebraic identities ---
+
+TEST(Identities, AddZeroRedirectsToOperand) {
+  Sig a = Sig::input("a");
+  Sfg s("t");
+  s.in(a).out("o", a + 0.0);
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::simplify_identities(l), 1);
+  EXPECT_TRUE(l.ins[static_cast<std::size_t>(l.outputs[0].slot)].is_leaf());
+}
+
+TEST(Identities, MulOneAndMulZero) {
+  Sig a = Sig::input("a");
+  Sfg s("t");
+  s.in(a).out("one", a * 1.0).out("zero", a * 0.0);
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::simplify_identities(l), 2);
+  EXPECT_TRUE(l.ins[static_cast<std::size_t>(l.outputs[0].slot)].is_leaf());
+  const auto& z = l.ins[static_cast<std::size_t>(l.outputs[1].slot)];
+  EXPECT_EQ(z.op, Op::kConst);
+  EXPECT_DOUBLE_EQ(z.cval, 0.0);
+}
+
+TEST(Identities, ShiftByZeroAndDoubleNegation) {
+  Sig a = Sig::input("a");
+  Sfg s("t");
+  s.in(a).out("sh", a << 0).out("nn", -(-a));
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::simplify_identities(l), 2);
+  EXPECT_TRUE(l.ins[static_cast<std::size_t>(l.outputs[0].slot)].is_leaf());
+  EXPECT_TRUE(l.ins[static_cast<std::size_t>(l.outputs[1].slot)].is_leaf());
+}
+
+TEST(Identities, MuxWithIdenticalArms) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  Sig arm = a + 1.0;
+  Sfg s("t");
+  s.in(a).in(b).out("o", mux(b, arm, arm));
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::simplify_identities(l), 1);
+  EXPECT_EQ(l.ins[static_cast<std::size_t>(l.outputs[0].slot)].op, Op::kAdd);
+}
+
+TEST(Identities, BitwiseAndNotAreDeliberatelyExcluded) {
+  // On the double domain `x | 0` rounds through the integer mantissa and
+  // NOT is a logical complement, so neither may be rewritten.
+  Sig a = Sig::input("a");
+  Sfg s("t");
+  s.in(a).out("or0", a | 0.0).out("nn", ~~a);
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::simplify_identities(l), 0);
+}
+
+// --- CSE ---
+
+TEST(Cse, MergesStructuralDuplicates) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  // Two distinct kAdd nodes with identical operands.
+  Sfg s("t");
+  s.in(a).in(b).out("o", (a + b) * (a + b));
+  opt::LoweredSfg l = opt::lower(s);
+  ASSERT_EQ(l.ins.size(), 5u);  // a, b, add, add, mul
+  EXPECT_EQ(opt::cse(l), 1);
+  const auto& m = l.ins[static_cast<std::size_t>(l.outputs[0].slot)];
+  EXPECT_EQ(m.a, m.b);
+}
+
+TEST(Cse, CanonicalizationEnablesCommutedMerge) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  Sfg s("t");
+  s.in(a).in(b).out("o", (a + b) * (b + a));
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::cse(l), 0);  // operand order differs before canonicalize
+  EXPECT_GE(opt::canonicalize(l), 1);
+  EXPECT_EQ(opt::cse(l), 1);
+}
+
+TEST(Cse, DifferentCastFormatsStayDistinct) {
+  const Format f1{8, 3, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+  const Format f2{10, 4, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+  Sig a = Sig::input("a");
+  Sfg s("t");
+  s.in(a).out("x", a.cast(f1)).out("y", a.cast(f2));
+  opt::LoweredSfg l = opt::lower(s);
+  EXPECT_EQ(opt::cse(l), 0);
+}
+
+// --- DCE ---
+
+TEST(Dce, RemovesUnreachableAndRenumbers) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  Sfg s("t");
+  s.in(a).in(b).out("o", mux(Sig(0.0), a * b, a - b));
+  opt::LoweredSfg l = opt::lower(s);
+  const std::size_t before = l.ins.size();
+  EXPECT_EQ(opt::fold_constants(l), 1);  // mux redirected to a - b
+  EXPECT_GT(opt::dce(l), 0);             // the mux, a*b, and const die
+  EXPECT_LT(l.ins.size(), before);
+  const auto& o = l.ins[static_cast<std::size_t>(l.outputs[0].slot)];
+  EXPECT_EQ(o.op, Op::kSub);
+  for (const auto& i : l.ins) {
+    for (const std::int32_t arg : {i.a, i.b, i.c}) {
+      if (arg >= 0) {
+        EXPECT_LT(static_cast<std::size_t>(arg), l.ins.size());
+      }
+    }
+  }
+}
+
+// --- pipeline toggles ---
+
+TEST(Pipeline, TogglesDisableIndividualPasses) {
+  Sfg s("t");
+  s.out("o", Sig(2.0) + 3.0);
+  {
+    opt::LoweredSfg l = opt::lower(s);
+    opt::PassOptions p;
+    p.fold = false;
+    opt::run_passes(l, p);
+    EXPECT_EQ(l.stats.folded, 0);
+    EXPECT_EQ(l.ins[static_cast<std::size_t>(l.outputs[0].slot)].op, Op::kAdd);
+  }
+  {
+    opt::LoweredSfg l = opt::lower(s);
+    opt::run_passes(l, opt::PassOptions::raw());
+    EXPECT_EQ(l.stats.instrs_before, l.stats.instrs_after);
+  }
+}
+
+TEST(Pipeline, StatsReportInstructionReduction) {
+  Sig a = Sig::input("a");
+  Sfg s("t");
+  s.in(a).out("o", (a + 0.0) * 1.0 + (Sig(2.0) + 3.0));
+  opt::LoweredSfg l = opt::lower(s);
+  const opt::PassStats st = opt::run_passes(l, opt::PassOptions{});
+  EXPECT_GT(st.instrs_before, st.instrs_after);
+  EXPECT_GT(st.simplified, 0);
+  EXPECT_GT(st.folded, 0);
+  EXPECT_GT(st.dead, 0);
+}
+
+// --- rebuild round-trip ---
+
+TEST(Rebuild, IdentityRoundTripReturnsOriginalNodes) {
+  Sig a = Sig::input("a");
+  Sig b = Sig::input("b");
+  Sig e = (a + b) * (a - b);
+  Sfg s("t");
+  s.in(a).in(b).out("o", e);
+  opt::LoweredSfg l = opt::lower(s);
+  const auto nodes = opt::rebuild(l, "t");
+  EXPECT_EQ(nodes[static_cast<std::size_t>(l.outputs[0].slot)], e.node());
+}
+
+TEST(Rebuild, OptimizedGraphSharesUntouchedLeaves) {
+  Sig a = Sig::input("a");
+  Sfg s("t");
+  s.in(a).out("o", a + 0.0);
+  opt::LoweredSfg l = opt::lower(s);
+  opt::run_passes(l, opt::PassOptions{});
+  const auto nodes = opt::rebuild(l, "t");
+  EXPECT_EQ(nodes[static_cast<std::size_t>(l.outputs[0].slot)], a.node());
+}
+
+// --- interpreted engine: passes on vs off ---
+
+TEST(SfgEval, OptimizedMatchesLegacyRecursiveEval) {
+  sfg::Clk clk("clk");
+  const Format f{16, 7, true, fixpt::Quant::kRound, fixpt::Overflow::kSaturate};
+  Sig x = Sig::input("x", f);
+  Reg acc("acc", clk, f);
+  Sfg on("on"), off("off");
+  const auto build = [&](Sfg& s) {
+    s.in(x);
+    s.out("y", (acc.sig() + x * 1.0 + 0.0).cast(f));
+    s.assign(acc, (acc.sig() * 0.5 + x).cast(f));
+  };
+  build(on);
+  build(off);
+  off.set_pass_options(opt::PassOptions::none());
+
+  for (int c = 0; c < 32; ++c) {
+    x.node()->value = Fixed(0.37 * c - 4.0, f);
+    on.eval();
+    const double yo = on.outputs()[0].expr->value.value();
+    off.eval();
+    const double yf = off.outputs()[0].expr->value.value();
+    EXPECT_EQ(yo, yf) << "cycle " << c;
+    on.update_registers();
+    off.update_registers();
+  }
+}
+
+// --- compiled engine: pass stats surface ---
+
+TEST(Compiled, PassStatsAggregateAcrossSfgs) {
+  sfg::Clk clk("clk");
+  sched::CycleScheduler sched(clk);
+  Sig a = Sig::input("a");
+  Sfg s("dp");
+  s.in(a).out("o", (a + 0.0) * 1.0);
+  sched::SfgComponent comp("dp", s);
+  comp.bind_output("o", sched.net("o"));
+  sched.add(comp);
+
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(sched);
+  EXPECT_GT(cs.pass_stats().simplified, 0);
+  EXPECT_GT(cs.pass_stats().instrs_before, cs.pass_stats().instrs_after);
+
+  sim::CompiledSystem raw =
+      sim::CompiledSystem::compile(sched, opt::PassOptions::raw());
+  EXPECT_EQ(raw.pass_stats().simplified, 0);
+}
+
+// --- randomized equivalence: optimized vs unoptimized, all engines ---
+
+// Every generated spec must produce identical traces with the optimizer on
+// and off, across the interpreted (iterative + levelized) and compiled
+// engines; diff_run's pass axis replays through the recursive interpreter
+// and the raw tape and reports VERIFY-005 on any mismatch.
+class PassAxisEquiv : public ::testing::TestWithParam<int> {};
+
+TEST_P(PassAxisEquiv, OptimizedTraceEqualsUnoptimized) {
+  const int base = GetParam();
+  verify::GenConfig cfg;
+  verify::DiffOptions opts;
+  opts.engines = {verify::Engine::kIterative, verify::Engine::kLevelized,
+                  verify::Engine::kCompiled};
+  opts.pass_axis = true;
+  for (int k = 0; k < 25; ++k) {
+    const unsigned seed = static_cast<unsigned>(base * 25 + k);
+    const verify::Spec spec = verify::generate(cfg, seed);
+    const verify::DiffResult r = verify::diff_run(spec, opts);
+    EXPECT_TRUE(r.ok()) << "seed " << seed << "\n"
+                        << verify::to_text(spec) << r.summary();
+    ASSERT_FALSE(r.noopt_traces.empty());
+  }
+}
+
+// 8 shards x 25 seeds = 200 seeds.
+INSTANTIATE_TEST_SUITE_P(Seeds, PassAxisEquiv, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace asicpp

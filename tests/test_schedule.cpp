@@ -343,41 +343,5 @@ TEST(RunApi, DynamicSchedulerQuiescesWithRunResult) {
   EXPECT_EQ(out.size(), 3u);
 }
 
-// --- the deprecated entry points still work through the shims ---
-// (This test deliberately calls the [[deprecated]] API, so the attribute's
-// warnings are silenced here — the rest of the tree builds warning-clean
-// under -DASICPP_WERROR=ON.)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(RunApi, DeprecatedShimsStillRun) {
-  ReversePipe p;
-  p.sched.set_cycle_budget(0);      // legacy watchdog setter
-  p.sched.set_wall_clock_limit(0);  // legacy watchdog setter
-  EXPECT_EQ(p.sched.run(std::uint64_t{4}), 4u);  // legacy run(n) -> cycles
-
-  ReversePipe q;
-  sim::CompiledSystem cs = sim::CompiledSystem::compile(q.sched);
-  EXPECT_EQ(cs.run(std::uint64_t{3}), 3u);
-
-  df::Queue in("in");
-  df::FnProcess sink("sink", [](const std::vector<df::Token>&,
-                                std::vector<df::Token>&) {});
-  sink.connect_in(in);
-  in.push(Fixed(1.0));
-  df::DynamicScheduler ds;
-  ds.add(sink);
-  const auto res = ds.run(std::size_t{10});  // legacy run(max_firings) -> Result
-  EXPECT_EQ(res.firings, 1u);
-
-  // Legacy string-vector lint on a clean SFG.
-  Sfg clean{"clean"};
-  Sig x = Sig::input("x", kF);
-  clean.in(x).out("o", x + 1.0);
-  EXPECT_TRUE(clean.check().empty());
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace asicpp::sched

@@ -35,11 +35,12 @@ TEST(Tape, ExecBasicOps) {
   // slots: 0=a, 1=b, 2..: results
   std::vector<double> s{5.0, 3.0, 0, 0, 0, 0};
   Tape t;
-  t.push_back(Instr{OpC::kAdd, 2, 0, 1, -1, {}});
-  t.push_back(Instr{OpC::kMul, 3, 2, 2, -1, {}});
-  t.push_back(Instr{OpC::kMux, 4, 0, 2, 3, {}});
-  Instr cast{OpC::kCast, 5, 3, -1, -1, Format{7, 6, true, fixpt::Quant::kTruncate, fixpt::Overflow::kSaturate}};
-  t.push_back(cast);
+  t.push_back(Instr::apply(sfg::Op::kAdd, 2, 0, 1));
+  t.push_back(Instr::apply(sfg::Op::kMul, 3, 2, 2));
+  t.push_back(Instr::apply(sfg::Op::kMux, 4, 0, 2, 3));
+  t.push_back(Instr::apply(
+      sfg::Op::kCast, 5, 3, -1, -1,
+      Format{7, 6, true, fixpt::Quant::kTruncate, fixpt::Overflow::kSaturate}));
   exec(t, s.data());
   EXPECT_DOUBLE_EQ(s[2], 8.0);
   EXPECT_DOUBLE_EQ(s[3], 64.0);

@@ -46,6 +46,8 @@ struct Args {
   int max_attempts = 400;
   bool verbose = false;
   TraceMutant mutant;
+  opt::PassOptions passes{};  // optimizer pipeline for every engine
+  bool pass_axis = true;      // replay with passes off as an extra axis
 };
 
 int usage(const char* argv0) {
@@ -61,6 +63,11 @@ int usage(const char* argv0) {
       "  --cxx CC          host compiler for the cppgen engine (default c++)\n"
       "  --max-attempts N  shrinker run budget per failure (default 400)\n"
       "  --verbose         log every seed, not just failures\n"
+      "  --no-opt          disable the optimizer pass pipeline (and the\n"
+      "                    passes-on/off differential axis)\n"
+      "  --passes LIST     enable only the listed passes, comma-separated\n"
+      "                    subset of: canonicalize, fold, identities, cse,\n"
+      "                    dce (default: all)\n"
       "  --mutant E:C:N:D  test-only: perturb engine E's trace at cycle C,\n"
       "                    net N, by delta D (e.g. levelized:7:w2:0.5)\n",
       argv0);
@@ -127,6 +134,26 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->max_attempts = std::atoi(v);
     } else if (opt == "--verbose") {
       a->verbose = true;
+    } else if (opt == "--no-opt") {
+      a->passes = asicpp::opt::PassOptions::raw();
+      a->pass_axis = false;
+    } else if (opt == "--passes") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->passes = asicpp::opt::PassOptions::raw();
+      std::istringstream is(v);
+      std::string name;
+      while (std::getline(is, name, ',')) {
+        if (name == "canonicalize") a->passes.canonicalize = true;
+        else if (name == "fold") a->passes.fold = true;
+        else if (name == "identities") a->passes.identities = true;
+        else if (name == "cse") a->passes.cse = true;
+        else if (name == "dce") a->passes.dce = true;
+        else {
+          std::fprintf(stderr, "unknown pass '%s'\n", name.c_str());
+          return false;
+        }
+      }
     } else if (opt == "--mutant") {
       const char* v = value();
       if (v == nullptr || !parse_mutant(v, &a->mutant)) {
@@ -202,6 +229,8 @@ int main(int argc, char** argv) {
   dopts.engines = args.engines;
   dopts.cxx = args.cxx;
   dopts.mutant = args.mutant;
+  dopts.passes = args.passes;
+  dopts.pass_axis = args.pass_axis;
 
   const GenConfig cfg;
   int clean = 0;
@@ -233,6 +262,17 @@ int main(int argc, char** argv) {
                     engine_name(d->ref), engine_name(d->other),
                     static_cast<unsigned long long>(d->cycle), d->net.c_str(),
                     d->ref_value, d->other_value);
+      f.detail = buf;
+    } else if (!r.pass_divergences.empty()) {
+      const Divergence& d = r.pass_divergences.front();
+      f.code = "VERIFY-005";
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "passes on vs off (%s) diverge at cycle %llu net %s "
+                    "(%.17g vs %.17g)",
+                    engine_name(d.other),
+                    static_cast<unsigned long long>(d.cycle), d.net.c_str(),
+                    d.ref_value, d.other_value);
       f.detail = buf;
     } else {
       f.code = "VERIFY-002";

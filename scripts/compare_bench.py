@@ -52,11 +52,19 @@ def main():
     for tag, benches in sorted(fresh.items()):
         ref = base.get(tag)
         if ref is None:
-            print(f"tag '{tag}': no baseline, skipping")
+            # Missing baselines are a note, not a failure: a new bench file
+            # lands before its snapshot does. Keep the note on stderr so it
+            # survives stdout capture in CI.
+            print(f"note: tag '{tag}' has no baseline snapshot, skipping",
+                  file=sys.stderr)
             continue
         for name, t in sorted(benches.items()):
             t0 = ref.get(name)
-            if t0 is None or t0 <= 0:
+            if t0 is None:
+                print(f"note: {tag}/{name} missing from baseline, skipping",
+                      file=sys.stderr)
+                continue
+            if t0 <= 0:
                 continue
             compared += 1
             ratio = t / t0

@@ -27,6 +27,27 @@ std::string Diagnostic::str() const {
 }
 
 Diagnostic& DiagEngine::report(Diagnostic d) {
+  if (mu_ != nullptr) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return report_locked(std::move(d));
+  }
+  // Single-owner mode: the first reporting thread claims the engine; any
+  // other thread is misuse (it would race the record vector) and gets a
+  // structured PAR-002 before touching shared state.
+  const auto self = std::this_thread::get_id();
+  std::thread::id expect{};
+  if (!owner_.compare_exchange_strong(expect, self, std::memory_order_acq_rel) &&
+      expect != self) {
+    throw Error(Diagnostic{
+        Severity::kFatal, "PAR-002", "diag engine", kNoCycle,
+        "DiagEngine reported into from a second thread; give each worker "
+        "its own engine and merge in order, or call make_thread_safe()",
+        {}});
+  }
+  return report_locked(std::move(d));
+}
+
+Diagnostic& DiagEngine::report_locked(Diagnostic d) {
   diags_.push_back(std::move(d));
   if (error_limit_ != 0 && errors() > error_limit_) {
     Diagnostic limit;

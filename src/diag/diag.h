@@ -38,11 +38,17 @@
 //   SYN-001..SYN-009 system-synthesis elaboration errors
 //   SIM-001 unsupported component in compiled simulation
 //   VERIFY-001..VERIFY-004 differential verification (see verify/diffrun.h)
+//   PAR-001 nested parallel region (see par/pool.h)
+//   PAR-002 single-owner object used from a second thread
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace asicpp::diag {
@@ -84,9 +90,32 @@ struct Diagnostic {
 /// error limit turns pathological cascades into a structured Error.
 class DiagEngine {
  public:
+  DiagEngine() = default;
+  // Copyable so engines can live inside value-semantic owners (e.g. the
+  // compiled simulator); a copy gets its own mutex (when thread-safe) and
+  // a fresh owner-thread claim.
+  DiagEngine(const DiagEngine& o)
+      : diags_(o.diags_),
+        error_limit_(o.error_limit_),
+        mu_(o.mu_ != nullptr ? std::make_unique<std::mutex>() : nullptr) {}
+  DiagEngine& operator=(const DiagEngine& o) {
+    if (this == &o) return *this;
+    diags_ = o.diags_;
+    error_limit_ = o.error_limit_;
+    mu_ = o.mu_ != nullptr ? std::make_unique<std::mutex>() : nullptr;
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Record a fully formed diagnostic. Returns a reference to the stored
   /// record so callers can attach notes. Throws Error when the error limit
   /// is exceeded.
+  ///
+  /// An engine is single-owner by default: the first thread to report
+  /// claims it, and a report from any other thread throws a PAR-002 Error
+  /// (give each worker its own engine and merge afterwards, the pattern
+  /// diff_run_batch uses). make_thread_safe() opts a shared sink into a
+  /// per-engine mutex instead.
   Diagnostic& report(Diagnostic d);
 
   // Convenience constructors for the common severities.
@@ -121,11 +150,30 @@ class DiagEngine {
   /// (0 = unlimited, the default).
   void set_error_limit(std::size_t n) { error_limit_ = n; }
 
-  void clear() { diags_.clear(); }
+  /// Serialize report() calls with a per-engine mutex so several worker
+  /// threads can share this engine as a sink. Caveats: references returned
+  /// by report() are stable only until the next report — a concurrent
+  /// reporter may grow the record vector, so under sharing callers must
+  /// pass fully formed Diagnostics and drop the reference; the read
+  /// accessors (all(), str(), ...) stay unsynchronized and belong after
+  /// the workers join. Irreversible.
+  void make_thread_safe() {
+    if (mu_ == nullptr) mu_ = std::make_unique<std::mutex>();
+  }
+  bool thread_safe() const { return mu_ != nullptr; }
+
+  void clear() {
+    diags_.clear();
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
 
  private:
+  Diagnostic& report_locked(Diagnostic d);
+
   std::vector<Diagnostic> diags_;
   std::size_t error_limit_ = 0;
+  std::unique_ptr<std::mutex> mu_;  ///< set by make_thread_safe()
+  std::atomic<std::thread::id> owner_{};  ///< first reporting thread
 };
 
 /// Find a directed cycle in the graph given by per-node successor lists.

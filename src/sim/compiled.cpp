@@ -342,6 +342,11 @@ void CompiledSystem::build_schedule() {
                                      act[static_cast<std::size_t>(i)].second, levels[i]});
     sched_levels_ = std::max(sched_levels_, levels[i] + 1);
   }
+  level_offsets_.assign(static_cast<std::size_t>(sched_levels_) + 1,
+                        level_order_.size());
+  for (std::size_t i = level_order_.size(); i-- > 0;)
+    level_offsets_[static_cast<std::size_t>(level_order_[i].level)] = i;
+  if (!level_offsets_.empty()) level_offsets_[0] = 0;
   levelizable_ = true;
 }
 
@@ -480,7 +485,7 @@ diag::Diagnostic CompiledSystem::deadlock_postmortem() const {
 void CompiledSystem::run_sfg_pre(std::int32_t id) {
   SfgCode& s = sfgs_[static_cast<std::size_t>(id)];
   exec(s.pre, slots_.data());
-  ops_ += s.pre.size();
+  ops_.add(s.pre.size());
   for (const auto& p : s.pre_pushes) {
     slots_[static_cast<std::size_t>(net_slots_[static_cast<std::size_t>(p.net)])] =
         slots_[static_cast<std::size_t>(p.src)];
@@ -495,7 +500,7 @@ bool CompiledSystem::run_sfg_main(std::int32_t id) {
   }
   exec(s.load_inputs, slots_.data());
   exec(s.main, slots_.data());
-  ops_ += s.load_inputs.size() + s.main.size();
+  ops_.add(s.load_inputs.size() + s.main.size());
   for (const auto& p : s.main_pushes) {
     slots_[static_cast<std::size_t>(net_slots_[static_cast<std::size_t>(p.net)])] =
         slots_[static_cast<std::size_t>(p.src)];
@@ -595,7 +600,7 @@ void CompiledSystem::cycle() {
           break;
         }
         exec(gt.guard, slots_.data());
-        ops_ += gt.guard.size();
+        ops_.add(gt.guard.size());
         if (slots_[static_cast<std::size_t>(gt.guard_slot)] != 0.0) {
           c.pending = &gt;
           break;
@@ -631,9 +636,37 @@ void CompiledSystem::cycle() {
   bool need_iterative = true;
   bool walk_missed = false;
   if (mode_ != ScheduleMode::kIterative && levelizable_ && sched_failures_ < 2) {
-    for (const auto& s : level_order_) {
-      Comp& c = comps_[static_cast<std::size_t>(s.comp)];
-      if (!done(c) && fire(c)) ++fired_total_;
+    // Level-parallel walk: partition each level across the pool with a
+    // barrier per level. Tapes within one level read slots written by
+    // earlier levels and push disjoint nets, so the result is bit-identical
+    // to the serial walk. Profiled runs stay serial (the timing table is
+    // single-owner), as does a system already running on a pool lane.
+    const bool par_walk =
+        threads_ > 1 && !profile_ && !par::Pool::in_parallel_region();
+    if (par_walk) {
+      for (std::size_t l = 0; l + 1 < level_offsets_.size(); ++l) {
+        const std::size_t b = level_offsets_[l], e = level_offsets_[l + 1];
+        if (e - b < kMinParallelWidth) {
+          for (std::size_t i = b; i < e; ++i) {
+            Comp& c = comps_[static_cast<std::size_t>(level_order_[i].comp)];
+            if (!done(c) && comp_try_fire(c)) fired_total_.add();
+          }
+        } else {
+          par::Pool::shared().parallel_for(
+              e - b,
+              [&](std::size_t k) {
+                Comp& c =
+                    comps_[static_cast<std::size_t>(level_order_[b + k].comp)];
+                if (!done(c) && comp_try_fire(c)) fired_total_.add();
+              },
+              threads_);
+        }
+      }
+    } else {
+      for (const auto& s : level_order_) {
+        Comp& c = comps_[static_cast<std::size_t>(s.comp)];
+        if (!done(c) && fire(c)) fired_total_.add();
+      }
     }
     need_iterative = false;
     for (const auto& c : comps_) {
@@ -666,7 +699,7 @@ void CompiledSystem::cycle() {
         if (done(c)) continue;
         if (fire(c)) {
           progress = true;
-          ++fired_total_;
+          fired_total_.add();
         }
         if (!done(c)) all_done = false;
       }
@@ -727,14 +760,17 @@ RunResult CompiledSystem::run(const RunOptions& opts) {
     CompiledSystem* s;
     diag::DiagEngine* diag;
     ScheduleMode mode;
+    unsigned threads;
     ~Restore() {
       s->diag_ = diag;
       s->mode_ = mode;
+      s->threads_ = threads;
       s->profile_ = false;
     }
-  } restore{this, diag_, mode_};
+  } restore{this, diag_, mode_, threads_};
   if (opts.diagnostics != nullptr) diag_ = opts.diagnostics;
   mode_ = opts.schedule;
+  set_threads(opts.nthreads);
   profile_ = opts.profile;
   if (profile_) prof_.assign(comps_.size(), {0, 0.0});
 
@@ -744,7 +780,7 @@ RunResult CompiledSystem::run(const RunOptions& opts) {
   RunResult r;
   const std::uint64_t retry0 = retry_passes_total_;
   const std::uint64_t level0 = levelized_cycles_total_;
-  const std::uint64_t fired0 = fired_total_;
+  const std::uint64_t fired0 = fired_total_.get();
   watchdog_tripped_ = false;
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < opts.cycles; ++i) {
@@ -782,7 +818,7 @@ RunResult CompiledSystem::run(const RunOptions& opts) {
   }
   r.retry_passes = retry_passes_total_ - retry0;
   r.levelized_cycles = levelized_cycles_total_ - level0;
-  r.firings = fired_total_ - fired0;
+  r.firings = fired_total_.get() - fired0;
   r.schedule = (r.levelized_cycles > 0 && r.levelized_cycles * 2 >= r.cycles)
                    ? ScheduleMode::kLevelized
                    : ScheduleMode::kIterative;

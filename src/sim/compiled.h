@@ -19,6 +19,7 @@
 
 #include "fixpt/format.h"
 #include "opt/options.h"
+#include "par/pool.h"
 #include "sched/cyclesched.h"
 #include "sched/fsmcomp.h"
 #include "sched/run.h"
@@ -58,6 +59,19 @@ class CompiledSystem {
   /// Phase-2 evaluation order policy for cycle() calls outside run().
   void set_schedule_mode(ScheduleMode m) { mode_ = m; }
   ScheduleMode schedule_mode() const { return mode_; }
+
+  /// Worker lanes for the level-parallel phase-2 walk, for cycle() calls
+  /// outside run() (see RunOptions::nthreads; 1 = serial, 0 = hardware).
+  /// Bit-identical to serial: within one level every tape writes disjoint
+  /// slots. Untimed components' native closures must be thread-safe to
+  /// run under threads > 1 (the system tapes themselves always are).
+  void set_threads(unsigned n) {
+    threads_ = n == 0 ? par::Pool::hardware_lanes() : n;
+  }
+  unsigned threads() const { return threads_; }
+
+  /// Levels at least this wide are partitioned across the pool.
+  static constexpr std::size_t kMinParallelWidth = 4;
   /// True when compile() found a valid level order for the system.
   bool levelizable() const { return levelizable_; }
   /// Why levelization failed (empty when levelizable()).
@@ -97,7 +111,7 @@ class CompiledSystem {
   std::size_t footprint_bytes() const;
 
   /// Total tape instructions retired (throughput accounting).
-  std::uint64_t ops_retired() const { return ops_; }
+  std::uint64_t ops_retired() const { return ops_.get(); }
 
   /// Emit a standalone C++ translation unit that reproduces this system's
   /// simulation (Fig 7's "C++ RT description"): the slot array, one
@@ -209,6 +223,7 @@ class CompiledSystem {
 
   // static schedule (built once by compile())
   std::vector<SchedSlot> level_order_;
+  std::vector<std::size_t> level_offsets_;  ///< level l = order [l, l+1)
   bool levelizable_ = false;
   int sched_levels_ = 0;
   std::string sched_reason_;
@@ -217,11 +232,14 @@ class CompiledSystem {
   std::vector<double> slots_;
   std::vector<std::uint8_t> net_token_;
   std::uint64_t cycles_ = 0;
-  std::uint64_t ops_ = 0;
+  // Bumped from inside the level-parallel walk; RelaxedCounter keeps the
+  // system copyable (compile() returns by value).
+  par::RelaxedCounter ops_;
+  par::RelaxedCounter fired_total_;
   std::uint64_t retry_passes_total_ = 0;
   std::uint64_t levelized_cycles_total_ = 0;
-  std::uint64_t fired_total_ = 0;
   ScheduleMode mode_ = ScheduleMode::kAuto;
+  unsigned threads_ = 1;
   int sched_failures_ = 0;  // walk misses; >= 2 disables the level walk
   bool sched002_reported_ = false;
   bool profile_ = false;

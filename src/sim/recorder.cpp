@@ -2,10 +2,26 @@
 
 #include <stdexcept>
 
+#include "diag/diag.h"
+
 namespace asicpp::sim {
 
 Recorder::Recorder(sched::CycleScheduler& sched) : sched_(&sched) {
   sched.on_cycle_end([this](std::uint64_t) {
+    // Single-owner assertion: the first driving thread claims the
+    // recorder; any other thread is misuse (it would race the trace
+    // vectors) and gets a structured PAR-002 before touching them.
+    const auto self = std::this_thread::get_id();
+    std::thread::id expect{};
+    if (!owner_.compare_exchange_strong(expect, self,
+                                        std::memory_order_acq_rel) &&
+        expect != self) {
+      throw Error(diag::Diagnostic{
+          diag::Severity::kFatal, "PAR-002", "recorder", diag::kNoCycle,
+          "Recorder driven from a second thread; give each simulation "
+          "thread its own scheduler and recorder",
+          {}});
+    }
     for (std::size_t i = 0; i < nets_.size(); ++i) {
       traces_[i].values.push_back(nets_[i]->last().value());
       traces_[i].valid.push_back(nets_[i]->has_token());
@@ -32,6 +48,7 @@ void Recorder::clear() {
     t.valid.clear();
   }
   cycles_ = 0;
+  owner_.store(std::thread::id{}, std::memory_order_relaxed);
 }
 
 }  // namespace asicpp::sim

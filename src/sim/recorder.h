@@ -5,10 +5,19 @@
 // component" (section 6). The Recorder hooks the cycle scheduler and logs
 // the per-cycle value of selected nets; the HDL testbench generator and the
 // netlist equivalence checker replay these traces.
+//
+// A Recorder is single-owner: the cycle-end hook appends to plain vectors,
+// so one recorder belongs to one simulation thread. The hook asserts this
+// (PAR-002) — parallel fuzz lanes each build their own scheduler and
+// recorder, which is the supported pattern. Note the level-parallel walk
+// (RunOptions::threads) is fine: cycle-end hooks always run on the thread
+// driving the scheduler, never on pool lanes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sched/cyclesched.h"
@@ -40,6 +49,7 @@ class Recorder {
   std::vector<const sched::Net*> nets_;
   std::vector<Trace> traces_;
   std::uint64_t cycles_ = 0;
+  std::atomic<std::thread::id> owner_{};  ///< first recording thread
 };
 
 }  // namespace asicpp::sim

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 
 #include "netlist/equiv.h"
 #include "netlist/netsim.h"
+#include "par/pool.h"
 #include "sim/compiled.h"
 #include "synth/system.h"
 
@@ -94,10 +96,11 @@ EngineTrace run_cppgen(const Spec& spec, const DiffOptions& opts) {
       sim::CompiledSystem::compile(sys.scheduler(), opts.passes);
   const auto probes = spec.probes();
 
-  static int counter = 0;
+  // Atomic: concurrent diff_run_batch lanes each need a unique scratch stem.
+  static std::atomic<int> counter{0};
   const std::string stem = scratch_dir(opts) + "/asicpp_fuzz_" +
                            std::to_string(getpid()) + "_" +
-                           std::to_string(counter++) + "_s" +
+                           std::to_string(counter.fetch_add(1)) + "_s" +
                            std::to_string(spec.seed);
   const std::string src = stem + ".cpp", bin = stem + ".bin";
   {
@@ -409,6 +412,28 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
     }
   }
   return r;
+}
+
+std::vector<DiffResult> diff_run_batch(const std::vector<Spec>& specs,
+                                       const DiffOptions& opts, unsigned jobs) {
+  std::vector<DiffResult> results(specs.size());
+  // Each lane reports into a private engine; the sinks are merged into the
+  // caller's engine in spec order below, so the diagnostic stream cannot
+  // depend on worker interleaving.
+  std::vector<diag::DiagEngine> sinks(specs.size());
+  par::Pool::shared().parallel_for(
+      specs.size(),
+      [&](std::size_t i) {
+        DiffOptions local = opts;
+        local.diagnostics = opts.diagnostics != nullptr ? &sinks[i] : nullptr;
+        results[i] = diff_run(specs[i], local);
+      },
+      jobs == 0 ? par::Pool::hardware_lanes() : jobs);
+  if (opts.diagnostics != nullptr) {
+    for (const auto& s : sinks)
+      for (const auto& d : s.all()) opts.diagnostics->report(d);
+  }
+  return results;
 }
 
 }  // namespace asicpp::verify

@@ -131,4 +131,13 @@ struct DiffResult {
 /// Run `spec` through the selected engines and compare all traces.
 DiffResult diff_run(const Spec& spec, const DiffOptions& opts = {});
 
+/// Run many specs through diff_run across `jobs` worker lanes (1 = serial,
+/// 0 = hardware). Deterministic by construction: results come back in spec
+/// order, each spec gets a private DiagEngine sink, and those sinks are
+/// merged into opts.diagnostics in spec order after every spec completes —
+/// so results and diagnostics are byte-identical for any job count.
+std::vector<DiffResult> diff_run_batch(const std::vector<Spec>& specs,
+                                       const DiffOptions& opts = {},
+                                       unsigned jobs = 1);
+
 }  // namespace asicpp::verify

@@ -5,9 +5,16 @@
 #include <sstream>
 #include <utility>
 
+#include "par/pool.h"
+
 namespace asicpp::verify {
 
 namespace {
+
+/// Component-axis candidates evaluated per fan-out round. Constant — never
+/// derived from ShrinkOptions::jobs — so the search trajectory (accepted
+/// candidates, attempt tally, minimal spec) is identical for any job count.
+constexpr std::size_t kShrinkFanout = 4;
 
 bool is_pool_kind(CompKind k) {
   return k == CompKind::kSfg || k == CompKind::kFsm ||
@@ -166,14 +173,56 @@ ShrinkResult shrink(const Spec& failing, const DiffOptions& dopts,
     }
 
     // Components, last to first, so consumers go before their sources.
-    for (std::size_t i = cur.comps.size();
-         i-- > 0 && cur.comps.size() > 1 && ctx.attempts < ctx.max_attempts;) {
-      Spec cand;
-      if (!remove_comp(cur, i, &cand)) continue;
-      if (ctx.still_fails(cand)) {
-        cur = std::move(cand);
-        ++res.reductions;
-        progress = true;
+    // Candidates are gathered into fixed-size chunks and evaluated across
+    // sopts.jobs lanes; every chunk member is run (and billed against the
+    // attempt budget) and the first failing candidate in index order is
+    // accepted, so the trajectory matches jobs == 1 exactly. Inside an
+    // outer parallel region (a fuzz worker shrinking its own seed) the
+    // chunk runs serially — same candidates, same outcome.
+    {
+      std::size_t i = cur.comps.size();
+      while (i > 0 && cur.comps.size() > 1 &&
+             ctx.attempts < ctx.max_attempts) {
+        std::vector<std::pair<std::size_t, Spec>> chunk;
+        const std::size_t budget = std::min(
+            kShrinkFanout,
+            static_cast<std::size_t>(ctx.max_attempts - ctx.attempts));
+        while (i > 0 && chunk.size() < budget) {
+          --i;
+          Spec cand;
+          if (!remove_comp(cur, i, &cand)) continue;
+          if (!validate(cand).empty()) continue;
+          chunk.emplace_back(i, std::move(cand));
+        }
+        if (chunk.empty()) continue;
+
+        DiffOptions quiet = dopts;
+        quiet.diagnostics = nullptr;  // stay quiet during the search
+        std::vector<DiffResult> rs(chunk.size());
+        const bool threaded = sopts.jobs != 1 && chunk.size() > 1 &&
+                              !par::Pool::in_parallel_region();
+        if (threaded) {
+          par::Pool::shared().parallel_for(
+              chunk.size(),
+              [&](std::size_t k) { rs[k] = diff_run(chunk[k].second, quiet); },
+              sopts.jobs);
+        } else {
+          for (std::size_t k = 0; k < chunk.size(); ++k)
+            rs[k] = diff_run(chunk[k].second, quiet);
+        }
+        ctx.attempts += static_cast<int>(chunk.size());
+
+        for (std::size_t k = 0; k < chunk.size(); ++k) {
+          if (rs[k].ok()) continue;
+          cur = std::move(chunk[k].second);
+          ctx.last = std::move(rs[k]);
+          ++res.reductions;
+          progress = true;
+          // Later chunk members were built against the pre-acceptance
+          // spec; rewind the scan so they are reconsidered against `cur`.
+          i = chunk[k].first;
+          break;
+        }
       }
     }
 

@@ -29,6 +29,11 @@ namespace asicpp::verify {
 struct ShrinkOptions {
   /// Cap on diff_run invocations across the whole reduction.
   int max_attempts = 400;
+  /// Worker lanes for candidate evaluation on the component axis
+  /// (1 = serial, 0 = hardware). Candidates are evaluated in fixed-size
+  /// chunks whose size never depends on the job count, so the minimal
+  /// spec and the attempt tally are identical for any value.
+  unsigned jobs = 1;
 };
 
 struct ShrinkResult {

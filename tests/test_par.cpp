@@ -1,0 +1,450 @@
+// Thread-parallel substrate: pool semantics, determinism harness, and the
+// single-owner (PAR-002) assertions on diagnostics and recording.
+//
+// The determinism suites are the contract the whole subsystem rests on:
+// level-parallel engine runs and multi-lane differential batches must be
+// *bit-identical* to their serial counterparts, for any lane count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "diag/diag.h"
+#include "par/pool.h"
+#include "sim/compiled.h"
+#include "sim/recorder.h"
+#include "verify/diffrun.h"
+#include "verify/gen.h"
+#include "verify/shrink.h"
+
+namespace asicpp {
+namespace {
+
+using namespace asicpp::verify;
+
+// --- pool unit tests -------------------------------------------------------
+
+TEST(ParPool, RunsEveryIndexExactlyOnce) {
+  par::Pool pool(8);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParPool, WidthOneIsSerialOnCaller) {
+  par::Pool pool(8);
+  const auto caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  pool.parallel_for(
+      64,
+      [&](std::size_t) {
+        if (std::this_thread::get_id() != caller) all_on_caller = false;
+      },
+      1);
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ParPool, InParallelRegionFlag) {
+  par::Pool pool(4);
+  EXPECT_FALSE(par::Pool::in_parallel_region());
+  std::atomic<int> inside{0};
+  pool.parallel_for(32, [&](std::size_t) {
+    if (par::Pool::in_parallel_region()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 32);
+  EXPECT_FALSE(par::Pool::in_parallel_region());
+}
+
+TEST(ParPool, NestedParallelForThrowsPar001) {
+  par::Pool pool(4);
+  try {
+    pool.parallel_for(8, [&](std::size_t) {
+      pool.parallel_for(4, [](std::size_t) {});
+    });
+    FAIL() << "nested parallel_for did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), "PAR-001");
+  }
+  // The pool survives the failed region and runs new work.
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParPool, LowestIndexExceptionWinsAtEveryWidth) {
+  par::Pool pool(8);
+  for (const unsigned width : {1u, 2u, 8u}) {
+    std::atomic<int> ran{0};
+    try {
+      pool.parallel_for(
+          200,
+          [&](std::size_t i) {
+            ran.fetch_add(1);
+            if (i >= 17 && i % 3 == 2) throw std::runtime_error(
+                "task " + std::to_string(i));
+          },
+          width);
+      FAIL() << "width " << width << " did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 17") << "width " << width;
+    }
+    // Every task still ran (no early abort) — so counters and side effects
+    // are schedule-independent even on throwing regions.
+    EXPECT_EQ(ran.load(), 200) << "width " << width;
+  }
+}
+
+TEST(ParPool, OrderedMapMatchesSerialAtEveryWidth) {
+  par::Pool pool(8);
+  constexpr std::size_t kN = 1000;
+  const std::function<double(std::size_t)> fn = [](std::size_t i) {
+    return std::ldexp(1.0, -static_cast<int>(i % 40)) + static_cast<double>(i);
+  };
+  std::vector<double> ref(kN);
+  for (std::size_t i = 0; i < kN; ++i) ref[i] = fn(i);
+  for (const unsigned width : {1u, 3u, 8u})
+    EXPECT_EQ(pool.ordered_map<double>(kN, fn, width), ref)
+        << "width " << width;
+}
+
+TEST(ParPool, OrderedReduceIsBitIdenticalAcrossWidths) {
+  par::Pool pool(8);
+  constexpr std::size_t kN = 500;
+  // Magnitudes spanning ~30 orders: the fold is only reproducible when the
+  // summation order is fixed, which is exactly what ordered_reduce pins.
+  const std::function<double(std::size_t)> fn = [](std::size_t i) {
+    return std::ldexp(1.0 + static_cast<double>(i % 7),
+                      static_cast<int>(i % 100) - 50);
+  };
+  const auto fold = [](double a, double b) { return a + b; };
+  const double ref = pool.ordered_reduce<double>(kN, 0.0, fn, fold, 1);
+  for (const unsigned width : {2u, 5u, 8u})
+    EXPECT_EQ(pool.ordered_reduce<double>(kN, 0.0, fn, fold, width), ref)
+        << "width " << width;
+
+  // Non-commutative fold: concatenation order must be index order.
+  const std::function<std::string(std::size_t)> name = [](std::size_t i) {
+    return "#" + std::to_string(i);
+  };
+  const auto cat = [](std::string a, std::string b) { return a + b; };
+  const std::string sref = pool.ordered_reduce<std::string>(60, std::string(), name, cat, 1);
+  EXPECT_EQ(pool.ordered_reduce<std::string>(60, std::string(), name, cat, 8), sref);
+}
+
+TEST(ParPool, RelaxedCounterCountsAndCopies) {
+  par::Pool pool(8);
+  par::RelaxedCounter c;
+  pool.parallel_for(5000, [&](std::size_t) { c.add(); });
+  EXPECT_EQ(c.get(), 5000u);
+  c.add(10);
+  const par::RelaxedCounter d = c;  // copy keeps value semantics
+  EXPECT_EQ(d.get(), 5010u);
+}
+
+TEST(ParPool, SharedPoolHasTestableWidth) {
+  // The shared pool is sized to at least 8 lanes so parallel paths stay
+  // genuinely multi-threaded even on small CI machines.
+  EXPECT_GE(par::Pool::shared().lanes(), 8u);
+}
+
+// --- single-owner assertions (PAR-002) -------------------------------------
+
+TEST(ParDiag, SecondThreadReportTripsPar002) {
+  diag::DiagEngine de;
+  de.note("TEST-000", "owner", "claimed on the main thread");
+  std::string code;
+  std::thread t([&] {
+    try {
+      de.note("TEST-000", "intruder", "cross-thread report");
+    } catch (const Error& e) {
+      code = e.code();
+    }
+  });
+  t.join();
+  EXPECT_EQ(code, "PAR-002");
+  EXPECT_EQ(de.size(), 1u);  // the intruding record was rejected
+
+  // clear() releases the claim: a fresh thread may own it afterwards.
+  de.clear();
+  std::thread t2([&] { de.note("TEST-000", "new owner", "ok"); });
+  t2.join();
+  EXPECT_EQ(de.size(), 1u);
+}
+
+TEST(ParDiag, MakeThreadSafeAllowsConcurrentReports) {
+  diag::DiagEngine de;
+  de.make_thread_safe();
+  EXPECT_TRUE(de.thread_safe());
+  par::Pool pool(8);
+  pool.parallel_for(64, [&](std::size_t i) {
+    de.note("TEST-001", "lane", "report " + std::to_string(i));
+  });
+  EXPECT_EQ(de.size(), 64u);
+}
+
+TEST(ParRecorder, SecondThreadDriverTripsPar002) {
+  sfg::Clk clk;
+  sched::CycleScheduler sched(clk);
+  sim::Recorder rec(sched);
+  sched.cycle();  // main thread claims the recorder
+  EXPECT_EQ(rec.cycles_recorded(), 1u);
+  std::string code;
+  std::thread t([&] {
+    try {
+      sched.cycle();
+    } catch (const Error& e) {
+      code = e.code();
+    }
+  });
+  t.join();
+  EXPECT_EQ(code, "PAR-002");
+}
+
+// --- determinism: level-parallel engines vs serial -------------------------
+
+GenConfig wide_config() {
+  GenConfig cfg;
+  cfg.min_comps = 24;
+  cfg.max_comps = 32;
+  // Keep every spec on the compiled engine's turf.
+  cfg.allow_adapter = false;
+  return cfg;
+}
+
+std::vector<std::vector<double>> interpreted_trace(const Spec& spec,
+                                                   unsigned threads) {
+  System sys(spec);
+  sys.scheduler().set_schedule_mode(ScheduleMode::kLevelized);
+  sys.scheduler().set_threads(threads);
+  const auto probes = spec.probes();
+  std::vector<std::vector<double>> tr;
+  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+    sys.scheduler().cycle();
+    std::vector<double> row;
+    for (const std::string& n : probes)
+      row.push_back(sys.scheduler().net(n).last().value());
+    tr.push_back(std::move(row));
+  }
+  return tr;
+}
+
+std::vector<std::vector<double>> compiled_trace(const Spec& spec,
+                                                unsigned threads) {
+  System sys(spec);
+  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.scheduler());
+  cs.set_schedule_mode(ScheduleMode::kLevelized);
+  cs.set_threads(threads);
+  const auto probes = spec.probes();
+  std::vector<std::vector<double>> tr;
+  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+    cs.cycle();
+    std::vector<double> row;
+    for (const std::string& n : probes) row.push_back(cs.net_value(n));
+    tr.push_back(std::move(row));
+  }
+  return tr;
+}
+
+TEST(ParDeterminism, InterpretedLevelParallelMatchesSerial) {
+  const GenConfig cfg = wide_config();
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    const Spec spec = generate(cfg, seed);
+    const auto serial = interpreted_trace(spec, 1);
+    for (const unsigned threads : {2u, 4u, 8u})
+      ASSERT_EQ(interpreted_trace(spec, threads), serial)
+          << "seed " << seed << " threads " << threads;
+  }
+}
+
+TEST(ParDeterminism, CompiledLevelParallelMatchesSerial) {
+  const GenConfig cfg = wide_config();
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    const Spec spec = generate(cfg, seed);
+    const auto serial = compiled_trace(spec, 1);
+    for (const unsigned threads : {2u, 4u, 8u})
+      ASSERT_EQ(compiled_trace(spec, threads), serial)
+          << "seed " << seed << " threads " << threads;
+  }
+}
+
+TEST(ParDeterminism, RunOptionsThreadsMatchesSerialCounters) {
+  const Spec spec = generate(wide_config(), 3);
+  const auto run_with = [&](unsigned threads) {
+    System sys(spec);
+    return sys.scheduler().run(RunOptions{}
+                                   .for_cycles(spec.cycles)
+                                   .mode(ScheduleMode::kLevelized)
+                                   .threads(threads));
+  };
+  const RunResult a = run_with(1);
+  const RunResult b = run_with(8);
+  EXPECT_EQ(a.firings, b.firings);
+  EXPECT_EQ(a.levelized_cycles, b.levelized_cycles);
+  EXPECT_EQ(a.retry_passes, b.retry_passes);
+
+  const auto compiled_with = [&](unsigned threads) {
+    System sys(spec);
+    sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.scheduler());
+    return cs.run(RunOptions{}
+                      .for_cycles(spec.cycles)
+                      .mode(ScheduleMode::kLevelized)
+                      .threads(threads));
+  };
+  const RunResult ca = compiled_with(1);
+  const RunResult cb = compiled_with(8);
+  EXPECT_EQ(ca.firings, cb.firings);
+  EXPECT_EQ(ca.levelized_cycles, cb.levelized_cycles);
+}
+
+// --- determinism: batched differential runs --------------------------------
+
+std::string batch_fingerprint(const std::vector<Spec>& specs,
+                              const DiffOptions& base, unsigned jobs) {
+  diag::DiagEngine de;
+  DiffOptions opts = base;
+  opts.diagnostics = &de;
+  const std::vector<DiffResult> rs = diff_run_batch(specs, opts, jobs);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    os << "spec " << i << "\n" << rs[i].summary();
+    for (const EngineTrace& t : rs[i].traces)
+      for (const auto& row : t.values)
+        for (const double v : row) os << " " << v;
+    os << "\n";
+  }
+  os << de.str();
+  return os.str();
+}
+
+TEST(ParDeterminism, DiffRunBatchIsByteIdenticalAcrossJobCounts) {
+  const GenConfig cfg;
+  std::vector<Spec> specs;
+  for (unsigned seed = 0; seed < 100; ++seed)
+    specs.push_back(generate(cfg, seed));
+
+  DiffOptions opts;
+  opts.engines = {Engine::kIterative, Engine::kLevelized, Engine::kCompiled};
+  const std::string serial = batch_fingerprint(specs, opts, 1);
+  EXPECT_EQ(batch_fingerprint(specs, opts, 8), serial);
+
+  // And with failures in the mix: a mutant makes some specs diverge, so the
+  // merged diagnostic stream must still come back in spec order.
+  DiffOptions bad = opts;
+  bad.mutant.enabled = true;
+  bad.mutant.engine = Engine::kLevelized;
+  bad.mutant.cycle = 1;
+  bad.mutant.net = "w2";
+  bad.mutant.delta = 0.5;
+  const std::string bad_serial = batch_fingerprint(specs, bad, 1);
+  EXPECT_EQ(batch_fingerprint(specs, bad, 8), bad_serial);
+}
+
+TEST(ParDeterminism, ShrinkJobsDoNotChangeTheMinimalSpec) {
+  const GenConfig cfg;
+  const Spec spec = generate(cfg, 0);
+  DiffOptions opts;
+  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.mutant.enabled = true;
+  opts.mutant.engine = Engine::kLevelized;
+  opts.mutant.cycle = 5;
+  opts.mutant.net = spec.probes().front();
+  opts.mutant.delta = 0.25;
+
+  ShrinkOptions serial;
+  serial.jobs = 1;
+  const ShrinkResult a = shrink(spec, opts, serial);
+  ASSERT_FALSE(a.final_diff.ok());
+
+  ShrinkOptions threaded;
+  threaded.jobs = 8;
+  const ShrinkResult b = shrink(spec, opts, threaded);
+  EXPECT_EQ(to_text(a.minimal), to_text(b.minimal));
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.reductions, b.reductions);
+}
+
+// --- determinism: the fuzz CLI end to end ----------------------------------
+
+int run_cmd(const std::string& cmd, std::string* out = nullptr) {
+  FILE* p = popen((cmd + " 2>&1").c_str(), "r");
+  if (p == nullptr) return -1;
+  char buf[512];
+  std::string text;
+  while (std::fgets(buf, sizeof buf, p) != nullptr) text += buf;
+  if (out != nullptr) *out = text;
+  const int st = pclose(p);
+  return WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+}
+
+std::string scratch_path(const std::string& leaf) {
+  const char* t = std::getenv("TMPDIR");
+  return std::string(t != nullptr ? t : "/tmp") + "/" + leaf;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(ParFuzzCli, JobsOneAndEightAreByteIdentical) {
+  const Spec s = generate(GenConfig{}, 0);
+  const std::string net = s.probes().front();
+  const std::string dir = scratch_path("asicpp_par_cli_corpus");
+  const std::string base =
+      std::string(ASICPP_FUZZ_BIN) +
+      " --seeds 12 --engines iterative,levelized,compiled" +
+      " --mutant levelized:5:" + net + ":0.25 --corpus-dir " + dir;
+
+  std::string out1;
+  const std::string json1 = scratch_path("asicpp_par_cli_1.json");
+  const int rc1 = run_cmd(base + " --jobs 1 --json " + json1, &out1);
+  std::string out8;
+  const std::string json8 = scratch_path("asicpp_par_cli_8.json");
+  const int rc8 = run_cmd(base + " --jobs 8 --json " + json8, &out8);
+
+  EXPECT_EQ(rc1, 1);
+  EXPECT_EQ(rc8, rc1);
+  EXPECT_EQ(out8, out1);
+  // JSON differs only in the path of the json file itself — which is not
+  // part of the content — so compare the files directly.
+  const std::string j1 = slurp(json1);
+  EXPECT_FALSE(j1.empty());
+  EXPECT_EQ(slurp(json8), j1);
+
+  std::string spec0;
+  for (int seed = 0; seed < 12; ++seed) {
+    const std::string stem = dir + "/seed" + std::to_string(seed);
+    // Corpus writes are temp+rename: no .tmp residue may survive.
+    std::ifstream tmp(stem + ".spec.tmp");
+    EXPECT_FALSE(tmp.good()) << stem;
+    std::remove((stem + ".spec").c_str());
+    std::remove((stem + "_repro.cpp").c_str());
+  }
+  std::remove(json1.c_str());
+  std::remove(json8.c_str());
+}
+
+TEST(ParFuzzCli, CleanSweepWithJobsIsClean) {
+  std::string out;
+  const int rc = run_cmd(std::string(ASICPP_FUZZ_BIN) +
+                             " --seeds 8 --jobs 4"
+                             " --engines iterative,levelized,compiled",
+                         &out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("8/8 seeds clean"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace asicpp

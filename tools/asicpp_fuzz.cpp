@@ -8,6 +8,13 @@
 //   asicpp-fuzz --seeds 200                      # nightly gate shape
 //   asicpp-fuzz --seeds 50 --engines iterative,levelized,compiled
 //   asicpp-fuzz --seeds 10 --corpus-dir corpus --json fuzz.json
+//   asicpp-fuzz --seeds 200 --jobs 8             # 8 worker lanes
+//
+// --jobs N fans the seeds out across a work-stealing pool. Output is
+// byte-identical for any job count: every seed's stdout/stderr lines are
+// buffered per seed and flushed in seed order after all seeds complete
+// (the same buffering runs under --jobs 1), and corpus files are written
+// atomically (temp + rename) so a reader never sees a half-written repro.
 //
 // Exit status: 0 all seeds clean, 1 divergence or engine failure, 2 usage.
 //
@@ -27,6 +34,7 @@
 #include <vector>
 
 #include "diag/diag.h"
+#include "par/pool.h"
 #include "verify/diffrun.h"
 #include "verify/gen.h"
 #include "verify/shrink.h"
@@ -44,6 +52,7 @@ struct Args {
   std::string json_path;
   std::string cxx = "c++";
   int max_attempts = 400;
+  unsigned jobs = 1;  // worker lanes (0 = hardware)
   bool verbose = false;
   TraceMutant mutant;
   opt::PassOptions passes{};  // optimizer pipeline for every engine
@@ -62,6 +71,9 @@ int usage(const char* argv0) {
       "  --json FILE       write a machine-readable result summary\n"
       "  --cxx CC          host compiler for the cppgen engine (default c++)\n"
       "  --max-attempts N  shrinker run budget per failure (default 400)\n"
+      "  --jobs N          worker lanes for the seed sweep (default 1;\n"
+      "                    0 = hardware); output is byte-identical for\n"
+      "                    any value\n"
       "  --verbose         log every seed, not just failures\n"
       "  --no-opt          disable the optimizer pass pipeline (and the\n"
       "                    passes-on/off differential axis)\n"
@@ -132,6 +144,10 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = value();
       if (v == nullptr) return false;
       a->max_attempts = std::atoi(v);
+    } else if (opt == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (opt == "--verbose") {
       a->verbose = true;
     } else if (opt == "--no-opt") {
@@ -217,6 +233,117 @@ void write_json(const Args& args, int clean,
      << "  \"ok\": " << (failures.empty() ? "true" : "false") << "\n}\n";
 }
 
+/// Write `content` to `path` via a temp file + rename, so readers (a CI
+/// artifact scraper, a concurrent triage script) never see a partial file.
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) return false;
+    os << content;
+    os.flush();
+    if (!os) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// Everything one seed produces: buffered output lines (flushed in seed
+/// order by main, for any --jobs value) and the failure record, if any.
+struct SeedOutcome {
+  bool clean = false;
+  std::string out;  ///< stdout lines
+  std::string err;  ///< stderr lines
+  Failure failure;
+};
+
+SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
+                     const GenConfig& cfg, unsigned seed) {
+  SeedOutcome o;
+  char buf[256];
+  const Spec spec = generate(cfg, seed);
+  diag::DiagEngine de;  // per-seed sink: single-owner, merged in order
+  DiffOptions per = dopts;
+  per.diagnostics = &de;
+  const DiffResult r = diff_run(spec, per);
+  if (r.ok()) {
+    o.clean = true;
+    if (args.verbose) {
+      std::snprintf(buf, sizeof buf,
+                    "seed %u: ok (%d engines ran, %zu comps, %llu cycles)\n",
+                    seed, r.engines_ran(), spec.comps.size(),
+                    static_cast<unsigned long long>(spec.cycles));
+      o.out += buf;
+    }
+    return o;
+  }
+
+  Failure& f = o.failure;
+  f.seed = seed;
+  if (const Divergence* d = r.first()) {
+    f.code = "VERIFY-001";
+    std::snprintf(buf, sizeof buf,
+                  "%s vs %s diverge at cycle %llu net %s (%.17g vs %.17g)",
+                  engine_name(d->ref), engine_name(d->other),
+                  static_cast<unsigned long long>(d->cycle), d->net.c_str(),
+                  d->ref_value, d->other_value);
+    f.detail = buf;
+  } else if (!r.pass_divergences.empty()) {
+    const Divergence& d = r.pass_divergences.front();
+    f.code = "VERIFY-005";
+    std::snprintf(buf, sizeof buf,
+                  "passes on vs off (%s) diverge at cycle %llu net %s "
+                  "(%.17g vs %.17g)",
+                  engine_name(d.other),
+                  static_cast<unsigned long long>(d.cycle), d.net.c_str(),
+                  d.ref_value, d.other_value);
+    f.detail = buf;
+  } else {
+    f.code = "VERIFY-002";
+    for (const EngineTrace& t : r.traces)
+      if (!t.fail_reason.empty()) {
+        f.detail = std::string(engine_name(t.engine)) + ": " + t.fail_reason;
+        break;
+      }
+  }
+  std::snprintf(buf, sizeof buf, "seed %u: FAIL [%s] %s\n", seed,
+                f.code.c_str(), f.detail.c_str());
+  o.err += buf;
+
+  ShrinkOptions sopts;
+  sopts.max_attempts = args.max_attempts;
+  sopts.jobs = args.jobs;  // falls back serially inside a worker lane
+  const ShrinkResult sr = shrink(spec, per, sopts);
+  f.shrunk_comps = sr.minimal.comps.size();
+  f.shrunk_cycles = sr.minimal.cycles;
+  std::snprintf(buf, sizeof buf,
+                "seed %u: shrunk %zu -> %zu components, %llu -> %llu cycles "
+                "(%d runs)\n",
+                seed, spec.comps.size(), sr.minimal.comps.size(),
+                static_cast<unsigned long long>(spec.cycles),
+                static_cast<unsigned long long>(sr.minimal.cycles),
+                sr.attempts);
+  o.err += buf;
+
+  if (!args.corpus_dir.empty()) {
+    const std::string stem = args.corpus_dir + "/seed" + std::to_string(seed);
+    write_file_atomic(stem + ".spec", to_text(sr.minimal));
+    std::ostringstream repro_os;
+    emit_repro(sr.minimal, per, repro_os);
+    f.repro_path = stem + "_repro.cpp";
+    if (write_file_atomic(f.repro_path, repro_os.str())) {
+      std::snprintf(buf, sizeof buf, "seed %u: repro written to %s\n", seed,
+                    f.repro_path.c_str());
+    } else {
+      std::snprintf(buf, sizeof buf, "seed %u: cannot write %s\n", seed,
+                    f.repro_path.c_str());
+      f.repro_path.clear();
+    }
+    o.err += buf;
+  }
+  for (const diag::Diagnostic& d : de.all()) o.err += "  " + d.str() + "\n";
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,85 +360,27 @@ int main(int argc, char** argv) {
   dopts.pass_axis = args.pass_axis;
 
   const GenConfig cfg;
+
+  // Fan the seeds out; the same buffered path runs under --jobs 1, so the
+  // flushed output is byte-identical by construction for any job count.
+  std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(args.seeds));
+  asicpp::par::Pool::shared().parallel_for(
+      outcomes.size(),
+      [&](std::size_t k) {
+        outcomes[k] = run_seed(args, dopts, cfg,
+                               args.seed_base + static_cast<unsigned>(k));
+      },
+      args.jobs == 0 ? asicpp::par::Pool::hardware_lanes() : args.jobs);
+
   int clean = 0;
   std::vector<Failure> failures;
-
-  for (int k = 0; k < args.seeds; ++k) {
-    const unsigned seed = args.seed_base + static_cast<unsigned>(k);
-    const Spec spec = generate(cfg, seed);
-    diag::DiagEngine de;
-    DiffOptions per = dopts;
-    per.diagnostics = &de;
-    const DiffResult r = diff_run(spec, per);
-    if (r.ok()) {
+  for (SeedOutcome& o : outcomes) {
+    if (!o.out.empty()) std::fputs(o.out.c_str(), stdout);
+    if (!o.err.empty()) std::fputs(o.err.c_str(), stderr);
+    if (o.clean)
       ++clean;
-      if (args.verbose)
-        std::printf("seed %u: ok (%d engines ran, %zu comps, %llu cycles)\n",
-                    seed, r.engines_ran(), spec.comps.size(),
-                    static_cast<unsigned long long>(spec.cycles));
-      continue;
-    }
-
-    Failure f;
-    f.seed = seed;
-    if (const Divergence* d = r.first()) {
-      f.code = "VERIFY-001";
-      char buf[160];
-      std::snprintf(buf, sizeof buf,
-                    "%s vs %s diverge at cycle %llu net %s (%.17g vs %.17g)",
-                    engine_name(d->ref), engine_name(d->other),
-                    static_cast<unsigned long long>(d->cycle), d->net.c_str(),
-                    d->ref_value, d->other_value);
-      f.detail = buf;
-    } else if (!r.pass_divergences.empty()) {
-      const Divergence& d = r.pass_divergences.front();
-      f.code = "VERIFY-005";
-      char buf[160];
-      std::snprintf(buf, sizeof buf,
-                    "passes on vs off (%s) diverge at cycle %llu net %s "
-                    "(%.17g vs %.17g)",
-                    engine_name(d.other),
-                    static_cast<unsigned long long>(d.cycle), d.net.c_str(),
-                    d.ref_value, d.other_value);
-      f.detail = buf;
-    } else {
-      f.code = "VERIFY-002";
-      for (const EngineTrace& t : r.traces)
-        if (!t.fail_reason.empty()) {
-          f.detail = std::string(engine_name(t.engine)) + ": " + t.fail_reason;
-          break;
-        }
-    }
-    std::fprintf(stderr, "seed %u: FAIL [%s] %s\n", seed, f.code.c_str(),
-                 f.detail.c_str());
-
-    ShrinkOptions sopts;
-    sopts.max_attempts = args.max_attempts;
-    const ShrinkResult sr = shrink(spec, per, sopts);
-    f.shrunk_comps = sr.minimal.comps.size();
-    f.shrunk_cycles = sr.minimal.cycles;
-    std::fprintf(stderr,
-                 "seed %u: shrunk %zu -> %zu components, %llu -> %llu cycles "
-                 "(%d runs)\n",
-                 seed, spec.comps.size(), sr.minimal.comps.size(),
-                 static_cast<unsigned long long>(spec.cycles),
-                 static_cast<unsigned long long>(sr.minimal.cycles),
-                 sr.attempts);
-
-    if (!args.corpus_dir.empty()) {
-      const std::string stem =
-          args.corpus_dir + "/seed" + std::to_string(seed);
-      std::ofstream spec_os(stem + ".spec");
-      spec_os << to_text(sr.minimal);
-      std::ofstream repro_os(stem + "_repro.cpp");
-      emit_repro(sr.minimal, per, repro_os);
-      f.repro_path = stem + "_repro.cpp";
-      std::fprintf(stderr, "seed %u: repro written to %s\n", seed,
-                   f.repro_path.c_str());
-    }
-    for (const diag::Diagnostic& d : de.all())
-      std::fprintf(stderr, "  %s\n", d.str().c_str());
-    failures.push_back(std::move(f));
+    else
+      failures.push_back(std::move(o.failure));
   }
 
   std::printf("asicpp-fuzz: %d/%d seeds clean, %zu failure(s)\n", clean,

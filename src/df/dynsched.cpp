@@ -1,6 +1,10 @@
 #include "df/dynsched.h"
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
+
+#include "ckpt/snapshot.h"
 
 namespace asicpp::df {
 
@@ -62,6 +66,10 @@ DynamicScheduler::Result DynamicScheduler::run_impl(std::size_t max_firings,
     }
     ++sweeps;
     if (on_sweep_) on_sweep_(sweeps);
+    if (ckpt_every_ != 0 && on_ckpt_ && sweeps % ckpt_every_ == 0) {
+      on_ckpt_(sweeps);
+      ++ckpt_emitted_;
+    }
     if (!fired) break;
   }
   r.wall_clock_tripped = wall_tripped;
@@ -115,18 +123,24 @@ RunResult DynamicScheduler::run(const RunOptions& opts) {
       s->diag_ = diag;
       s->profile_ = false;
       s->on_sweep_ = nullptr;
+      s->ckpt_every_ = 0;
+      s->on_ckpt_ = nullptr;
     }
   } restore{this, diag_};
   if (opts.diagnostics != nullptr) diag_ = opts.diagnostics;
   profile_ = opts.profile;
   if (profile_) prof_.assign(procs_.size(), {0, 0.0});
   on_sweep_ = opts.on_cycle_end;
+  ckpt_every_ = opts.checkpoint_every;
+  on_ckpt_ = opts.on_checkpoint;
+  ckpt_emitted_ = 0;
 
   const std::size_t budget = opts.firings != 0 ? opts.firings : 1'000'000;
   last_ = run_impl(budget, opts.wall_clock_s);
 
   RunResult r;
   r.firings = last_.firings;
+  r.checkpoints = ckpt_emitted_;
   r.schedule = ScheduleMode::kIterative;  // dataflow firing order is dynamic
   if (last_.watchdog_tripped) {
     r.stop = last_.wall_clock_tripped ? StopReason::kWallClock
@@ -143,6 +157,118 @@ RunResult DynamicScheduler::run(const RunOptions& opts) {
     }
   }
   return r;
+}
+
+std::vector<Queue*> DynamicScheduler::reachable_queues() const {
+  std::vector<Queue*> qs;
+  const auto add = [&qs](Queue* q) {
+    if (std::find(qs.begin(), qs.end(), q) == qs.end()) qs.push_back(q);
+  };
+  for (const Process* p : procs_) {
+    for (std::size_t i = 0; i < p->num_inputs(); ++i) add(&p->in(i));
+    for (std::size_t i = 0; i < p->num_outputs(); ++i) add(&p->out(i));
+  }
+  for (Queue* q : watched_) add(q);
+  return qs;
+}
+
+std::uint64_t DynamicScheduler::state_hash() const {
+  ckpt::Hasher h;
+  h.u64(state_salt_);
+  h.str("dataflow-scheduler");
+  h.u32(static_cast<std::uint32_t>(procs_.size()));
+  for (const Process* p : procs_) {
+    h.str(p->name());
+    h.u32(static_cast<std::uint32_t>(p->num_inputs()));
+    for (std::size_t i = 0; i < p->num_inputs(); ++i)
+      h.u64(p->in_rate(i));
+    h.u32(static_cast<std::uint32_t>(p->num_outputs()));
+    for (std::size_t i = 0; i < p->num_outputs(); ++i)
+      h.u64(p->out_rate(i));
+  }
+  const auto qs = reachable_queues();
+  h.u32(static_cast<std::uint32_t>(qs.size()));
+  for (const Queue* q : qs) {
+    h.str(q->name());
+    h.u64(q->capacity());
+  }
+  return h.digest();
+}
+
+void DynamicScheduler::save_state(std::ostream& os) const {
+  std::uint64_t total_firings = 0;
+  for (const Process* p : procs_) total_firings += p->firings();
+
+  ckpt::Writer w(os);
+  w.header(ckpt::EngineKind::kDataflow, state_hash(), total_firings);
+  const auto qs = reachable_queues();
+  w.u32(static_cast<std::uint32_t>(qs.size()));
+  for (const Queue* q : qs) {
+    w.str(q->name());
+    w.u32(static_cast<std::uint32_t>(q->size()));
+    for (const Token& t : q->contents()) w.fixed(t);
+    w.u64(q->total_pushed());
+  }
+  w.u32(static_cast<std::uint32_t>(procs_.size()));
+  for (const Process* p : procs_) w.u64(p->firings());
+  w.end();
+}
+
+void DynamicScheduler::restore_state_impl(std::istream& is) {
+  ckpt::Reader r(is, "dataflow scheduler");
+  r.header(ckpt::EngineKind::kDataflow, state_hash());
+
+  const auto qs = reachable_queues();
+  const std::size_t nq = r.count(1u << 20);
+  if (nq != qs.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(nq) +
+            " queue(s), this system has " + std::to_string(qs.size())});
+  }
+  std::vector<std::pair<std::deque<Token>, std::size_t>> staged;
+  staged.reserve(nq);
+  for (const Queue* q : qs) {
+    const std::string name = r.str();
+    if (name != q->name()) {
+      r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+             {"queue record names '" + name + "' where '" + q->name() +
+              "' was expected"});
+    }
+    const std::size_t n = r.count(1u << 24);
+    std::deque<Token> tokens;
+    for (std::size_t i = 0; i < n; ++i) tokens.push_back(r.fixed());
+    const auto pushed = static_cast<std::size_t>(r.u64());
+    staged.emplace_back(std::move(tokens), pushed);
+  }
+  const std::size_t np = r.count(1u << 20);
+  if (np != procs_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(np) +
+            " process(es), this system has " + std::to_string(procs_.size())});
+  }
+  std::vector<std::uint64_t> firings(np);
+  for (auto& f : firings) f = r.u64();
+  r.end();
+
+  // Everything parsed — apply.
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    qs[i]->restore(std::move(staged[i].first), staged[i].second);
+  for (std::size_t i = 0; i < procs_.size(); ++i)
+    procs_[i]->set_firings(static_cast<std::size_t>(firings[i]));
+}
+
+void DynamicScheduler::restore_state(std::istream& is) {
+  // Transactional: roll back to a pre-restore snapshot on any failure so a
+  // bad stream leaves the scheduler untouched.
+  std::ostringstream backup;
+  save_state(backup);
+  try {
+    restore_state_impl(is);
+  } catch (...) {
+    std::istringstream b(backup.str());
+    restore_state_impl(b);
+    throw;
+  }
 }
 
 }  // namespace asicpp::df

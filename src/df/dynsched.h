@@ -12,6 +12,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -70,7 +73,31 @@ class DynamicScheduler {
   void attach_diagnostics(diag::DiagEngine& de) { diag_ = &de; }
   diag::DiagEngine& diagnostics() { return diag_ != nullptr ? *diag_ : own_diag_; }
 
+  // --- checkpoint/restore (see ckpt/snapshot.h) ---
+
+  /// Extra entropy mixed into state_hash() (see
+  /// sched::CycleScheduler::set_state_salt).
+  void set_state_salt(std::uint64_t salt) { state_salt_ = salt; }
+
+  /// Structural content hash: the salt, each process's name and port
+  /// rates, and the name/capacity of every reachable queue.
+  std::uint64_t state_hash() const;
+
+  /// Serialize the complete dataflow state — every reachable queue's
+  /// tokens and lifetime push count, every process's firing count — at a
+  /// sweep boundary. Position is the total firing count.
+  void save_state(std::ostream& os) const;
+
+  /// Restore a save_state() snapshot. Throws ckpt::SnapshotError with a
+  /// CKPT-001..004 diagnostic on mismatch or corruption; on failure the
+  /// scheduler state is left exactly as it was.
+  void restore_state(std::istream& is);
+
  private:
+  /// Queues referenced by any process port or watch(), deduplicated in
+  /// first-reference order — the serialization order of save_state.
+  std::vector<Queue*> reachable_queues() const;
+  void restore_state_impl(std::istream& is);
   Result run_impl(std::size_t max_firings, double wall_limit);
   void fill_postmortem(Result& r) const;
 
@@ -82,6 +109,11 @@ class DynamicScheduler {
   bool profile_ = false;
   std::vector<std::pair<std::uint64_t, double>> prof_;  // per procs_ index
   std::function<void(std::uint64_t)> on_sweep_;
+  std::uint64_t state_salt_ = 0;
+  // Checkpoint cadence of the current run() (see RunOptions).
+  std::uint64_t ckpt_every_ = 0;
+  std::function<void(std::uint64_t)> on_ckpt_;
+  std::uint64_t ckpt_emitted_ = 0;
 };
 
 }  // namespace asicpp::df

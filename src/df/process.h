@@ -87,6 +87,9 @@ class Process {
     ++firings_;
   }
 
+  /// Checkpoint restore: force the lifetime firing count.
+  void set_firings(std::size_t n) { firings_ = n; }
+
  private:
   std::string name_;
   std::vector<Queue*> ins_;

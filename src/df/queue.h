@@ -52,6 +52,19 @@ class Queue {
 
   void clear() { q_.clear(); }
 
+  // --- checkpoint support ---
+
+  /// Waiting tokens, oldest first (serialization order).
+  const std::deque<Token>& contents() const { return q_; }
+
+  /// Checkpoint restore: replace contents and the lifetime push count
+  /// wholesale, bypassing capacity checks (the snapshot was taken from a
+  /// legal state of this same queue).
+  void restore(std::deque<Token> contents, std::size_t total_pushed) {
+    q_ = std::move(contents);
+    total_pushed_ = total_pushed;
+  }
+
  private:
   std::string name_;
   std::size_t capacity_;

@@ -37,7 +37,8 @@
 //   ELAB-001 impure untimed block in RT elaboration
 //   SYN-001..SYN-009 system-synthesis elaboration errors
 //   SIM-001 unsupported component in compiled simulation
-//   VERIFY-001..VERIFY-004 differential verification (see verify/diffrun.h)
+//   VERIFY-001..VERIFY-006 differential verification (see verify/diffrun.h)
+//   CKPT-001..CKPT-004 snapshot restore failures (see ckpt/snapshot.h)
 //   PAR-001 nested parallel region (see par/pool.h)
 //   PAR-002 single-owner object used from a second thread
 #pragma once

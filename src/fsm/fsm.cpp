@@ -117,6 +117,13 @@ void Fsm::reset() {
   current_ = initial_;
 }
 
+void Fsm::set_current(int s) {
+  if (s < -1 || s >= num_states())
+    throw std::out_of_range("fsm '" + name_ + "': state index " +
+                            std::to_string(s) + " out of range");
+  current_ = s;
+}
+
 const Fsm::Transition* Fsm::select(std::uint64_t stamp) const {
   for (const auto& t : transitions_) {
     if (t.from != current_) continue;

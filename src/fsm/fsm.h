@@ -133,6 +133,10 @@ class Fsm {
   int current() const { return current_; }
   const std::string& current_name() const { return state_name(current_); }
 
+  /// Checkpoint restore: force the current state. `s` must be a valid state
+  /// index or -1 (no initial state); anything else throws std::out_of_range.
+  void set_current(int s);
+
   /// Phase-0 transition selection: the first transition out of the current
   /// state whose guard holds (guards read registered signals only). Returns
   /// nullptr when no transition fires this cycle.

@@ -15,6 +15,11 @@ namespace asicpp::sfg {
 class Sfg;
 }
 
+namespace asicpp::ckpt {
+class Writer;
+class Reader;
+}  // namespace asicpp::ckpt
+
 namespace asicpp::sched {
 
 class Net;
@@ -94,6 +99,19 @@ class Component {
   /// to apply run-wide optimizer pass options; untimed components own no
   /// SFGs and keep the default no-op.
   virtual void collect_sfgs(std::vector<sfg::Sfg*>& out) const { (void)out; }
+
+  // --- checkpoint/restore (see ckpt/snapshot.h) ---
+
+  /// Serialize cross-cycle component state (FSM current state, adapter
+  /// queues, firing counters). Per-cycle scratch (pending transitions,
+  /// fired flags) is never snapshotted: snapshots are taken at cycle
+  /// boundaries only. The default is stateless.
+  virtual void save_state(ckpt::Writer& w) const { (void)w; }
+
+  /// Restore what save_state wrote. Reads temporaries first and applies
+  /// only after the whole chunk parsed, so a corrupt stream leaves the
+  /// component untouched.
+  virtual void restore_state(ckpt::Reader& r) { (void)r; }
 
  private:
   std::string name_;

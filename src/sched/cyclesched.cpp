@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "ckpt/snapshot.h"
 #include "sfg/eval.h"
 #include "sfg/sfg.h"
 
@@ -305,6 +306,11 @@ RunResult CycleScheduler::run(const RunOptions& opts) {
       r.retry_passes += static_cast<std::uint64_t>(st.eval_iterations - 1);
     if (st.levelized) ++r.levelized_cycles;
     if (opts.on_cycle_end) opts.on_cycle_end(clk_->cycle());
+    if (opts.checkpoint_every != 0 && opts.on_checkpoint &&
+        (i + 1) % opts.checkpoint_every == 0) {
+      opts.on_checkpoint(clk_->cycle());
+      ++r.checkpoints;
+    }
   }
   r.schedule = (r.levelized_cycles > 0 && r.levelized_cycles * 2 >= r.cycles)
                    ? ScheduleMode::kLevelized
@@ -318,6 +324,121 @@ RunResult CycleScheduler::run(const RunOptions& opts) {
     }
   }
   return r;
+}
+
+std::uint64_t CycleScheduler::state_hash() const {
+  ckpt::Hasher h;
+  h.u64(state_salt_);
+  h.str("cycle-scheduler");
+  h.u32(static_cast<std::uint32_t>(comps_.size()));
+  for (const Component* c : comps_) h.str(c->name());
+  h.u32(static_cast<std::uint32_t>(net_list_.size()));
+  for (const Net* n : net_list_) h.str(n->name());
+  const auto& regs = clk_->registers();
+  h.u32(static_cast<std::uint32_t>(regs.size()));
+  for (const auto& n : regs) {
+    h.str(n->name);
+    h.f64(n->init);
+    h.u8(n->has_fmt ? 1 : 0);
+    if (n->has_fmt) h.fmt(n->fmt);
+  }
+  return h.digest();
+}
+
+void CycleScheduler::save_state(std::ostream& os) const {
+  ckpt::Writer w(os);
+  w.header(ckpt::EngineKind::kCycleScheduler, state_hash(), clk_->cycle());
+  // Registers in clock-enrollment order. Snapshots are taken at cycle
+  // boundaries, where every pending next-value has been committed, so the
+  // current value is the whole register state.
+  const auto& regs = clk_->registers();
+  w.u32(static_cast<std::uint32_t>(regs.size()));
+  for (const auto& n : regs) {
+    w.str(n->name);
+    w.fixed(n->value);
+  }
+  w.u32(static_cast<std::uint32_t>(net_list_.size()));
+  for (const Net* n : net_list_) n->save_state(w);
+  w.u32(static_cast<std::uint32_t>(comps_.size()));
+  for (const Component* c : comps_) {
+    w.str(c->name());
+    c->save_state(w);
+  }
+  // Levelized-schedule cursor: the walk-miss counter and its one-shot
+  // report flag (the level order itself rebuilds lazily from structure).
+  w.i32(schedule_failures_);
+  w.u8(sched002_reported_ ? 1 : 0);
+  w.end();
+}
+
+void CycleScheduler::restore_state_impl(std::istream& is) {
+  ckpt::Reader r(is, "cycle scheduler");
+  const std::uint64_t cyc =
+      r.header(ckpt::EngineKind::kCycleScheduler, state_hash());
+
+  const auto& regs = clk_->registers();
+  const std::size_t nregs = r.count(1u << 24);
+  if (nregs != regs.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(nregs) +
+            " register(s), this system has " + std::to_string(regs.size())});
+  }
+  for (const auto& n : regs) {
+    const std::string name = r.str();
+    if (name != n->name) {
+      r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+             {"register record names '" + name + "' where '" + n->name +
+              "' was expected"});
+    }
+    n->value = r.fixed();
+    n->next = fixpt::Fixed{};
+    n->next_set = false;
+  }
+
+  const std::size_t nnets = r.count(1u << 24);
+  if (nnets != net_list_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(nnets) +
+            " net(s), this system has " + std::to_string(net_list_.size())});
+  }
+  for (Net* n : net_list_) n->restore_state(r);
+
+  const std::size_t ncomps = r.count(1u << 24);
+  if (ncomps != comps_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(ncomps) +
+            " component(s), this system has " + std::to_string(comps_.size())});
+  }
+  for (Component* c : comps_) {
+    const std::string name = r.str();
+    if (name != c->name()) {
+      r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+             {"component record names '" + name + "' where '" + c->name() +
+              "' was expected"});
+    }
+    c->restore_state(r);
+  }
+
+  schedule_failures_ = r.i32();
+  sched002_reported_ = r.u8() != 0;
+  r.end();
+  clk_->set_cycle(cyc);
+}
+
+void CycleScheduler::restore_state(std::istream& is) {
+  // Transactional restore: snapshot the current state first, and roll back
+  // on any failure — a bad snapshot must leave the engine untouched. The
+  // rollback snapshot is self-produced against the same structure, so
+  // re-applying it cannot fail.
+  std::ostringstream backup;
+  save_state(backup);
+  try {
+    restore_state_impl(is);
+  } catch (...) {
+    std::istringstream b(backup.str());
+    restore_state_impl(b);
+    throw;
+  }
 }
 
 void CycleScheduler::set_pass_options(const opt::PassOptions& p) {

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -137,6 +138,32 @@ class CycleScheduler {
   sfg::Clk& clk() const { return *clk_; }
   std::uint64_t cycles() const { return clk_->cycle(); }
 
+  // --- checkpoint/restore (see ckpt/snapshot.h) ---
+
+  /// Extra entropy mixed into state_hash(), typically a hash of the
+  /// canonical source description (verify::System salts with the spec
+  /// text) so structurally similar but distinct designs reject each
+  /// other's snapshots.
+  void set_state_salt(std::uint64_t salt) { state_salt_ = salt; }
+  std::uint64_t state_salt() const { return state_salt_; }
+
+  /// Structural content hash binding snapshots to this system: the salt,
+  /// component names, net names in creation order, and every enrolled
+  /// register's name, format and reset value.
+  std::uint64_t state_hash() const;
+
+  /// Serialize the complete cross-cycle simulation state — register
+  /// values, net tokens and external drives, component state (FSM current
+  /// states, adapter queues, firing counters), the clock's cycle count and
+  /// the levelized-schedule cursor — at a cycle boundary.
+  void save_state(std::ostream& os) const;
+
+  /// Restore a save_state() snapshot. Throws ckpt::SnapshotError with a
+  /// structured CKPT-001..004 diagnostic on mismatch or corruption; on
+  /// failure the scheduler state is left exactly as it was (restore is
+  /// transactional via an internal rollback snapshot).
+  void restore_state(std::istream& is);
+
   /// Introspection for the compiled-code and HDL generators.
   const std::vector<Component*>& components() const { return comps_; }
   std::vector<Net*> all_nets() const;
@@ -144,6 +171,7 @@ class CycleScheduler {
 
  private:
   diag::Diagnostic deadlock_postmortem() const;
+  void restore_state_impl(std::istream& is);
   void refresh_schedule() {
     if (!schedule_stale_) return;
     schedule_ = Schedule::build(comps_);
@@ -165,6 +193,7 @@ class CycleScheduler {
   bool schedule_stale_ = true;
   int schedule_failures_ = 0;   // consecutive walk misses; >= 2 disables the walk
   bool sched002_reported_ = false;
+  std::uint64_t state_salt_ = 0;
   bool profile_ = false;
   std::map<Component*, std::pair<std::uint64_t, double>> prof_;
 };

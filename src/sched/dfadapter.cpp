@@ -1,5 +1,7 @@
 #include "sched/dfadapter.h"
 
+#include "ckpt/snapshot.h"
+
 namespace asicpp::sched {
 
 DataflowAdapter::DataflowAdapter(std::string name, df::Process& p)
@@ -47,5 +49,60 @@ bool DataflowAdapter::try_fire(std::uint64_t) {
 }
 
 void DataflowAdapter::end_cycle(std::uint64_t) {}
+
+namespace {
+
+void save_queue(ckpt::Writer& w, const df::Queue& q) {
+  w.u32(static_cast<std::uint32_t>(q.size()));
+  for (const df::Token& t : q.contents()) w.fixed(t);
+  w.u64(q.total_pushed());
+}
+
+std::pair<std::deque<df::Token>, std::size_t> read_queue(ckpt::Reader& r) {
+  const std::size_t n = r.count(1u << 24);
+  std::deque<df::Token> tokens;
+  for (std::size_t i = 0; i < n; ++i) tokens.push_back(r.fixed());
+  const auto pushed = static_cast<std::size_t>(r.u64());
+  return {std::move(tokens), pushed};
+}
+
+}  // namespace
+
+void DataflowAdapter::save_state(ckpt::Writer& w) const {
+  w.u64(proc_->firings());
+  w.u32(static_cast<std::uint32_t>(in_qs_.size()));
+  for (const auto& q : in_qs_) save_queue(w, *q);
+  w.u32(static_cast<std::uint32_t>(out_qs_.size()));
+  for (const auto& q : out_qs_) save_queue(w, *q);
+}
+
+void DataflowAdapter::restore_state(ckpt::Reader& r) {
+  const auto firings = static_cast<std::size_t>(r.u64());
+  const std::size_t nin = r.count(1u << 16);
+  if (nin != in_qs_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"component '" + name() + "': snapshot has " + std::to_string(nin) +
+            " input queue(s), adapter owns " + std::to_string(in_qs_.size())});
+  }
+  std::vector<std::pair<std::deque<df::Token>, std::size_t>> ins;
+  ins.reserve(nin);
+  for (std::size_t i = 0; i < nin; ++i) ins.push_back(read_queue(r));
+  const std::size_t nout = r.count(1u << 16);
+  if (nout != out_qs_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"component '" + name() + "': snapshot has " + std::to_string(nout) +
+            " output queue(s), adapter owns " + std::to_string(out_qs_.size())});
+  }
+  std::vector<std::pair<std::deque<df::Token>, std::size_t>> outs;
+  outs.reserve(nout);
+  for (std::size_t i = 0; i < nout; ++i) outs.push_back(read_queue(r));
+
+  // Everything parsed — apply.
+  proc_->set_firings(firings);
+  for (std::size_t i = 0; i < nin; ++i)
+    in_qs_[i]->restore(std::move(ins[i].first), ins[i].second);
+  for (std::size_t i = 0; i < nout; ++i)
+    out_qs_[i]->restore(std::move(outs[i].first), outs[i].second);
+}
 
 }  // namespace asicpp::sched

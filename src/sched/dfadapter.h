@@ -43,6 +43,8 @@ class DataflowAdapter : public Component {
   bool done() const override { return consumed_; }
   bool must_fire() const override { return false; }
   void end_cycle(std::uint64_t) override;
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
   std::size_t firings() const { return proc_->firings(); }
   /// Tokens waiting on the i-th output buffer (backlog).

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/snapshot.h"
+
 namespace asicpp::sched {
 
 // --- TimedBase ---
@@ -152,6 +154,21 @@ void FsmComponent::collect_sfgs(std::vector<sfg::Sfg*>& out) const {
   for (const auto& t : fsm_->transitions()) {
     for (auto* s : t.actions) out.push_back(s);
   }
+}
+
+void FsmComponent::save_state(ckpt::Writer& w) const {
+  w.i32(fsm_->current());
+}
+
+void FsmComponent::restore_state(ckpt::Reader& r) {
+  const std::int32_t s = r.i32();
+  if (s < -1 || s >= fsm_->num_states()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"component '" + name() + "': FSM state index " + std::to_string(s) +
+            " is out of range (machine has " +
+            std::to_string(fsm_->num_states()) + " state(s))"});
+  }
+  fsm_->set_current(s);
 }
 
 // --- SfgComponent ---

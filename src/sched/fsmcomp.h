@@ -85,6 +85,8 @@ class FsmComponent : public TimedBase {
   std::vector<const Net*> pending_output_nets() const override;
   StaticDeps static_deps() const override;
   void collect_sfgs(std::vector<sfg::Sfg*>& out) const override;
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
   fsm::Fsm& machine() const { return *fsm_; }
   bool fired() const { return fired_; }

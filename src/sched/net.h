@@ -13,6 +13,11 @@
 
 #include "fixpt/fixed.h"
 
+namespace asicpp::ckpt {
+class Writer;
+class Reader;
+}  // namespace asicpp::ckpt
+
 namespace asicpp::sched {
 
 class Net {
@@ -42,6 +47,12 @@ class Net {
   /// Scheduler-internal: start a new cycle — drop the old token, re-arm
   /// from the external drive when present.
   void begin_cycle();
+
+  /// Checkpoint: serialize / restore the per-net state (last value, token
+  /// flag, external drive). The name is written too, as a restore-time
+  /// cross-check against the snapshot's net ordering.
+  void save_state(ckpt::Writer& w) const;
+  void restore_state(ckpt::Reader& r);
 
  private:
   std::string name_;

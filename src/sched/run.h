@@ -75,6 +75,13 @@ struct RunOptions {
   /// Trace / recorder hook, invoked after every completed cycle (cycle
   /// engines) or after every firing sweep (dataflow engine).
   std::function<void(std::uint64_t)> on_cycle_end;
+  /// Checkpoint cadence: invoke `on_checkpoint` every N completed cycles
+  /// (cycle engines) or firing sweeps (dataflow engine). 0 = never.
+  std::uint64_t checkpoint_every = 0;
+  /// Checkpoint hook, called with the engine's total cycle (or sweep)
+  /// count; the callback typically calls the engine's save_state. Runs at
+  /// a cycle boundary, so the saved state resumes bit-identically.
+  std::function<void(std::uint64_t)> on_checkpoint;
   /// Optimization pass pipeline applied to every SFG the run evaluates
   /// (interpreted cycle engine). Defaults to all passes on; PassOptions::
   /// none() restores the pre-IR recursive evaluation, the differential
@@ -91,6 +98,12 @@ struct RunOptions {
   RunOptions& into(diag::DiagEngine& de) { diagnostics = &de; return *this; }
   RunOptions& on_cycle(std::function<void(std::uint64_t)> cb) {
     on_cycle_end = std::move(cb);
+    return *this;
+  }
+  RunOptions& checkpoint(std::uint64_t every,
+                         std::function<void(std::uint64_t)> cb) {
+    checkpoint_every = every;
+    on_checkpoint = std::move(cb);
     return *this;
   }
   RunOptions& with_passes(const opt::PassOptions& p) { passes = p; return *this; }
@@ -121,6 +134,8 @@ struct RunResult {
   /// Schedule mode actually used for the majority of the run.
   ScheduleMode schedule = ScheduleMode::kIterative;
   StopReason stop = StopReason::kCompleted;
+  /// Checkpoints emitted via RunOptions::on_checkpoint during this call.
+  std::uint64_t checkpoints = 0;
   /// Per-component timing, populated when RunOptions::profile is set.
   std::vector<ComponentTiming> timing;
 

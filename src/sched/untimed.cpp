@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ckpt/snapshot.h"
+
 namespace asicpp::sched {
 
 bool UntimedComponent::try_fire(std::uint64_t) {
@@ -22,6 +24,14 @@ bool UntimedComponent::try_fire(std::uint64_t) {
   fired_ = true;
   ++firings_;
   return true;
+}
+
+void UntimedComponent::save_state(ckpt::Writer& w) const {
+  w.u64(firings_);
+}
+
+void UntimedComponent::restore_state(ckpt::Reader& r) {
+  firings_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace asicpp::sched

@@ -60,6 +60,14 @@ class UntimedComponent : public Component {
   }
 
   std::size_t firings() const { return firings_; }
+  /// Checkpoint restore: force the lifetime firing count.
+  void set_firings(std::size_t n) { firings_ = n; }
+
+  /// Checkpoint: the firing counter round-trips; closure state (`fn_`'s
+  /// captures, e.g. a RAM's storage) is opaque to the snapshot format and
+  /// out of scope — stateful closures need external re-seeding on restore.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
   /// Introspection / direct invocation for the compiled simulator.
   const std::vector<Net*>& input_nets() const { return ins_; }

@@ -35,6 +35,9 @@ class Clk {
   /// Advance the cycle counter only.
   void advance() { ++cycle_; }
 
+  /// Checkpoint restore: force the cycle counter.
+  void set_cycle(std::uint64_t c) { cycle_ = c; }
+
   const std::vector<NodePtr>& registers() const { return regs_; }
 
  private:

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "ckpt/snapshot.h"
 #include "opt/ir.h"
 #include "opt/passes.h"
 #include "sched/schedule.h"
@@ -241,6 +242,7 @@ CompiledSystem CompiledSystem::compile(const sched::CycleScheduler& sched,
   CompiledSystem sys;
   Builder(sys, passes).build(sched);
   sys.build_schedule();
+  sys.compute_ir_hash();
   return sys;
 }
 
@@ -815,6 +817,11 @@ RunResult CompiledSystem::run(const RunOptions& opts) {
     cycle();
     ++r.cycles;
     if (opts.on_cycle_end) opts.on_cycle_end(cycles_);
+    if (opts.checkpoint_every != 0 && opts.on_checkpoint &&
+        (i + 1) % opts.checkpoint_every == 0) {
+      opts.on_checkpoint(cycles_);
+      ++r.checkpoints;
+    }
   }
   r.retry_passes = retry_passes_total_ - retry0;
   r.levelized_cycles = levelized_cycles_total_ - level0;
@@ -856,6 +863,126 @@ void CompiledSystem::reset() {
     if (c.kind == Kind::kFsm) c.state = c.initial;
   }
   cycles_ = 0;
+}
+
+void CompiledSystem::compute_ir_hash() {
+  ckpt::Hasher h;
+  h.str("compiled-system");
+  h.u32(static_cast<std::uint32_t>(slots_.size()));
+  h.u32(static_cast<std::uint32_t>(net_names_.size()));
+  for (const auto& n : net_names_) h.str(n);
+  const auto hash_tape = [&h](const Tape& t) {
+    h.u32(static_cast<std::uint32_t>(t.size()));
+    for (const Instr& i : t) {
+      h.u8(static_cast<std::uint8_t>(i.op));
+      h.u8(i.quant ? 1 : 0);
+      h.i32(i.dst).i32(i.a).i32(i.b).i32(i.c);
+      h.fmt(i.fmt);
+    }
+  };
+  h.u32(static_cast<std::uint32_t>(sfgs_.size()));
+  for (const SfgCode& s : sfgs_) {
+    hash_tape(s.pre);
+    hash_tape(s.main);
+    h.u32(static_cast<std::uint32_t>(s.commits.size()));
+    for (const auto& c : s.commits) h.i32(c.dst).i32(c.src);
+  }
+  h.u32(static_cast<std::uint32_t>(comps_.size()));
+  for (const Comp& c : comps_) {
+    h.u8(static_cast<std::uint8_t>(c.kind));
+    h.str(c.name);
+    h.i32(c.initial);
+    h.u32(static_cast<std::uint32_t>(c.by_state.size()));
+    for (const auto& ts : c.by_state) {
+      h.u32(static_cast<std::uint32_t>(ts.size()));
+      for (const auto& gt : ts) {
+        hash_tape(gt.guard);
+        h.i32(gt.to);
+        for (const auto id : gt.sfgs) h.i32(id);
+      }
+    }
+  }
+  ir_hash_ = h.digest();
+}
+
+void CompiledSystem::save_state(std::ostream& os) const {
+  ckpt::Writer w(os);
+  w.header(ckpt::EngineKind::kCompiledSystem, ir_hash_, cycles_);
+  w.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const double v : slots_) w.f64(v);
+  w.u32(static_cast<std::uint32_t>(net_token_.size()));
+  for (const std::uint8_t t : net_token_) w.u8(t);
+  w.u32(static_cast<std::uint32_t>(comps_.size()));
+  for (const Comp& c : comps_) {
+    w.i32(c.kind == Kind::kFsm ? c.state : 0);
+    w.u64(c.kind == Kind::kUntimed ? c.untimed->firings() : 0);
+  }
+  // Levelized-schedule cursor, mirroring the interpreted scheduler.
+  w.i32(sched_failures_);
+  w.u8(sched002_reported_ ? 1 : 0);
+  w.end();
+}
+
+void CompiledSystem::restore_state_impl(std::istream& is) {
+  ckpt::Reader r(is, "compiled simulator");
+  const std::uint64_t cyc =
+      r.header(ckpt::EngineKind::kCompiledSystem, ir_hash_);
+  const std::size_t nslots = r.count(1u << 26);
+  if (nslots != slots_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(nslots) +
+            " slot(s), this image has " + std::to_string(slots_.size())});
+  }
+  for (double& v : slots_) v = r.f64();
+  const std::size_t ntok = r.count(1u << 26);
+  if (ntok != net_token_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(ntok) +
+            " net token flag(s), this image has " +
+            std::to_string(net_token_.size())});
+  }
+  for (std::uint8_t& t : net_token_) t = r.u8();
+  const std::size_t ncomps = r.count(1u << 24);
+  if (ncomps != comps_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(ncomps) +
+            " component(s), this image has " + std::to_string(comps_.size())});
+  }
+  for (Comp& c : comps_) {
+    const std::int32_t state = r.i32();
+    const std::uint64_t firings = r.u64();
+    if (c.kind == Kind::kFsm) {
+      if (state < 0 ||
+          static_cast<std::size_t>(state) >= c.by_state.size()) {
+        r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+               {"component '" + c.name + "': FSM state index " +
+                std::to_string(state) + " out of range"});
+      }
+      c.state = state;
+    } else if (c.kind == Kind::kUntimed) {
+      // The firing counter lives on the shared UntimedComponent; the
+      // closure's captured state is out of scope (see sched/untimed.h).
+      c.untimed->set_firings(static_cast<std::size_t>(firings));
+    }
+  }
+  sched_failures_ = r.i32();
+  sched002_reported_ = r.u8() != 0;
+  r.end();
+  cycles_ = cyc;
+}
+
+void CompiledSystem::restore_state(std::istream& is) {
+  // Transactional: roll back to a pre-restore snapshot on any failure so a
+  // bad stream leaves the simulator untouched.
+  std::ostringstream backup;
+  save_state(backup);
+  try {
+    restore_state_impl(is);
+  } catch (...) {
+    std::istringstream b(backup.str());
+    restore_state_impl(b);
+    throw;
+  }
 }
 
 double CompiledSystem::net_value(const std::string& name) const {

@@ -99,6 +99,24 @@ class CompiledSystem {
   Checkpoint save() const;
   void restore(const Checkpoint& cp);
 
+  // --- serialized checkpoint/restore (see ckpt/snapshot.h) ---
+
+  /// IR content hash computed at compile() time over the slot layout, net
+  /// names, every emitted tape instruction, and the component/transition
+  /// structure. Binds snapshots to one compiled image: a system compiled
+  /// from a different spec — or with a different pass pipeline — hashes
+  /// differently and rejects the snapshot with CKPT-003.
+  std::uint64_t state_hash() const { return ir_hash_; }
+
+  /// Serialize the full runtime state (slot array, net tokens, FSM states,
+  /// untimed firing counters, cycle count) in the versioned ckpt format.
+  void save_state(std::ostream& os) const;
+
+  /// Restore a save_state() snapshot. Throws ckpt::SnapshotError with a
+  /// CKPT-001..004 diagnostic on mismatch or corruption; on failure the
+  /// simulator state is left exactly as it was.
+  void restore_state(std::istream& is);
+
   /// Last token value seen on net `name`.
   double net_value(const std::string& name) const;
   /// Current value of register `name` (first registered with that name).
@@ -198,6 +216,8 @@ class CompiledSystem {
   class Builder;
 
   void build_schedule();
+  void compute_ir_hash();
+  void restore_state_impl(std::istream& is);
   bool comp_try_fire(Comp& c);
   void run_sfg_pre(std::int32_t sfg);
   bool run_sfg_main(std::int32_t sfg);  ///< false when inputs missing
@@ -227,6 +247,7 @@ class CompiledSystem {
   bool levelizable_ = false;
   int sched_levels_ = 0;
   std::string sched_reason_;
+  std::uint64_t ir_hash_ = 0;  ///< computed once by compile()
 
   // runtime state
   std::vector<double> slots_;

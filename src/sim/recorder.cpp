@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ckpt/snapshot.h"
 #include "diag/diag.h"
 
 namespace asicpp::sim {
@@ -49,6 +50,63 @@ void Recorder::clear() {
   }
   cycles_ = 0;
   owner_.store(std::thread::id{}, std::memory_order_relaxed);
+}
+
+std::uint64_t Recorder::state_hash() const {
+  ckpt::Hasher h;
+  h.str("recorder");
+  h.u32(static_cast<std::uint32_t>(traces_.size()));
+  for (const Trace& t : traces_) h.str(t.net);
+  return h.digest();
+}
+
+void Recorder::save_state(std::ostream& os) const {
+  ckpt::Writer w(os);
+  w.header(ckpt::EngineKind::kRecorder, state_hash(), cycles_);
+  w.u32(static_cast<std::uint32_t>(traces_.size()));
+  for (const Trace& t : traces_) {
+    w.str(t.net);
+    w.u32(static_cast<std::uint32_t>(t.values.size()));
+    for (std::size_t i = 0; i < t.values.size(); ++i) {
+      w.f64(t.values[i]);
+      w.u8(t.valid[i] ? 1 : 0);
+    }
+  }
+  w.end();
+}
+
+void Recorder::restore_state(std::istream& is) {
+  ckpt::Reader r(is, "recorder");
+  const std::uint64_t cyc = r.header(ckpt::EngineKind::kRecorder, state_hash());
+  const std::size_t ntraces = r.count(1u << 20);
+  if (ntraces != traces_.size()) {
+    r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+           {"snapshot carries " + std::to_string(ntraces) +
+            " trace(s), this recorder watches " +
+            std::to_string(traces_.size())});
+  }
+  std::vector<Trace> staged;
+  staged.reserve(ntraces);
+  for (const Trace& t : traces_) {
+    const std::string name = r.str();
+    if (name != t.net) {
+      r.fail("CKPT-004", "truncated or corrupt snapshot stream",
+             {"trace record names '" + name + "' where '" + t.net +
+              "' was expected"});
+    }
+    Trace nt{t.net, {}, {}};
+    const std::size_t n = r.count(1u << 26);
+    nt.values.reserve(n);
+    nt.valid.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nt.values.push_back(r.f64());
+      nt.valid.push_back(r.u8() != 0);
+    }
+    staged.push_back(std::move(nt));
+  }
+  r.end();
+  traces_ = std::move(staged);
+  cycles_ = cyc;
 }
 
 }  // namespace asicpp::sim

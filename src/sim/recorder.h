@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +44,18 @@ class Recorder {
   const Trace& trace(const std::string& net_name) const;
   std::uint64_t cycles_recorded() const { return cycles_; }
   void clear();
+
+  // --- checkpoint/restore (see ckpt/snapshot.h) ---
+
+  /// Content hash over the watched-net list (order-sensitive).
+  std::uint64_t state_hash() const;
+  /// Serialize the recording position: every watched net's sample history
+  /// and the recorded-cycle count.
+  void save_state(std::ostream& os) const;
+  /// Restore a save_state() snapshot. Throws ckpt::SnapshotError with a
+  /// CKPT-001..004 diagnostic on mismatch or corruption; the traces are
+  /// replaced only after the whole stream parsed.
+  void restore_state(std::istream& is);
 
  private:
   sched::CycleScheduler* sched_;

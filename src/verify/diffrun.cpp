@@ -84,6 +84,83 @@ EngineTrace run_compiled(const Spec& spec, const opt::PassOptions& passes) {
   return t;
 }
 
+// --- checkpoint-replay variants (the VERIFY-006 axis) ----------------------
+//
+// Each runs the first k cycles on a fresh engine, snapshots it through the
+// ckpt stream, restores the snapshot into a *second* fresh engine, and runs
+// the remaining cycles there. The stitched trace is returned for a
+// bit-for-bit diff against the straight-through run.
+
+EngineTrace run_interpreted_ckpt(const Spec& spec, Engine which,
+                                 const opt::PassOptions& passes,
+                                 std::uint64_t k) {
+  EngineTrace t;
+  t.engine = which;
+  const auto mode = which == Engine::kLevelized ? ScheduleMode::kLevelized
+                                                : ScheduleMode::kIterative;
+  const auto probes = spec.probes();
+  const auto capture = [&](System& sys) {
+    std::vector<double> row;
+    row.reserve(probes.size());
+    for (const std::string& n : probes)
+      row.push_back(sys.scheduler().net(n).last().value());
+    t.values.push_back(std::move(row));
+  };
+  System a(spec);
+  a.scheduler().set_schedule_mode(mode);
+  a.scheduler().set_pass_options(passes);
+  for (std::uint64_t c = 0; c < k; ++c) {
+    a.scheduler().cycle();
+    capture(a);
+  }
+  std::stringstream snap;
+  a.scheduler().save_state(snap);
+  System b(spec);
+  b.scheduler().set_schedule_mode(mode);
+  b.scheduler().set_pass_options(passes);
+  b.scheduler().restore_state(snap);
+  for (std::uint64_t c = k; c < spec.cycles; ++c) {
+    b.scheduler().cycle();
+    capture(b);
+  }
+  t.ran = true;
+  return t;
+}
+
+EngineTrace run_compiled_ckpt(const Spec& spec, const opt::PassOptions& passes,
+                              std::uint64_t k) {
+  EngineTrace t;
+  t.engine = Engine::kCompiled;
+  if (spec.has(CompKind::kAdapter)) {
+    t.skip_reason = "dataflow adapters have no compiled-simulation image";
+    return t;
+  }
+  const auto probes = spec.probes();
+  const auto capture = [&](sim::CompiledSystem& cs) {
+    std::vector<double> row;
+    row.reserve(probes.size());
+    for (const std::string& n : probes) row.push_back(cs.net_value(n));
+    t.values.push_back(std::move(row));
+  };
+  System sa(spec);
+  sim::CompiledSystem a = sim::CompiledSystem::compile(sa.scheduler(), passes);
+  for (std::uint64_t c = 0; c < k; ++c) {
+    a.cycle();
+    capture(a);
+  }
+  std::stringstream snap;
+  a.save_state(snap);
+  System sb(spec);
+  sim::CompiledSystem b = sim::CompiledSystem::compile(sb.scheduler(), passes);
+  b.restore_state(snap);
+  for (std::uint64_t c = k; c < spec.cycles; ++c) {
+    b.cycle();
+    capture(b);
+  }
+  t.ran = true;
+  return t;
+}
+
 EngineTrace run_cppgen(const Spec& spec, const DiffOptions& opts) {
   EngineTrace t;
   t.engine = Engine::kCppgen;
@@ -233,6 +310,8 @@ bool DiffResult::engine_failed() const {
     if (!t.fail_reason.empty()) return true;
   for (const EngineTrace& t : noopt_traces)
     if (!t.fail_reason.empty()) return true;
+  for (const EngineTrace& t : ckpt_traces)
+    if (!t.fail_reason.empty()) return true;
   return false;
 }
 
@@ -265,6 +344,17 @@ std::string DiffResult::summary() const {
       os << "FAILED (" << t.fail_reason << ")";
     os << "\n";
   }
+  for (const EngineTrace& t : ckpt_traces) {
+    os << engine_name(t.engine) << " (checkpoint at cycle " << ckpt_cycle
+       << "): ";
+    if (t.ran)
+      os << "ran, " << t.values.size() << " cycles";
+    else if (!t.skip_reason.empty())
+      os << "skipped (" << t.skip_reason << ")";
+    else
+      os << "FAILED (" << t.fail_reason << ")";
+    os << "\n";
+  }
   for (const Divergence& d : divergences)
     os << "divergence " << engine_pair(d.ref, d.other) << " at cycle "
        << d.cycle << " net '" << d.net << "': " << d.ref_value << " vs "
@@ -273,6 +363,11 @@ std::string DiffResult::summary() const {
     os << "pass divergence " << engine_pair(d.ref, d.other)
        << " (passes off) at cycle " << d.cycle << " net '" << d.net
        << "': " << d.ref_value << " vs " << d.other_value << "\n";
+  for (const Divergence& d : ckpt_divergences)
+    os << "checkpoint divergence " << engine_name(d.other)
+       << " (resumed from cycle " << ckpt_cycle << ") at cycle " << d.cycle
+       << " net '" << d.net << "': " << d.ref_value << " vs " << d.other_value
+       << "\n";
   if (ok()) os << "all engines agree\n";
   return os.str();
 }
@@ -328,6 +423,41 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
     replay(Engine::kCompiled, opt::PassOptions::raw());
   }
 
+  // The checkpoint axis (VERIFY-006): snapshot at cycle k, restore into a
+  // fresh engine, continue. Needs at least one cycle on each side of the
+  // snapshot, so specs shorter than two cycles skip the axis. Replays run
+  // only for the in-process engines actually selected above.
+  if (opts.ckpt_axis && spec.cycles >= 2) {
+    r.ckpt_cycle = opts.ckpt_cycle != 0 && opts.ckpt_cycle < spec.cycles
+                       ? opts.ckpt_cycle
+                       : 1 + (spec.seed * 2654435761u) % (spec.cycles - 1);
+    for (const Engine e : engines) {
+      if (e != Engine::kIterative && e != Engine::kLevelized &&
+          e != Engine::kCompiled)
+        continue;  // cppgen/gates have no in-process snapshot surface
+      EngineTrace t;
+      try {
+        t = (e == Engine::kCompiled)
+                ? run_compiled_ckpt(spec, opts.passes, r.ckpt_cycle)
+                : run_interpreted_ckpt(spec, e, opts.passes, r.ckpt_cycle);
+      } catch (const std::exception& ex) {
+        t = EngineTrace{};
+        t.engine = e;
+        t.fail_reason = ex.what();
+      }
+      // A mutant models an engine bug, which would survive a checkpoint:
+      // apply it to the resumed trace too, so the mutated engine's replay
+      // still matches its (mutated) straight-through trace.
+      if (t.ran && opts.mutant.enabled && opts.mutant.engine == e &&
+          opts.mutant.cycle < t.values.size()) {
+        for (std::size_t i = 0; i < r.probes.size(); ++i)
+          if (r.probes[i] == opts.mutant.net)
+            t.values[opts.mutant.cycle][i] += opts.mutant.delta;
+      }
+      r.ckpt_traces.push_back(std::move(t));
+    }
+  }
+
   // Compare every ran engine against the first one that ran.
   const EngineTrace* ref = nullptr;
   for (const EngineTrace& t : r.traces)
@@ -361,6 +491,28 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
     }
   }
 
+  // Checkpoint replays diff against the *same engine's* straight-through
+  // trace: a resumed run must be bit-identical to an uninterrupted one.
+  for (const EngineTrace& t : r.ckpt_traces) {
+    if (!t.ran) continue;
+    const EngineTrace* straight = nullptr;
+    for (const EngineTrace& s : r.traces)
+      if (s.engine == t.engine && s.ran) straight = &s;
+    if (straight == nullptr) continue;
+    bool found = false;
+    for (std::uint64_t c = 0; c < straight->values.size() && !found; ++c) {
+      for (std::size_t i = 0; i < r.probes.size() && !found; ++i) {
+        const double a = straight->values[c][i];
+        const double b = t.values[c][i];
+        if (a != b) {
+          r.ckpt_divergences.push_back(
+              Divergence{t.engine, t.engine, c, r.probes[i], a, b});
+          found = true;
+        }
+      }
+    }
+  }
+
   if (opts.diagnostics != nullptr) {
     diag::DiagEngine& de = *opts.diagnostics;
     for (const EngineTrace& t : r.traces) {
@@ -377,6 +529,14 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
         de.error("VERIFY-002",
                  std::string("engine '") + engine_name(t.engine) +
                      "' (passes off)",
+                 "engine failed on generated spec (seed " +
+                     std::to_string(spec.seed) + "): " + t.fail_reason);
+    }
+    for (const EngineTrace& t : r.ckpt_traces) {
+      if (!t.fail_reason.empty())
+        de.error("VERIFY-002",
+                 std::string("engine '") + engine_name(t.engine) +
+                     "' (checkpoint replay)",
                  "engine failed on generated spec (seed " +
                      std::to_string(spec.seed) + "): " + t.fail_reason);
     }
@@ -406,6 +566,22 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
                     engine_name(d.ref), d.ref_value, engine_name(d.other),
                     d.other_value);
       rec.note(buf);
+      rec.note("spec: seed " + std::to_string(spec.seed) + ", " +
+               std::to_string(spec.comps.size()) + " components, " +
+               std::to_string(spec.cycles) + " cycles");
+    }
+    for (const Divergence& d : r.ckpt_divergences) {
+      auto& rec = de.error(
+          "VERIFY-006", std::string("engine '") + engine_name(d.other) + "'",
+          "checkpoint replay diverged from straight-through run on net '" +
+              d.net + "'");
+      rec.cycle = d.cycle;
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "straight-through = %.17g, resumed = %.17g", d.ref_value,
+                    d.other_value);
+      rec.note(buf);
+      rec.note("snapshot taken at cycle " + std::to_string(r.ckpt_cycle));
       rec.note("spec: seed " + std::to_string(spec.seed) + ", " +
                std::to_string(spec.comps.size()) + " components, " +
                std::to_string(spec.cycles) + " cycles");

@@ -28,12 +28,23 @@
 // reference and a passes-off replay is a VERIFY-005 finding — an
 // optimization pass changed observable behaviour.
 //
+// A third axis exercises checkpoint/restore (`ckpt_axis`): every
+// in-process engine (iterative, levelized, compiled) is run to a cycle k,
+// snapshotted through its save_state() stream, the snapshot is restored
+// into a *freshly built* engine, and the run continues there. The
+// stitched prefix+resumed trace must be bit-identical to that engine's
+// straight-through trace; a mismatch is a VERIFY-006 finding — snapshot
+// state is incomplete or restore perturbed the simulation. The cppgen and
+// gates engines have no in-process snapshot surface and are covered
+// transitively (they are compiled from the same scheduler state).
+//
 // Stable code registry (documented in DESIGN.md section 7):
 //   VERIFY-001 cross-representation trace divergence
 //   VERIFY-002 engine failed to execute the spec
 //   VERIFY-003 engine skipped (spec outside the engine's domain)
 //   VERIFY-004 auto-shrink summary (see verify/shrink.h)
 //   VERIFY-005 optimizer pass pipeline changed observable behaviour
+//   VERIFY-006 checkpoint/restore replay diverged from straight-through run
 #pragma once
 
 #include <cstdint>
@@ -84,6 +95,14 @@ struct DiffOptions {
   /// raw compiled tape) and diff against the optimized reference;
   /// mismatches are VERIFY-005 findings.
   bool pass_axis = true;
+  /// Snapshot each in-process engine at cycle k, restore into a fresh
+  /// engine, and continue; mismatches against the straight-through trace
+  /// are VERIFY-006 findings.
+  bool ckpt_axis = true;
+  /// Checkpoint cycle k for the ckpt axis. 0 (the default) derives a
+  /// pseudo-random 1 <= k < cycles from the spec seed, so a fuzz campaign
+  /// sweeps the checkpoint position across the trace.
+  std::uint64_t ckpt_cycle = 0;
 };
 
 struct EngineTrace {
@@ -114,14 +133,24 @@ struct DiffResult {
   /// optimized reference (VERIFY-005).
   std::vector<EngineTrace> noopt_traces;
   std::vector<Divergence> pass_divergences;
+  /// Checkpoint-replay traces (ckpt_axis): prefix cycles run on a fresh
+  /// engine, a snapshot handed to a second fresh engine, the rest run
+  /// there. Divergences are against the same engine's straight-through
+  /// trace (VERIFY-006).
+  std::vector<EngineTrace> ckpt_traces;
+  std::vector<Divergence> ckpt_divergences;
+  /// Checkpoint cycle the ckpt axis actually used (0 when the axis was
+  /// off or the spec was too short to snapshot mid-run).
+  std::uint64_t ckpt_cycle = 0;
 
   int engines_ran() const;
   bool engine_failed() const;
   /// Clean: every selected engine either agreed cycle-for-cycle with the
-  /// reference or was legitimately skipped, and the passes-off replays
-  /// agreed too.
+  /// reference or was legitimately skipped, the passes-off replays agreed
+  /// too, and every checkpoint replay resumed bit-identically.
   bool ok() const {
-    return divergences.empty() && pass_divergences.empty() && !engine_failed();
+    return divergences.empty() && pass_divergences.empty() &&
+           ckpt_divergences.empty() && !engine_failed();
   }
   /// The earliest divergence (by cycle), or nullptr.
   const Divergence* first() const;

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "ckpt/snapshot.h"
 #include "fixpt/fixed.h"
 
 namespace asicpp::verify {
@@ -307,6 +308,10 @@ System::System(const Spec& spec) : spec_(spec) {
     throw std::invalid_argument("verify::System: invalid spec: " + err);
   clk_ = std::make_unique<sfg::Clk>();
   sched_ = std::make_unique<sched::CycleScheduler>(*clk_);
+  // Salt snapshots with the full spec text: the scheduler's own state hash
+  // covers names and formats, so two structurally different specs with
+  // identical naming would otherwise accept each other's snapshots.
+  sched_->set_state_salt(ckpt::hash_string(to_text(spec_)));
   for (const CompSpec& c : spec_.comps) build_comp(c);
   // Register in reverse spec order so the iterative scheduler has to pay
   // retry passes that the level walk avoids (deterministic stand-in for

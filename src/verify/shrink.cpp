@@ -1,5 +1,6 @@
 #include "verify/shrink.h"
 
+#include <chrono>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -33,10 +34,21 @@ struct Ctx {
   const DiffOptions* dopts = nullptr;
   int attempts = 0;
   int max_attempts = 0;
+  bool has_deadline = false;
+  bool expired = false;  ///< the wall-clock budget ran out mid-search
+  std::chrono::steady_clock::time_point deadline{};
   DiffResult last;
 
+  /// Wall-clock budget check; latches `expired` the first time it trips.
+  bool out_of_time() {
+    if (expired) return true;
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline)
+      expired = true;
+    return expired;
+  }
+
   bool still_fails(const Spec& cand) {
-    if (attempts >= max_attempts) return false;
+    if (attempts >= max_attempts || out_of_time()) return false;
     if (!validate(cand).empty()) return false;
     ++attempts;
     DiffOptions o = *dopts;
@@ -131,22 +143,30 @@ ShrinkResult shrink(const Spec& failing, const DiffOptions& dopts,
   Ctx ctx;
   ctx.dopts = &dopts;
   ctx.max_attempts = sopts.max_attempts;
+  if (sopts.wall_clock_s > 0.0) {
+    ctx.has_deadline = true;
+    ctx.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(sopts.wall_clock_s));
+  }
 
   ShrinkResult res;
   res.minimal = failing;
   if (!ctx.still_fails(failing)) {
-    // Not actually failing (or invalid): nothing to reduce. Report the
-    // clean differential result so callers can see why.
+    // Not actually failing (or invalid), or the budget expired before the
+    // failure could even be confirmed: nothing to reduce. Report the
+    // differential result so callers can see why.
     DiffOptions o = dopts;
     o.diagnostics = nullptr;
     res.final_diff = diff_run(failing, o);
     res.attempts = ctx.attempts;
+    res.wall_expired = ctx.expired;
     return res;
   }
 
   Spec cur = failing;
   bool progress = true;
-  while (progress && ctx.attempts < ctx.max_attempts) {
+  while (progress && ctx.attempts < ctx.max_attempts && !ctx.out_of_time()) {
     progress = false;
 
     // Cycles: cut to just past the first divergence; with engine
@@ -181,8 +201,8 @@ ShrinkResult shrink(const Spec& failing, const DiffOptions& dopts,
     // chunk runs serially — same candidates, same outcome.
     {
       std::size_t i = cur.comps.size();
-      while (i > 0 && cur.comps.size() > 1 &&
-             ctx.attempts < ctx.max_attempts) {
+      while (i > 0 && cur.comps.size() > 1 && ctx.attempts < ctx.max_attempts &&
+             !ctx.out_of_time()) {
         std::vector<std::pair<std::size_t, Spec>> chunk;
         const std::size_t budget = std::min(
             kShrinkFanout,
@@ -309,6 +329,7 @@ ShrinkResult shrink(const Spec& failing, const DiffOptions& dopts,
 
   res.minimal = cur;
   res.attempts = ctx.attempts;
+  res.wall_expired = ctx.expired;
   res.final_diff = std::move(ctx.last);
 
   if (dopts.diagnostics != nullptr) {
@@ -322,6 +343,14 @@ ShrinkResult shrink(const Spec& failing, const DiffOptions& dopts,
              " cycle(s); " + std::to_string(res.reductions) +
              " reductions in " + std::to_string(res.attempts) +
              " differential runs");
+    if (res.wall_expired) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "wall-clock budget (%g s) expired; emitting the "
+                    "best-so-far repro",
+                    sopts.wall_clock_s);
+      rec.note(buf);
+    }
   }
   return res;
 }

@@ -34,12 +34,20 @@ struct ShrinkOptions {
   /// chunks whose size never depends on the job count, so the minimal
   /// spec and the attempt tally are identical for any value.
   unsigned jobs = 1;
+  /// Wall-clock budget in seconds for the whole reduction (0 = none).
+  /// On expiry the search stops where it stands and the best-so-far spec
+  /// is returned — still failing, just not fully minimized — with
+  /// ShrinkResult::wall_expired set and a note on the VERIFY-004 record.
+  double wall_clock_s = 0.0;
 };
 
 struct ShrinkResult {
   Spec minimal;
   int attempts = 0;    ///< diff_run invocations spent
   int reductions = 0;  ///< accepted reduction steps
+  /// The wall-clock budget ran out before the search converged; `minimal`
+  /// is the best spec accepted so far.
+  bool wall_expired = false;
   /// Differential result of the minimized spec (still failing).
   DiffResult final_diff;
 };

@@ -109,6 +109,34 @@ TEST(Fault, RedundantLogicIsUndetectable) {
   EXPECT_TRUE(and_sa0_escaped);
 }
 
+TEST(Fault, EmptyVectorSetDetectsNothing) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.mark_output("y", nl.add_gate(GateType::kAnd, a, b));
+  const auto rep = fault_simulate(nl, {});
+  EXPECT_EQ(rep.total_faults, 2u);  // one gate, sa0 + sa1
+  EXPECT_EQ(rep.detected, 0u);
+  EXPECT_EQ(rep.undetected.size(), rep.total_faults);
+  EXPECT_DOUBLE_EQ(rep.coverage(), 0.0);
+}
+
+TEST(Fault, GateFreeNetlistHasNoFaultSites) {
+  // Inputs and constants are not fault sites; with no logic gates there is
+  // nothing to be stuck, and vacuous coverage is full by convention.
+  Netlist nl;
+  nl.mark_output("pass", nl.add_input("a"));
+  const auto rep = fault_simulate(nl, {Vector{{"a", true}}, Vector{{"a", false}}});
+  EXPECT_EQ(rep.total_faults, 0u);
+  EXPECT_EQ(rep.detected, 0u);
+  EXPECT_TRUE(rep.undetected.empty());
+  EXPECT_DOUBLE_EQ(rep.coverage(), 1.0);
+}
+
+TEST(Fault, DefaultReportCoverageIsVacuouslyFull) {
+  EXPECT_DOUBLE_EQ(FaultReport{}.coverage(), 1.0);
+}
+
 TEST(Fault, SequentialFaultNeedsPropagationCycles) {
   // counter bit0: stuck faults detected only once the state diverges.
   Netlist nl;

@@ -9,30 +9,57 @@
 //   asicpp-fuzz --seeds 50 --engines iterative,levelized,compiled
 //   asicpp-fuzz --seeds 10 --corpus-dir corpus --json fuzz.json
 //   asicpp-fuzz --seeds 200 --jobs 8             # 8 worker lanes
+//   asicpp-fuzz --seeds 500 --isolate --journal fuzz.journal
 //
-// --jobs N fans the seeds out across a work-stealing pool. Output is
-// byte-identical for any job count: every seed's stdout/stderr lines are
-// buffered per seed and flushed in seed order after all seeds complete
-// (the same buffering runs under --jobs 1), and corpus files are written
-// atomically (temp + rename) so a reader never sees a half-written repro.
+// --jobs N fans the seeds out across a work-stealing pool (or, under
+// --isolate, across N concurrent child processes). Output is byte-identical
+// for any job count: every seed's stdout/stderr lines are buffered per seed
+// and flushed in seed order after all seeds complete (the same buffering
+// runs under --jobs 1), and corpus files are written atomically (temp +
+// rename) so a reader never sees a half-written repro.
+//
+// --isolate forks each seed into its own subprocess with a wall-clock
+// timeout (--timeout). A seed that crashes the engines or hangs becomes a
+// structured failure — recorded with the seed, engine set, and the fatal
+// signal or timeout, and written to the corpus directory as a
+// seed<N>_crash.txt artifact — instead of killing the whole campaign.
+//
+// --journal FILE appends one self-contained record per completed seed
+// (single escaped line, flushed per record, torn trailing lines ignored on
+// read) so --resume can skip the seeds a killed campaign already finished
+// and still produce a byte-identical final report. The journal leads with
+// a fingerprint of the outcome-relevant configuration; resuming with a
+// different configuration is refused.
 //
 // Exit status: 0 all seeds clean, 1 divergence or engine failure, 2 usage.
 //
 // --mutant ENGINE:CYCLE:NET:DELTA is a test-only hook that perturbs one
 // engine's captured trace, faking a translation bug so the detection and
 // shrinking pipeline can be exercised end to end (see tests/test_verify.cpp
-// and the satellite CI job).
+// and the satellite CI job). --crash-at / --hang-at are the analogous
+// test-only hooks for the crash-isolation path.
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "ckpt/snapshot.h"
 #include "diag/diag.h"
 #include "par/pool.h"
 #include "verify/diffrun.h"
@@ -52,11 +79,20 @@ struct Args {
   std::string json_path;
   std::string cxx = "c++";
   int max_attempts = 400;
-  unsigned jobs = 1;  // worker lanes (0 = hardware)
+  unsigned jobs = 1;  // worker lanes / concurrent children
   bool verbose = false;
   TraceMutant mutant;
   opt::PassOptions passes{};  // optimizer pipeline for every engine
   bool pass_axis = true;      // replay with passes off as an extra axis
+  bool ckpt_axis = true;      // checkpoint/restore replay axis (VERIFY-006)
+  std::uint64_t ckpt_cycle = 0;  // 0 = derived from the seed
+  double shrink_budget_s = 0.0;  // wall-clock cap per failure's shrink
+  bool isolate = false;          // fork each seed into a subprocess
+  double timeout_s = 30.0;       // per-seed wall clock under --isolate
+  std::string journal_path;      // append-only campaign journal
+  bool resume = false;           // skip seeds already in the journal
+  long crash_at = -1;            // test-only: abort while running this seed
+  long hang_at = -1;             // test-only: hang while running this seed
 };
 
 int usage(const char* argv0) {
@@ -71,19 +107,61 @@ int usage(const char* argv0) {
       "  --json FILE       write a machine-readable result summary\n"
       "  --cxx CC          host compiler for the cppgen engine (default c++)\n"
       "  --max-attempts N  shrinker run budget per failure (default 400)\n"
-      "  --jobs N          worker lanes for the seed sweep (default 1;\n"
-      "                    0 = hardware); output is byte-identical for\n"
-      "                    any value\n"
+      "  --shrink-budget S wall-clock budget per failure's shrink, seconds\n"
+      "                    (default: unlimited); on expiry the best-so-far\n"
+      "                    repro is emitted\n"
+      "  --jobs N          worker lanes for the seed sweep (default 1);\n"
+      "                    output is byte-identical for any value\n"
+      "  --isolate         fork each seed into its own subprocess; a crash\n"
+      "                    or hang becomes a structured failure artifact\n"
+      "                    instead of killing the campaign\n"
+      "  --timeout S       per-seed wall-clock limit under --isolate,\n"
+      "                    seconds (default 30)\n"
+      "  --journal FILE    record each completed seed in FILE (append-only,\n"
+      "                    one atomic line per seed)\n"
+      "  --resume          skip seeds already recorded in --journal FILE;\n"
+      "                    the final report is byte-identical to an\n"
+      "                    uninterrupted run\n"
       "  --verbose         log every seed, not just failures\n"
       "  --no-opt          disable the optimizer pass pipeline (and the\n"
       "                    passes-on/off differential axis)\n"
+      "  --no-ckpt         disable the checkpoint/restore replay axis\n"
+      "  --ckpt-cycle N    snapshot cycle for the checkpoint axis\n"
+      "                    (default: derived from each seed)\n"
       "  --passes LIST     enable only the listed passes, comma-separated\n"
       "                    subset of: canonicalize, fold, identities, cse,\n"
       "                    dce (default: all)\n"
       "  --mutant E:C:N:D  test-only: perturb engine E's trace at cycle C,\n"
-      "                    net N, by delta D (e.g. levelized:7:w2:0.5)\n",
+      "                    net N, by delta D (e.g. levelized:7:w2:0.5)\n"
+      "  --crash-at N      test-only: abort() while running seed N\n"
+      "  --hang-at N       test-only: hang forever while running seed N\n",
       argv0);
   return 2;
+}
+
+/// Strict decimal integer parse: the whole token must be digits (with an
+/// optional leading minus) and the value must be >= `min`. Rejects the
+/// empty string, trailing garbage ("8x"), and out-of-range values, unlike
+/// the atoi/strtoul they replace.
+bool parse_long(const char* v, long min, long* out) {
+  if (v == nullptr || *v == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || n < min) return false;
+  *out = n;
+  return true;
+}
+
+/// Strict decimal floating-point parse with a lower bound.
+bool parse_seconds(const char* v, double min, double* out) {
+  if (v == nullptr || *v == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0' || !(d >= min)) return false;
+  *out = d;
+  return true;
 }
 
 bool parse_mutant(const std::string& arg, TraceMutant* m) {
@@ -93,7 +171,9 @@ bool parse_mutant(const std::string& arg, TraceMutant* m) {
       !std::getline(is, net, ':') || !std::getline(is, delta))
     return false;
   if (!parse_engine(engine, &m->engine)) return false;
-  m->cycle = std::strtoull(cycle.c_str(), nullptr, 10);
+  long c = 0;
+  if (!parse_long(cycle.c_str(), 0, &c)) return false;
+  m->cycle = static_cast<std::uint64_t>(c);
   m->net = net;
   m->delta = std::atof(delta.c_str());
   m->enabled = true;
@@ -106,14 +186,18 @@ bool parse_args(int argc, char** argv, Args* a) {
     const auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    const auto bad = [&](const char* what) {
+      std::fprintf(stderr, "bad %s: expected %s\n", opt.c_str(), what);
+      return false;
+    };
     if (opt == "--seeds") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      a->seeds = std::atoi(v);
+      long v = 0;
+      if (!parse_long(value(), 1, &v)) return bad("a positive integer");
+      a->seeds = static_cast<int>(v);
     } else if (opt == "--seed-base") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      a->seed_base = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      long v = 0;
+      if (!parse_long(value(), 0, &v)) return bad("a non-negative integer");
+      a->seed_base = static_cast<unsigned>(v);
     } else if (opt == "--engines") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -141,18 +225,38 @@ bool parse_args(int argc, char** argv, Args* a) {
       if (v == nullptr) return false;
       a->cxx = v;
     } else if (opt == "--max-attempts") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      a->max_attempts = std::atoi(v);
+      long v = 0;
+      if (!parse_long(value(), 1, &v)) return bad("a positive integer");
+      a->max_attempts = static_cast<int>(v);
+    } else if (opt == "--shrink-budget") {
+      if (!parse_seconds(value(), 0.0, &a->shrink_budget_s))
+        return bad("a non-negative duration in seconds");
     } else if (opt == "--jobs") {
+      long v = 0;
+      if (!parse_long(value(), 1, &v)) return bad("a positive integer");
+      a->jobs = static_cast<unsigned>(v);
+    } else if (opt == "--isolate") {
+      a->isolate = true;
+    } else if (opt == "--timeout") {
+      if (!parse_seconds(value(), 0.0, &a->timeout_s) || a->timeout_s <= 0.0)
+        return bad("a positive duration in seconds");
+    } else if (opt == "--journal") {
       const char* v = value();
       if (v == nullptr) return false;
-      a->jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      a->journal_path = v;
+    } else if (opt == "--resume") {
+      a->resume = true;
     } else if (opt == "--verbose") {
       a->verbose = true;
     } else if (opt == "--no-opt") {
       a->passes = asicpp::opt::PassOptions::raw();
       a->pass_axis = false;
+    } else if (opt == "--no-ckpt") {
+      a->ckpt_axis = false;
+    } else if (opt == "--ckpt-cycle") {
+      long v = 0;
+      if (!parse_long(value(), 1, &v)) return bad("a positive cycle number");
+      a->ckpt_cycle = static_cast<std::uint64_t>(v);
     } else if (opt == "--passes") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -176,12 +280,22 @@ bool parse_args(int argc, char** argv, Args* a) {
         std::fprintf(stderr, "bad --mutant, expected ENGINE:CYCLE:NET:DELTA\n");
         return false;
       }
+    } else if (opt == "--crash-at") {
+      if (!parse_long(value(), 0, &a->crash_at))
+        return bad("a non-negative seed");
+    } else if (opt == "--hang-at") {
+      if (!parse_long(value(), 0, &a->hang_at))
+        return bad("a non-negative seed");
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", opt.c_str());
       return false;
     }
   }
-  return a->seeds > 0;
+  if (a->resume && a->journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal FILE\n");
+    return false;
+  }
+  return true;
 }
 
 std::string json_escape(const std::string& s) {
@@ -201,7 +315,7 @@ std::string json_escape(const std::string& s) {
 
 struct Failure {
   unsigned seed = 0;
-  std::string code;       // leading VERIFY code
+  std::string code;       // leading VERIFY code (or CRASH / TIMEOUT)
   std::string detail;     // first divergence / failure description
   std::size_t shrunk_comps = 0;
   std::uint64_t shrunk_cycles = 0;
@@ -256,8 +370,154 @@ struct SeedOutcome {
   Failure failure;
 };
 
+std::string engines_csv(const Args& args) {
+  std::string s;
+  for (const Engine e : args.engines.empty() ? all_engines() : args.engines)
+    s += (s.empty() ? "" : ",") + std::string(engine_name(e));
+  return s;
+}
+
+// --- journal ---------------------------------------------------------------
+//
+// One line per completed seed, tab-separated with \\ \n \t escaped, so a
+// record is exactly one write()+flush and a campaign killed mid-write
+// leaves at worst one torn trailing line, which the reader discards. The
+// header line fingerprints every option that shapes per-seed outcomes;
+// resuming under a different configuration is refused rather than silently
+// mixing incompatible records.
+
+std::string esc_field(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else if (c == '\t') out += "\\t";
+    else out += c;
+  }
+  return out;
+}
+
+bool unesc_field(const std::string& s, std::string* out) {
+  out->clear();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      *out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    if (s[i] == '\\') *out += '\\';
+    else if (s[i] == 'n') *out += '\n';
+    else if (s[i] == 't') *out += '\t';
+    else return false;
+  }
+  return true;
+}
+
+std::string journal_header(const Args& args) {
+  // Only options that change what a seed *records* belong in the
+  // fingerprint; --jobs, --isolate, --timeout, and the crash hooks alter
+  // how seeds execute but not the outcome of the ones that completed.
+  std::ostringstream cfg;
+  cfg << args.seeds << '|' << args.seed_base << '|' << engines_csv(args) << '|'
+      << args.passes.canonicalize << args.passes.fold << args.passes.identities
+      << args.passes.cse << args.passes.dce << '|' << args.pass_axis << '|'
+      << args.ckpt_axis << '|' << args.ckpt_cycle << '|' << args.mutant.enabled
+      << ':' << engine_name(args.mutant.engine) << ':' << args.mutant.cycle
+      << ':' << args.mutant.net << ':' << args.mutant.delta << '|'
+      << args.max_attempts << '|' << args.shrink_budget_s << '|'
+      << args.corpus_dir << '|' << args.verbose << '|' << args.cxx;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "asicpp-fuzz-journal\tv1\t%016llx",
+                static_cast<unsigned long long>(ckpt::hash_string(cfg.str())));
+  return buf;
+}
+
+std::string encode_outcome(unsigned seed, const SeedOutcome& o) {
+  std::ostringstream os;
+  os << "seed\t" << seed << '\t' << (o.clean ? 1 : 0) << '\t'
+     << esc_field(o.failure.code) << '\t' << o.failure.shrunk_comps << '\t'
+     << o.failure.shrunk_cycles << '\t' << esc_field(o.failure.repro_path)
+     << '\t' << esc_field(o.failure.detail) << '\t' << esc_field(o.out) << '\t'
+     << esc_field(o.err);
+  return os.str();
+}
+
+bool decode_outcome(const std::string& line, unsigned* seed, SeedOutcome* o) {
+  std::vector<std::string> f;
+  std::string cur;
+  for (const char c : line) {
+    if (c == '\t') {
+      f.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  f.push_back(cur);
+  if (f.size() != 10 || f[0] != "seed") return false;
+  long sv = 0, cv = 0, comps = 0, cycles = 0;
+  if (!parse_long(f[1].c_str(), 0, &sv) || !parse_long(f[2].c_str(), 0, &cv) ||
+      cv > 1 || !parse_long(f[4].c_str(), 0, &comps) ||
+      !parse_long(f[5].c_str(), 0, &cycles))
+    return false;
+  *seed = static_cast<unsigned>(sv);
+  *o = SeedOutcome{};
+  o->clean = cv == 1;
+  o->failure.seed = *seed;
+  o->failure.shrunk_comps = static_cast<std::size_t>(comps);
+  o->failure.shrunk_cycles = static_cast<std::uint64_t>(cycles);
+  return unesc_field(f[3], &o->failure.code) &&
+         unesc_field(f[6], &o->failure.repro_path) &&
+         unesc_field(f[7], &o->failure.detail) &&
+         unesc_field(f[8], &o->out) && unesc_field(f[9], &o->err);
+}
+
+/// Load a journal for --resume. Returns false (configuration mismatch) only
+/// when the file exists with a valid-looking but different header. A torn
+/// trailing line (no '\n', or one that no longer decodes) and everything
+/// after it are discarded, matching the append-one-line-at-a-time writer.
+bool load_journal(const std::string& path, const std::string& header,
+                  std::map<unsigned, SeedOutcome>* done, bool* existed) {
+  std::ifstream is(path);
+  *existed = is.good();
+  if (!*existed) return true;
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string text = ss.str();
+  if (text.empty()) {
+    *existed = false;  // nothing recorded: treat as a fresh campaign
+    return true;
+  }
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  // `cur` now holds any unterminated tail — a torn write, dropped.
+  if (lines.empty() || lines[0] != header) return false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    unsigned seed = 0;
+    SeedOutcome o;
+    if (!decode_outcome(lines[i], &seed, &o)) break;  // torn or corrupt tail
+    (*done)[seed] = std::move(o);
+  }
+  return true;
+}
+
+// --- per-seed work ---------------------------------------------------------
+
 SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
                      const GenConfig& cfg, unsigned seed) {
+  if (args.crash_at >= 0 && seed == static_cast<unsigned>(args.crash_at))
+    std::abort();
+  if (args.hang_at >= 0 && seed == static_cast<unsigned>(args.hang_at))
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+
   SeedOutcome o;
   char buf[256];
   const Spec spec = generate(cfg, seed);
@@ -297,6 +557,17 @@ SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
                   static_cast<unsigned long long>(d.cycle), d.net.c_str(),
                   d.ref_value, d.other_value);
     f.detail = buf;
+  } else if (!r.ckpt_divergences.empty()) {
+    const Divergence& d = r.ckpt_divergences.front();
+    f.code = "VERIFY-006";
+    std::snprintf(buf, sizeof buf,
+                  "checkpoint replay (%s, snapshot at cycle %llu) diverges "
+                  "at cycle %llu net %s (%.17g vs %.17g)",
+                  engine_name(d.other),
+                  static_cast<unsigned long long>(r.ckpt_cycle),
+                  static_cast<unsigned long long>(d.cycle), d.net.c_str(),
+                  d.ref_value, d.other_value);
+    f.detail = buf;
   } else {
     f.code = "VERIFY-002";
     for (const EngineTrace& t : r.traces)
@@ -312,6 +583,7 @@ SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
   ShrinkOptions sopts;
   sopts.max_attempts = args.max_attempts;
   sopts.jobs = args.jobs;  // falls back serially inside a worker lane
+  sopts.wall_clock_s = args.shrink_budget_s;
   const ShrinkResult sr = shrink(spec, per, sopts);
   f.shrunk_comps = sr.minimal.comps.size();
   f.shrunk_cycles = sr.minimal.cycles;
@@ -323,6 +595,13 @@ SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
                 static_cast<unsigned long long>(sr.minimal.cycles),
                 sr.attempts);
   o.err += buf;
+  if (sr.wall_expired) {
+    std::snprintf(buf, sizeof buf,
+                  "seed %u: shrink wall-clock budget (%g s) expired; "
+                  "emitting best-so-far repro\n",
+                  seed, args.shrink_budget_s);
+    o.err += buf;
+  }
 
   if (!args.corpus_dir.empty()) {
     const std::string stem = args.corpus_dir + "/seed" + std::to_string(seed);
@@ -344,6 +623,184 @@ SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
   return o;
 }
 
+// --- crash isolation -------------------------------------------------------
+
+/// A crash/hang outcome synthesized by the parent when an isolated child
+/// never delivered its record. `cause` is the one-line post mortem.
+SeedOutcome crashed_outcome(const Args& args, const GenConfig& cfg,
+                            unsigned seed, const std::string& code,
+                            const std::string& cause) {
+  SeedOutcome o;
+  o.failure.seed = seed;
+  o.failure.code = code;
+  o.failure.detail = cause;
+  o.err = "seed " + std::to_string(seed) + ": " + code + " (" + cause + ")\n";
+  if (!args.corpus_dir.empty()) {
+    std::ostringstream art;
+    art << "asicpp-fuzz crash artifact\n"
+        << "seed: " << seed << "\n"
+        << "engines: " << engines_csv(args) << "\n"
+        << "cause: " << cause << "\n"
+        << "spec:\n"
+        << to_text(generate(cfg, seed));
+    const std::string path =
+        args.corpus_dir + "/seed" + std::to_string(seed) + "_crash.txt";
+    if (write_file_atomic(path, art.str()))
+      o.err += "seed " + std::to_string(seed) + ": crash artifact written to " +
+               path + "\n";
+  }
+  return o;
+}
+
+struct ChildProc {
+  pid_t pid = -1;
+  int fd = -1;          ///< read end of the outcome pipe (non-blocking)
+  std::size_t index = 0;  ///< outcome slot / seed offset
+  std::string buf;      ///< accumulated pipe payload
+  std::chrono::steady_clock::time_point deadline;
+};
+
+/// Drain whatever the child has written so far; returns false once EOF is
+/// reached. Non-blocking, so a child that fills the pipe never deadlocks
+/// against a parent waiting for its exit.
+void drain_pipe(ChildProc* c) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(c->fd, buf, sizeof buf);
+    if (n > 0)
+      c->buf.append(buf, static_cast<std::size_t>(n));
+    else
+      return;  // EOF, EAGAIN, or error: nothing more right now
+  }
+}
+
+/// Fork-per-seed campaign driver: up to args.jobs children in flight, each
+/// with a wall-clock deadline. A child that exits cleanly hands its
+/// SeedOutcome back over a pipe; a crash or timeout is synthesized into a
+/// structured failure by the parent, and the campaign keeps going.
+void run_isolated(const Args& args, const DiffOptions& dopts,
+                  const GenConfig& cfg, const std::vector<std::size_t>& todo,
+                  std::vector<SeedOutcome>* outcomes,
+                  const std::function<void(unsigned, const SeedOutcome&)>&
+                      on_done) {
+  std::size_t next = 0;
+  std::vector<ChildProc> active;
+  const auto timeout = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(args.timeout_s));
+
+  const auto finalize = [&](ChildProc& c, int status, bool timed_out) {
+    drain_pipe(&c);
+    close(c.fd);
+    const unsigned seed = args.seed_base + static_cast<unsigned>(c.index);
+    SeedOutcome o;
+    if (timed_out) {
+      char cause[96];
+      std::snprintf(cause, sizeof cause,
+                    "seed exceeded the %g s wall-clock timeout",
+                    args.timeout_s);
+      o = crashed_outcome(args, cfg, seed, "TIMEOUT", cause);
+    } else if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      char cause[96];
+      std::snprintf(cause, sizeof cause, "child killed by signal %d (%s)",
+                    sig, strsignal(sig));
+      o = crashed_outcome(args, cfg, seed, "CRASH", cause);
+    } else {
+      unsigned got = 0;
+      std::string line = c.buf;
+      if (!line.empty() && line.back() == '\n') line.pop_back();
+      if (WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+          decode_outcome(line, &got, &o) && got == seed) {
+        // Clean hand-off; o is the child's real outcome.
+      } else {
+        char cause[96];
+        std::snprintf(cause, sizeof cause,
+                      "child exited with status %d without a valid record",
+                      WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+        o = crashed_outcome(args, cfg, seed, "CRASH", cause);
+      }
+    }
+    (*outcomes)[c.index] = o;
+    on_done(seed, o);
+  };
+
+  while (next < todo.size() || !active.empty()) {
+    while (active.size() < args.jobs && next < todo.size()) {
+      const std::size_t index = todo[next++];
+      int fds[2];
+      if (pipe(fds) != 0) {
+        const unsigned seed = args.seed_base + static_cast<unsigned>(index);
+        const SeedOutcome o =
+            crashed_outcome(args, cfg, seed, "CRASH", "pipe() failed");
+        (*outcomes)[index] = o;
+        on_done(seed, o);
+        continue;
+      }
+      const pid_t pid = fork();
+      if (pid < 0) {
+        close(fds[0]);
+        close(fds[1]);
+        const unsigned seed = args.seed_base + static_cast<unsigned>(index);
+        const SeedOutcome o =
+            crashed_outcome(args, cfg, seed, "CRASH", "fork() failed");
+        (*outcomes)[index] = o;
+        on_done(seed, o);
+        continue;
+      }
+      if (pid == 0) {
+        // Child: run the seed, stream the encoded outcome, exit. Raw
+        // _exit keeps atexit handlers (and the parent's stdio buffers,
+        // inherited by fork) from running twice.
+        close(fds[0]);
+        const unsigned seed = args.seed_base + static_cast<unsigned>(index);
+        const std::string rec = encode_outcome(seed, run_seed(args, dopts, cfg, seed)) + "\n";
+        std::size_t off = 0;
+        while (off < rec.size()) {
+          const ssize_t n = write(fds[1], rec.data() + off, rec.size() - off);
+          if (n <= 0) break;
+          off += static_cast<std::size_t>(n);
+        }
+        close(fds[1]);
+        _exit(0);
+      }
+      close(fds[1]);
+      fcntl(fds[0], F_SETFL, O_NONBLOCK);
+      ChildProc c;
+      c.pid = pid;
+      c.fd = fds[0];
+      c.index = index;
+      c.deadline = std::chrono::steady_clock::now() + timeout;
+      active.push_back(std::move(c));
+    }
+
+    bool reaped = false;
+    for (std::size_t i = 0; i < active.size();) {
+      ChildProc& c = active[i];
+      drain_pipe(&c);
+      int status = 0;
+      const pid_t r = waitpid(c.pid, &status, WNOHANG);
+      if (r == c.pid) {
+        finalize(c, status, /*timed_out=*/false);
+        active.erase(active.begin() + static_cast<long>(i));
+        reaped = true;
+        continue;
+      }
+      if (std::chrono::steady_clock::now() >= c.deadline) {
+        kill(c.pid, SIGKILL);
+        waitpid(c.pid, &status, 0);
+        finalize(c, status, /*timed_out=*/true);
+        active.erase(active.begin() + static_cast<long>(i));
+        reaped = true;
+        continue;
+      }
+      ++i;
+    }
+    if (!reaped && !active.empty())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,19 +815,79 @@ int main(int argc, char** argv) {
   dopts.mutant = args.mutant;
   dopts.passes = args.passes;
   dopts.pass_axis = args.pass_axis;
+  dopts.ckpt_axis = args.ckpt_axis;
+  dopts.ckpt_cycle = args.ckpt_cycle;
 
   const GenConfig cfg;
+  const std::string header = journal_header(args);
 
-  // Fan the seeds out; the same buffered path runs under --jobs 1, so the
-  // flushed output is byte-identical by construction for any job count.
+  // Resume: pre-fill outcome slots from the journal, run only the rest.
+  std::map<unsigned, SeedOutcome> done;
+  bool journal_existed = false;
+  if (args.resume &&
+      !load_journal(args.journal_path, header, &done, &journal_existed)) {
+    std::fprintf(stderr,
+                 "asicpp-fuzz: journal %s was written by a different "
+                 "configuration; refusing to resume\n",
+                 args.journal_path.c_str());
+    return 2;
+  }
+
+  FILE* journal = nullptr;
+  std::mutex journal_mu;
+  if (!args.journal_path.empty()) {
+    const bool fresh = !(args.resume && journal_existed);
+    journal = std::fopen(args.journal_path.c_str(), fresh ? "w" : "a");
+    if (journal == nullptr) {
+      std::fprintf(stderr, "asicpp-fuzz: cannot open journal %s\n",
+                   args.journal_path.c_str());
+      return 2;
+    }
+    if (fresh) {
+      std::fprintf(journal, "%s\n", header.c_str());
+      std::fflush(journal);
+    }
+  }
+  // One line per record, flushed immediately: a kill between records loses
+  // nothing, a kill mid-record leaves a torn line the resume path discards.
+  const auto record = [&](unsigned seed, const SeedOutcome& o) {
+    if (journal == nullptr) return;
+    const std::lock_guard<std::mutex> lock(journal_mu);
+    std::fprintf(journal, "%s\n", encode_outcome(seed, o).c_str());
+    std::fflush(journal);
+  };
+
   std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(args.seeds));
-  asicpp::par::Pool::shared().parallel_for(
-      outcomes.size(),
-      [&](std::size_t k) {
-        outcomes[k] = run_seed(args, dopts, cfg,
-                               args.seed_base + static_cast<unsigned>(k));
-      },
-      args.jobs == 0 ? asicpp::par::Pool::hardware_lanes() : args.jobs);
+  std::vector<std::size_t> todo;
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const unsigned seed = args.seed_base + static_cast<unsigned>(k);
+    const auto it = done.find(seed);
+    if (it != done.end())
+      outcomes[k] = it->second;
+    else
+      todo.push_back(k);
+  }
+  if (args.resume && !done.empty())
+    std::fprintf(stderr,
+                 "asicpp-fuzz: resuming, %zu seed(s) restored from %s\n",
+                 done.size(), args.journal_path.c_str());
+
+  if (args.isolate) {
+    run_isolated(args, dopts, cfg, todo, &outcomes, record);
+  } else {
+    // Fan the seeds out; the same buffered path runs under --jobs 1, so
+    // the flushed output is byte-identical by construction for any count.
+    asicpp::par::Pool::shared().parallel_for(
+        todo.size(),
+        [&](std::size_t i) {
+          const std::size_t k = todo[i];
+          const unsigned seed = args.seed_base + static_cast<unsigned>(k);
+          outcomes[k] = run_seed(args, dopts, cfg, seed);
+          record(seed, outcomes[k]);
+        },
+        args.jobs);
+  }
+  if (journal != nullptr) std::fclose(journal);
 
   int clean = 0;
   std::vector<Failure> failures;

@@ -13,6 +13,7 @@
 
 #include "common.h"
 #include "dect/vliw.h"
+#include "jit/jit.h"
 #include "netlist/netsim.h"
 #include "opt/options.h"
 #include "sim/compiled.h"
@@ -214,6 +215,24 @@ void BM_Dect_CompiledCode(benchmark::State& state) {
   state.counters["proc_bytes"] = static_cast<double>(cs.footprint_bytes());
 }
 BENCHMARK(BM_Dect_CompiledCode);
+
+// The in-process JIT on the full transceiver. The VLIW RAMs and ROM stay
+// as native closures on the host side of the JIT ABI (the generated code
+// calls back to fire them), so this measures the mixed case: compiled
+// datapaths plus host-resident untimed blocks.
+void BM_Dect_JitCompiled(benchmark::State& state) {
+  DectTransceiver t;
+  t.drive_sample(0.5);
+  jit::JitSystem js = jit::JitSystem::compile(t.scheduler());
+  for (auto _ : state) js.cycle();
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["proc_bytes"] = static_cast<double>(js.footprint_bytes());
+  state.counters["jit_native"] = js.native() ? 1.0 : 0.0;
+  state.counters["jit_from_cache"] = js.from_cache() ? 1.0 : 0.0;
+  state.counters["jit_compile_s"] = js.compile_seconds();
+}
+BENCHMARK(BM_Dect_JitCompiled);
 
 void BM_Dect_CompiledStructural(benchmark::State& state) {
   // Fully timed variant (cycle-true ROM + RAM register files): no native

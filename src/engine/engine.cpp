@@ -1,0 +1,80 @@
+#include "engine/engine.h"
+
+#include <stdexcept>
+
+namespace asicpp::engine {
+
+Trace Engine::trace_ckpt(const verify::Spec& spec, const TraceOptions& opts,
+                         std::uint64_t k) const {
+  (void)spec;
+  (void)opts;
+  (void)k;
+  Trace t;
+  t.engine = name();
+  t.skip_reason = "engine '" + name() + "' has no in-process snapshot surface";
+  return t;
+}
+
+opt::PassOptions Engine::noopt_passes() const { return opt::PassOptions::none(); }
+
+std::unique_ptr<Runner> Engine::bind(sched::CycleScheduler& sched,
+                                     const opt::PassOptions& passes) const {
+  (void)sched;
+  (void)passes;
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  static Registry* reg = [] {
+    auto* r = new Registry;
+    register_builtin_engines(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void Registry::add(std::unique_ptr<Engine> e) {
+  for (auto& existing : engines_) {
+    if (existing->name() == e->name()) {
+      existing = std::move(e);
+      return;
+    }
+  }
+  engines_.push_back(std::move(e));
+}
+
+const Engine* Registry::find(const std::string& name) const {
+  for (const auto& e : engines_)
+    if (e->name() == name) return e.get();
+  return nullptr;
+}
+
+const Engine& Registry::at(const std::string& name) const {
+  const Engine* e = find(name);
+  if (e == nullptr)
+    throw std::invalid_argument("unknown engine '" + name +
+                                "' (registered: " + names_csv() + ")");
+  return *e;
+}
+
+std::vector<const Engine*> Registry::all() const {
+  std::vector<const Engine*> v;
+  v.reserve(engines_.size());
+  for (const auto& e : engines_) v.push_back(e.get());
+  return v;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> v;
+  v.reserve(engines_.size());
+  for (const auto& e : engines_) v.push_back(e->name());
+  return v;
+}
+
+std::string Registry::names_csv() const {
+  std::string s;
+  for (const auto& e : engines_) s += (s.empty() ? "" : ", ") + e->name();
+  return s;
+}
+
+}  // namespace asicpp::engine

@@ -1,0 +1,137 @@
+// Unified execution-engine registry.
+//
+// Every way the environment can execute one design description — the
+// interpreted cycle scheduler (iterative or levelized), the compiled-tape
+// simulator, the in-process JIT, the regenerated standalone C++ simulator,
+// synthesized gates — is an `Engine`: a named, capability-tagged object
+// that can replay a verify::Spec into a cycle-by-cycle trace. The
+// `Registry` resolves engines by name, so every surface that selects
+// engines (diff_run, asicpp-fuzz --engines, bench variant selection) shares
+// one name set and one error message for unknown names, and a new engine
+// becomes available everywhere with a single registration call.
+//
+// Capability flags replace the per-engine switch statements the
+// differential driver used to carry:
+//
+//   checkpointable — has an in-process save_state/restore_state surface,
+//                    so the VERIFY-006 checkpoint axis applies;
+//   threadable     — honors RunOptions::nthreads;
+//   pass_aware     — consumes opt::PassOptions (TraceOptions::passes);
+//   pass_axis      — contributes a passes-off replay to the VERIFY-005
+//                    axis (noopt_passes() names the pipeline to use);
+//   in_process     — can be bound to a live scheduler as a Runner for
+//                    benchmarking (bind()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/options.h"
+#include "verify/gen.h"
+
+namespace asicpp::engine {
+
+struct Capabilities {
+  bool checkpointable = false;
+  bool threadable = false;
+  bool pass_aware = false;
+  bool pass_axis = false;
+  bool in_process = false;
+};
+
+/// Per-trace knobs shared by every engine; engines ignore what they cannot
+/// consume (pass_aware / external-toolchain engines).
+struct TraceOptions {
+  /// Optimizer pipeline applied to the lowered graphs (pass-aware engines).
+  opt::PassOptions passes{};
+  /// Scratch directory for engines that shell out (cppgen). Empty = $TMPDIR
+  /// or /tmp.
+  std::string workdir;
+  /// Host compiler for engines that compile generated code (cppgen, jit).
+  std::string cxx = "c++";
+  /// Artifact-cache directory override for the jit engine. Empty = the
+  /// $ASICPP_JIT_CACHE / $XDG_CACHE_HOME resolution chain (see jit/jit.h).
+  std::string jit_cache;
+};
+
+/// One engine's replay of a spec. `values[cycle][probe]` follows
+/// Spec::probes() order.
+struct Trace {
+  std::string engine;
+  bool ran = false;
+  std::string skip_reason;  ///< non-empty: spec outside the engine's domain
+  std::string fail_reason;  ///< non-empty: the engine blew up mid-run
+  std::vector<std::vector<double>> values;
+};
+
+/// A live engine instance bound to one scheduler, for benchmarking: the
+/// registry's normalized engine names double as bench variant names.
+class Runner {
+ public:
+  virtual ~Runner() = default;
+  virtual void cycle() = 0;
+  virtual double net_value(const std::string& name) const = 0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const Capabilities& caps() const = 0;
+
+  /// Replay `spec` and capture all probe nets per cycle. Domain limits are
+  /// reported via Trace::skip_reason, crashes via fail_reason (callers may
+  /// also catch exceptions escaping misbehaving engines).
+  virtual Trace trace(const verify::Spec& spec,
+                      const TraceOptions& opts) const = 0;
+
+  /// Checkpoint-replay variant (VERIFY-006): run the first k cycles on a
+  /// fresh instance, snapshot, restore into a second fresh instance, run
+  /// the rest there, return the stitched trace. Only meaningful when
+  /// caps().checkpointable.
+  virtual Trace trace_ckpt(const verify::Spec& spec, const TraceOptions& opts,
+                           std::uint64_t k) const;
+
+  /// Pass pipeline for this engine's passes-off replay on the VERIFY-005
+  /// axis (only consulted when caps().pass_axis).
+  virtual opt::PassOptions noopt_passes() const;
+
+  /// Bind to a live scheduler for benchmarking (in_process engines only;
+  /// others return nullptr).
+  virtual std::unique_ptr<Runner> bind(sched::CycleScheduler& sched,
+                                       const opt::PassOptions& passes) const;
+};
+
+/// Name-indexed engine collection. `global()` returns the process-wide
+/// registry, pre-populated with the built-in engines in their canonical
+/// order: iterative, levelized, compiled, cppgen, gates, jit.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Register an engine; a later registration of an existing name replaces
+  /// the earlier one (latest wins).
+  void add(std::unique_ptr<Engine> e);
+
+  /// nullptr when unknown.
+  const Engine* find(const std::string& name) const;
+  /// Throws std::invalid_argument listing the registered names.
+  const Engine& at(const std::string& name) const;
+
+  std::vector<const Engine*> all() const;
+  std::vector<std::string> names() const;
+  /// "iterative, levelized, compiled, cppgen, gates, jit" — the unknown-
+  /// name error text shared by every selection surface.
+  std::string names_csv() const;
+
+ private:
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+/// Defined in engines.cpp; invoked once by Registry::global().
+void register_builtin_engines(Registry& r);
+
+}  // namespace asicpp::engine

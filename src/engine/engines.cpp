@@ -1,0 +1,499 @@
+// Built-in engines. The trace runners formerly private to the
+// differential driver (verify/diffrun.cpp) live here behind the Engine
+// interface, so diff_run, the fuzzer's --engines selection and the bench
+// harness all resolve the same objects by the same names.
+#include "engine/engine.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "jit/jit.h"
+#include "netlist/equiv.h"
+#include "netlist/netsim.h"
+#include "sim/compiled.h"
+#include "synth/system.h"
+
+namespace asicpp::engine {
+
+namespace {
+
+using verify::CompKind;
+using verify::Spec;
+using verify::System;
+
+std::string scratch_dir(const TraceOptions& opts) {
+  if (!opts.workdir.empty()) return opts.workdir;
+  if (const char* t = std::getenv("TMPDIR")) return t;
+  return "/tmp";
+}
+
+/// Run `cmd` through the shell, capturing stdout+stderr.
+int run_command(const std::string& cmd, std::string* out) {
+  FILE* p = popen((cmd + " 2>&1").c_str(), "r");
+  if (p == nullptr) {
+    *out = "popen failed";
+    return -1;
+  }
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, p) != nullptr) *out += buf;
+  return pclose(p);
+}
+
+jit::JitOptions jit_options(const TraceOptions& opts) {
+  jit::JitOptions jo;
+  jo.cxx = opts.cxx;
+  jo.cache_dir = opts.jit_cache;
+  return jo;
+}
+
+// --- interpreted CycleScheduler (iterative / levelized) --------------------
+
+class InterpretedEngine : public Engine {
+ public:
+  InterpretedEngine(std::string name, ScheduleMode mode)
+      : name_(std::move(name)), mode_(mode) {
+    caps_.checkpointable = true;
+    caps_.threadable = true;
+    caps_.pass_aware = true;
+    // Only the iterative engine contributes a passes-off replay: with the
+    // pipeline disabled the scheduler falls back to the recursive graph
+    // walk, and one such replay covers both interpreted modes.
+    caps_.pass_axis = mode == ScheduleMode::kIterative;
+    caps_.in_process = true;
+  }
+
+  const std::string& name() const override { return name_; }
+  const Capabilities& caps() const override { return caps_; }
+
+  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
+    Trace t;
+    t.engine = name_;
+    System sys(spec);
+    sys.scheduler().set_schedule_mode(mode_);
+    sys.scheduler().set_pass_options(opts.passes);
+    const auto probes = spec.probes();
+    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+      sys.scheduler().cycle();
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes)
+        row.push_back(sys.scheduler().net(n).last().value());
+      t.values.push_back(std::move(row));
+    }
+    t.ran = true;
+    return t;
+  }
+
+  Trace trace_ckpt(const Spec& spec, const TraceOptions& opts,
+                   std::uint64_t k) const override {
+    Trace t;
+    t.engine = name_;
+    const auto probes = spec.probes();
+    const auto capture = [&](System& sys) {
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes)
+        row.push_back(sys.scheduler().net(n).last().value());
+      t.values.push_back(std::move(row));
+    };
+    System a(spec);
+    a.scheduler().set_schedule_mode(mode_);
+    a.scheduler().set_pass_options(opts.passes);
+    for (std::uint64_t c = 0; c < k; ++c) {
+      a.scheduler().cycle();
+      capture(a);
+    }
+    std::stringstream snap;
+    a.scheduler().save_state(snap);
+    System b(spec);
+    b.scheduler().set_schedule_mode(mode_);
+    b.scheduler().set_pass_options(opts.passes);
+    b.scheduler().restore_state(snap);
+    for (std::uint64_t c = k; c < spec.cycles; ++c) {
+      b.scheduler().cycle();
+      capture(b);
+    }
+    t.ran = true;
+    return t;
+  }
+
+  std::unique_ptr<Runner> bind(sched::CycleScheduler& sched,
+                               const opt::PassOptions& passes) const override {
+    class R : public Runner {
+     public:
+      R(sched::CycleScheduler& s, ScheduleMode m, const opt::PassOptions& p)
+          : s_(s) {
+        s_.set_schedule_mode(m);
+        s_.set_pass_options(p);
+      }
+      void cycle() override { s_.cycle(); }
+      double net_value(const std::string& n) const override {
+        return s_.net(n).last().value();
+      }
+
+     private:
+      sched::CycleScheduler& s_;
+    };
+    return std::make_unique<R>(sched, mode_, passes);
+  }
+
+ private:
+  std::string name_;
+  ScheduleMode mode_;
+  Capabilities caps_;
+};
+
+// --- compiled flat-tape simulator ------------------------------------------
+
+class CompiledEngine : public Engine {
+ public:
+  CompiledEngine() {
+    caps_.checkpointable = true;
+    caps_.threadable = true;
+    caps_.pass_aware = true;
+    caps_.pass_axis = true;  // passes-off replay uses the raw tape
+    caps_.in_process = true;
+  }
+
+  const std::string& name() const override { return name_; }
+  const Capabilities& caps() const override { return caps_; }
+
+  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
+    Trace t;
+    t.engine = name_;
+    if (spec.has(CompKind::kAdapter)) {
+      t.skip_reason = "dataflow adapters have no compiled-simulation image";
+      return t;
+    }
+    System sys(spec);
+    sim::CompiledSystem cs =
+        sim::CompiledSystem::compile(sys.scheduler(), opts.passes);
+    const auto probes = spec.probes();
+    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+      cs.cycle();
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes) row.push_back(cs.net_value(n));
+      t.values.push_back(std::move(row));
+    }
+    t.ran = true;
+    return t;
+  }
+
+  Trace trace_ckpt(const Spec& spec, const TraceOptions& opts,
+                   std::uint64_t k) const override {
+    Trace t;
+    t.engine = name_;
+    if (spec.has(CompKind::kAdapter)) {
+      t.skip_reason = "dataflow adapters have no compiled-simulation image";
+      return t;
+    }
+    const auto probes = spec.probes();
+    const auto capture = [&](sim::CompiledSystem& cs) {
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes) row.push_back(cs.net_value(n));
+      t.values.push_back(std::move(row));
+    };
+    System sa(spec);
+    sim::CompiledSystem a =
+        sim::CompiledSystem::compile(sa.scheduler(), opts.passes);
+    for (std::uint64_t c = 0; c < k; ++c) {
+      a.cycle();
+      capture(a);
+    }
+    std::stringstream snap;
+    a.save_state(snap);
+    System sb(spec);
+    sim::CompiledSystem b =
+        sim::CompiledSystem::compile(sb.scheduler(), opts.passes);
+    b.restore_state(snap);
+    for (std::uint64_t c = k; c < spec.cycles; ++c) {
+      b.cycle();
+      capture(b);
+    }
+    t.ran = true;
+    return t;
+  }
+
+  opt::PassOptions noopt_passes() const override {
+    return opt::PassOptions::raw();
+  }
+
+  std::unique_ptr<Runner> bind(sched::CycleScheduler& sched,
+                               const opt::PassOptions& passes) const override {
+    class R : public Runner {
+     public:
+      R(sched::CycleScheduler& s, const opt::PassOptions& p)
+          : cs_(sim::CompiledSystem::compile(s, p)) {}
+      void cycle() override { cs_.cycle(); }
+      double net_value(const std::string& n) const override {
+        return cs_.net_value(n);
+      }
+
+     private:
+      sim::CompiledSystem cs_;
+    };
+    return std::make_unique<R>(sched, passes);
+  }
+
+ private:
+  std::string name_ = "compiled";
+  Capabilities caps_;
+};
+
+// --- in-process JIT --------------------------------------------------------
+
+class JitEngine : public Engine {
+ public:
+  JitEngine() {
+    caps_.checkpointable = true;  // shares the compiled tape's ckpt format
+    caps_.threadable = true;
+    caps_.pass_aware = true;
+    // No passes-off replay of its own: the raw tape is already covered by
+    // the compiled engine, and a second host-compiler run per spec would
+    // double the axis' cost for no new coverage.
+    caps_.pass_axis = false;
+    caps_.in_process = true;
+  }
+
+  const std::string& name() const override { return name_; }
+  const Capabilities& caps() const override { return caps_; }
+
+  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
+    Trace t;
+    t.engine = name_;
+    if (spec.has(CompKind::kAdapter)) {
+      t.skip_reason = "dataflow adapters have no compiled-simulation image";
+      return t;
+    }
+    System sys(spec);
+    jit::JitSystem js =
+        jit::JitSystem::compile(sys.scheduler(), opts.passes, jit_options(opts));
+    const auto probes = spec.probes();
+    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+      js.cycle();
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes) row.push_back(js.net_value(n));
+      t.values.push_back(std::move(row));
+    }
+    t.ran = true;
+    return t;
+  }
+
+  Trace trace_ckpt(const Spec& spec, const TraceOptions& opts,
+                   std::uint64_t k) const override {
+    Trace t;
+    t.engine = name_;
+    if (spec.has(CompKind::kAdapter)) {
+      t.skip_reason = "dataflow adapters have no compiled-simulation image";
+      return t;
+    }
+    const auto probes = spec.probes();
+    const auto capture = [&](jit::JitSystem& js) {
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes) row.push_back(js.net_value(n));
+      t.values.push_back(std::move(row));
+    };
+    System sa(spec);
+    jit::JitSystem a =
+        jit::JitSystem::compile(sa.scheduler(), opts.passes, jit_options(opts));
+    for (std::uint64_t c = 0; c < k; ++c) {
+      a.cycle();
+      capture(a);
+    }
+    std::stringstream snap;
+    a.save_state(snap);
+    // The second instance is the same design, so its compile() is the
+    // first one's cache hit — the axis costs one host-compiler run.
+    System sb(spec);
+    jit::JitSystem b =
+        jit::JitSystem::compile(sb.scheduler(), opts.passes, jit_options(opts));
+    b.restore_state(snap);
+    for (std::uint64_t c = k; c < spec.cycles; ++c) {
+      b.cycle();
+      capture(b);
+    }
+    t.ran = true;
+    return t;
+  }
+
+  std::unique_ptr<Runner> bind(sched::CycleScheduler& sched,
+                               const opt::PassOptions& passes) const override {
+    class R : public Runner {
+     public:
+      R(sched::CycleScheduler& s, const opt::PassOptions& p)
+          : js_(jit::JitSystem::compile(s, p)) {}
+      void cycle() override { js_.cycle(); }
+      double net_value(const std::string& n) const override {
+        return js_.net_value(n);
+      }
+
+     private:
+      jit::JitSystem js_;
+    };
+    return std::make_unique<R>(sched, passes);
+  }
+
+ private:
+  std::string name_ = "jit";
+  Capabilities caps_;
+};
+
+// --- generated standalone C++ simulator ------------------------------------
+
+class CppgenEngine : public Engine {
+ public:
+  const std::string& name() const override { return name_; }
+  const Capabilities& caps() const override { return caps_; }
+
+  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
+    Trace t;
+    t.engine = name_;
+    if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed)) {
+      t.skip_reason = "untimed/adapter behaviour has no generated-code image";
+      return t;
+    }
+    System sys(spec);
+    sim::CompiledSystem cs =
+        sim::CompiledSystem::compile(sys.scheduler(), opts.passes);
+    const auto probes = spec.probes();
+
+    // Atomic: concurrent diff_run_batch lanes each need a unique scratch stem.
+    static std::atomic<int> counter{0};
+    const std::string stem = scratch_dir(opts) + "/asicpp_fuzz_" +
+                             std::to_string(getpid()) + "_" +
+                             std::to_string(counter.fetch_add(1)) + "_s" +
+                             std::to_string(spec.seed);
+    const std::string src = stem + ".cpp", bin = stem + ".bin";
+    {
+      std::ofstream os(src);
+      if (!os) {
+        t.fail_reason = "cannot write " + src;
+        return t;
+      }
+      cs.emit_cpp(os, probes, spec.cycles);
+    }
+    std::string text;
+    if (run_command(opts.cxx + " -O2 -std=c++17 -o " + bin + " " + src,
+                    &text) != 0) {
+      t.fail_reason = "generated simulator failed to compile: " + text;
+      std::remove(src.c_str());
+      return t;
+    }
+    text.clear();
+    const int rc = run_command(bin, &text);
+    std::remove(src.c_str());
+    std::remove(bin.c_str());
+    if (rc != 0) {
+      t.fail_reason = "generated simulator exited with status " +
+                      std::to_string(rc) + ": " + text;
+      return t;
+    }
+    std::istringstream is(text);
+    std::vector<double> flat;
+    std::string line;
+    while (std::getline(is, line))
+      if (!line.empty()) flat.push_back(std::atof(line.c_str()));
+    if (flat.size() != spec.cycles * probes.size()) {
+      t.fail_reason = "generated simulator printed " +
+                      std::to_string(flat.size()) + " values, expected " +
+                      std::to_string(spec.cycles * probes.size());
+      return t;
+    }
+    for (std::uint64_t c = 0; c < spec.cycles; ++c)
+      t.values.emplace_back(
+          flat.begin() + static_cast<long>(c * probes.size()),
+          flat.begin() + static_cast<long>((c + 1) * probes.size()));
+    t.ran = true;
+    return t;
+  }
+
+ private:
+  std::string name_ = "cppgen";
+  Capabilities caps_;  // all false: external process, no snapshots, no passes
+};
+
+// --- gate-level netlist -----------------------------------------------------
+
+class GatesEngine : public Engine {
+ public:
+  const std::string& name() const override { return name_; }
+  const Capabilities& caps() const override { return caps_; }
+
+  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
+    (void)opts;
+    Trace t;
+    t.engine = name_;
+    if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed)) {
+      t.skip_reason = "untimed/adapter behaviour has no gate-level image";
+      return t;
+    }
+    System sys(spec);
+    const auto probes = spec.probes();
+    synth::SystemSynthSpec sspec;
+    sspec.observe = probes;
+    netlist::Netlist nl;
+    synth::synthesize_system(sys.scheduler(), nl, sspec);
+
+    // Bus widths of the observed outputs, recovered from the port names.
+    std::vector<int> widths(probes.size(), 0);
+    for (const auto& [name, gate] : nl.outputs()) {
+      (void)gate;
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        const std::string prefix = "net_" + probes[i] + "[";
+        if (name.rfind(prefix, 0) == 0)
+          widths[i] =
+              std::max(widths[i], std::stoi(name.substr(prefix.size())) + 1);
+      }
+    }
+    for (std::size_t i = 0; i < probes.size(); ++i)
+      if (widths[i] <= 0)
+        throw std::runtime_error("gates: observed net '" + probes[i] +
+                                 "' has no output bus");
+
+    const fixpt::Format f = spec.fmt();
+    netlist::LevelizedSim sim(nl);
+    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+      sim.settle();
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        const long long mant = netlist::read_bus(sim, "net_" + probes[i],
+                                                 widths[i], f.is_signed);
+        row.push_back(std::ldexp(static_cast<double>(mant), -f.frac_bits()));
+      }
+      t.values.push_back(std::move(row));
+      sim.cycle();
+    }
+    t.ran = true;
+    return t;
+  }
+
+ private:
+  std::string name_ = "gates";
+  Capabilities caps_;  // all false
+};
+
+}  // namespace
+
+void register_builtin_engines(Registry& r) {
+  r.add(std::make_unique<InterpretedEngine>("iterative",
+                                            ScheduleMode::kIterative));
+  r.add(std::make_unique<InterpretedEngine>("levelized",
+                                            ScheduleMode::kLevelized));
+  r.add(std::make_unique<CompiledEngine>());
+  r.add(std::make_unique<CppgenEngine>());
+  r.add(std::make_unique<GatesEngine>());
+  r.add(std::make_unique<JitEngine>());
+}
+
+}  // namespace asicpp::engine

@@ -1,0 +1,183 @@
+// In-process JIT compiled engine.
+//
+// Closes the gap EXPERIMENTS.md measures between the in-memory tape
+// simulator and the same generated C++ rebuilt with `c++ -O2` as a
+// standalone process: `JitSystem` emits the optimized lowered IR as a C++
+// translation unit (the cppgen emitter's function-per-tape shape, but
+// state-struct-parameterized instead of file-global), compiles it to a
+// shared object with the host toolchain, `dlopen`s it, and drives it
+// in-process over the *live* CompiledSystem slot arrays. External pin
+// drives, pokes, probes, snapshots and the deadlock post-mortem all keep
+// working because the native code shares the tape engine's state — only
+// the per-cycle evaluation is swapped for compiled code.
+//
+// Compiled artifacts are cached on disk, keyed by an FNV-1a content hash
+// of the emitted source (which embeds the lowered IR), the compiler
+// command, the ABI revision and the cache format version — repeated runs
+// of the same design (the fuzzer's common case) pay compilation once.
+//
+// Every failure degrades gracefully to the interpreted tape (native()
+// returns false, traces stay bit-identical), with a structured diagnostic:
+//
+//   JIT-001 host toolchain missing (compiler not found)
+//   JIT-002 generated source failed to compile
+//   JIT-003 compiled artifact failed to load (dlopen/dlsym/ABI/IR-hash)
+//   JIT-004 stale or corrupt cache entry discarded (recompiled)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "diag/diag.h"
+#include "opt/options.h"
+#include "sched/run.h"
+#include "sim/compiled.h"
+
+namespace asicpp::jit {
+
+/// Cache format revision: participates in the artifact cache key, so a
+/// layout change invalidates old entries instead of misloading them.
+inline constexpr std::uint32_t kJitFormatVersion = 1;
+/// ABI revision of the state struct / exported symbols; the loaded object
+/// must report the same value.
+inline constexpr std::uint32_t kJitAbi = 1;
+
+/// The state block handed to every generated function. Mirrored textually
+/// in the emitted source; any change here bumps kJitAbi.
+struct JitState {
+  double* S = nullptr;         ///< CompiledSystem slot array
+  unsigned char* T = nullptr;  ///< net token flags
+  int* state = nullptr;        ///< per-component FSM state
+  int* fired = nullptr;        ///< per-component fired flag
+  int* sel = nullptr;          ///< per-component selected dispatch SFG
+  int* pending = nullptr;      ///< per-component pending FSM transition
+  int deadlock = 0;   ///< 0 none, 1 combinational, 2 unknown opcode, 3 host ex
+  int dl_comp = 0;    ///< component index for deadlock == 2
+  long long dl_op = 0;  ///< offending opcode for deadlock == 2
+  void* host = nullptr;
+  /// Host callback firing untimed component `comp` (native C++ closures
+  /// stay on the host side). Returns 1 fired, 0 inputs missing, -1 the
+  /// closure threw (the host rethrows after the cycle call unwinds).
+  int (*fire_untimed)(void* host, int comp) = nullptr;
+};
+
+struct JitOptions {
+  /// Host compiler driver.
+  std::string cxx = "c++";
+  /// Extra flags between the driver and `-shared -fPIC`.
+  std::string flags = "-O2 -std=c++17 -w";
+  /// Artifact cache directory. Empty = $ASICPP_JIT_CACHE, else
+  /// $XDG_CACHE_HOME/asicpp-jit, else $HOME/.cache/asicpp-jit, else
+  /// /tmp/asicpp-jit.
+  std::string cache_dir;
+  /// Recompile even when a cached artifact exists.
+  bool force_recompile = false;
+  /// JIT-00x diagnostics sink (falls back to the compiled system's engine).
+  diag::DiagEngine* diagnostics = nullptr;
+};
+
+class JitSystem {
+ public:
+  /// Compile `sched` to tape form (exactly CompiledSystem::compile), emit
+  /// the optimized IR as C++, and build/load the native cycle kernel.
+  /// Never throws for toolchain problems — on any JIT failure the instance
+  /// falls back to interpreting the tape and native() reports false.
+  static JitSystem compile(const sched::CycleScheduler& sched,
+                           const opt::PassOptions& passes = {},
+                           const JitOptions& jopts = {});
+
+  /// Simulate one clock cycle (native kernel, or the tape fallback).
+  /// Semantics identical to CompiledSystem::cycle(), including
+  /// sched::DeadlockError with the SCHED-001 post-mortem.
+  void cycle();
+
+  /// Unified engine entry point: cycles, watchdogs, schedule mode,
+  /// threads, checkpoint cadence — same contract as CompiledSystem::run.
+  RunResult run(const RunOptions& opts);
+
+  std::uint64_t cycles() const { return cs_.cycles(); }
+
+  // --- JIT status ---
+
+  /// True when the native kernel is loaded and driving cycle().
+  bool native() const { return native_; }
+  /// True when compile() reused a cached artifact (no compiler run).
+  bool from_cache() const { return from_cache_; }
+  /// Wall-clock seconds spent in the external compiler (0 on cache hit).
+  double compile_seconds() const { return compile_seconds_; }
+  /// Path of the loaded shared object (empty when !native()).
+  const std::string& artifact_path() const { return artifact_path_; }
+
+  // --- pass-through surface (same behaviour as CompiledSystem) ---
+
+  void set_schedule_mode(ScheduleMode m) {
+    mode_ = m;
+    cs_.set_schedule_mode(m);
+  }
+  ScheduleMode schedule_mode() const { return mode_; }
+  void set_threads(unsigned n);
+  unsigned threads() const { return threads_; }
+  void attach_diagnostics(diag::DiagEngine& de) { cs_.attach_diagnostics(de); }
+  diag::DiagEngine& diagnostics() { return cs_.diagnostics(); }
+  const opt::PassStats& pass_stats() const { return cs_.pass_stats(); }
+  bool levelizable() const { return cs_.levelizable(); }
+
+  double net_value(const std::string& name) const { return cs_.net_value(name); }
+  double reg_value(const std::string& name) const { return cs_.reg_value(name); }
+  void poke(const std::string& input_name, double v) { cs_.poke(input_name, v); }
+  std::size_t footprint_bytes() const { return cs_.footprint_bytes(); }
+  void reset();
+
+  /// Snapshots share the compiled tape's format, engine kind and IR
+  /// content hash: a JIT snapshot restores into a CompiledSystem of the
+  /// same design (and vice versa), and a snapshot of a different design or
+  /// pass pipeline is rejected with CKPT-003.
+  std::uint64_t state_hash() const { return cs_.state_hash(); }
+  void save_state(std::ostream& os);
+  void restore_state(std::istream& is);
+
+ private:
+  JitSystem() = default;
+
+  JitState make_state();
+  void sync_states_to_cs();
+  void sync_states_from_cs();
+  void sync_runtime_to_cs();
+  void native_cycle();
+  bool load(const std::string& path, std::string* why);
+  static int fire_untimed_cb(void* host, int comp);
+
+  sim::CompiledSystem cs_;
+  // Per-component driver arrays handed to the generated code (mirrors of
+  // Comp::state/fired/selected/pending, int-typed for a stable ABI).
+  std::vector<int> states_;
+  std::vector<int> fired_;
+  std::vector<int> sel_;
+  std::vector<int> pending_;
+
+  bool native_ = false;
+  bool from_cache_ = false;
+  double compile_seconds_ = 0.0;
+  std::string artifact_path_;
+  std::shared_ptr<void> so_;  ///< dlopen handle (dlclose on last owner)
+  // Exported entry points of the loaded object.
+  int (*fn_cycle_)(JitState*, int) = nullptr;
+  void (*fn_begin_)(JitState*) = nullptr;
+  int (*fn_try_slot_)(JitState*, int) = nullptr;
+  int (*fn_finish_)(JitState*) = nullptr;
+
+  ScheduleMode mode_ = ScheduleMode::kAuto;
+  unsigned threads_ = 1;
+  std::exception_ptr untimed_ex_;
+  std::shared_ptr<std::mutex> ex_mu_;  ///< guards untimed_ex_ under threads
+};
+
+/// Resolve the artifact cache directory per JitOptions::cache_dir rules
+/// (exposed for tests and the CI smoke tool).
+std::string cache_dir(const JitOptions& jopts = {});
+
+}  // namespace asicpp::jit

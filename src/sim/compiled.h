@@ -26,6 +26,11 @@
 #include "sched/untimed.h"
 #include "sim/tape.h"
 
+namespace asicpp::jit {
+class JitSystem;
+struct Emitter;
+}  // namespace asicpp::jit
+
 namespace asicpp::sim {
 
 class CompiledSystem {
@@ -141,6 +146,11 @@ class CompiledSystem {
                 std::uint64_t run_cycles) const;
 
  private:
+  // The JIT engine (src/jit) emits this system's tapes as native C++ and
+  // drives the resulting shared object against the same slot arrays.
+  friend class asicpp::jit::JitSystem;
+  friend struct asicpp::jit::Emitter;
+
   CompiledSystem() = default;
 
   struct SfgCode {

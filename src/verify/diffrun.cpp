@@ -1,303 +1,29 @@
 #include "verify/diffrun.h"
 
-#include <unistd.h>
-
-#include <atomic>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <sstream>
 
-#include "netlist/equiv.h"
-#include "netlist/netsim.h"
+#include "engine/engine.h"
 #include "par/pool.h"
-#include "sim/compiled.h"
-#include "synth/system.h"
 
 namespace asicpp::verify {
 
 namespace {
 
-std::string engine_pair(Engine a, Engine b) {
-  return std::string(engine_name(a)) + " vs " + engine_name(b);
+std::string engine_pair(const std::string& a, const std::string& b) {
+  return a + " vs " + b;
 }
 
-std::string scratch_dir(const DiffOptions& opts) {
-  if (!opts.workdir.empty()) return opts.workdir;
-  if (const char* t = std::getenv("TMPDIR")) return t;
-  return "/tmp";
-}
-
-/// Run `cmd` through the shell, capturing stdout+stderr.
-int run_command(const std::string& cmd, std::string* out) {
-  FILE* p = popen((cmd + " 2>&1").c_str(), "r");
-  if (p == nullptr) {
-    *out = "popen failed";
-    return -1;
-  }
-  char buf[512];
-  while (std::fgets(buf, sizeof buf, p) != nullptr) *out += buf;
-  return pclose(p);
-}
-
-EngineTrace run_interpreted(const Spec& spec, Engine which,
-                            const opt::PassOptions& passes) {
-  EngineTrace t;
-  t.engine = which;
-  System sys(spec);
-  sys.scheduler().set_schedule_mode(which == Engine::kLevelized
-                                        ? ScheduleMode::kLevelized
-                                        : ScheduleMode::kIterative);
-  sys.scheduler().set_pass_options(passes);
-  const auto probes = spec.probes();
-  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-    sys.scheduler().cycle();
-    std::vector<double> row;
-    row.reserve(probes.size());
-    for (const std::string& n : probes)
-      row.push_back(sys.scheduler().net(n).last().value());
-    t.values.push_back(std::move(row));
-  }
-  t.ran = true;
-  return t;
-}
-
-EngineTrace run_compiled(const Spec& spec, const opt::PassOptions& passes) {
-  EngineTrace t;
-  t.engine = Engine::kCompiled;
-  if (spec.has(CompKind::kAdapter)) {
-    t.skip_reason = "dataflow adapters have no compiled-simulation image";
-    return t;
-  }
-  System sys(spec);
-  sim::CompiledSystem cs = sim::CompiledSystem::compile(sys.scheduler(), passes);
-  const auto probes = spec.probes();
-  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-    cs.cycle();
-    std::vector<double> row;
-    row.reserve(probes.size());
-    for (const std::string& n : probes) row.push_back(cs.net_value(n));
-    t.values.push_back(std::move(row));
-  }
-  t.ran = true;
-  return t;
-}
-
-// --- checkpoint-replay variants (the VERIFY-006 axis) ----------------------
-//
-// Each runs the first k cycles on a fresh engine, snapshots it through the
-// ckpt stream, restores the snapshot into a *second* fresh engine, and runs
-// the remaining cycles there. The stitched trace is returned for a
-// bit-for-bit diff against the straight-through run.
-
-EngineTrace run_interpreted_ckpt(const Spec& spec, Engine which,
-                                 const opt::PassOptions& passes,
-                                 std::uint64_t k) {
-  EngineTrace t;
-  t.engine = which;
-  const auto mode = which == Engine::kLevelized ? ScheduleMode::kLevelized
-                                                : ScheduleMode::kIterative;
-  const auto probes = spec.probes();
-  const auto capture = [&](System& sys) {
-    std::vector<double> row;
-    row.reserve(probes.size());
-    for (const std::string& n : probes)
-      row.push_back(sys.scheduler().net(n).last().value());
-    t.values.push_back(std::move(row));
-  };
-  System a(spec);
-  a.scheduler().set_schedule_mode(mode);
-  a.scheduler().set_pass_options(passes);
-  for (std::uint64_t c = 0; c < k; ++c) {
-    a.scheduler().cycle();
-    capture(a);
-  }
-  std::stringstream snap;
-  a.scheduler().save_state(snap);
-  System b(spec);
-  b.scheduler().set_schedule_mode(mode);
-  b.scheduler().set_pass_options(passes);
-  b.scheduler().restore_state(snap);
-  for (std::uint64_t c = k; c < spec.cycles; ++c) {
-    b.scheduler().cycle();
-    capture(b);
-  }
-  t.ran = true;
-  return t;
-}
-
-EngineTrace run_compiled_ckpt(const Spec& spec, const opt::PassOptions& passes,
-                              std::uint64_t k) {
-  EngineTrace t;
-  t.engine = Engine::kCompiled;
-  if (spec.has(CompKind::kAdapter)) {
-    t.skip_reason = "dataflow adapters have no compiled-simulation image";
-    return t;
-  }
-  const auto probes = spec.probes();
-  const auto capture = [&](sim::CompiledSystem& cs) {
-    std::vector<double> row;
-    row.reserve(probes.size());
-    for (const std::string& n : probes) row.push_back(cs.net_value(n));
-    t.values.push_back(std::move(row));
-  };
-  System sa(spec);
-  sim::CompiledSystem a = sim::CompiledSystem::compile(sa.scheduler(), passes);
-  for (std::uint64_t c = 0; c < k; ++c) {
-    a.cycle();
-    capture(a);
-  }
-  std::stringstream snap;
-  a.save_state(snap);
-  System sb(spec);
-  sim::CompiledSystem b = sim::CompiledSystem::compile(sb.scheduler(), passes);
-  b.restore_state(snap);
-  for (std::uint64_t c = k; c < spec.cycles; ++c) {
-    b.cycle();
-    capture(b);
-  }
-  t.ran = true;
-  return t;
-}
-
-EngineTrace run_cppgen(const Spec& spec, const DiffOptions& opts) {
-  EngineTrace t;
-  t.engine = Engine::kCppgen;
-  if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed)) {
-    t.skip_reason = "untimed/adapter behaviour has no generated-code image";
-    return t;
-  }
-  System sys(spec);
-  sim::CompiledSystem cs =
-      sim::CompiledSystem::compile(sys.scheduler(), opts.passes);
-  const auto probes = spec.probes();
-
-  // Atomic: concurrent diff_run_batch lanes each need a unique scratch stem.
-  static std::atomic<int> counter{0};
-  const std::string stem = scratch_dir(opts) + "/asicpp_fuzz_" +
-                           std::to_string(getpid()) + "_" +
-                           std::to_string(counter.fetch_add(1)) + "_s" +
-                           std::to_string(spec.seed);
-  const std::string src = stem + ".cpp", bin = stem + ".bin";
-  {
-    std::ofstream os(src);
-    if (!os) {
-      t.fail_reason = "cannot write " + src;
-      return t;
-    }
-    cs.emit_cpp(os, probes, spec.cycles);
-  }
-  std::string text;
-  if (run_command(opts.cxx + " -O2 -std=c++17 -o " + bin + " " + src, &text) !=
-      0) {
-    t.fail_reason = "generated simulator failed to compile: " + text;
-    std::remove(src.c_str());
-    return t;
-  }
-  text.clear();
-  const int rc = run_command(bin, &text);
-  std::remove(src.c_str());
-  std::remove(bin.c_str());
-  if (rc != 0) {
-    t.fail_reason = "generated simulator exited with status " +
-                    std::to_string(rc) + ": " + text;
-    return t;
-  }
-  std::istringstream is(text);
-  std::vector<double> flat;
-  std::string line;
-  while (std::getline(is, line))
-    if (!line.empty()) flat.push_back(std::atof(line.c_str()));
-  if (flat.size() != spec.cycles * probes.size()) {
-    t.fail_reason = "generated simulator printed " +
-                    std::to_string(flat.size()) + " values, expected " +
-                    std::to_string(spec.cycles * probes.size());
-    return t;
-  }
-  for (std::uint64_t c = 0; c < spec.cycles; ++c)
-    t.values.emplace_back(flat.begin() + static_cast<long>(c * probes.size()),
-                          flat.begin() +
-                              static_cast<long>((c + 1) * probes.size()));
-  t.ran = true;
-  return t;
-}
-
-EngineTrace run_gates(const Spec& spec) {
-  EngineTrace t;
-  t.engine = Engine::kGates;
-  if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed)) {
-    t.skip_reason = "untimed/adapter behaviour has no gate-level image";
-    return t;
-  }
-  System sys(spec);
-  const auto probes = spec.probes();
-  synth::SystemSynthSpec sspec;
-  sspec.observe = probes;
-  netlist::Netlist nl;
-  synth::synthesize_system(sys.scheduler(), nl, sspec);
-
-  // Bus widths of the observed outputs, recovered from the port names.
-  std::vector<int> widths(probes.size(), 0);
-  for (const auto& [name, gate] : nl.outputs()) {
-    (void)gate;
-    for (std::size_t i = 0; i < probes.size(); ++i) {
-      const std::string prefix = "net_" + probes[i] + "[";
-      if (name.rfind(prefix, 0) == 0)
-        widths[i] = std::max(widths[i],
-                             std::stoi(name.substr(prefix.size())) + 1);
-    }
-  }
-  for (std::size_t i = 0; i < probes.size(); ++i)
-    if (widths[i] <= 0)
-      throw std::runtime_error("gates: observed net '" + probes[i] +
-                               "' has no output bus");
-
-  const fixpt::Format f = spec.fmt();
-  netlist::LevelizedSim sim(nl);
-  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-    sim.settle();
-    std::vector<double> row;
-    row.reserve(probes.size());
-    for (std::size_t i = 0; i < probes.size(); ++i) {
-      const long long mant = netlist::read_bus(sim, "net_" + probes[i],
-                                               widths[i], f.is_signed);
-      row.push_back(std::ldexp(static_cast<double>(mant), -f.frac_bits()));
-    }
-    t.values.push_back(std::move(row));
-    sim.cycle();
-  }
-  t.ran = true;
+engine::TraceOptions trace_options(const DiffOptions& opts) {
+  engine::TraceOptions t;
+  t.passes = opts.passes;
+  t.workdir = opts.workdir;
+  t.cxx = opts.cxx;
+  t.jit_cache = opts.jit_cache;
   return t;
 }
 
 }  // namespace
-
-const char* engine_name(Engine e) {
-  switch (e) {
-    case Engine::kIterative: return "iterative";
-    case Engine::kLevelized: return "levelized";
-    case Engine::kCompiled: return "compiled";
-    case Engine::kCppgen: return "cppgen";
-    case Engine::kGates: return "gates";
-  }
-  return "?";
-}
-
-bool parse_engine(const std::string& name, Engine* out) {
-  for (const Engine e : all_engines()) {
-    if (name == engine_name(e)) {
-      *out = e;
-      return true;
-    }
-  }
-  return false;
-}
-
-std::vector<Engine> all_engines() {
-  return {Engine::kIterative, Engine::kLevelized, Engine::kCompiled,
-          Engine::kCppgen, Engine::kGates};
-}
 
 int DiffResult::engines_ran() const {
   int n = 0;
@@ -325,7 +51,7 @@ const Divergence* DiffResult::first() const {
 std::string DiffResult::summary() const {
   std::ostringstream os;
   for (const EngineTrace& t : traces) {
-    os << engine_name(t.engine) << ": ";
+    os << t.engine << ": ";
     if (t.ran)
       os << "ran, " << t.values.size() << " cycles";
     else if (!t.skip_reason.empty())
@@ -335,7 +61,7 @@ std::string DiffResult::summary() const {
     os << "\n";
   }
   for (const EngineTrace& t : noopt_traces) {
-    os << engine_name(t.engine) << " (passes off): ";
+    os << t.engine << " (passes off): ";
     if (t.ran)
       os << "ran, " << t.values.size() << " cycles";
     else if (!t.skip_reason.empty())
@@ -345,8 +71,7 @@ std::string DiffResult::summary() const {
     os << "\n";
   }
   for (const EngineTrace& t : ckpt_traces) {
-    os << engine_name(t.engine) << " (checkpoint at cycle " << ckpt_cycle
-       << "): ";
+    os << t.engine << " (checkpoint at cycle " << ckpt_cycle << "): ";
     if (t.ran)
       os << "ran, " << t.values.size() << " cycles";
     else if (!t.skip_reason.empty())
@@ -364,10 +89,9 @@ std::string DiffResult::summary() const {
        << " (passes off) at cycle " << d.cycle << " net '" << d.net
        << "': " << d.ref_value << " vs " << d.other_value << "\n";
   for (const Divergence& d : ckpt_divergences)
-    os << "checkpoint divergence " << engine_name(d.other)
-       << " (resumed from cycle " << ckpt_cycle << ") at cycle " << d.cycle
-       << " net '" << d.net << "': " << d.ref_value << " vs " << d.other_value
-       << "\n";
+    os << "checkpoint divergence " << d.other << " (resumed from cycle "
+       << ckpt_cycle << ") at cycle " << d.cycle << " net '" << d.net
+       << "': " << d.ref_value << " vs " << d.other_value << "\n";
   if (ok()) os << "all engines agree\n";
   return os.str();
 }
@@ -375,85 +99,82 @@ std::string DiffResult::summary() const {
 DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
   DiffResult r;
   r.probes = spec.probes();
-  const std::vector<Engine> engines =
-      opts.engines.empty() ? all_engines() : opts.engines;
+  const engine::Registry& reg = engine::Registry::global();
+  std::vector<const engine::Engine*> engines;
+  if (opts.engines.empty()) {
+    engines = reg.all();
+  } else {
+    engines.reserve(opts.engines.size());
+    for (const std::string& name : opts.engines)
+      engines.push_back(&reg.at(name));  // throws listing registered names
+  }
+  const engine::TraceOptions topts = trace_options(opts);
 
-  for (const Engine e : engines) {
-    EngineTrace t;
-    try {
-      switch (e) {
-        case Engine::kIterative:
-        case Engine::kLevelized:
-          t = run_interpreted(spec, e, opts.passes);
-          break;
-        case Engine::kCompiled: t = run_compiled(spec, opts.passes); break;
-        case Engine::kCppgen: t = run_cppgen(spec, opts); break;
-        case Engine::kGates: t = run_gates(spec); break;
-      }
-    } catch (const std::exception& ex) {
-      t = EngineTrace{};
-      t.engine = e;
-      t.fail_reason = ex.what();
-    }
-    if (t.ran && opts.mutant.enabled && opts.mutant.engine == e &&
+  const auto apply_mutant = [&](EngineTrace& t) {
+    if (t.ran && opts.mutant.enabled && opts.mutant.engine == t.engine &&
         opts.mutant.cycle < t.values.size()) {
       for (std::size_t i = 0; i < r.probes.size(); ++i)
         if (r.probes[i] == opts.mutant.net)
           t.values[opts.mutant.cycle][i] += opts.mutant.delta;
     }
+  };
+
+  for (const engine::Engine* e : engines) {
+    EngineTrace t;
+    try {
+      t = e->trace(spec, topts);
+    } catch (const std::exception& ex) {
+      t = EngineTrace{};
+      t.engine = e->name();
+      t.fail_reason = ex.what();
+    }
+    apply_mutant(t);
     r.traces.push_back(std::move(t));
   }
 
-  // The passes-off axis: replay through the recursive interpreter (no
-  // lowering at all) and the raw, unoptimized compiled tape.
+  // The passes-off axis: every registered engine with the pass_axis
+  // capability contributes one replay through its noopt pipeline — the
+  // recursive interpreter (no lowering at all) and the raw, unoptimized
+  // compiled tape.
   if (opts.pass_axis) {
-    const auto replay = [&](Engine e, const opt::PassOptions& p) {
+    for (const engine::Engine* e : reg.all()) {
+      if (!e->caps().pass_axis) continue;
+      engine::TraceOptions noopt = topts;
+      noopt.passes = e->noopt_passes();
       EngineTrace t;
       try {
-        t = (e == Engine::kIterative) ? run_interpreted(spec, e, p)
-                                      : run_compiled(spec, p);
+        t = e->trace(spec, noopt);
       } catch (const std::exception& ex) {
         t = EngineTrace{};
-        t.engine = e;
+        t.engine = e->name();
         t.fail_reason = ex.what();
       }
       r.noopt_traces.push_back(std::move(t));
-    };
-    replay(Engine::kIterative, opt::PassOptions::none());
-    replay(Engine::kCompiled, opt::PassOptions::raw());
+    }
   }
 
   // The checkpoint axis (VERIFY-006): snapshot at cycle k, restore into a
   // fresh engine, continue. Needs at least one cycle on each side of the
   // snapshot, so specs shorter than two cycles skip the axis. Replays run
-  // only for the in-process engines actually selected above.
+  // only for the checkpointable engines actually selected above.
   if (opts.ckpt_axis && spec.cycles >= 2) {
     r.ckpt_cycle = opts.ckpt_cycle != 0 && opts.ckpt_cycle < spec.cycles
                        ? opts.ckpt_cycle
                        : 1 + (spec.seed * 2654435761u) % (spec.cycles - 1);
-    for (const Engine e : engines) {
-      if (e != Engine::kIterative && e != Engine::kLevelized &&
-          e != Engine::kCompiled)
-        continue;  // cppgen/gates have no in-process snapshot surface
+    for (const engine::Engine* e : engines) {
+      if (!e->caps().checkpointable) continue;
       EngineTrace t;
       try {
-        t = (e == Engine::kCompiled)
-                ? run_compiled_ckpt(spec, opts.passes, r.ckpt_cycle)
-                : run_interpreted_ckpt(spec, e, opts.passes, r.ckpt_cycle);
+        t = e->trace_ckpt(spec, topts, r.ckpt_cycle);
       } catch (const std::exception& ex) {
         t = EngineTrace{};
-        t.engine = e;
+        t.engine = e->name();
         t.fail_reason = ex.what();
       }
       // A mutant models an engine bug, which would survive a checkpoint:
       // apply it to the resumed trace too, so the mutated engine's replay
       // still matches its (mutated) straight-through trace.
-      if (t.ran && opts.mutant.enabled && opts.mutant.engine == e &&
-          opts.mutant.cycle < t.values.size()) {
-        for (std::size_t i = 0; i < r.probes.size(); ++i)
-          if (r.probes[i] == opts.mutant.net)
-            t.values[opts.mutant.cycle][i] += opts.mutant.delta;
-      }
+      apply_mutant(t);
       r.ckpt_traces.push_back(std::move(t));
     }
   }
@@ -517,26 +238,22 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
     diag::DiagEngine& de = *opts.diagnostics;
     for (const EngineTrace& t : r.traces) {
       if (!t.skip_reason.empty())
-        de.note("VERIFY-003", std::string("engine '") + engine_name(t.engine) + "'",
+        de.note("VERIFY-003", "engine '" + t.engine + "'",
                 "skipped: " + t.skip_reason);
       if (!t.fail_reason.empty())
-        de.error("VERIFY-002", std::string("engine '") + engine_name(t.engine) + "'",
+        de.error("VERIFY-002", "engine '" + t.engine + "'",
                  "engine failed on generated spec (seed " +
                      std::to_string(spec.seed) + "): " + t.fail_reason);
     }
     for (const EngineTrace& t : r.noopt_traces) {
       if (!t.fail_reason.empty())
-        de.error("VERIFY-002",
-                 std::string("engine '") + engine_name(t.engine) +
-                     "' (passes off)",
+        de.error("VERIFY-002", "engine '" + t.engine + "' (passes off)",
                  "engine failed on generated spec (seed " +
                      std::to_string(spec.seed) + "): " + t.fail_reason);
     }
     for (const EngineTrace& t : r.ckpt_traces) {
       if (!t.fail_reason.empty())
-        de.error("VERIFY-002",
-                 std::string("engine '") + engine_name(t.engine) +
-                     "' (checkpoint replay)",
+        de.error("VERIFY-002", "engine '" + t.engine + "' (checkpoint replay)",
                  "engine failed on generated spec (seed " +
                      std::to_string(spec.seed) + "): " + t.fail_reason);
     }
@@ -546,9 +263,8 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
           "cross-representation trace divergence on net '" + d.net + "'");
       rec.cycle = d.cycle;
       char buf[128];
-      std::snprintf(buf, sizeof buf, "%s = %.17g, %s = %.17g",
-                    engine_name(d.ref), d.ref_value, engine_name(d.other),
-                    d.other_value);
+      std::snprintf(buf, sizeof buf, "%s = %.17g, %s = %.17g", d.ref.c_str(),
+                    d.ref_value, d.other.c_str(), d.other_value);
       rec.note(buf);
       rec.note("spec: seed " + std::to_string(spec.seed) + ", " +
                std::to_string(spec.comps.size()) + " components, " +
@@ -563,7 +279,7 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
       char buf[128];
       std::snprintf(buf, sizeof buf,
                     "%s (passes on) = %.17g, %s (passes off) = %.17g",
-                    engine_name(d.ref), d.ref_value, engine_name(d.other),
+                    d.ref.c_str(), d.ref_value, d.other.c_str(),
                     d.other_value);
       rec.note(buf);
       rec.note("spec: seed " + std::to_string(spec.seed) + ", " +
@@ -572,7 +288,7 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
     }
     for (const Divergence& d : r.ckpt_divergences) {
       auto& rec = de.error(
-          "VERIFY-006", std::string("engine '") + engine_name(d.other) + "'",
+          "VERIFY-006", "engine '" + d.other + "'",
           "checkpoint replay diverged from straight-through run on net '" +
               d.net + "'");
       rec.cycle = d.cycle;

@@ -2,16 +2,19 @@
 //
 // Elaborates a generated design once per engine and replays it through
 // every representation the environment can translate the description into
-// (section 4-6 of the paper):
+// (section 4-6 of the paper). Engines are resolved by name through
+// engine::Registry::global(); the built-in set, in canonical order:
 //
-//   kIterative — interpreted CycleScheduler, iterative three-phase sweep
-//   kLevelized — interpreted CycleScheduler, levelized static schedule
-//                (falls back iteratively for unschedulable systems)
-//   kCompiled  — CompiledSystem flat-tape simulation
-//   kCppgen    — the emitted standalone C++ simulator, compiled with the
-//                host compiler, run, and its printed trace parsed back
-//   kGates     — whole-system synthesis to a gate netlist, simulated with
-//                netlist::LevelizedSim, output buses read back as values
+//   iterative — interpreted CycleScheduler, iterative three-phase sweep
+//   levelized — interpreted CycleScheduler, levelized static schedule
+//               (falls back iteratively for unschedulable systems)
+//   compiled  — CompiledSystem flat-tape simulation
+//   cppgen    — the emitted standalone C++ simulator, compiled with the
+//               host compiler, run, and its printed trace parsed back
+//   gates     — whole-system synthesis to a gate netlist, simulated with
+//               netlist::LevelizedSim, output buses read back as values
+//   jit       — the in-process JIT (src/jit): the optimized tape emitted
+//               as C++, compiled to a shared object and dlopen'd
 //
 // Every engine produces a cycle-by-cycle trace of all component output
 // nets; traces are compared bit for bit against the first engine that ran
@@ -19,24 +22,30 @@
 // diagnostic. Engines that cannot represent a spec (dataflow adapters
 // have no compiled/gate image, untimed closures have no generated-code
 // image) are skipped with VERIFY-003; an engine that throws mid-run is a
-// finding in itself (VERIFY-002).
+// finding in itself (VERIFY-002). An unknown engine name throws
+// std::invalid_argument listing the registered names — the same message
+// every selection surface (diff_run, asicpp-fuzz --engines, benches)
+// produces.
 //
 // In addition to the engine axis, every spec is replayed with the
-// optimizer pass pipeline disabled (`pass_axis`): the interpreted engine
-// falls back to the original recursive graph walk and the compiled engine
-// to the raw, unoptimized tape. A divergence between the optimized
-// reference and a passes-off replay is a VERIFY-005 finding — an
-// optimization pass changed observable behaviour.
+// optimizer pass pipeline disabled (`pass_axis`): each registered engine
+// with Capabilities::pass_axis contributes one replay using its
+// noopt_passes() pipeline (the interpreted engine falls back to the
+// original recursive graph walk, the compiled engine to the raw,
+// unoptimized tape). A divergence between the optimized reference and a
+// passes-off replay is a VERIFY-005 finding — an optimization pass
+// changed observable behaviour.
 //
-// A third axis exercises checkpoint/restore (`ckpt_axis`): every
-// in-process engine (iterative, levelized, compiled) is run to a cycle k,
-// snapshotted through its save_state() stream, the snapshot is restored
-// into a *freshly built* engine, and the run continues there. The
-// stitched prefix+resumed trace must be bit-identical to that engine's
-// straight-through trace; a mismatch is a VERIFY-006 finding — snapshot
-// state is incomplete or restore perturbed the simulation. The cppgen and
-// gates engines have no in-process snapshot surface and are covered
-// transitively (they are compiled from the same scheduler state).
+// A third axis exercises checkpoint/restore (`ckpt_axis`): every selected
+// engine with Capabilities::checkpointable (iterative, levelized,
+// compiled, jit) is run to a cycle k, snapshotted through its save_state()
+// stream, the snapshot is restored into a *freshly built* engine, and the
+// run continues there. The stitched prefix+resumed trace must be
+// bit-identical to that engine's straight-through trace; a mismatch is a
+// VERIFY-006 finding — snapshot state is incomplete or restore perturbed
+// the simulation. The cppgen and gates engines have no in-process
+// snapshot surface and are covered transitively (they are compiled from
+// the same scheduler state).
 //
 // Stable code registry (documented in DESIGN.md section 7):
 //   VERIFY-001 cross-representation trace divergence
@@ -52,17 +61,11 @@
 #include <vector>
 
 #include "diag/diag.h"
+#include "engine/engine.h"
 #include "opt/options.h"
 #include "verify/gen.h"
 
 namespace asicpp::verify {
-
-enum class Engine { kIterative, kLevelized, kCompiled, kCppgen, kGates };
-
-const char* engine_name(Engine e);
-/// Parse "iterative", "levelized", "compiled", "cppgen", "gates".
-bool parse_engine(const std::string& name, Engine* out);
-std::vector<Engine> all_engines();
 
 /// Test-only hook: perturb one engine's captured trace at (cycle, net) by
 /// `delta`, faking a translation bug so the detection and shrinking
@@ -70,21 +73,26 @@ std::vector<Engine> all_engines();
 /// injected divergence survives structural shrinking.
 struct TraceMutant {
   bool enabled = false;
-  Engine engine = Engine::kIterative;
+  std::string engine = "iterative";  ///< registry name of the engine to mutate
   std::uint64_t cycle = 0;
   std::string net;
   double delta = 1.0;
 };
 
 struct DiffOptions {
-  /// Engines to run, in order; the first that runs is the reference
-  /// trace. Empty = all engines.
-  std::vector<Engine> engines;
+  /// Registry names of the engines to run, in order; the first that runs
+  /// is the reference trace. Empty = every registered engine in canonical
+  /// order. Unknown names throw std::invalid_argument listing the
+  /// registered set.
+  std::vector<std::string> engines;
   /// Scratch directory for the generated-simulator engine (default:
   /// $TMPDIR or /tmp).
   std::string workdir;
-  /// Host compiler for the generated simulator.
+  /// Host compiler for the generated simulator and the jit engine.
   std::string cxx = "c++";
+  /// Artifact-cache directory override for the jit engine (empty = the
+  /// $ASICPP_JIT_CACHE resolution chain, see jit/jit.h).
+  std::string jit_cache;
   /// Route VERIFY diagnostics into this engine (optional; the DiffResult
   /// carries the findings either way).
   diag::DiagEngine* diagnostics = nullptr;
@@ -95,9 +103,9 @@ struct DiffOptions {
   /// raw compiled tape) and diff against the optimized reference;
   /// mismatches are VERIFY-005 findings.
   bool pass_axis = true;
-  /// Snapshot each in-process engine at cycle k, restore into a fresh
-  /// engine, and continue; mismatches against the straight-through trace
-  /// are VERIFY-006 findings.
+  /// Snapshot each selected checkpointable engine at cycle k, restore into
+  /// a fresh engine, and continue; mismatches against the straight-through
+  /// trace are VERIFY-006 findings.
   bool ckpt_axis = true;
   /// Checkpoint cycle k for the ckpt axis. 0 (the default) derives a
   /// pseudo-random 1 <= k < cycles from the spec seed, so a fuzz campaign
@@ -105,19 +113,12 @@ struct DiffOptions {
   std::uint64_t ckpt_cycle = 0;
 };
 
-struct EngineTrace {
-  Engine engine = Engine::kIterative;
-  bool ran = false;
-  std::string skip_reason;  ///< non-empty: VERIFY-003, engine not applicable
-  std::string fail_reason;  ///< non-empty: VERIFY-002, engine blew up
-  /// Captured values, values[cycle][probe] — probe order matches
-  /// DiffResult::probes.
-  std::vector<std::vector<double>> values;
-};
+/// One engine's captured trace; `engine` is the registry name.
+using EngineTrace = engine::Trace;
 
 struct Divergence {
-  Engine ref = Engine::kIterative;
-  Engine other = Engine::kIterative;
+  std::string ref;    ///< reference engine (registry name)
+  std::string other;  ///< diverging engine (registry name)
   std::uint64_t cycle = 0;
   std::string net;
   double ref_value = 0.0;

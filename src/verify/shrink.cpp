@@ -125,17 +125,6 @@ bool truncate_exprs(CompSpec& c) {
   return changed;
 }
 
-const char* engine_token(Engine e) {
-  switch (e) {
-    case Engine::kIterative: return "Engine::kIterative";
-    case Engine::kLevelized: return "Engine::kLevelized";
-    case Engine::kCompiled: return "Engine::kCompiled";
-    case Engine::kCppgen: return "Engine::kCppgen";
-    case Engine::kGates: return "Engine::kGates";
-  }
-  return "Engine::kIterative";
-}
-
 }  // namespace
 
 ShrinkResult shrink(const Spec& failing, const DiffOptions& dopts,
@@ -387,14 +376,13 @@ void emit_repro(const Spec& spec, const DiffOptions& opts, std::ostream& os) {
      << "  using namespace asicpp::verify;\n";
   emit_spec_cpp(spec, "spec", os);
   os << "\n  DiffOptions opts;\n";
-  for (const Engine e : opts.engines)
-    os << "  opts.engines.push_back(" << engine_token(e) << ");\n";
+  for (const std::string& e : opts.engines)
+    os << "  opts.engines.push_back(\"" << e << "\");\n";
   if (opts.mutant.enabled) {
     os << "  // Test-only trace mutant carried over from the fuzz run; the\n"
        << "  // divergence below is injected, not a real translation bug.\n"
        << "  opts.mutant.enabled = true;\n"
-       << "  opts.mutant.engine = " << engine_token(opts.mutant.engine)
-       << ";\n"
+       << "  opts.mutant.engine = \"" << opts.mutant.engine << "\";\n"
        << "  opts.mutant.cycle = " << opts.mutant.cycle << ";\n"
        << "  opts.mutant.net = \"" << opts.mutant.net << "\";\n"
        << "  opts.mutant.delta = " << fmt_double(opts.mutant.delta) << ";\n";

@@ -418,7 +418,7 @@ TEST(RecorderCkpt, WatchedNetMismatchIsCkpt003) {
 TEST(Verify006, CkptCycleOptionIsHonored) {
   const Spec spec = generate(GenConfig{}, 0);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   opts.pass_axis = false;
   opts.ckpt_cycle = 3;
   const DiffResult r = diff_run(spec, opts);
@@ -431,7 +431,7 @@ TEST(Verify006, CkptCycleOptionIsHonored) {
 TEST(Verify006, AxisCanBeDisabled) {
   const Spec spec = generate(GenConfig{}, 0);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative};
+  opts.engines = {"iterative"};
   opts.pass_axis = false;
   opts.ckpt_axis = false;
   const DiffResult r = diff_run(spec, opts);
@@ -446,7 +446,7 @@ TEST(Verify006, SnapshotRestoreBitIdenticalAcross200FuzzSeeds) {
   for (unsigned seed = 0; seed < 200; ++seed) specs.push_back(generate(cfg, seed));
   diag::DiagEngine de;
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized, Engine::kCompiled};
+  opts.engines = {"iterative", "levelized", "compiled"};
   opts.pass_axis = false;  // isolate the checkpoint axis
   opts.diagnostics = &de;
   const auto results = diff_run_batch(specs, opts, /*jobs=*/0);
@@ -463,9 +463,9 @@ TEST(Verify006, SnapshotRestoreBitIdenticalAcross200FuzzSeeds) {
 TEST(ShrinkBudget, TinyBudgetReturnsBestSoFarAndFlags) {
   const Spec s = generate(GenConfig{}, 0);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   opts.mutant.enabled = true;
-  opts.mutant.engine = Engine::kLevelized;
+  opts.mutant.engine = "levelized";
   opts.mutant.cycle = 5;
   opts.mutant.net = s.probes().front();
   opts.mutant.delta = 0.25;
@@ -481,9 +481,9 @@ TEST(ShrinkBudget, TinyBudgetReturnsBestSoFarAndFlags) {
 TEST(ShrinkBudget, GenerousBudgetDoesNotExpire) {
   const Spec s = generate(GenConfig{}, 0);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   opts.mutant.enabled = true;
-  opts.mutant.engine = Engine::kLevelized;
+  opts.mutant.engine = "levelized";
   opts.mutant.cycle = 5;
   opts.mutant.net = s.probes().front();
   opts.mutant.delta = 0.25;

@@ -336,8 +336,8 @@ TEST_P(PassAxisEquiv, OptimizedTraceEqualsUnoptimized) {
   const int base = GetParam();
   verify::GenConfig cfg;
   verify::DiffOptions opts;
-  opts.engines = {verify::Engine::kIterative, verify::Engine::kLevelized,
-                  verify::Engine::kCompiled};
+  opts.engines = {"iterative", "levelized",
+                  "compiled"};
   opts.pass_axis = true;
   for (int k = 0; k < 25; ++k) {
     const unsigned seed = static_cast<unsigned>(base * 25 + k);

@@ -333,7 +333,7 @@ TEST(ParDeterminism, DiffRunBatchIsByteIdenticalAcrossJobCounts) {
     specs.push_back(generate(cfg, seed));
 
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized, Engine::kCompiled};
+  opts.engines = {"iterative", "levelized", "compiled"};
   const std::string serial = batch_fingerprint(specs, opts, 1);
   EXPECT_EQ(batch_fingerprint(specs, opts, 8), serial);
 
@@ -341,7 +341,7 @@ TEST(ParDeterminism, DiffRunBatchIsByteIdenticalAcrossJobCounts) {
   // merged diagnostic stream must still come back in spec order.
   DiffOptions bad = opts;
   bad.mutant.enabled = true;
-  bad.mutant.engine = Engine::kLevelized;
+  bad.mutant.engine = "levelized";
   bad.mutant.cycle = 1;
   bad.mutant.net = "w2";
   bad.mutant.delta = 0.5;
@@ -353,9 +353,9 @@ TEST(ParDeterminism, ShrinkJobsDoNotChangeTheMinimalSpec) {
   const GenConfig cfg;
   const Spec spec = generate(cfg, 0);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   opts.mutant.enabled = true;
-  opts.mutant.engine = Engine::kLevelized;
+  opts.mutant.engine = "levelized";
   opts.mutant.cycle = 5;
   opts.mutant.net = spec.probes().front();
   opts.mutant.delta = 0.25;

@@ -33,8 +33,8 @@ TEST_P(FourLevelEquiv, AllEnginesAgree) {
   const auto seed = static_cast<unsigned>(GetParam());
   const Spec spec = generate(timed_cfg(), seed);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized, Engine::kCompiled,
-                  Engine::kGates};
+  opts.engines = {"iterative", "levelized", "compiled",
+                  "gates"};
   const DiffResult r = diff_run(spec, opts);
   EXPECT_TRUE(r.ok()) << "seed " << seed << "\n"
                       << to_text(spec) << r.summary();
@@ -52,7 +52,7 @@ TEST_P(LevelizedEquiv, TracesMatchIterativeBitForBit) {
   const auto seed = static_cast<unsigned>(GetParam());
   const Spec spec = generate(GenConfig{}, seed);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   const DiffResult r = diff_run(spec, opts);
   EXPECT_TRUE(r.ok()) << "seed " << seed << "\n"
                       << to_text(spec) << r.summary();

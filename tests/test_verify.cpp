@@ -126,7 +126,7 @@ TEST(VerifyDiff, AllEnginesAgreeOnGeneratedSpecs) {
   // Interpreted + compiled engines only: the cppgen engine shells out to
   // the host compiler per spec, which the CLI smoke test already covers.
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized, Engine::kCompiled};
+  opts.engines = {"iterative", "levelized", "compiled"};
   for (unsigned seed = 0; seed < 25; ++seed) {
     const Spec s = generate(cfg, seed);
     const DiffResult r = diff_run(s, opts);
@@ -141,7 +141,7 @@ TEST(VerifyDiff, GatesEngineAgreesOnSynthesizableSpecs) {
   cfg.allow_untimed = false;
   cfg.max_comps = 5;
   DiffOptions opts;
-  opts.engines = {Engine::kLevelized, Engine::kGates};
+  opts.engines = {"levelized", "gates"};
   for (unsigned seed = 0; seed < 6; ++seed) {
     const Spec s = generate(cfg, seed);
     const DiffResult r = diff_run(s, opts);
@@ -157,7 +157,7 @@ TEST(VerifyDiff, AdapterSpecsSkipNonInterpretedEngines) {
     if (!s.has(CompKind::kAdapter)) continue;
     diag::DiagEngine de;
     DiffOptions opts;
-    opts.engines = {Engine::kIterative, Engine::kCompiled, Engine::kGates};
+    opts.engines = {"iterative", "compiled", "gates"};
     opts.diagnostics = &de;
     const DiffResult r = diff_run(s, opts);
     EXPECT_TRUE(r.ok()) << r.summary();
@@ -172,10 +172,10 @@ TEST(VerifyDiff, MutantTraceIsDetectedAsVerify001) {
   const Spec s = generate(GenConfig{}, 0);
   diag::DiagEngine de;
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   opts.diagnostics = &de;
   opts.mutant.enabled = true;
-  opts.mutant.engine = Engine::kLevelized;
+  opts.mutant.engine = "levelized";
   opts.mutant.cycle = 5;
   opts.mutant.net = s.probes().front();
   opts.mutant.delta = 0.25;
@@ -195,10 +195,10 @@ TEST(VerifyShrink, MutantShrinksToMinimalRepro) {
   ASSERT_GE(s.comps.size(), 3u);
   diag::DiagEngine de;
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   opts.diagnostics = &de;
   opts.mutant.enabled = true;
-  opts.mutant.engine = Engine::kLevelized;
+  opts.mutant.engine = "levelized";
   opts.mutant.cycle = 5;
   opts.mutant.net = s.probes().front();
   opts.mutant.delta = 0.25;
@@ -221,7 +221,7 @@ TEST(VerifyShrink, MutantShrinksToMinimalRepro) {
 TEST(VerifyShrink, CleanSpecIsReturnedUnchanged) {
   const Spec s = generate(GenConfig{}, 1);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   const ShrinkResult sr = shrink(s, opts);
   EXPECT_EQ(to_text(sr.minimal), to_text(s));
   EXPECT_TRUE(sr.final_diff.ok());
@@ -231,9 +231,9 @@ TEST(VerifyShrink, CleanSpecIsReturnedUnchanged) {
 TEST(VerifyShrink, ReproIsCompilableCpp) {
   const Spec s = generate(GenConfig{}, 0);
   DiffOptions opts;
-  opts.engines = {Engine::kIterative, Engine::kLevelized};
+  opts.engines = {"iterative", "levelized"};
   opts.mutant.enabled = true;
-  opts.mutant.engine = Engine::kLevelized;
+  opts.mutant.engine = "levelized";
   opts.mutant.cycle = 5;
   opts.mutant.net = s.probes().front();
   opts.mutant.delta = 0.25;

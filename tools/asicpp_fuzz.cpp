@@ -61,6 +61,7 @@
 
 #include "ckpt/snapshot.h"
 #include "diag/diag.h"
+#include "engine/engine.h"
 #include "par/pool.h"
 #include "verify/diffrun.h"
 #include "verify/gen.h"
@@ -74,7 +75,7 @@ namespace {
 struct Args {
   int seeds = 50;
   unsigned seed_base = 0;
-  std::vector<Engine> engines;  // empty = all
+  std::vector<std::string> engines;  // registry names; empty = all
   std::string corpus_dir;
   std::string json_path;
   std::string cxx = "c++";
@@ -101,11 +102,13 @@ int usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --seeds N         number of seeds to fuzz (default 50)\n"
       "  --seed-base N     first seed (default 0)\n"
-      "  --engines LIST    comma-separated subset of: iterative, levelized,\n"
-      "                    compiled, cppgen, gates (default: all)\n"
+      "  --engines LIST    comma-separated subset of the registered engines:\n"
+      "                    iterative, levelized, compiled, cppgen, gates, jit\n"
+      "                    (default: all)\n"
       "  --corpus-dir DIR  write failing spec + shrunken repro files here\n"
       "  --json FILE       write a machine-readable result summary\n"
-      "  --cxx CC          host compiler for the cppgen engine (default c++)\n"
+      "  --cxx CC          host compiler for the cppgen and jit engines\n"
+      "                    (default c++)\n"
       "  --max-attempts N  shrinker run budget per failure (default 400)\n"
       "  --shrink-budget S wall-clock budget per failure's shrink, seconds\n"
       "                    (default: unlimited); on expiry the best-so-far\n"
@@ -170,7 +173,8 @@ bool parse_mutant(const std::string& arg, TraceMutant* m) {
   if (!std::getline(is, engine, ':') || !std::getline(is, cycle, ':') ||
       !std::getline(is, net, ':') || !std::getline(is, delta))
     return false;
-  if (!parse_engine(engine, &m->engine)) return false;
+  if (asicpp::engine::Registry::global().find(engine) == nullptr) return false;
+  m->engine = engine;
   long c = 0;
   if (!parse_long(cycle.c_str(), 0, &c)) return false;
   m->cycle = static_cast<std::uint64_t>(c);
@@ -204,12 +208,13 @@ bool parse_args(int argc, char** argv, Args* a) {
       std::istringstream is(v);
       std::string name;
       while (std::getline(is, name, ',')) {
-        Engine e;
-        if (!parse_engine(name, &e)) {
-          std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+        if (asicpp::engine::Registry::global().find(name) == nullptr) {
+          std::fprintf(
+              stderr, "unknown engine '%s' (registered: %s)\n", name.c_str(),
+              asicpp::engine::Registry::global().names_csv().c_str());
           return false;
         }
-        a->engines.push_back(e);
+        a->engines.push_back(name);
       }
       if (a->engines.empty()) return false;
     } else if (opt == "--corpus-dir") {
@@ -328,10 +333,11 @@ void write_json(const Args& args, int clean,
      << "  \"seeds\": " << args.seeds << ",\n"
      << "  \"seed_base\": " << args.seed_base << ",\n"
      << "  \"engines\": [";
-  const std::vector<Engine> engines =
-      args.engines.empty() ? all_engines() : args.engines;
+  const std::vector<std::string> engines =
+      args.engines.empty() ? asicpp::engine::Registry::global().names()
+                           : args.engines;
   for (std::size_t i = 0; i < engines.size(); ++i)
-    os << (i ? ", " : "") << "\"" << engine_name(engines[i]) << "\"";
+    os << (i ? ", " : "") << "\"" << engines[i] << "\"";
   os << "],\n"
      << "  \"clean\": " << clean << ",\n"
      << "  \"failures\": [";
@@ -372,8 +378,10 @@ struct SeedOutcome {
 
 std::string engines_csv(const Args& args) {
   std::string s;
-  for (const Engine e : args.engines.empty() ? all_engines() : args.engines)
-    s += (s.empty() ? "" : ",") + std::string(engine_name(e));
+  for (const std::string& e :
+       args.engines.empty() ? asicpp::engine::Registry::global().names()
+                            : args.engines)
+    s += (s.empty() ? "" : ",") + e;
   return s;
 }
 
@@ -422,7 +430,7 @@ std::string journal_header(const Args& args) {
       << args.passes.canonicalize << args.passes.fold << args.passes.identities
       << args.passes.cse << args.passes.dce << '|' << args.pass_axis << '|'
       << args.ckpt_axis << '|' << args.ckpt_cycle << '|' << args.mutant.enabled
-      << ':' << engine_name(args.mutant.engine) << ':' << args.mutant.cycle
+      << ':' << args.mutant.engine << ':' << args.mutant.cycle
       << ':' << args.mutant.net << ':' << args.mutant.delta << '|'
       << args.max_attempts << '|' << args.shrink_budget_s << '|'
       << args.corpus_dir << '|' << args.verbose << '|' << args.cxx;
@@ -543,7 +551,7 @@ SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
     f.code = "VERIFY-001";
     std::snprintf(buf, sizeof buf,
                   "%s vs %s diverge at cycle %llu net %s (%.17g vs %.17g)",
-                  engine_name(d->ref), engine_name(d->other),
+                  d->ref.c_str(), d->other.c_str(),
                   static_cast<unsigned long long>(d->cycle), d->net.c_str(),
                   d->ref_value, d->other_value);
     f.detail = buf;
@@ -553,7 +561,7 @@ SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
     std::snprintf(buf, sizeof buf,
                   "passes on vs off (%s) diverge at cycle %llu net %s "
                   "(%.17g vs %.17g)",
-                  engine_name(d.other),
+                  d.other.c_str(),
                   static_cast<unsigned long long>(d.cycle), d.net.c_str(),
                   d.ref_value, d.other_value);
     f.detail = buf;
@@ -563,7 +571,7 @@ SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
     std::snprintf(buf, sizeof buf,
                   "checkpoint replay (%s, snapshot at cycle %llu) diverges "
                   "at cycle %llu net %s (%.17g vs %.17g)",
-                  engine_name(d.other),
+                  d.other.c_str(),
                   static_cast<unsigned long long>(r.ckpt_cycle),
                   static_cast<unsigned long long>(d.cycle), d.net.c_str(),
                   d.ref_value, d.other_value);
@@ -572,7 +580,7 @@ SeedOutcome run_seed(const Args& args, const DiffOptions& dopts,
     f.code = "VERIFY-002";
     for (const EngineTrace& t : r.traces)
       if (!t.fail_reason.empty()) {
-        f.detail = std::string(engine_name(t.engine)) + ": " + t.fail_reason;
+        f.detail = t.engine + ": " + t.fail_reason;
         break;
       }
   }

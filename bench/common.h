@@ -25,10 +25,16 @@ class JsonReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& reports) override {
     ConsoleReporter::ReportRuns(reports);
     for (const auto& r : reports) {
+      // With --benchmark_repetitions=N each repetition lands as its own
+      // record under the same name (the gate min-merges them); the
+      // synthesized _mean/_median/_stddev aggregates would only pollute
+      // the name space.
+      if (r.run_type == Run::RT_Aggregate) continue;
       Record rec;
       rec.name = r.benchmark_name();
       rec.iterations = static_cast<double>(r.iterations);
       rec.wall_seconds = r.real_accumulated_time;
+      rec.cpu_seconds = r.cpu_accumulated_time;
       for (const auto& [cname, counter] : r.counters)
         rec.counters.emplace_back(cname, counter.value);
       records_.push_back(std::move(rec));
@@ -48,7 +54,8 @@ class JsonReporter : public benchmark::ConsoleReporter {
       const Record& r = records_[i];
       os << (i ? "," : "") << "\n    {\"name\": \"" << escape(r.name)
          << "\", \"iterations\": " << r.iterations
-         << ", \"wall_seconds\": " << r.wall_seconds;
+         << ", \"wall_seconds\": " << r.wall_seconds
+         << ", \"cpu_seconds\": " << r.cpu_seconds;
       for (const auto& [cname, value] : r.counters)
         os << ", \"" << escape(cname) << "\": " << value;
       os << "}";
@@ -69,6 +76,7 @@ class JsonReporter : public benchmark::ConsoleReporter {
     std::string name;
     double iterations = 0;
     double wall_seconds = 0;
+    double cpu_seconds = 0;
     std::vector<std::pair<std::string, double>> counters;
   };
 

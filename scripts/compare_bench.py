@@ -2,45 +2,120 @@
 """Compare fresh BENCH_*.json snapshots against a committed baseline.
 
 Matches benchmarks by name inside same-tag files and compares per-iteration
-wall time. Regressions beyond the threshold produce GitHub Actions warning
-annotations (::warning::) — never a nonzero exit: bench hardware drifts
-between runners, so the signal is advisory.
+CPU time (wall time for old snapshots without the field). This is an
+*enforcing* gate: any regression beyond the threshold
+exits nonzero (CI fails), unless the benchmark is explicitly allowlisted or
+--warn-only is set. Known-noisy benchmarks go on the allowlist — one
+fnmatch pattern (`tag/name`, bare `name`, or a glob like `BM_*Threads/*`)
+per --allowlist argument — where a regression still prints a warning
+annotation but does not fail the run. Run the benches with
+--benchmark_repetitions=N on both sides: repeated records min-merge, and
+best-of-N is far less noise-prone than a single sample.
+
+Baseline entries with no matching fresh result are reported as stale: a
+renamed or deleted benchmark silently stops being compared otherwise, and
+"the gate passed" would mean less than it reads.
+
+A markdown summary table is appended to $GITHUB_STEP_SUMMARY (or the file
+named by --summary) when set.
 
 Usage:
   python3 scripts/compare_bench.py --baseline bench/baseline --fresh . \
-      [--threshold 0.20]
+      [--threshold 0.25] [--allowlist tag/name ...] [--filter REGEX] \
+      [--warn-only]
 """
 import argparse
+import fnmatch
 import glob
 import json
 import os
+import re
 import sys
 
 
-def load_dir(path):
-    """tag -> {benchmark name -> seconds per iteration}"""
+def load_dir(path, name_re=None):
+    """tag -> {benchmark name -> seconds per iteration}
+
+    Repeated records under one name (--benchmark_repetitions) min-merge:
+    the best repetition is the least noise-contaminated measurement, so
+    both sides of the comparison use it.
+    """
     out = {}
     for f in glob.glob(os.path.join(path, "BENCH_*.json")):
         with open(f) as fh:
             doc = json.load(fh)
         per_iter = {}
         for b in doc.get("benchmarks", []):
+            if name_re is not None and not name_re.search(b["name"]):
+                continue
             iters = b.get("iterations", 0)
             if iters > 0:
-                per_iter[b["name"]] = b["wall_seconds"] / iters
-        out[doc.get("tag", os.path.basename(f))] = per_iter
+                # CPU time when the snapshot carries it (robust against
+                # co-tenant load on shared runners), wall time for older
+                # baselines that predate the field.
+                secs = b.get("cpu_seconds") or b["wall_seconds"]
+                t = secs / iters
+                prev = per_iter.get(b["name"])
+                per_iter[b["name"]] = t if prev is None else min(prev, t)
+        if per_iter or name_re is None:
+            out[doc.get("tag", os.path.basename(f))] = per_iter
     return out
+
+
+def allowlisted(allow, tag, name):
+    """Each allowlist entry is an fnmatch pattern against 'tag/name' or bare
+    'name' — exact names still match, and globs cover families like
+    'BM_*Threads/*' (thread-contention benches are noisy on shared runners).
+    """
+    return any(fnmatch.fnmatch(f"{tag}/{name}", pat) or
+               fnmatch.fnmatch(name, pat) for pat in allow)
+
+
+def write_summary(path, rows, stale, threshold, regressed, waived):
+    with open(path, "a") as fh:
+        fh.write(f"### Bench gate ({threshold:.0%} threshold)\n\n")
+        if rows:
+            fh.write("| benchmark | baseline | current | ratio | verdict |\n")
+            fh.write("|---|---|---|---|---|\n")
+            for tag, name, t0, t, verdict in rows:
+                fh.write(f"| `{tag}/{name}` | {t0 * 1e6:.2f}us "
+                         f"| {t * 1e6:.2f}us | {t / t0:.0%} | {verdict} |\n")
+            fh.write("\n")
+        if stale:
+            fh.write("**Stale baseline entries** (no matching fresh result "
+                     "— renamed or deleted?):\n\n")
+            for entry in stale:
+                fh.write(f"- `{entry}`\n")
+            fh.write("\n")
+        fh.write(f"{len(rows)} compared, {regressed} failed, "
+                 f"{waived} allowlisted.\n")
 
 
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--fresh", required=True)
-    ap.add_argument("--threshold", type=float, default=0.20)
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fail when current/baseline exceeds 1 + this "
+                         "(default 0.25)")
+    ap.add_argument("--allowlist", action="append", default=[],
+                    metavar="TAG/NAME",
+                    help="benchmark whose regression warns instead of "
+                         "failing; fnmatch pattern against 'tag/name' or "
+                         "bare 'name'; repeatable")
+    ap.add_argument("--filter", metavar="REGEX",
+                    help="compare only benchmarks whose name matches")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="legacy advisory mode: annotate, never fail")
+    ap.add_argument("--summary",
+                    default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                    help="append a markdown table here "
+                         "(default: $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
 
-    base = load_dir(args.baseline)
-    fresh = load_dir(args.fresh)
+    name_re = re.compile(args.filter) if args.filter else None
+    base = load_dir(args.baseline, name_re)
+    fresh = load_dir(args.fresh, name_re)
     if not base:
         print(f"no baseline snapshots under {args.baseline}; nothing to compare")
         return 0
@@ -48,7 +123,9 @@ def main():
         print(f"::warning::no fresh BENCH_*.json under {args.fresh}")
         return 0
 
-    compared = regressed = 0
+    rows = []          # (tag, name, t0, t, verdict)
+    stale = []         # baseline entries with no fresh counterpart
+    compared = regressed = waived = 0
     for tag, benches in sorted(fresh.items()):
         ref = base.get(tag)
         if ref is None:
@@ -71,13 +148,41 @@ def main():
             line = (f"{tag}/{name}: {t * 1e6:.2f}us vs baseline "
                     f"{t0 * 1e6:.2f}us ({ratio:.0%} of baseline)")
             if ratio > 1.0 + args.threshold:
-                regressed += 1
-                print(f"::warning title=bench regression::{line}")
+                if args.warn_only or allowlisted(args.allowlist, tag, name):
+                    waived += 1
+                    rows.append((tag, name, t0, t, "allowlisted" if not
+                                 args.warn_only else "warned"))
+                    print(f"::warning title=bench regression::{line}")
+                else:
+                    regressed += 1
+                    rows.append((tag, name, t0, t, "**FAIL**"))
+                    print(f"::error title=bench regression::{line}")
             else:
+                rows.append((tag, name, t0, t, "ok"))
                 print(line)
-    print(f"compared {compared} benchmark(s), "
-          f"{regressed} over the {args.threshold:.0%} threshold")
-    return 0
+        # Stale-baseline sweep: names the baseline still carries but no fresh
+        # run produced — silence here would shrink the gate without anyone
+        # noticing.
+        for name in sorted(set(ref) - set(benches)):
+            stale.append(f"{tag}/{name}")
+            print(f"::warning title=stale bench baseline::{tag}/{name} is in "
+                  f"the baseline but produced no fresh result")
+    # A whole baseline tag with no fresh snapshot is the same silence one
+    # level up: the bench binary stopped running (or was renamed) and every
+    # entry under it went stale at once.
+    for tag in sorted(set(base) - set(fresh)):
+        for name in sorted(base[tag]):
+            stale.append(f"{tag}/{name}")
+        print(f"::warning title=stale bench baseline::tag '{tag}' is in the "
+              f"baseline but no fresh BENCH_{tag}.json was produced")
+
+    print(f"compared {compared} benchmark(s), {regressed} failed the "
+          f"{args.threshold:.0%} threshold, {waived} allowlisted, "
+          f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}")
+    if args.summary:
+        write_summary(args.summary, rows, stale, args.threshold, regressed,
+                      waived)
+    return 1 if regressed else 0
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ const char* engine_kind_name(EngineKind k) {
     case EngineKind::kCompiledSystem: return "compiled simulator";
     case EngineKind::kDataflow: return "dataflow scheduler";
     case EngineKind::kRecorder: return "recorder";
+    case EngineKind::kBatched: return "batched simulator";
   }
   return "unknown";
 }
@@ -217,7 +218,7 @@ std::uint64_t Reader::header(EngineKind expect_kind,
   std::uint8_t kind = u8();
   if (kind != static_cast<std::uint8_t>(expect_kind)) {
     std::string found =
-        (kind >= 1 && kind <= 4)
+        (kind >= 1 && kind <= 5)
             ? engine_kind_name(static_cast<EngineKind>(kind))
             : ("unknown kind " + std::to_string(kind));
     fail("CKPT-001",

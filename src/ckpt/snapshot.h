@@ -31,6 +31,8 @@
 //   CKPT-002 snapshot format version skew
 //   CKPT-003 content hash mismatch (snapshot of a different design)
 //   CKPT-004 truncated or corrupt snapshot stream
+//   CKPT-005 lane binding mismatch (per-lane batched snapshot restored
+//            into a different lane index)
 #pragma once
 
 #include <cstdint>
@@ -54,6 +56,7 @@ enum class EngineKind : std::uint8_t {
   kCompiledSystem = 2,  ///< sim::CompiledSystem flat-tape simulator
   kDataflow = 3,        ///< df::DynamicScheduler
   kRecorder = 4,        ///< sim::Recorder trace position
+  kBatched = 5,         ///< batch::BatchedSystem, one lane per snapshot
 };
 
 const char* engine_kind_name(EngineKind k);

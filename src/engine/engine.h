@@ -3,7 +3,7 @@
 // Every way the environment can execute one design description — the
 // interpreted cycle scheduler (iterative or levelized), the compiled-tape
 // simulator, the in-process JIT, the regenerated standalone C++ simulator,
-// synthesized gates — is an `Engine`: a named, capability-tagged object
+// synthesized gates, the lane-batched SoA evaluator — is an `Engine`: a named, capability-tagged object
 // that can replay a verify::Spec into a cycle-by-cycle trace. The
 // `Registry` resolves engines by name, so every surface that selects
 // engines (diff_run, asicpp-fuzz --engines, bench variant selection) shares
@@ -54,6 +54,12 @@ struct TraceOptions {
   /// Artifact-cache directory override for the jit engine. Empty = the
   /// $ASICPP_JIT_CACHE / $XDG_CACHE_HOME resolution chain (see jit/jit.h).
   std::string jit_cache;
+  /// Lane count for the batched engine: the spec replays in every lane of
+  /// an N-wide SoA batch, the reported trace comes from lane seed % N, and
+  /// every cycle the engine asserts lane invariance (any lane diverging
+  /// from lane 0 is a determinism-contract violation reported via
+  /// Trace::fail_reason). Other engines ignore it. 0 is treated as 1.
+  unsigned lanes = 4;
 };
 
 /// One engine's replay of a spec. `values[cycle][probe]` follows
@@ -107,7 +113,7 @@ class Engine {
 
 /// Name-indexed engine collection. `global()` returns the process-wide
 /// registry, pre-populated with the built-in engines in their canonical
-/// order: iterative, levelized, compiled, cppgen, gates, jit.
+/// order: iterative, levelized, compiled, cppgen, gates, jit, batched.
 class Registry {
  public:
   static Registry& global();
@@ -123,8 +129,8 @@ class Registry {
 
   std::vector<const Engine*> all() const;
   std::vector<std::string> names() const;
-  /// "iterative, levelized, compiled, cppgen, gates, jit" — the unknown-
-  /// name error text shared by every selection surface.
+  /// "iterative, levelized, compiled, cppgen, gates, jit, batched" — the
+  /// unknown-name error text shared by every selection surface.
   std::string names_csv() const;
 
  private:

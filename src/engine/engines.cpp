@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "batch/batch.h"
 #include "jit/jit.h"
 #include "netlist/equiv.h"
 #include "netlist/netsim.h"
@@ -348,6 +349,114 @@ class JitEngine : public Engine {
   Capabilities caps_;
 };
 
+// --- lane-batched SoA evaluator --------------------------------------------
+
+class BatchedEngine : public Engine {
+ public:
+  BatchedEngine() {
+    caps_.checkpointable = true;  // per-lane snapshots (ckpt kBatched)
+    caps_.pass_aware = true;
+    // No passes-off replay of its own: the raw tape is covered by the
+    // compiled engine, and the batched evaluator replays the same image.
+    caps_.pass_axis = false;
+    // Not bindable as a Runner: bind() attaches one engine to one live
+    // scheduler, and a one-lane batch adds nothing over `compiled`.
+    caps_.in_process = false;
+  }
+
+  const std::string& name() const override { return name_; }
+  const Capabilities& caps() const override { return caps_; }
+
+  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
+    Trace t;
+    t.engine = name_;
+    if (spec.has(CompKind::kAdapter)) {
+      t.skip_reason = "dataflow adapters have no compiled-simulation image";
+      return t;
+    }
+    const unsigned lanes = opts.lanes == 0 ? 1 : opts.lanes;
+    // The reported trace comes from a seed-dependent lane, so the fuzz
+    // campaign sweeps lane positions: any lane-position dependence shows up
+    // as an engine-axis divergence against the scalar engines.
+    const unsigned report = static_cast<unsigned>(spec.seed % lanes);
+    System sys(spec);
+    batch::BatchedSystem bs =
+        batch::BatchedSystem::compile(sys.scheduler(), lanes, opts.passes);
+    const auto probes = spec.probes();
+    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+      bs.cycle();
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes) {
+        const double v0 = bs.net_value(0, n);
+        // Lane-invariance contract: every lane replays the same spec with
+        // the same stimulus, so any divergence is a batching bug — checked
+        // on every fuzz seed, every cycle.
+        for (unsigned l = 1; l < lanes; ++l) {
+          if (bs.net_value(l, n) != v0) {
+            t.fail_reason = "lane-invariance violation: net '" + n +
+                            "' lane " + std::to_string(l) + " = " +
+                            std::to_string(bs.net_value(l, n)) +
+                            ", lane 0 = " + std::to_string(v0) +
+                            " at cycle " + std::to_string(c);
+            return t;
+          }
+        }
+        row.push_back(bs.net_value(report, n));
+      }
+      t.values.push_back(std::move(row));
+    }
+    t.ran = true;
+    return t;
+  }
+
+  Trace trace_ckpt(const Spec& spec, const TraceOptions& opts,
+                   std::uint64_t k) const override {
+    Trace t;
+    t.engine = name_;
+    if (spec.has(CompKind::kAdapter)) {
+      t.skip_reason = "dataflow adapters have no compiled-simulation image";
+      return t;
+    }
+    const unsigned lanes = opts.lanes == 0 ? 1 : opts.lanes;
+    const unsigned report = static_cast<unsigned>(spec.seed % lanes);
+    const auto probes = spec.probes();
+    const auto capture = [&](batch::BatchedSystem& bs) {
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes)
+        row.push_back(bs.net_value(report, n));
+      t.values.push_back(std::move(row));
+    };
+    System sa(spec);
+    batch::BatchedSystem a =
+        batch::BatchedSystem::compile(sa.scheduler(), lanes, opts.passes);
+    for (std::uint64_t c = 0; c < k; ++c) {
+      a.cycle();
+      capture(a);
+    }
+    std::stringstream snap;
+    a.save_lane(report, snap);
+    // Only the report lane restores; the other lanes of B replay from
+    // reset, so the continued batch deliberately runs with divergent lanes
+    // — exercising the masked per-lane paths on every checkpoint axis.
+    System sb(spec);
+    batch::BatchedSystem b =
+        batch::BatchedSystem::compile(sb.scheduler(), lanes, opts.passes);
+    b.restore_lane(report, snap);
+    for (std::uint64_t c = k; c < spec.cycles; ++c) {
+      b.cycle();
+      capture(b);
+    }
+    t.ran = true;
+    return t;
+  }
+
+ private:
+  std::string name_ = "batched";
+  Capabilities caps_;
+};
+
 // --- generated standalone C++ simulator ------------------------------------
 
 class CppgenEngine : public Engine {
@@ -494,6 +603,7 @@ void register_builtin_engines(Registry& r) {
   r.add(std::make_unique<CppgenEngine>());
   r.add(std::make_unique<GatesEngine>());
   r.add(std::make_unique<JitEngine>());
+  r.add(std::make_unique<BatchedEngine>());
 }
 
 }  // namespace asicpp::engine

@@ -31,6 +31,10 @@ class JitSystem;
 struct Emitter;
 }  // namespace asicpp::jit
 
+namespace asicpp::batch {
+class BatchedSystem;
+}  // namespace asicpp::batch
+
 namespace asicpp::sim {
 
 class CompiledSystem {
@@ -150,6 +154,9 @@ class CompiledSystem {
   // drives the resulting shared object against the same slot arrays.
   friend class asicpp::jit::JitSystem;
   friend struct asicpp::jit::Emitter;
+  // The batched evaluator (src/batch) replays this system's tapes over a
+  // lanes-wide structure-of-arrays slot store, one instance per lane.
+  friend class asicpp::batch::BatchedSystem;
 
   CompiledSystem() = default;
 

@@ -20,6 +20,7 @@ engine::TraceOptions trace_options(const DiffOptions& opts) {
   t.workdir = opts.workdir;
   t.cxx = opts.cxx;
   t.jit_cache = opts.jit_cache;
+  t.lanes = opts.lanes;
   return t;
 }
 

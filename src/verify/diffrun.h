@@ -15,6 +15,10 @@
 //               netlist::LevelizedSim, output buses read back as values
 //   jit       — the in-process JIT (src/jit): the optimized tape emitted
 //               as C++, compiled to a shared object and dlopen'd
+//   batched   — the lane-batched SoA evaluator (src/batch): the spec runs
+//               in every lane of an N-wide batch, the reported trace comes
+//               from lane seed % N, and lane invariance is asserted every
+//               cycle — so each fuzz seed also sweeps lane positions
 //
 // Every engine produces a cycle-by-cycle trace of all component output
 // nets; traces are compared bit for bit against the first engine that ran
@@ -38,7 +42,7 @@
 //
 // A third axis exercises checkpoint/restore (`ckpt_axis`): every selected
 // engine with Capabilities::checkpointable (iterative, levelized,
-// compiled, jit) is run to a cycle k, snapshotted through its save_state()
+// compiled, jit, batched) is run to a cycle k, snapshotted through its save_state()
 // stream, the snapshot is restored into a *freshly built* engine, and the
 // run continues there. The stitched prefix+resumed trace must be
 // bit-identical to that engine's straight-through trace; a mismatch is a
@@ -111,6 +115,9 @@ struct DiffOptions {
   /// pseudo-random 1 <= k < cycles from the spec seed, so a fuzz campaign
   /// sweeps the checkpoint position across the trace.
   std::uint64_t ckpt_cycle = 0;
+  /// Lane count for the batched engine's SoA replay (>= 1); forwarded as
+  /// TraceOptions::lanes. The reported lane is seed % lanes.
+  unsigned lanes = 4;
 };
 
 /// One engine's captured trace; `engine` is the registry name.

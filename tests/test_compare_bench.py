@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Unit tests for the enforcing bench gate (scripts/compare_bench.py).
+
+Each test builds a baseline and a fresh BENCH_*.json pair in a temp dir,
+runs the script as a subprocess (the same way CI does), and checks the
+exit code plus the console/summary output.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, "scripts", "compare_bench.py")
+
+
+def snapshot(path, tag, benches):
+    """benches: {name: seconds_per_iteration} written as 100-iteration runs."""
+    doc = {"tag": tag, "benchmarks": [
+        {"name": n, "iterations": 100, "wall_seconds": t * 100}
+        for n, t in benches.items()]}
+    with open(os.path.join(path, f"BENCH_{tag}.json"), "w") as fh:
+        json.dump(doc, fh)
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.base = os.path.join(self.tmp.name, "baseline")
+        self.fresh = os.path.join(self.tmp.name, "fresh")
+        os.mkdir(self.base)
+        os.mkdir(self.fresh)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_gate(self, *extra, env_extra=None):
+        env = dict(os.environ)
+        env.pop("GITHUB_STEP_SUMMARY", None)
+        if env_extra:
+            env.update(env_extra)
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", self.base,
+             "--fresh", self.fresh, *extra],
+            capture_output=True, text=True, env=env)
+
+    def test_within_threshold_passes(self):
+        snapshot(self.base, "t", {"BM_A": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 1.2})
+        r = self.run_gate("--threshold", "0.25")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("BM_A", r.stdout)
+
+    def test_regression_fails(self):
+        snapshot(self.base, "t", {"BM_A": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 1.5})
+        r = self.run_gate("--threshold", "0.25")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("::error title=bench regression::", r.stdout)
+
+    def test_threshold_flag_respected(self):
+        snapshot(self.base, "t", {"BM_A": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 1.5})
+        r = self.run_gate("--threshold", "0.60")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_allowlisted_regression_warns_but_passes(self):
+        snapshot(self.base, "t", {"BM_A": 1.0, "BM_B": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 2.0, "BM_B": 1.0})
+        r = self.run_gate("--allowlist", "t/BM_A")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("::warning title=bench regression::", r.stdout)
+        # A bare name (no tag) allowlists too.
+        r = self.run_gate("--allowlist", "BM_A")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_allowlist_does_not_waive_other_benchmarks(self):
+        snapshot(self.base, "t", {"BM_A": 1.0, "BM_B": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 2.0, "BM_B": 2.0})
+        r = self.run_gate("--allowlist", "t/BM_A")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_warn_only_never_fails(self):
+        snapshot(self.base, "t", {"BM_A": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 3.0})
+        r = self.run_gate("--warn-only")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("::warning title=bench regression::", r.stdout)
+
+    def test_missing_baseline_tag_is_a_note(self):
+        snapshot(self.fresh, "t", {"BM_A": 1.0})
+        snapshot(self.base, "other", {"BM_X": 1.0})
+        r = self.run_gate()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("no baseline snapshot", r.stderr)
+
+    def test_no_baselines_at_all_is_clean(self):
+        snapshot(self.fresh, "t", {"BM_A": 1.0})
+        r = self.run_gate()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("nothing to compare", r.stdout)
+
+    def test_stale_baseline_entry_warns(self):
+        snapshot(self.base, "t", {"BM_A": 1.0, "BM_Gone": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 1.0})
+        r = self.run_gate()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("::warning title=stale bench baseline::t/BM_Gone",
+                      r.stdout)
+
+    def test_repetition_records_min_merge(self):
+        # Three repetitions of BM_A in the fresh run: the best one (1.05)
+        # is compared, so the two noisy repetitions don't trip the gate.
+        snapshot(self.base, "t", {"BM_A": 1.0})
+        doc = {"tag": "t", "benchmarks": [
+            {"name": "BM_A", "iterations": 100, "wall_seconds": t * 100}
+            for t in (1.9, 1.05, 1.6)]}
+        with open(os.path.join(self.fresh, "BENCH_t.json"), "w") as fh:
+            json.dump(doc, fh)
+        r = self.run_gate("--threshold", "0.25")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("(105% of baseline)", r.stdout)
+
+    def test_cpu_seconds_preferred_over_wall(self):
+        # Wall time regressed 3x (co-tenant load) but CPU time is flat:
+        # the gate reads cpu_seconds and stays green.
+        snapshot(self.base, "t", {"BM_A": 1.0})
+        doc = {"tag": "t", "benchmarks": [
+            {"name": "BM_A", "iterations": 100, "wall_seconds": 300.0,
+             "cpu_seconds": 100.0}]}
+        with open(os.path.join(self.fresh, "BENCH_t.json"), "w") as fh:
+            json.dump(doc, fh)
+        r = self.run_gate("--threshold", "0.25")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_allowlist_glob_covers_families(self):
+        snapshot(self.base, "t", {"BM_Threads/2": 1.0, "BM_Threads/4": 1.0,
+                                  "BM_Core": 1.0})
+        snapshot(self.fresh, "t", {"BM_Threads/2": 2.0, "BM_Threads/4": 2.0,
+                                   "BM_Core": 1.0})
+        r = self.run_gate("--allowlist", "BM_Threads/*")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        # ...but the glob still doesn't waive benches outside the family.
+        snapshot(self.fresh, "t", {"BM_Threads/2": 2.0, "BM_Core": 2.0})
+        r = self.run_gate("--allowlist", "BM_Threads/*")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_stale_baseline_tag_warns(self):
+        snapshot(self.base, "t", {"BM_A": 1.0})
+        snapshot(self.base, "gone", {"BM_X": 1.0, "BM_Y": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 1.0})
+        r = self.run_gate()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("::warning title=stale bench baseline::tag 'gone'",
+                      r.stdout)
+        self.assertIn("2 stale baseline entries", r.stdout)
+
+    def test_filter_limits_comparison_and_stale_sweep(self):
+        snapshot(self.base, "t", {"BM_Batched": 1.0, "BM_Other": 1.0})
+        snapshot(self.fresh, "t", {"BM_Batched": 1.0, "BM_Other": 9.0})
+        r = self.run_gate("--filter", "Batched")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("BM_Other", r.stdout)
+
+    def test_summary_table_written(self):
+        snapshot(self.base, "t", {"BM_A": 1.0, "BM_B": 1.0, "BM_Gone": 1.0})
+        snapshot(self.fresh, "t", {"BM_A": 1.0, "BM_B": 2.0})
+        summary = os.path.join(self.tmp.name, "summary.md")
+        r = self.run_gate(env_extra={"GITHUB_STEP_SUMMARY": summary})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        with open(summary) as fh:
+            md = fh.read()
+        self.assertIn("| `t/BM_B` |", md)
+        self.assertIn("**FAIL**", md)
+        self.assertIn("t/BM_Gone", md)
+
+
+if __name__ == "__main__":
+    unittest.main()

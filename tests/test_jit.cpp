@@ -423,10 +423,11 @@ TEST(Jit, RunHonorsWatchdogAndCheckpointCadence) {
 TEST(Registry, CanonicalNamesAndOrder) {
   const auto names = engine::Registry::global().names();
   const std::vector<std::string> want = {"iterative", "levelized", "compiled",
-                                         "cppgen",    "gates",     "jit"};
+                                         "cppgen",    "gates",     "jit",
+                                         "batched"};
   EXPECT_EQ(names, want);
   EXPECT_EQ(engine::Registry::global().names_csv(),
-            "iterative, levelized, compiled, cppgen, gates, jit");
+            "iterative, levelized, compiled, cppgen, gates, jit, batched");
 }
 
 TEST(Registry, UnknownNameListsRegisteredEngines) {
@@ -436,8 +437,9 @@ TEST(Registry, UnknownNameListsRegisteredEngines) {
   } catch (const std::invalid_argument& ex) {
     const std::string msg = ex.what();
     EXPECT_NE(msg.find("unknown engine 'bogus'"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("iterative, levelized, compiled, cppgen, gates, jit"),
-              std::string::npos)
+    EXPECT_NE(
+        msg.find("iterative, levelized, compiled, cppgen, gates, jit, batched"),
+        std::string::npos)
         << msg;
   }
 }
@@ -505,8 +507,9 @@ TEST(JitCli, FuzzRejectsUnknownEngineListingRegistered) {
   const int rc = run_cmd(ASICPP_FUZZ_BIN + std::string(" --engines bogus"), &out);
   EXPECT_EQ(rc, 2) << out;
   EXPECT_NE(out.find("unknown engine 'bogus'"), std::string::npos) << out;
-  EXPECT_NE(out.find("iterative, levelized, compiled, cppgen, gates, jit"),
-            std::string::npos)
+  EXPECT_NE(
+      out.find("iterative, levelized, compiled, cppgen, gates, jit, batched"),
+      std::string::npos)
       << out;
 }
 

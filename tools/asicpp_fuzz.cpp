@@ -80,7 +80,8 @@ struct Args {
   std::string json_path;
   std::string cxx = "c++";
   int max_attempts = 400;
-  unsigned jobs = 1;  // worker lanes / concurrent children
+  unsigned jobs = 1;   // worker lanes / concurrent children
+  unsigned lanes = 4;  // SoA lane count for the batched engine
   bool verbose = false;
   TraceMutant mutant;
   opt::PassOptions passes{};  // optimizer pipeline for every engine
@@ -103,8 +104,11 @@ int usage(const char* argv0) {
       "  --seeds N         number of seeds to fuzz (default 50)\n"
       "  --seed-base N     first seed (default 0)\n"
       "  --engines LIST    comma-separated subset of the registered engines:\n"
-      "                    iterative, levelized, compiled, cppgen, gates, jit\n"
-      "                    (default: all)\n"
+      "                    iterative, levelized, compiled, cppgen, gates,\n"
+      "                    jit, batched (default: all)\n"
+      "  --lanes N         SoA lane count for the batched engine (default 4);\n"
+      "                    the reported lane is seed %% N and every other\n"
+      "                    lane is asserted bit-identical each cycle\n"
       "  --corpus-dir DIR  write failing spec + shrunken repro files here\n"
       "  --json FILE       write a machine-readable result summary\n"
       "  --cxx CC          host compiler for the cppgen and jit engines\n"
@@ -240,6 +244,10 @@ bool parse_args(int argc, char** argv, Args* a) {
       long v = 0;
       if (!parse_long(value(), 1, &v)) return bad("a positive integer");
       a->jobs = static_cast<unsigned>(v);
+    } else if (opt == "--lanes") {
+      long v = 0;
+      if (!parse_long(value(), 1, &v)) return bad("a positive integer");
+      a->lanes = static_cast<unsigned>(v);
     } else if (opt == "--isolate") {
       a->isolate = true;
     } else if (opt == "--timeout") {
@@ -433,7 +441,8 @@ std::string journal_header(const Args& args) {
       << ':' << args.mutant.engine << ':' << args.mutant.cycle
       << ':' << args.mutant.net << ':' << args.mutant.delta << '|'
       << args.max_attempts << '|' << args.shrink_budget_s << '|'
-      << args.corpus_dir << '|' << args.verbose << '|' << args.cxx;
+      << args.corpus_dir << '|' << args.verbose << '|' << args.cxx << '|'
+      << args.lanes;
   char buf[64];
   std::snprintf(buf, sizeof buf, "asicpp-fuzz-journal\tv1\t%016llx",
                 static_cast<unsigned long long>(ckpt::hash_string(cfg.str())));
@@ -825,6 +834,7 @@ int main(int argc, char** argv) {
   dopts.pass_axis = args.pass_axis;
   dopts.ckpt_axis = args.ckpt_axis;
   dopts.ckpt_cycle = args.ckpt_cycle;
+  dopts.lanes = args.lanes;
 
   const GenConfig cfg;
   const std::string header = journal_header(args);

@@ -19,10 +19,17 @@ renamed or deleted benchmark silently stops being compared otherwise, and
 A markdown summary table is appended to $GITHUB_STEP_SUMMARY (or the file
 named by --summary) when set.
 
+Besides the baseline diff, `--ratio SLOW:FAST:MIN` (repeatable) enforces a
+relationship *within* the fresh run: the wall time of SLOW must be at
+least MIN times that of FAST (e.g. a cold-cache compile vs its warm-cache
+twin). Ratios compare wall time — compile benches spend their time in
+host-compiler subprocesses invisible to process CPU time — and are
+machine-independent, so they run even when no baseline exists.
+
 Usage:
   python3 scripts/compare_bench.py --baseline bench/baseline --fresh . \
       [--threshold 0.25] [--allowlist tag/name ...] [--filter REGEX] \
-      [--warn-only]
+      [--ratio SLOW:FAST:MIN ...] [--warn-only]
 """
 import argparse
 import fnmatch
@@ -33,12 +40,15 @@ import re
 import sys
 
 
-def load_dir(path, name_re=None):
+def load_dir(path, name_re=None, prefer_cpu=True):
     """tag -> {benchmark name -> seconds per iteration}
 
     Repeated records under one name (--benchmark_repetitions) min-merge:
     the best repetition is the least noise-contaminated measurement, so
-    both sides of the comparison use it.
+    both sides of the comparison use it. prefer_cpu=False reads wall time
+    unconditionally — the ratio gate needs it, because a compile benchmark
+    spends its time in host-compiler subprocesses that process CPU time
+    never sees.
     """
     out = {}
     for f in glob.glob(os.path.join(path, "BENCH_*.json")):
@@ -53,13 +63,80 @@ def load_dir(path, name_re=None):
                 # CPU time when the snapshot carries it (robust against
                 # co-tenant load on shared runners), wall time for older
                 # baselines that predate the field.
-                secs = b.get("cpu_seconds") or b["wall_seconds"]
+                if prefer_cpu:
+                    secs = b.get("cpu_seconds") or b["wall_seconds"]
+                else:
+                    secs = b["wall_seconds"]
                 t = secs / iters
                 prev = per_iter.get(b["name"])
                 per_iter[b["name"]] = t if prev is None else min(prev, t)
         if per_iter or name_re is None:
             out[doc.get("tag", os.path.basename(f))] = per_iter
     return out
+
+
+def find_bench(snapshots, ref):
+    """Look `ref` up across fresh snapshots; 'tag/name' or a bare name
+    (unique across tags). Returns (display name, seconds) or None.
+    """
+    if "/" in ref:
+        tag, _, name = ref.partition("/")
+        benches = snapshots.get(tag, {})
+        # A bare tag prefix may also be the head of a captured benchmark
+        # name ('BM_X/variant'); fall through to the bare-name scan then.
+        if name in benches:
+            return f"{tag}/{name}", benches[name]
+    hits = [(f"{tag}/{ref}", benches[ref])
+            for tag, benches in sorted(snapshots.items()) if ref in benches]
+    return hits[0] if len(hits) == 1 else None
+
+
+def check_ratios(ratios, fresh_dir, warn_only=False):
+    """Enforce --ratio SLOW:FAST:MIN specs against the fresh wall-clock
+    snapshots. Baseline-independent: the two sides ran back to back on the
+    same host, so the quotient is meaningful on any machine. Returns
+    (failures, summary rows).
+    """
+    fresh = load_dir(fresh_dir, prefer_cpu=False)
+    failures = 0
+    rows = []
+
+    def report(line):
+        nonlocal failures
+        if warn_only:
+            print(f"::warning title=bench ratio::{line}")
+        else:
+            failures += 1
+            print(f"::error title=bench ratio::{line}")
+    for spec in ratios:
+        parts = spec.rsplit(":", 2)
+        try:
+            slow_ref, fast_ref, min_ratio = parts[0], parts[1], float(parts[2])
+        except (IndexError, ValueError):
+            report(f"bad --ratio '{spec}', expected SLOW:FAST:MIN")
+            continue
+        slow = find_bench(fresh, slow_ref)
+        fast = find_bench(fresh, fast_ref)
+        if slow is None or fast is None:
+            missing = slow_ref if slow is None else fast_ref
+            report(f"'{missing}' produced no fresh result; the ratio gate "
+                   f"cannot run")
+            continue
+        if fast[1] <= 0:
+            report(f"'{fast_ref}' recorded zero wall time")
+            continue
+        ratio = slow[1] / fast[1]
+        line = (f"ratio {slow[0]} / {fast[0]} = {ratio:.1f}x "
+                f"(required >= {min_ratio:g}x; "
+                f"{slow[1] * 1e3:.1f}ms vs {fast[1] * 1e3:.1f}ms)")
+        if ratio < min_ratio:
+            rows.append((slow[0], fast[0], ratio, min_ratio,
+                         "warned" if warn_only else "**FAIL**"))
+            report(line)
+        else:
+            rows.append((slow[0], fast[0], ratio, min_ratio, "ok"))
+            print(line)
+    return failures, rows
 
 
 def allowlisted(allow, tag, name):
@@ -71,7 +148,8 @@ def allowlisted(allow, tag, name):
                fnmatch.fnmatch(name, pat) for pat in allow)
 
 
-def write_summary(path, rows, stale, threshold, regressed, waived):
+def write_summary(path, rows, stale, threshold, regressed, waived,
+                  ratio_rows=()):
     with open(path, "a") as fh:
         fh.write(f"### Bench gate ({threshold:.0%} threshold)\n\n")
         if rows:
@@ -80,6 +158,13 @@ def write_summary(path, rows, stale, threshold, regressed, waived):
             for tag, name, t0, t, verdict in rows:
                 fh.write(f"| `{tag}/{name}` | {t0 * 1e6:.2f}us "
                          f"| {t * 1e6:.2f}us | {t / t0:.0%} | {verdict} |\n")
+            fh.write("\n")
+        if ratio_rows:
+            fh.write("| ratio | measured | required | verdict |\n")
+            fh.write("|---|---|---|---|\n")
+            for slow, fast, ratio, min_ratio, verdict in ratio_rows:
+                fh.write(f"| `{slow}` / `{fast}` | {ratio:.1f}x "
+                         f"| >= {min_ratio:g}x | {verdict} |\n")
             fh.write("\n")
         if stale:
             fh.write("**Stale baseline entries** (no matching fresh result "
@@ -105,6 +190,11 @@ def main():
                          "bare 'name'; repeatable")
     ap.add_argument("--filter", metavar="REGEX",
                     help="compare only benchmarks whose name matches")
+    ap.add_argument("--ratio", action="append", default=[],
+                    metavar="SLOW:FAST:MIN",
+                    help="fail unless fresh wall time of SLOW is at least "
+                         "MIN times FAST (names are 'tag/name' or a bare "
+                         "unique name); baseline-independent, repeatable")
     ap.add_argument("--warn-only", action="store_true",
                     help="legacy advisory mode: annotate, never fail")
     ap.add_argument("--summary",
@@ -114,14 +204,18 @@ def main():
     args = ap.parse_args()
 
     name_re = re.compile(args.filter) if args.filter else None
+    # The ratio gate is baseline-independent (both sides come from the same
+    # fresh run), so it is checked even when there is no baseline to diff.
+    ratio_failed, ratio_rows = check_ratios(args.ratio, args.fresh,
+                                            args.warn_only)
     base = load_dir(args.baseline, name_re)
     fresh = load_dir(args.fresh, name_re)
     if not base:
         print(f"no baseline snapshots under {args.baseline}; nothing to compare")
-        return 0
+        return 1 if ratio_failed else 0
     if not fresh:
         print(f"::warning::no fresh BENCH_*.json under {args.fresh}")
-        return 0
+        return 1 if ratio_failed else 0
 
     rows = []          # (tag, name, t0, t, verdict)
     stale = []         # baseline entries with no fresh counterpart
@@ -178,11 +272,12 @@ def main():
 
     print(f"compared {compared} benchmark(s), {regressed} failed the "
           f"{args.threshold:.0%} threshold, {waived} allowlisted, "
-          f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}")
+          f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+          + (f", {ratio_failed} ratio check(s) failed" if args.ratio else ""))
     if args.summary:
         write_summary(args.summary, rows, stale, args.threshold, regressed,
-                      waived)
-    return 1 if regressed else 0
+                      waived, ratio_rows)
+    return 1 if regressed or ratio_failed else 0
 
 
 if __name__ == "__main__":

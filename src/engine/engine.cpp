@@ -1,30 +1,124 @@
 #include "engine/engine.h"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace asicpp::engine {
 
-Trace Engine::trace_ckpt(const verify::Spec& spec, const TraceOptions& opts,
-                         std::uint64_t k) const {
+void Instance::poke(const std::string& net, double v) {
+  (void)v;
+  throw std::runtime_error("engine instance has no poke surface for net '" +
+                           net + "'");
+}
+
+bool Instance::save_state(std::ostream& os) {
+  (void)os;
+  return false;
+}
+
+bool Instance::restore_state(std::istream& is) {
+  (void)is;
+  return false;
+}
+
+std::string Engine::domain_limit(const verify::Spec& spec) const {
+  (void)spec;
+  return {};
+}
+
+std::unique_ptr<Instance> Engine::instantiate(const verify::Spec& spec,
+                                              const TraceOptions& opts) const {
   (void)spec;
   (void)opts;
-  (void)k;
+  return nullptr;
+}
+
+std::unique_ptr<Instance> Engine::bind(sched::CycleScheduler& sched,
+                                       const TraceOptions& opts) const {
+  (void)sched;
+  (void)opts;
+  return nullptr;
+}
+
+Trace Engine::trace(const verify::Spec& spec, const TraceOptions& opts) const {
   Trace t;
   t.engine = name();
-  t.skip_reason = "engine '" + name() + "' has no in-process snapshot surface";
+  t.skip_reason = domain_limit(spec);
+  if (!t.skip_reason.empty()) return t;
+  const auto probes = spec.probes();
+  try {
+    std::unique_ptr<Instance> inst = instantiate(spec, opts);
+    if (inst == nullptr) {
+      t.skip_reason = "engine '" + name() + "' has no spec instantiation";
+      return t;
+    }
+    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+      inst->cycle();
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& n : probes) row.push_back(inst->probe(n));
+      t.values.push_back(std::move(row));
+    }
+    t.ran = true;
+  } catch (const std::exception& ex) {
+    t.fail_reason = ex.what();
+  }
+  return t;
+}
+
+Trace Engine::trace_ckpt(const verify::Spec& spec, const TraceOptions& opts,
+                         std::uint64_t k) const {
+  Trace t;
+  t.engine = name();
+  t.skip_reason = domain_limit(spec);
+  if (!t.skip_reason.empty()) return t;
+  const auto probes = spec.probes();
+  const auto capture = [&](Instance& inst) {
+    std::vector<double> row;
+    row.reserve(probes.size());
+    for (const std::string& n : probes) row.push_back(inst.probe(n));
+    t.values.push_back(std::move(row));
+  };
+  try {
+    std::unique_ptr<Instance> a = instantiate(spec, opts);
+    if (a == nullptr) {
+      t.skip_reason = "engine '" + name() + "' has no spec instantiation";
+      return t;
+    }
+    for (std::uint64_t c = 0; c < k; ++c) {
+      a->cycle();
+      capture(*a);
+    }
+    std::stringstream snap;
+    if (!a->save_state(snap)) {
+      t.values.clear();
+      t.skip_reason =
+          "engine '" + name() + "' has no in-process snapshot surface";
+      return t;
+    }
+    // The second instance is the same design, so engines with stored
+    // compile artifacts (jit) serve it from cache — the axis costs one
+    // host-compiler run.
+    std::unique_ptr<Instance> b = instantiate(spec, opts);
+    b->restore_state(snap);
+    for (std::uint64_t c = k; c < spec.cycles; ++c) {
+      b->cycle();
+      capture(*b);
+    }
+    t.ran = true;
+  } catch (const std::exception& ex) {
+    t.fail_reason = ex.what();
+  }
   return t;
 }
 
 opt::PassOptions Engine::noopt_passes() const { return opt::PassOptions::none(); }
 
-std::unique_ptr<Runner> Engine::bind(sched::CycleScheduler& sched,
-                                     const opt::PassOptions& passes) const {
-  (void)sched;
-  (void)passes;
-  return nullptr;
-}
-
 Registry& Registry::global() {
+  // Thread-safe first use: the magic static guarantees exactly one
+  // initialization even when concurrent threads race the first call, and
+  // register_builtin_engines completes before any caller observes the
+  // reference.
   static Registry* reg = [] {
     auto* r = new Registry;
     register_builtin_engines(*r);
@@ -34,6 +128,7 @@ Registry& Registry::global() {
 }
 
 void Registry::add(std::unique_ptr<Engine> e) {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (auto& existing : engines_) {
     if (existing->name() == e->name()) {
       existing = std::move(e);
@@ -44,6 +139,7 @@ void Registry::add(std::unique_ptr<Engine> e) {
 }
 
 const Engine* Registry::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : engines_)
     if (e->name() == name) return e.get();
   return nullptr;
@@ -58,6 +154,7 @@ const Engine& Registry::at(const std::string& name) const {
 }
 
 std::vector<const Engine*> Registry::all() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Engine*> v;
   v.reserve(engines_.size());
   for (const auto& e : engines_) v.push_back(e.get());
@@ -65,6 +162,7 @@ std::vector<const Engine*> Registry::all() const {
 }
 
 std::vector<std::string> Registry::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> v;
   v.reserve(engines_.size());
   for (const auto& e : engines_) v.push_back(e->name());
@@ -72,6 +170,7 @@ std::vector<std::string> Registry::names() const {
 }
 
 std::string Registry::names_csv() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::string s;
   for (const auto& e : engines_) s += (s.empty() ? "" : ", ") + e->name();
   return s;

@@ -6,9 +6,21 @@
 // synthesized gates, the lane-batched SoA evaluator — is an `Engine`: a named, capability-tagged object
 // that can replay a verify::Spec into a cycle-by-cycle trace. The
 // `Registry` resolves engines by name, so every surface that selects
-// engines (diff_run, asicpp-fuzz --engines, bench variant selection) shares
-// one name set and one error message for unknown names, and a new engine
-// becomes available everywhere with a single registration call.
+// engines (diff_run, asicpp-fuzz --engines, bench variant selection, the
+// pipeline and the simulation service) shares one name set and one error
+// message for unknown names, and a new engine becomes available everywhere
+// with a single registration call.
+//
+// The execution surface of every engine is one abstraction, `Instance`: a
+// live simulation that can cycle, be probed and poked, and (for engines
+// with a snapshot surface) save/restore its state. Engines produce
+// instances two ways — `instantiate()` materializes a verify::Spec into a
+// private System, `bind()` attaches to a caller-owned live scheduler (the
+// bench and service path, in_process engines only). The shared
+// `Engine::trace()` / `trace_ckpt()` loops drive instances, so the
+// per-engine code is exactly the instance construction and the probe/poke
+// plumbing — the capture loops formerly duplicated per engine live here
+// once.
 //
 // Capability flags replace the per-engine switch statements the
 // differential driver used to carry:
@@ -19,12 +31,14 @@
 //   pass_aware     — consumes opt::PassOptions (TraceOptions::passes);
 //   pass_axis      — contributes a passes-off replay to the VERIFY-005
 //                    axis (noopt_passes() names the pipeline to use);
-//   in_process     — can be bound to a live scheduler as a Runner for
-//                    benchmarking (bind()).
+//   in_process     — can be bound to a live scheduler as an Instance for
+//                    benchmarking and service sessions (bind()).
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,9 +65,10 @@ struct TraceOptions {
   std::string workdir;
   /// Host compiler for engines that compile generated code (cppgen, jit).
   std::string cxx = "c++";
-  /// Artifact-cache directory override for the jit engine. Empty = the
-  /// $ASICPP_JIT_CACHE / $XDG_CACHE_HOME resolution chain (see jit/jit.h).
-  std::string jit_cache;
+  /// Artifact-store directory override for engines with cacheable compile
+  /// products (jit). Empty = the $ASICPP_STORE_DIR / $ASICPP_JIT_CACHE /
+  /// $XDG_CACHE_HOME resolution chain (see pipeline/artifact.h).
+  std::string store_dir;
   /// Lane count for the batched engine: the spec replays in every lane of
   /// an N-wide SoA batch, the reported trace comes from lane seed % N, and
   /// every cycle the engine asserts lane invariance (any lane diverging
@@ -72,13 +87,39 @@ struct Trace {
   std::vector<std::vector<double>> values;
 };
 
-/// A live engine instance bound to one scheduler, for benchmarking: the
-/// registry's normalized engine names double as bench variant names.
-class Runner {
+/// One live simulation, engine-agnostic: the unit the shared trace loops,
+/// the bench harness and the service's sessions all drive. Obtained from
+/// Engine::instantiate (spec-materializing) or Engine::bind (live
+/// scheduler).
+class Instance {
  public:
-  virtual ~Runner() = default;
+  virtual ~Instance() = default;
+
+  /// Simulate one clock cycle. Engine-specific failures (deadlocks,
+  /// lane-invariance violations, an exhausted precomputed trace) throw;
+  /// the shared trace loops convert them into Trace::fail_reason.
   virtual void cycle() = 0;
-  virtual double net_value(const std::string& name) const = 0;
+
+  /// Value of a net after the last cycle.
+  virtual double probe(const std::string& net) const = 0;
+
+  /// Drive an external input net before the next cycle. Engines without a
+  /// poke surface (cppgen, gates) throw std::runtime_error.
+  virtual void poke(const std::string& net, double v);
+
+  /// Worker lanes for the level-parallel phase-2 walk (threadable engines;
+  /// others ignore it). Rides the shared par::Pool.
+  virtual void set_threads(unsigned n) { (void)n; }
+
+  /// Snapshot surface; false = this engine has none (cppgen, gates).
+  virtual bool save_state(std::ostream& os);
+  virtual bool restore_state(std::istream& is);
+
+  /// True when construction reused a stored compile artifact (jit engine
+  /// served from the shared artifact store).
+  virtual bool from_cache() const { return false; }
+  /// Wall-clock seconds spent in an external compiler (0 on a store hit).
+  virtual double compile_seconds() const { return 0.0; }
 };
 
 class Engine {
@@ -88,11 +129,26 @@ class Engine {
   virtual const std::string& name() const = 0;
   virtual const Capabilities& caps() const = 0;
 
+  /// Non-empty: why `spec` is outside this engine's domain (reported as
+  /// Trace::skip_reason by the shared loops).
+  virtual std::string domain_limit(const verify::Spec& spec) const;
+
+  /// Materialize `spec` into a live instance (the instance owns its
+  /// System). Hard failures throw; nullptr means the engine has no spec
+  /// instantiation at all.
+  virtual std::unique_ptr<Instance> instantiate(
+      const verify::Spec& spec, const TraceOptions& opts) const;
+
+  /// Bind to a caller-owned live scheduler (in_process engines only;
+  /// others return nullptr). The caller keeps the scheduler alive.
+  virtual std::unique_ptr<Instance> bind(sched::CycleScheduler& sched,
+                                         const TraceOptions& opts) const;
+
   /// Replay `spec` and capture all probe nets per cycle. Domain limits are
-  /// reported via Trace::skip_reason, crashes via fail_reason (callers may
-  /// also catch exceptions escaping misbehaving engines).
+  /// reported via Trace::skip_reason, crashes via fail_reason; trace()
+  /// itself does not throw for engine failures.
   virtual Trace trace(const verify::Spec& spec,
-                      const TraceOptions& opts) const = 0;
+                      const TraceOptions& opts) const;
 
   /// Checkpoint-replay variant (VERIFY-006): run the first k cycles on a
   /// fresh instance, snapshot, restore into a second fresh instance, run
@@ -104,16 +160,13 @@ class Engine {
   /// Pass pipeline for this engine's passes-off replay on the VERIFY-005
   /// axis (only consulted when caps().pass_axis).
   virtual opt::PassOptions noopt_passes() const;
-
-  /// Bind to a live scheduler for benchmarking (in_process engines only;
-  /// others return nullptr).
-  virtual std::unique_ptr<Runner> bind(sched::CycleScheduler& sched,
-                                       const opt::PassOptions& passes) const;
 };
 
 /// Name-indexed engine collection. `global()` returns the process-wide
 /// registry, pre-populated with the built-in engines in their canonical
 /// order: iterative, levelized, compiled, cppgen, gates, jit, batched.
+/// All member functions are thread-safe: concurrent service sessions may
+/// resolve engines while another thread registers one.
 class Registry {
  public:
   static Registry& global();
@@ -134,6 +187,7 @@ class Registry {
   std::string names_csv() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Engine>> engines_;
 };
 

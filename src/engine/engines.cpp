@@ -1,22 +1,28 @@
-// Built-in engines. The trace runners formerly private to the
-// differential driver (verify/diffrun.cpp) live here behind the Engine
-// interface, so diff_run, the fuzzer's --engines selection and the bench
-// harness all resolve the same objects by the same names.
+// Built-in engines. Each engine here is just an Instance factory plus its
+// capability flags and domain limits — the per-cycle capture loops live
+// once in Engine::trace / Engine::trace_ckpt (engine.cpp), and the same
+// instances serve diff_run, the fuzzer's --engines selection, the bench
+// harness, the compile pipeline and the simulation service's sessions.
 #include "engine/engine.h"
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "batch/batch.h"
+#include "fixpt/fixed.h"
 #include "jit/jit.h"
 #include "netlist/equiv.h"
 #include "netlist/netsim.h"
+#include "sched/cyclesched.h"
 #include "sim/compiled.h"
 #include "synth/system.h"
 
@@ -49,11 +55,49 @@ int run_command(const std::string& cmd, std::string* out) {
 jit::JitOptions jit_options(const TraceOptions& opts) {
   jit::JitOptions jo;
   jo.cxx = opts.cxx;
-  jo.cache_dir = opts.jit_cache;
+  jo.cache_dir = opts.store_dir;
   return jo;
 }
 
 // --- interpreted CycleScheduler (iterative / levelized) --------------------
+
+/// Drives a CycleScheduler — either one owned via a materialized System
+/// (instantiate) or a caller-owned live one (bind).
+class SchedInstance : public Instance {
+ public:
+  SchedInstance(const Spec& spec, ScheduleMode mode, const TraceOptions& opts)
+      : sys_(std::make_unique<System>(spec)), s_(&sys_->scheduler()) {
+    s_->set_schedule_mode(mode);
+    s_->set_pass_options(opts.passes);
+  }
+  SchedInstance(sched::CycleScheduler& s, ScheduleMode mode,
+                const TraceOptions& opts)
+      : s_(&s) {
+    s_->set_schedule_mode(mode);
+    s_->set_pass_options(opts.passes);
+  }
+
+  void cycle() override { s_->cycle(); }
+  double probe(const std::string& n) const override {
+    return s_->net(n).last().value();
+  }
+  void poke(const std::string& n, double v) override {
+    s_->net(n).drive(fixpt::Fixed(v));
+  }
+  void set_threads(unsigned n) override { s_->set_threads(n); }
+  bool save_state(std::ostream& os) override {
+    s_->save_state(os);
+    return true;
+  }
+  bool restore_state(std::istream& is) override {
+    s_->restore_state(is);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<System> sys_;  ///< null when bound to a live scheduler
+  sched::CycleScheduler* s_;
+};
 
 class InterpretedEngine : public Engine {
  public:
@@ -72,76 +116,14 @@ class InterpretedEngine : public Engine {
   const std::string& name() const override { return name_; }
   const Capabilities& caps() const override { return caps_; }
 
-  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
-    Trace t;
-    t.engine = name_;
-    System sys(spec);
-    sys.scheduler().set_schedule_mode(mode_);
-    sys.scheduler().set_pass_options(opts.passes);
-    const auto probes = spec.probes();
-    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-      sys.scheduler().cycle();
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (const std::string& n : probes)
-        row.push_back(sys.scheduler().net(n).last().value());
-      t.values.push_back(std::move(row));
-    }
-    t.ran = true;
-    return t;
+  std::unique_ptr<Instance> instantiate(
+      const Spec& spec, const TraceOptions& opts) const override {
+    return std::make_unique<SchedInstance>(spec, mode_, opts);
   }
 
-  Trace trace_ckpt(const Spec& spec, const TraceOptions& opts,
-                   std::uint64_t k) const override {
-    Trace t;
-    t.engine = name_;
-    const auto probes = spec.probes();
-    const auto capture = [&](System& sys) {
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (const std::string& n : probes)
-        row.push_back(sys.scheduler().net(n).last().value());
-      t.values.push_back(std::move(row));
-    };
-    System a(spec);
-    a.scheduler().set_schedule_mode(mode_);
-    a.scheduler().set_pass_options(opts.passes);
-    for (std::uint64_t c = 0; c < k; ++c) {
-      a.scheduler().cycle();
-      capture(a);
-    }
-    std::stringstream snap;
-    a.scheduler().save_state(snap);
-    System b(spec);
-    b.scheduler().set_schedule_mode(mode_);
-    b.scheduler().set_pass_options(opts.passes);
-    b.scheduler().restore_state(snap);
-    for (std::uint64_t c = k; c < spec.cycles; ++c) {
-      b.scheduler().cycle();
-      capture(b);
-    }
-    t.ran = true;
-    return t;
-  }
-
-  std::unique_ptr<Runner> bind(sched::CycleScheduler& sched,
-                               const opt::PassOptions& passes) const override {
-    class R : public Runner {
-     public:
-      R(sched::CycleScheduler& s, ScheduleMode m, const opt::PassOptions& p)
-          : s_(s) {
-        s_.set_schedule_mode(m);
-        s_.set_pass_options(p);
-      }
-      void cycle() override { s_.cycle(); }
-      double net_value(const std::string& n) const override {
-        return s_.net(n).last().value();
-      }
-
-     private:
-      sched::CycleScheduler& s_;
-    };
-    return std::make_unique<R>(sched, mode_, passes);
+  std::unique_ptr<Instance> bind(sched::CycleScheduler& sched,
+                                 const TraceOptions& opts) const override {
+    return std::make_unique<SchedInstance>(sched, mode_, opts);
   }
 
  private:
@@ -151,6 +133,39 @@ class InterpretedEngine : public Engine {
 };
 
 // --- compiled flat-tape simulator ------------------------------------------
+
+class TapeInstance : public Instance {
+ public:
+  TapeInstance(const Spec& spec, const TraceOptions& opts)
+      : sys_(std::make_unique<System>(spec)),
+        cs_(sim::CompiledSystem::compile(sys_->scheduler(), opts.passes)) {}
+  TapeInstance(sched::CycleScheduler& s, const TraceOptions& opts)
+      : sched_(&s), cs_(sim::CompiledSystem::compile(s, opts.passes)) {}
+
+  void cycle() override { cs_.cycle(); }
+  double probe(const std::string& n) const override { return cs_.net_value(n); }
+  void poke(const std::string& n, double v) override {
+    // Validates the name first; for a live-scheduler binding the per-cycle
+    // external refresh reads the sched::Net, so the pin must be driven there
+    // or the poke would be overwritten on the next cycle.
+    cs_.poke(n, v);
+    if (sched_ != nullptr) sched_->net(n).drive(fixpt::Fixed(v));
+  }
+  void set_threads(unsigned n) override { cs_.set_threads(n); }
+  bool save_state(std::ostream& os) override {
+    cs_.save_state(os);
+    return true;
+  }
+  bool restore_state(std::istream& is) override {
+    cs_.restore_state(is);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<System> sys_;  ///< null when bound to a live scheduler
+  sched::CycleScheduler* sched_ = nullptr;  ///< set only for live bindings
+  sim::CompiledSystem cs_;
+};
 
 class CompiledEngine : public Engine {
  public:
@@ -165,83 +180,24 @@ class CompiledEngine : public Engine {
   const std::string& name() const override { return name_; }
   const Capabilities& caps() const override { return caps_; }
 
-  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
-    Trace t;
-    t.engine = name_;
-    if (spec.has(CompKind::kAdapter)) {
-      t.skip_reason = "dataflow adapters have no compiled-simulation image";
-      return t;
-    }
-    System sys(spec);
-    sim::CompiledSystem cs =
-        sim::CompiledSystem::compile(sys.scheduler(), opts.passes);
-    const auto probes = spec.probes();
-    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-      cs.cycle();
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (const std::string& n : probes) row.push_back(cs.net_value(n));
-      t.values.push_back(std::move(row));
-    }
-    t.ran = true;
-    return t;
+  std::string domain_limit(const Spec& spec) const override {
+    if (spec.has(CompKind::kAdapter))
+      return "dataflow adapters have no compiled-simulation image";
+    return {};
   }
 
-  Trace trace_ckpt(const Spec& spec, const TraceOptions& opts,
-                   std::uint64_t k) const override {
-    Trace t;
-    t.engine = name_;
-    if (spec.has(CompKind::kAdapter)) {
-      t.skip_reason = "dataflow adapters have no compiled-simulation image";
-      return t;
-    }
-    const auto probes = spec.probes();
-    const auto capture = [&](sim::CompiledSystem& cs) {
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (const std::string& n : probes) row.push_back(cs.net_value(n));
-      t.values.push_back(std::move(row));
-    };
-    System sa(spec);
-    sim::CompiledSystem a =
-        sim::CompiledSystem::compile(sa.scheduler(), opts.passes);
-    for (std::uint64_t c = 0; c < k; ++c) {
-      a.cycle();
-      capture(a);
-    }
-    std::stringstream snap;
-    a.save_state(snap);
-    System sb(spec);
-    sim::CompiledSystem b =
-        sim::CompiledSystem::compile(sb.scheduler(), opts.passes);
-    b.restore_state(snap);
-    for (std::uint64_t c = k; c < spec.cycles; ++c) {
-      b.cycle();
-      capture(b);
-    }
-    t.ran = true;
-    return t;
+  std::unique_ptr<Instance> instantiate(
+      const Spec& spec, const TraceOptions& opts) const override {
+    return std::make_unique<TapeInstance>(spec, opts);
+  }
+
+  std::unique_ptr<Instance> bind(sched::CycleScheduler& sched,
+                                 const TraceOptions& opts) const override {
+    return std::make_unique<TapeInstance>(sched, opts);
   }
 
   opt::PassOptions noopt_passes() const override {
     return opt::PassOptions::raw();
-  }
-
-  std::unique_ptr<Runner> bind(sched::CycleScheduler& sched,
-                               const opt::PassOptions& passes) const override {
-    class R : public Runner {
-     public:
-      R(sched::CycleScheduler& s, const opt::PassOptions& p)
-          : cs_(sim::CompiledSystem::compile(s, p)) {}
-      void cycle() override { cs_.cycle(); }
-      double net_value(const std::string& n) const override {
-        return cs_.net_value(n);
-      }
-
-     private:
-      sim::CompiledSystem cs_;
-    };
-    return std::make_unique<R>(sched, passes);
   }
 
  private:
@@ -250,6 +206,41 @@ class CompiledEngine : public Engine {
 };
 
 // --- in-process JIT --------------------------------------------------------
+
+class JitInstance : public Instance {
+ public:
+  JitInstance(const Spec& spec, const TraceOptions& opts)
+      : sys_(std::make_unique<System>(spec)),
+        js_(jit::JitSystem::compile(sys_->scheduler(), opts.passes,
+                                    jit_options(opts))) {}
+  JitInstance(sched::CycleScheduler& s, const TraceOptions& opts)
+      : sched_(&s), js_(jit::JitSystem::compile(s, opts.passes, jit_options(opts))) {}
+
+  void cycle() override { js_.cycle(); }
+  double probe(const std::string& n) const override { return js_.net_value(n); }
+  void poke(const std::string& n, double v) override {
+    // Same live-binding rule as TapeInstance: the generated image refreshes
+    // external pins from the sched::Net each cycle.
+    js_.poke(n, v);
+    if (sched_ != nullptr) sched_->net(n).drive(fixpt::Fixed(v));
+  }
+  void set_threads(unsigned n) override { js_.set_threads(n); }
+  bool save_state(std::ostream& os) override {
+    js_.save_state(os);
+    return true;
+  }
+  bool restore_state(std::istream& is) override {
+    js_.restore_state(is);
+    return true;
+  }
+  bool from_cache() const override { return js_.from_cache(); }
+  double compile_seconds() const override { return js_.compile_seconds(); }
+
+ private:
+  std::unique_ptr<System> sys_;  ///< null when bound to a live scheduler
+  sched::CycleScheduler* sched_ = nullptr;  ///< set only for live bindings
+  jit::JitSystem js_;
+};
 
 class JitEngine : public Engine {
  public:
@@ -267,81 +258,20 @@ class JitEngine : public Engine {
   const std::string& name() const override { return name_; }
   const Capabilities& caps() const override { return caps_; }
 
-  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
-    Trace t;
-    t.engine = name_;
-    if (spec.has(CompKind::kAdapter)) {
-      t.skip_reason = "dataflow adapters have no compiled-simulation image";
-      return t;
-    }
-    System sys(spec);
-    jit::JitSystem js =
-        jit::JitSystem::compile(sys.scheduler(), opts.passes, jit_options(opts));
-    const auto probes = spec.probes();
-    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-      js.cycle();
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (const std::string& n : probes) row.push_back(js.net_value(n));
-      t.values.push_back(std::move(row));
-    }
-    t.ran = true;
-    return t;
+  std::string domain_limit(const Spec& spec) const override {
+    if (spec.has(CompKind::kAdapter))
+      return "dataflow adapters have no compiled-simulation image";
+    return {};
   }
 
-  Trace trace_ckpt(const Spec& spec, const TraceOptions& opts,
-                   std::uint64_t k) const override {
-    Trace t;
-    t.engine = name_;
-    if (spec.has(CompKind::kAdapter)) {
-      t.skip_reason = "dataflow adapters have no compiled-simulation image";
-      return t;
-    }
-    const auto probes = spec.probes();
-    const auto capture = [&](jit::JitSystem& js) {
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (const std::string& n : probes) row.push_back(js.net_value(n));
-      t.values.push_back(std::move(row));
-    };
-    System sa(spec);
-    jit::JitSystem a =
-        jit::JitSystem::compile(sa.scheduler(), opts.passes, jit_options(opts));
-    for (std::uint64_t c = 0; c < k; ++c) {
-      a.cycle();
-      capture(a);
-    }
-    std::stringstream snap;
-    a.save_state(snap);
-    // The second instance is the same design, so its compile() is the
-    // first one's cache hit — the axis costs one host-compiler run.
-    System sb(spec);
-    jit::JitSystem b =
-        jit::JitSystem::compile(sb.scheduler(), opts.passes, jit_options(opts));
-    b.restore_state(snap);
-    for (std::uint64_t c = k; c < spec.cycles; ++c) {
-      b.cycle();
-      capture(b);
-    }
-    t.ran = true;
-    return t;
+  std::unique_ptr<Instance> instantiate(
+      const Spec& spec, const TraceOptions& opts) const override {
+    return std::make_unique<JitInstance>(spec, opts);
   }
 
-  std::unique_ptr<Runner> bind(sched::CycleScheduler& sched,
-                               const opt::PassOptions& passes) const override {
-    class R : public Runner {
-     public:
-      R(sched::CycleScheduler& s, const opt::PassOptions& p)
-          : js_(jit::JitSystem::compile(s, p)) {}
-      void cycle() override { js_.cycle(); }
-      double net_value(const std::string& n) const override {
-        return js_.net_value(n);
-      }
-
-     private:
-      jit::JitSystem js_;
-    };
-    return std::make_unique<R>(sched, passes);
+  std::unique_ptr<Instance> bind(sched::CycleScheduler& sched,
+                                 const TraceOptions& opts) const override {
+    return std::make_unique<JitInstance>(sched, opts);
   }
 
  private:
@@ -351,6 +281,69 @@ class JitEngine : public Engine {
 
 // --- lane-batched SoA evaluator --------------------------------------------
 
+class BatchedInstance : public Instance {
+ public:
+  BatchedInstance(const Spec& spec, const TraceOptions& opts)
+      : sys_(spec),
+        lanes_(opts.lanes == 0 ? 1 : opts.lanes),
+        // The reported trace comes from a seed-dependent lane, so the fuzz
+        // campaign sweeps lane positions: any lane-position dependence
+        // shows up as an engine-axis divergence against the scalar engines.
+        report_(static_cast<unsigned>(spec.seed % lanes_)),
+        probes_(spec.probes()),
+        bs_(batch::BatchedSystem::compile(sys_.scheduler(), lanes_,
+                                          opts.passes)) {}
+
+  void cycle() override {
+    const std::uint64_t c = cycle_++;
+    bs_.cycle();
+    if (!pristine_) return;
+    // Lane-invariance contract: every lane replays the same spec with the
+    // same stimulus, so any divergence is a batching bug — checked on
+    // every fuzz seed, every cycle. After a per-lane restore the lanes
+    // deliberately diverge (only the report lane resumes; the others
+    // replay from reset, exercising the masked per-lane paths), so the
+    // check is retired.
+    for (const std::string& n : probes_) {
+      const double v0 = bs_.net_value(0, n);
+      for (unsigned l = 1; l < lanes_; ++l) {
+        if (bs_.net_value(l, n) != v0)
+          throw std::runtime_error(
+              "lane-invariance violation: net '" + n + "' lane " +
+              std::to_string(l) + " = " + std::to_string(bs_.net_value(l, n)) +
+              ", lane 0 = " + std::to_string(v0) + " at cycle " +
+              std::to_string(c));
+      }
+    }
+  }
+
+  double probe(const std::string& n) const override {
+    return bs_.net_value(report_, n);
+  }
+  void poke(const std::string& n, double v) override {
+    // All lanes get the same stimulus, preserving the invariance contract.
+    bs_.poke_all(n, v);
+  }
+  bool save_state(std::ostream& os) override {
+    bs_.save_lane(report_, os);
+    return true;
+  }
+  bool restore_state(std::istream& is) override {
+    bs_.restore_lane(report_, is);
+    pristine_ = false;
+    return true;
+  }
+
+ private:
+  System sys_;
+  unsigned lanes_;
+  unsigned report_;
+  std::vector<std::string> probes_;
+  batch::BatchedSystem bs_;
+  bool pristine_ = true;
+  std::uint64_t cycle_ = 0;
+};
+
 class BatchedEngine : public Engine {
  public:
   BatchedEngine() {
@@ -359,97 +352,23 @@ class BatchedEngine : public Engine {
     // No passes-off replay of its own: the raw tape is covered by the
     // compiled engine, and the batched evaluator replays the same image.
     caps_.pass_axis = false;
-    // Not bindable as a Runner: bind() attaches one engine to one live
-    // scheduler, and a one-lane batch adds nothing over `compiled`.
+    // Not bindable: bind() attaches one engine to one live scheduler, and
+    // a one-lane batch adds nothing over `compiled`.
     caps_.in_process = false;
   }
 
   const std::string& name() const override { return name_; }
   const Capabilities& caps() const override { return caps_; }
 
-  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
-    Trace t;
-    t.engine = name_;
-    if (spec.has(CompKind::kAdapter)) {
-      t.skip_reason = "dataflow adapters have no compiled-simulation image";
-      return t;
-    }
-    const unsigned lanes = opts.lanes == 0 ? 1 : opts.lanes;
-    // The reported trace comes from a seed-dependent lane, so the fuzz
-    // campaign sweeps lane positions: any lane-position dependence shows up
-    // as an engine-axis divergence against the scalar engines.
-    const unsigned report = static_cast<unsigned>(spec.seed % lanes);
-    System sys(spec);
-    batch::BatchedSystem bs =
-        batch::BatchedSystem::compile(sys.scheduler(), lanes, opts.passes);
-    const auto probes = spec.probes();
-    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-      bs.cycle();
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (const std::string& n : probes) {
-        const double v0 = bs.net_value(0, n);
-        // Lane-invariance contract: every lane replays the same spec with
-        // the same stimulus, so any divergence is a batching bug — checked
-        // on every fuzz seed, every cycle.
-        for (unsigned l = 1; l < lanes; ++l) {
-          if (bs.net_value(l, n) != v0) {
-            t.fail_reason = "lane-invariance violation: net '" + n +
-                            "' lane " + std::to_string(l) + " = " +
-                            std::to_string(bs.net_value(l, n)) +
-                            ", lane 0 = " + std::to_string(v0) +
-                            " at cycle " + std::to_string(c);
-            return t;
-          }
-        }
-        row.push_back(bs.net_value(report, n));
-      }
-      t.values.push_back(std::move(row));
-    }
-    t.ran = true;
-    return t;
+  std::string domain_limit(const Spec& spec) const override {
+    if (spec.has(CompKind::kAdapter))
+      return "dataflow adapters have no compiled-simulation image";
+    return {};
   }
 
-  Trace trace_ckpt(const Spec& spec, const TraceOptions& opts,
-                   std::uint64_t k) const override {
-    Trace t;
-    t.engine = name_;
-    if (spec.has(CompKind::kAdapter)) {
-      t.skip_reason = "dataflow adapters have no compiled-simulation image";
-      return t;
-    }
-    const unsigned lanes = opts.lanes == 0 ? 1 : opts.lanes;
-    const unsigned report = static_cast<unsigned>(spec.seed % lanes);
-    const auto probes = spec.probes();
-    const auto capture = [&](batch::BatchedSystem& bs) {
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (const std::string& n : probes)
-        row.push_back(bs.net_value(report, n));
-      t.values.push_back(std::move(row));
-    };
-    System sa(spec);
-    batch::BatchedSystem a =
-        batch::BatchedSystem::compile(sa.scheduler(), lanes, opts.passes);
-    for (std::uint64_t c = 0; c < k; ++c) {
-      a.cycle();
-      capture(a);
-    }
-    std::stringstream snap;
-    a.save_lane(report, snap);
-    // Only the report lane restores; the other lanes of B replay from
-    // reset, so the continued batch deliberately runs with divergent lanes
-    // — exercising the masked per-lane paths on every checkpoint axis.
-    System sb(spec);
-    batch::BatchedSystem b =
-        batch::BatchedSystem::compile(sb.scheduler(), lanes, opts.passes);
-    b.restore_lane(report, snap);
-    for (std::uint64_t c = k; c < spec.cycles; ++c) {
-      b.cycle();
-      capture(b);
-    }
-    t.ran = true;
-    return t;
+  std::unique_ptr<Instance> instantiate(
+      const Spec& spec, const TraceOptions& opts) const override {
+    return std::make_unique<BatchedInstance>(spec, opts);
   }
 
  private:
@@ -459,22 +378,16 @@ class BatchedEngine : public Engine {
 
 // --- generated standalone C++ simulator ------------------------------------
 
-class CppgenEngine : public Engine {
+/// The generated simulator is an external batch process printing its whole
+/// trace at once, so the instance runs it to completion at construction
+/// and replays the parsed rows cycle by cycle.
+class CppgenInstance : public Instance {
  public:
-  const std::string& name() const override { return name_; }
-  const Capabilities& caps() const override { return caps_; }
-
-  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
-    Trace t;
-    t.engine = name_;
-    if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed)) {
-      t.skip_reason = "untimed/adapter behaviour has no generated-code image";
-      return t;
-    }
+  CppgenInstance(const Spec& spec, const TraceOptions& opts)
+      : probes_(spec.probes()) {
     System sys(spec);
     sim::CompiledSystem cs =
         sim::CompiledSystem::compile(sys.scheduler(), opts.passes);
-    const auto probes = spec.probes();
 
     // Atomic: concurrent diff_run_batch lanes each need a unique scratch stem.
     static std::atomic<int> counter{0};
@@ -485,45 +398,75 @@ class CppgenEngine : public Engine {
     const std::string src = stem + ".cpp", bin = stem + ".bin";
     {
       std::ofstream os(src);
-      if (!os) {
-        t.fail_reason = "cannot write " + src;
-        return t;
-      }
-      cs.emit_cpp(os, probes, spec.cycles);
+      if (!os) throw std::runtime_error("cannot write " + src);
+      cs.emit_cpp(os, probes_, spec.cycles);
     }
     std::string text;
     if (run_command(opts.cxx + " -O2 -std=c++17 -o " + bin + " " + src,
                     &text) != 0) {
-      t.fail_reason = "generated simulator failed to compile: " + text;
       std::remove(src.c_str());
-      return t;
+      throw std::runtime_error("generated simulator failed to compile: " +
+                               text);
     }
     text.clear();
     const int rc = run_command(bin, &text);
     std::remove(src.c_str());
     std::remove(bin.c_str());
-    if (rc != 0) {
-      t.fail_reason = "generated simulator exited with status " +
-                      std::to_string(rc) + ": " + text;
-      return t;
-    }
+    if (rc != 0)
+      throw std::runtime_error("generated simulator exited with status " +
+                               std::to_string(rc) + ": " + text);
     std::istringstream is(text);
     std::vector<double> flat;
     std::string line;
     while (std::getline(is, line))
       if (!line.empty()) flat.push_back(std::atof(line.c_str()));
-    if (flat.size() != spec.cycles * probes.size()) {
-      t.fail_reason = "generated simulator printed " +
-                      std::to_string(flat.size()) + " values, expected " +
-                      std::to_string(spec.cycles * probes.size());
-      return t;
-    }
+    if (flat.size() != spec.cycles * probes_.size())
+      throw std::runtime_error(
+          "generated simulator printed " + std::to_string(flat.size()) +
+          " values, expected " +
+          std::to_string(spec.cycles * probes_.size()));
     for (std::uint64_t c = 0; c < spec.cycles; ++c)
-      t.values.emplace_back(
-          flat.begin() + static_cast<long>(c * probes.size()),
-          flat.begin() + static_cast<long>((c + 1) * probes.size()));
-    t.ran = true;
-    return t;
+      rows_.emplace_back(
+          flat.begin() + static_cast<long>(c * probes_.size()),
+          flat.begin() + static_cast<long>((c + 1) * probes_.size()));
+  }
+
+  void cycle() override {
+    if (cursor_ >= rows_.size())
+      throw std::runtime_error("generated simulator trace exhausted after " +
+                               std::to_string(rows_.size()) + " cycles");
+    ++cursor_;
+  }
+
+  double probe(const std::string& n) const override {
+    if (cursor_ == 0)
+      throw std::runtime_error("probe before the first cycle");
+    for (std::size_t i = 0; i < probes_.size(); ++i)
+      if (probes_[i] == n) return rows_[cursor_ - 1][i];
+    throw std::runtime_error("net '" + n +
+                             "' is not observed by the generated simulator");
+  }
+
+ private:
+  std::vector<std::string> probes_;
+  std::vector<std::vector<double>> rows_;
+  std::size_t cursor_ = 0;
+};
+
+class CppgenEngine : public Engine {
+ public:
+  const std::string& name() const override { return name_; }
+  const Capabilities& caps() const override { return caps_; }
+
+  std::string domain_limit(const Spec& spec) const override {
+    if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed))
+      return "untimed/adapter behaviour has no generated-code image";
+    return {};
+  }
+
+  std::unique_ptr<Instance> instantiate(
+      const Spec& spec, const TraceOptions& opts) const override {
+    return std::make_unique<CppgenInstance>(spec, opts);
   }
 
  private:
@@ -533,58 +476,76 @@ class CppgenEngine : public Engine {
 
 // --- gate-level netlist -----------------------------------------------------
 
+class GatesInstance : public Instance {
+ public:
+  explicit GatesInstance(const Spec& spec)
+      : sys_(spec), probes_(spec.probes()), fmt_(spec.fmt()) {
+    synth::SystemSynthSpec sspec;
+    sspec.observe = probes_;
+    synth::synthesize_system(sys_.scheduler(), nl_, sspec);
+
+    // Bus widths of the observed outputs, recovered from the port names.
+    widths_.assign(probes_.size(), 0);
+    for (const auto& [name, gate] : nl_.outputs()) {
+      (void)gate;
+      for (std::size_t i = 0; i < probes_.size(); ++i) {
+        const std::string prefix = "net_" + probes_[i] + "[";
+        if (name.rfind(prefix, 0) == 0)
+          widths_[i] =
+              std::max(widths_[i], std::stoi(name.substr(prefix.size())) + 1);
+      }
+    }
+    for (std::size_t i = 0; i < probes_.size(); ++i)
+      if (widths_[i] <= 0)
+        throw std::runtime_error("gates: observed net '" + probes_[i] +
+                                 "' has no output bus");
+    sim_ = std::make_unique<netlist::LevelizedSim>(nl_);
+  }
+
+  // The gate simulator settles combinational logic before each capture and
+  // clocks the registers *between* captures, so a cycle here is
+  // "clock (except before the first capture), then settle".
+  void cycle() override {
+    if (!first_) sim_->cycle();
+    first_ = false;
+    sim_->settle();
+  }
+
+  double probe(const std::string& n) const override {
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      if (probes_[i] != n) continue;
+      const long long mant =
+          netlist::read_bus(*sim_, "net_" + n, widths_[i], fmt_.is_signed);
+      return std::ldexp(static_cast<double>(mant), -fmt_.frac_bits());
+    }
+    throw std::runtime_error("gates: net '" + n + "' is not observed");
+  }
+
+ private:
+  System sys_;
+  std::vector<std::string> probes_;
+  fixpt::Format fmt_;
+  netlist::Netlist nl_;
+  std::vector<int> widths_;
+  std::unique_ptr<netlist::LevelizedSim> sim_;
+  bool first_ = true;
+};
+
 class GatesEngine : public Engine {
  public:
   const std::string& name() const override { return name_; }
   const Capabilities& caps() const override { return caps_; }
 
-  Trace trace(const Spec& spec, const TraceOptions& opts) const override {
+  std::string domain_limit(const Spec& spec) const override {
+    if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed))
+      return "untimed/adapter behaviour has no gate-level image";
+    return {};
+  }
+
+  std::unique_ptr<Instance> instantiate(
+      const Spec& spec, const TraceOptions& opts) const override {
     (void)opts;
-    Trace t;
-    t.engine = name_;
-    if (spec.has(CompKind::kAdapter) || spec.has(CompKind::kUntimed)) {
-      t.skip_reason = "untimed/adapter behaviour has no gate-level image";
-      return t;
-    }
-    System sys(spec);
-    const auto probes = spec.probes();
-    synth::SystemSynthSpec sspec;
-    sspec.observe = probes;
-    netlist::Netlist nl;
-    synth::synthesize_system(sys.scheduler(), nl, sspec);
-
-    // Bus widths of the observed outputs, recovered from the port names.
-    std::vector<int> widths(probes.size(), 0);
-    for (const auto& [name, gate] : nl.outputs()) {
-      (void)gate;
-      for (std::size_t i = 0; i < probes.size(); ++i) {
-        const std::string prefix = "net_" + probes[i] + "[";
-        if (name.rfind(prefix, 0) == 0)
-          widths[i] =
-              std::max(widths[i], std::stoi(name.substr(prefix.size())) + 1);
-      }
-    }
-    for (std::size_t i = 0; i < probes.size(); ++i)
-      if (widths[i] <= 0)
-        throw std::runtime_error("gates: observed net '" + probes[i] +
-                                 "' has no output bus");
-
-    const fixpt::Format f = spec.fmt();
-    netlist::LevelizedSim sim(nl);
-    for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-      sim.settle();
-      std::vector<double> row;
-      row.reserve(probes.size());
-      for (std::size_t i = 0; i < probes.size(); ++i) {
-        const long long mant = netlist::read_bus(sim, "net_" + probes[i],
-                                                 widths[i], f.is_signed);
-        row.push_back(std::ldexp(static_cast<double>(mant), -f.frac_bits()));
-      }
-      t.values.push_back(std::move(row));
-      sim.cycle();
-    }
-    t.ran = true;
-    return t;
+    return std::make_unique<GatesInstance>(spec);
   }
 
  private:

@@ -11,10 +11,12 @@
 // working because the native code shares the tape engine's state — only
 // the per-cycle evaluation is swapped for compiled code.
 //
-// Compiled artifacts are cached on disk, keyed by an FNV-1a content hash
+// Compiled artifacts live in the shared content-addressed artifact store
+// (pipeline/artifact.h) under stage "jit", keyed by an FNV-1a content hash
 // of the emitted source (which embeds the lowered IR), the compiler
-// command, the ABI revision and the cache format version — repeated runs
-// of the same design (the fuzzer's common case) pay compilation once.
+// command, the ABI revision, the cache format version and the store
+// revision — repeated runs of the same design (the fuzzer's common case,
+// and every concurrent daemon session of one design) pay compilation once.
 //
 // Every failure degrades gracefully to the interpreted tape (native()
 // returns false, traces stay bit-identical), with a structured diagnostic:
@@ -70,9 +72,10 @@ struct JitOptions {
   std::string cxx = "c++";
   /// Extra flags between the driver and `-shared -fPIC`.
   std::string flags = "-O2 -std=c++17 -w";
-  /// Artifact cache directory. Empty = $ASICPP_JIT_CACHE, else
-  /// $XDG_CACHE_HOME/asicpp-jit, else $HOME/.cache/asicpp-jit, else
-  /// /tmp/asicpp-jit.
+  /// Artifact-store directory. Empty = the shared store's env chain:
+  /// $ASICPP_STORE_DIR, else $ASICPP_JIT_CACHE (legacy name), else
+  /// $XDG_CACHE_HOME/asicpp-store, else $HOME/.cache/asicpp-store, else
+  /// /tmp/asicpp-store (see pipeline/artifact.h).
   std::string cache_dir;
   /// Recompile even when a cached artifact exists.
   bool force_recompile = false;
@@ -176,8 +179,9 @@ class JitSystem {
   std::shared_ptr<std::mutex> ex_mu_;  ///< guards untimed_ex_ under threads
 };
 
-/// Resolve the artifact cache directory per JitOptions::cache_dir rules
-/// (exposed for tests and the CI smoke tool).
+/// Resolve the artifact-store directory per JitOptions::cache_dir rules —
+/// a thin wrapper over pipeline::ArtifactStore::resolve_dir (exposed for
+/// tests and the CI smoke tool).
 std::string cache_dir(const JitOptions& jopts = {});
 
 }  // namespace asicpp::jit

@@ -1,0 +1,76 @@
+// Built-in interactive designs for the simulation service: small, known
+// systems a client can open by name instead of shipping spec text.
+#include <memory>
+
+#include "dect/vliw.h"
+#include "fixpt/fixed.h"
+#include "sched/fsmcomp.h"
+#include "service/service.h"
+#include "sfg/clk.h"
+#include "sfg/sfg.h"
+#include "sfg/sig.h"
+
+namespace asicpp::service {
+
+namespace {
+
+/// The quickstart 2-tap moving average (examples/quickstart.cpp): input
+/// net "x", output net "y" = (x + z^-1 x) / 2, 12-bit fixed point.
+class QuickstartDesign : public Design {
+ public:
+  QuickstartDesign()
+      : z1_("z1", clk_, kFx, 0.0),
+        x_(sfg::Sig::input("x", kFx)),
+        avg_("avg"),
+        sched_(clk_),
+        comp_("mavg", avg_) {
+    avg_.in(x_).out("y", (x_ + z1_) >> 1).assign(z1_, x_);
+    comp_.bind_input(x_, sched_.net("x"));
+    comp_.bind_output("y", sched_.net("y"));
+    sched_.add(comp_);
+    // Register "x" as an externally driven pin before any engine binds, so
+    // the compiled/jit images expose it as a pokeable input (the same
+    // pattern the DECT transceiver uses for its pins).
+    sched_.net("x").drive(fixpt::Fixed(0.0));
+  }
+
+  sched::CycleScheduler& scheduler() override { return sched_; }
+  std::vector<std::string> default_probes() const override {
+    return {"x", "y"};
+  }
+
+ private:
+  static constexpr fixpt::Format kFx{12, 3, true, fixpt::Quant::kRound,
+                                     fixpt::Overflow::kSaturate};
+  sfg::Clk clk_;
+  sfg::Reg z1_;
+  sfg::Sig x_;
+  sfg::Sfg avg_;
+  sched::CycleScheduler sched_;
+  sched::SfgComponent comp_;
+};
+
+/// The DECT burst-mode transceiver (src/dect): sample in, five datapaths,
+/// hold-request handshake — the paper's flagship design.
+class DectDesign : public Design {
+ public:
+  sched::CycleScheduler& scheduler() override { return t_.scheduler(); }
+  std::vector<std::string> default_probes() const override {
+    return {"sample", "hold_request", "data_0"};
+  }
+
+ private:
+  dect::DectTransceiver t_;
+};
+
+}  // namespace
+
+std::unique_ptr<Design> make_design(const std::string& name) {
+  if (name == "quickstart") return std::make_unique<QuickstartDesign>();
+  if (name == "dect") return std::make_unique<DectDesign>();
+  return nullptr;
+}
+
+std::vector<std::string> design_names() { return {"quickstart", "dect"}; }
+
+}  // namespace asicpp::service

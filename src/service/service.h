@@ -1,0 +1,115 @@
+// Session-based simulation service.
+//
+// The paper's environment keeps a designer *interacting* with a live
+// design — poking pins, probing nets, snapshotting state — rather than
+// re-running batch simulations. This module is that surface as a service:
+// a `Session` owns one live engine instance produced by the compile
+// pipeline (pipeline/pipeline.h) and supports
+//
+//   run         advance N cycles (optionally on M worker threads — the
+//               level-parallel phase-2 walk rides the shared par::Pool)
+//   poke        drive an external input net
+//   probe       read one net's last value
+//   trace       stream the probe-row history since a cycle (delta reads)
+//   checkpoint  snapshot the engine state under a name
+//   fork        open a new session resuming from a named checkpoint
+//
+// `Service` multiplexes sessions behind a newline-delimited JSON protocol
+// (`handle_line`): the `asicpp-serve` daemon speaks it over a Unix socket,
+// and tests drive the Service in-process through the same entry point.
+// Sessions opened from equal spec text with the same engine and options
+// share compile artifacts through the content-addressed ArtifactStore (a
+// second jit session of a design the store has seen pays no compiler
+// run), and every session accumulates findings in its own DiagEngine, so
+// concurrent sessions never interleave diagnostics.
+//
+// Protocol (one JSON object per line; responses always carry "ok"):
+//
+//   {"op":"open","engine":"jit","spec":"spec wl=...\n..."}
+//   {"op":"open","engine":"compiled","design":"quickstart","watch":["y"]}
+//       -> {"ok":true,"session":"s1","probes":[...],"store_hit":false,...}
+//   {"op":"run","session":"s1","cycles":16,"threads":2}
+//       -> {"ok":true,"cycle":16}
+//   {"op":"poke","session":"s1","net":"x","value":1.5}  -> {"ok":true}
+//   {"op":"probe","session":"s1","net":"y"}   -> {"ok":true,"value":0.5}
+//   {"op":"trace","session":"s1","since":8}   -> {"ok":true,"from":8,"rows":[...]}
+//   {"op":"checkpoint","session":"s1","name":"c1"}      -> {"ok":true,...}
+//   {"op":"fork","session":"s1","from":"c1"}  -> {"ok":true,"session":"s2",...}
+//   {"op":"diag","session":"s1"}   -> {"ok":true,"findings":[...]}
+//   {"op":"close","session":"s1"}  -> {"ok":true}
+//   {"op":"ping"}                  -> {"ok":true,"engines":[...],"designs":[...]}
+//   {"op":"shutdown"}              -> {"ok":true,"shutdown":true}
+//
+// Errors come back as {"ok":false,"error":"one line"} — the service never
+// throws out of handle_line, and a failed request never kills a session.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/cyclesched.h"
+#include "service/json.h"
+
+namespace asicpp::service {
+
+/// A built-in interactive design the service can open by name (sessions
+/// opened from spec text don't need one). The object owns the clock, the
+/// scheduler and every component.
+class Design {
+ public:
+  virtual ~Design() = default;
+  virtual sched::CycleScheduler& scheduler() = 0;
+  /// Nets worth watching by default (the session's probe rows).
+  virtual std::vector<std::string> default_probes() const = 0;
+};
+
+/// Factory for the built-in designs: "quickstart" (the 2-tap moving
+/// average of examples/quickstart.cpp; input "x", output "y") and "dect"
+/// (the DECT burst-mode transceiver; pins "sample" / "hold_request").
+/// nullptr for unknown names.
+std::unique_ptr<Design> make_design(const std::string& name);
+std::vector<std::string> design_names();
+
+class Service {
+ public:
+  Service();
+  ~Service();
+
+  /// Handle one protocol line; always returns a one-line JSON response.
+  /// Thread-safe: the daemon calls this from one thread per connection.
+  std::string handle_line(const std::string& line);
+
+  /// True once a shutdown request was handled.
+  bool shutdown_requested() const { return shutdown_.load(); }
+
+  std::size_t session_count() const;
+
+ private:
+  struct Session;
+
+  Json handle(const Json& req);
+  std::shared_ptr<Session> find_session(const Json& req, Json* err);
+
+  Json op_open(const Json& req);
+  Json op_run(const Json& req);
+  Json op_poke(const Json& req);
+  Json op_probe(const Json& req);
+  Json op_trace(const Json& req);
+  Json op_checkpoint(const Json& req);
+  Json op_fork(const Json& req);
+  Json op_close(const Json& req);
+  Json op_diag(const Json& req);
+  Json op_ping() const;
+
+  mutable std::mutex mu_;  ///< guards sessions_ / next_id_
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_id_ = 1;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace asicpp::service

@@ -5,6 +5,7 @@
 
 #include "engine/engine.h"
 #include "par/pool.h"
+#include "pipeline/pipeline.h"
 
 namespace asicpp::verify {
 
@@ -19,8 +20,55 @@ engine::TraceOptions trace_options(const DiffOptions& opts) {
   t.passes = opts.passes;
   t.workdir = opts.workdir;
   t.cxx = opts.cxx;
-  t.jit_cache = opts.jit_cache;
+  t.store_dir = opts.store_dir;
   t.lanes = opts.lanes;
+  return t;
+}
+
+/// One engine's trace captured through the unified compile pipeline: the
+/// spec goes through parse/elaborate/bind (sharing compiled artifacts with
+/// every other pipeline consumer via the content-addressed store), and the
+/// bound instance is stepped cycle by cycle. A domain limit (PIPE-004)
+/// becomes a skip, any other pipeline failure or a mid-run exception a
+/// fail; partial rows up to the failing cycle are kept, matching
+/// Engine::trace.
+EngineTrace trace_via_pipeline(const Spec& spec, const std::string& name,
+                               const DiffOptions& opts,
+                               const opt::PassOptions& passes) {
+  EngineTrace t;
+  t.engine = name;
+
+  pipeline::CompileRequest req;
+  req.spec = spec;
+  req.has_spec = true;
+  req.engine = name;
+  req.passes = passes;
+  req.workdir = opts.workdir;
+  req.cxx = opts.cxx;
+  req.store_dir = opts.store_dir;
+  req.lanes = opts.lanes;
+  pipeline::CompileResult c = pipeline::compile(req);
+  if (!c.ok) {
+    if (c.code == "PIPE-004")
+      t.skip_reason = c.error;
+    else
+      t.fail_reason = c.error;
+    return t;
+  }
+
+  const std::vector<std::string> probes = spec.probes();
+  try {
+    for (std::uint64_t cyc = 0; cyc < spec.cycles; ++cyc) {
+      c.instance->cycle();
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const std::string& p : probes) row.push_back(c.instance->probe(p));
+      t.values.push_back(std::move(row));
+    }
+    t.ran = true;
+  } catch (const std::exception& ex) {
+    t.fail_reason = ex.what();
+  }
   return t;
 }
 
@@ -121,14 +169,7 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
   };
 
   for (const engine::Engine* e : engines) {
-    EngineTrace t;
-    try {
-      t = e->trace(spec, topts);
-    } catch (const std::exception& ex) {
-      t = EngineTrace{};
-      t.engine = e->name();
-      t.fail_reason = ex.what();
-    }
+    EngineTrace t = trace_via_pipeline(spec, e->name(), opts, opts.passes);
     apply_mutant(t);
     r.traces.push_back(std::move(t));
   }
@@ -140,17 +181,8 @@ DiffResult diff_run(const Spec& spec, const DiffOptions& opts) {
   if (opts.pass_axis) {
     for (const engine::Engine* e : reg.all()) {
       if (!e->caps().pass_axis) continue;
-      engine::TraceOptions noopt = topts;
-      noopt.passes = e->noopt_passes();
-      EngineTrace t;
-      try {
-        t = e->trace(spec, noopt);
-      } catch (const std::exception& ex) {
-        t = EngineTrace{};
-        t.engine = e->name();
-        t.fail_reason = ex.what();
-      }
-      r.noopt_traces.push_back(std::move(t));
+      r.noopt_traces.push_back(
+          trace_via_pipeline(spec, e->name(), opts, e->noopt_passes()));
     }
   }
 

@@ -94,9 +94,10 @@ struct DiffOptions {
   std::string workdir;
   /// Host compiler for the generated simulator and the jit engine.
   std::string cxx = "c++";
-  /// Artifact-cache directory override for the jit engine (empty = the
-  /// $ASICPP_JIT_CACHE resolution chain, see jit/jit.h).
-  std::string jit_cache;
+  /// Artifact-store directory override for engines with cacheable compile
+  /// products (jit). Empty = the $ASICPP_STORE_DIR / $ASICPP_JIT_CACHE
+  /// resolution chain (see pipeline/artifact.h).
+  std::string store_dir;
   /// Route VERIFY diagnostics into this engine (optional; the DiffResult
   /// carries the findings either way).
   diag::DiagEngine* diagnostics = nullptr;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
+#include <stdexcept>
 #include <random>
 #include <set>
 #include <sstream>
@@ -482,6 +484,187 @@ std::string to_text(const Spec& s) {
        << " gain=" << fmt_double(c.gain) << "\n";
   }
   return os.str();
+}
+
+namespace {
+
+bool parse_op(const std::string& s, OpKind* op) {
+  for (OpKind k : {OpKind::kAdd, OpKind::kSub, OpKind::kMulCast, OpKind::kMux,
+                   OpKind::kNeg, OpKind::kCmpXor, OpKind::kCast}) {
+    if (s == op_name(k)) {
+      *op = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_comp_kind(const std::string& s, CompKind* kind) {
+  for (CompKind k : {CompKind::kSfg, CompKind::kFsm, CompKind::kOpSource,
+                     CompKind::kDispatch, CompKind::kAdapter,
+                     CompKind::kUntimed}) {
+    if (s == comp_kind_name(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// "key=value" tokens of a spec-text line, after the leading record word.
+class FieldParser {
+ public:
+  FieldParser(const std::string& line, int lineno) : ls_(line), lineno_(lineno) {
+    ls_ >> record_;
+  }
+
+  const std::string& record() const { return record_; }
+
+  /// Next token, which must be `key=`; returns the value part.
+  std::string expect(const std::string& key) {
+    std::string tok;
+    if (!(ls_ >> tok) || tok.rfind(key + "=", 0) != 0)
+      throw fail("expected field '" + key + "='");
+    return tok.substr(key.size() + 1);
+  }
+
+  long expect_int(const std::string& key) { return to_int(expect(key), key); }
+
+  double expect_double(const std::string& key) {
+    const std::string v = expect(key);
+    char* end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+      throw fail("field '" + key + "' has malformed number '" + v + "'");
+    return d;
+  }
+
+  /// `key=[...]` — returns the bracket body.
+  std::string expect_list(const std::string& key) {
+    const std::string v = expect(key);
+    if (v.size() < 2 || v.front() != '[' || v.back() != ']')
+      throw fail("field '" + key + "' is not a [...] list");
+    return v.substr(1, v.size() - 2);
+  }
+
+  long to_int(const std::string& v, const std::string& what) const {
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || end == nullptr || *end != '\0')
+      throw fail("field '" + what + "' has malformed integer '" + v + "'");
+    return n;
+  }
+
+  std::runtime_error fail(const std::string& why) const {
+    return std::runtime_error("spec text line " + std::to_string(lineno_) +
+                              ": " + why);
+  }
+
+ private:
+  std::istringstream ls_;
+  std::string record_;
+  int lineno_;
+};
+
+/// "a,b,c" → {"a","b","c"}; empty body → {}.
+std::vector<std::string> split_csv(const std::string& body) {
+  std::vector<std::string> out;
+  if (body.empty()) return out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= body.size(); ++i) {
+    if (i == body.size() || body[i] == ',') {
+      out.push_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// "(a,b),(c,d)" → {"a,b", "c,d"}; empty body → {}.
+std::vector<std::string> split_groups(const std::string& body,
+                                      const FieldParser& fp,
+                                      const std::string& what) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    if (body[i] != '(') throw fp.fail("malformed " + what + " list");
+    const std::size_t close = body.find(')', i);
+    if (close == std::string::npos) throw fp.fail("malformed " + what + " list");
+    out.push_back(body.substr(i + 1, close - i - 1));
+    i = close + 1;
+    if (i < body.size()) {
+      if (body[i] != ',') throw fp.fail("malformed " + what + " list");
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Spec from_text(const std::string& text) {
+  Spec s;
+  bool header = false;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    FieldParser fp(line, lineno);
+    if (fp.record() == "spec") {
+      if (header) throw fp.fail("duplicate 'spec' header");
+      s.wl = static_cast<int>(fp.expect_int("wl"));
+      s.iwl = static_cast<int>(fp.expect_int("iwl"));
+      s.cycles = static_cast<std::uint64_t>(fp.expect_int("cycles"));
+      s.seed = static_cast<unsigned>(fp.expect_int("seed"));
+      header = true;
+    } else if (fp.record() == "comp") {
+      if (!header) throw fp.fail("'comp' before the 'spec' header");
+      CompSpec c;
+      c.net = static_cast<int>(fp.expect_int("net"));
+      const std::string kind = fp.expect("kind");
+      if (!parse_comp_kind(kind, &c.kind))
+        throw fp.fail("unknown component kind '" + kind + "'");
+      for (const std::string& tok : split_csv(fp.expect_list("inputs")))
+        c.inputs.push_back(static_cast<int>(fp.to_int(tok, "inputs")));
+      for (const std::string& g :
+           split_groups(fp.expect_list("regs"), fp, "regs")) {
+        const auto parts = split_csv(g);
+        if (parts.size() != 2) throw fp.fail("malformed regs entry");
+        RegSpec r;
+        char* end = nullptr;
+        r.init = std::strtod(parts[0].c_str(), &end);
+        if (end == nullptr || *end != '\0')
+          throw fp.fail("malformed regs init '" + parts[0] + "'");
+        r.next = static_cast<int>(fp.to_int(parts[1], "regs"));
+        c.regs.push_back(r);
+      }
+      for (const std::string& g :
+           split_groups(fp.expect_list("exprs"), fp, "exprs")) {
+        const auto parts = split_csv(g);
+        if (parts.size() != 3) throw fp.fail("malformed exprs entry");
+        ExprSpec e;
+        if (!parse_op(parts[0], &e.op))
+          throw fp.fail("unknown op '" + parts[0] + "'");
+        e.a = static_cast<int>(fp.to_int(parts[1], "exprs"));
+        e.b = static_cast<int>(fp.to_int(parts[2], "exprs"));
+        c.exprs.push_back(e);
+      }
+      c.out = static_cast<int>(fp.expect_int("out"));
+      c.out_alt = static_cast<int>(fp.expect_int("alt"));
+      c.guard_thresh = fp.expect_double("thresh");
+      c.gain = fp.expect_double("gain");
+      s.comps.push_back(std::move(c));
+    } else {
+      throw fp.fail("unknown record '" + fp.record() + "'");
+    }
+  }
+  if (!header)
+    throw std::runtime_error("spec text: missing 'spec' header line");
+  const std::string err = validate(s);
+  if (!err.empty()) throw std::runtime_error("spec text: " + err);
+  return s;
 }
 
 void emit_spec_cpp(const Spec& s, const std::string& var, std::ostream& os) {

@@ -162,6 +162,13 @@ class System {
 /// determinism tests).
 std::string to_text(const Spec& s);
 
+/// Parse the to_text form back into a Spec — the exact inverse, including
+/// the seed provenance field (doubles round-trip through %.17g). The
+/// parsed spec is validate()d; malformed input or an invalid spec throws
+/// std::runtime_error naming the offending line. This is how specs enter
+/// the compile pipeline from corpus files and simulation-service requests.
+Spec from_text(const std::string& text);
+
 /// Emit C++ statements that rebuild `s` into a `Spec` variable named
 /// `var` (used by the shrinker's standalone repro emitter).
 void emit_spec_cpp(const Spec& s, const std::string& var, std::ostream& os);

@@ -615,6 +615,43 @@ TEST(FuzzCliResume, ConfigMismatchIsRefused) {
   std::remove(journal.c_str());
 }
 
+TEST(FuzzCliResume, StoreRevisionMismatchIsRefusedByName) {
+  const std::string journal = scratch_path("asicpp_ckpt_storerev.journal");
+  std::string out;
+  ASSERT_EQ(run_cmd(std::string(ASICPP_FUZZ_BIN) +
+                        " --seeds 2 --engines iterative,levelized --journal " +
+                        journal,
+                    &out),
+            0)
+      << out;
+  // Rewrite the header's store-revision field: the journal now claims it
+  // was written against a different artifact-store layout.
+  {
+    std::ifstream is(journal);
+    std::vector<std::string> lines;
+    std::string l;
+    while (std::getline(is, l)) lines.push_back(l);
+    ASSERT_FALSE(lines.empty());
+    const std::string::size_type pos = lines[0].find("\tstore");
+    ASSERT_NE(pos, std::string::npos) << lines[0];
+    const std::string::size_type end = lines[0].find('\t', pos + 1);
+    ASSERT_NE(end, std::string::npos) << lines[0];
+    lines[0].replace(pos, end - pos, "\tstore99999");
+    std::ofstream os(journal);
+    for (const std::string& ln : lines) os << ln << "\n";
+  }
+  const int rc = run_cmd(std::string(ASICPP_FUZZ_BIN) +
+                             " --seeds 2 --engines iterative,levelized" +
+                             " --journal " + journal + " --resume",
+                         &out);
+  EXPECT_EQ(rc, 2) << out;
+  // The refusal names the revisions, not just "different configuration".
+  EXPECT_NE(out.find("artifact-store revision"), std::string::npos) << out;
+  EXPECT_NE(out.find("store99999"), std::string::npos) << out;
+  EXPECT_NE(out.find("refusing to resume"), std::string::npos) << out;
+  std::remove(journal.c_str());
+}
+
 TEST(FuzzCliShrinkBudget, ExpiredBudgetStillEmitsRepro) {
   const Spec s = generate(GenConfig{}, 0);
   const std::string net = s.probes().front();

@@ -164,6 +164,55 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
         self.assertNotIn("BM_Other", r.stdout)
 
+    def test_ratio_within_bound_passes(self):
+        snapshot(self.base, "t", {"BM_Cold": 5.0, "BM_Warm": 0.5})
+        snapshot(self.fresh, "t", {"BM_Cold": 5.0, "BM_Warm": 0.5})
+        r = self.run_gate("--ratio", "t/BM_Cold:t/BM_Warm:5")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("10.0x", r.stdout)
+
+    def test_ratio_violation_fails(self):
+        snapshot(self.base, "t", {"BM_Cold": 1.0, "BM_Warm": 0.5})
+        snapshot(self.fresh, "t", {"BM_Cold": 1.0, "BM_Warm": 0.5})
+        r = self.run_gate("--ratio", "t/BM_Cold:t/BM_Warm:5")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("::error title=bench ratio::", r.stdout)
+
+    def test_ratio_missing_bench_fails(self):
+        snapshot(self.base, "t", {"BM_Cold": 5.0})
+        snapshot(self.fresh, "t", {"BM_Cold": 5.0})
+        r = self.run_gate("--ratio", "t/BM_Cold:t/BM_Warm:5")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("produced no fresh result", r.stdout)
+
+    def test_ratio_uses_wall_time_not_cpu(self):
+        # The cold side's work happens in a host-compiler subprocess: its
+        # process CPU time is flat, only wall time shows the 10x. A
+        # CPU-based quotient would read 1x and fail the 5x bound.
+        snapshot(self.base, "t", {"BM_Cold": 5.0, "BM_Warm": 0.5})
+        doc = {"tag": "t", "benchmarks": [
+            {"name": "BM_Cold", "iterations": 1, "wall_seconds": 5.0,
+             "cpu_seconds": 0.1},
+            {"name": "BM_Warm", "iterations": 1, "wall_seconds": 0.5,
+             "cpu_seconds": 0.1}]}
+        with open(os.path.join(self.fresh, "BENCH_t.json"), "w") as fh:
+            json.dump(doc, fh)
+        r = self.run_gate("--ratio", "t/BM_Cold:t/BM_Warm:5",
+                          "--threshold", "10.0")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_ratio_enforced_without_baseline(self):
+        snapshot(self.fresh, "t", {"BM_Cold": 1.0, "BM_Warm": 0.5})
+        r = self.run_gate("--ratio", "t/BM_Cold:t/BM_Warm:5")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_ratio_bare_names_and_warn_only(self):
+        snapshot(self.base, "t", {"BM_Cold": 1.0, "BM_Warm": 0.5})
+        snapshot(self.fresh, "t", {"BM_Cold": 1.0, "BM_Warm": 0.5})
+        r = self.run_gate("--ratio", "BM_Cold:BM_Warm:5", "--warn-only")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("::warning title=bench ratio::", r.stdout)
+
     def test_summary_table_written(self):
         snapshot(self.base, "t", {"BM_A": 1.0, "BM_B": 1.0, "BM_Gone": 1.0})
         snapshot(self.fresh, "t", {"BM_A": 1.0, "BM_B": 2.0})

@@ -111,7 +111,7 @@ TEST(Jit, DifferentialBatch200Seeds) {
 
   DiffOptions opts;
   opts.engines = {"compiled", "jit"};
-  opts.jit_cache = cache;
+  opts.store_dir = cache;
   opts.pass_axis = false;
   opts.ckpt_axis = false;
   diag::DiagEngine de;
@@ -380,7 +380,7 @@ TEST(Jit, DiffRunCheckpointAxisCoversJit) {
   const std::string cache = fresh_cache("asicpp_jit_ckptaxis");
   DiffOptions opts;
   opts.engines = {"compiled", "jit"};
-  opts.jit_cache = cache;
+  opts.store_dir = cache;
   opts.pass_axis = false;
   const DiffResult r = diff_run(jit_spec(12), opts);
   EXPECT_TRUE(r.ok()) << r.summary();
@@ -470,13 +470,13 @@ TEST(Registry, BindDrivesInProcessEnginesOverOneScheduler) {
     const engine::Engine& e = engine::Registry::global().at(name);
     ASSERT_TRUE(e.caps().in_process);
     System sys(spec);
-    auto runner = e.bind(sys.scheduler(), opt::PassOptions{});
-    ASSERT_NE(runner, nullptr) << name;
+    auto inst = e.bind(sys.scheduler(), engine::TraceOptions{});
+    ASSERT_NE(inst, nullptr) << name;
     std::vector<std::vector<double>> values;
     for (std::uint64_t c = 0; c < spec.cycles; ++c) {
-      runner->cycle();
+      inst->cycle();
       std::vector<double> row;
-      for (const std::string& n : probes) row.push_back(runner->net_value(n));
+      for (const std::string& n : probes) row.push_back(inst->probe(n));
       values.push_back(std::move(row));
     }
     if (ref.empty())

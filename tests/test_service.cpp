@@ -1,0 +1,370 @@
+// The session-based simulation service, driven in-process through the
+// same handle_line entry point the asicpp-serve daemon uses: protocol
+// round-trips, session lifecycle, poke/probe/trace semantics, checkpoint
+// and fork resumption, and N concurrent sessions on one cached artifact
+// producing traces bit-identical to N solo runs.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/pipeline.h"
+#include "service/json.h"
+#include "service/service.h"
+#include "verify/gen.h"
+
+namespace asicpp {
+namespace {
+
+using service::Json;
+using service::Service;
+
+/// Send one request object and parse the response (every response must be
+/// valid single-line JSON carrying "ok").
+Json rpc(Service& svc, const std::string& line) {
+  const std::string reply = svc.handle_line(line);
+  Json out;
+  std::string err;
+  EXPECT_TRUE(Json::parse(reply, &out, &err)) << reply << ": " << err;
+  EXPECT_NE(out.get("ok"), nullptr) << reply;
+  return out;
+}
+
+Json ok_rpc(Service& svc, const std::string& line) {
+  Json r = rpc(svc, line);
+  EXPECT_TRUE(r.get_bool("ok")) << r.dump() << " for " << line;
+  return r;
+}
+
+/// Probe rows of a trace response as doubles.
+std::vector<std::vector<double>> rows_of(const Json& trace) {
+  std::vector<std::vector<double>> rows;
+  const Json* arr = trace.get("rows");
+  if (arr == nullptr) return rows;
+  for (const Json& row : arr->items()) {
+    std::vector<double> r;
+    for (const Json& v : row.items()) r.push_back(v.as_number());
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\n') out += "\\n";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\\') out += "\\\\";
+    else out += c;
+  }
+  return out;
+}
+
+// --- json unit tests --------------------------------------------------------
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"op":"open","engine":"jit","watch":["x","y"],"n":-2.5,)"
+      R"("flag":true,"nothing":null})";
+  Json j;
+  std::string err;
+  ASSERT_TRUE(Json::parse(text, &j, &err)) << err;
+  EXPECT_EQ(j.get_string("op"), "open");
+  EXPECT_EQ(j.get_number("n"), -2.5);
+  EXPECT_TRUE(j.get_bool("flag"));
+  ASSERT_NE(j.get("nothing"), nullptr);
+  EXPECT_TRUE(j.get("nothing")->is_null());
+  ASSERT_NE(j.get("watch"), nullptr);
+  EXPECT_EQ(j.get("watch")->items().size(), 2u);
+  // Re-parse the dump: the value survives a full round trip.
+  Json again;
+  ASSERT_TRUE(Json::parse(j.dump(), &again, &err)) << err;
+  EXPECT_EQ(again.dump(), j.dump());
+}
+
+TEST(Json, ParseErrorsArePositioned) {
+  Json j;
+  std::string err;
+  EXPECT_FALSE(Json::parse("{\"a\":}", &j, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(Json::parse("", &j, &err));
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing", &j, &err));
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  Json j = Json::object();
+  j.set("s", Json::string("a\"b\\c\nd\te"));
+  Json back;
+  std::string err;
+  ASSERT_TRUE(Json::parse(j.dump(), &back, &err)) << err;
+  EXPECT_EQ(back.get_string("s"), "a\"b\\c\nd\te");
+}
+
+// --- protocol basics --------------------------------------------------------
+
+TEST(Service, PingListsEnginesAndDesigns) {
+  Service svc;
+  Json r = ok_rpc(svc, R"({"op":"ping"})");
+  const Json* engines = r.get("engines");
+  ASSERT_NE(engines, nullptr);
+  EXPECT_GE(engines->items().size(), 7u);
+  const Json* designs = r.get("designs");
+  ASSERT_NE(designs, nullptr);
+  EXPECT_EQ(designs->items().size(), 2u);
+}
+
+TEST(Service, MalformedAndUnknownRequestsFailSoftly) {
+  Service svc;
+  Json r = rpc(svc, "this is not json");
+  EXPECT_FALSE(r.get_bool("ok", true));
+  r = rpc(svc, R"({"op":"frobnicate"})");
+  EXPECT_FALSE(r.get_bool("ok", true));
+  r = rpc(svc, R"({"op":"run","session":"s99","cycles":1})");
+  EXPECT_FALSE(r.get_bool("ok", true));
+  EXPECT_EQ(svc.session_count(), 0u);
+}
+
+TEST(Service, QuickstartPokeRunTrace) {
+  Service svc;
+  Json open = ok_rpc(
+      svc, R"({"op":"open","engine":"compiled","design":"quickstart"})");
+  const std::string sid = open.get_string("session");
+  ASSERT_FALSE(sid.empty());
+  EXPECT_EQ(svc.session_count(), 1u);
+
+  ok_rpc(svc, R"({"op":"poke","session":")" + sid +
+                  R"(","net":"x","value":1.0})");
+  ok_rpc(svc, R"({"op":"run","session":")" + sid + R"(","cycles":4})");
+  Json trace = ok_rpc(svc, R"({"op":"trace","session":")" + sid +
+                               R"(","since":0})");
+  const auto rows = rows_of(trace);
+  ASSERT_EQ(rows.size(), 4u);
+  // 2-tap moving average of a constant 1.0: first cycle averages the zero
+  // history, then the output settles at 1.0.
+  ASSERT_EQ(rows[0].size(), 2u);  // probes x, y
+  EXPECT_EQ(rows[0][1], 0.5);
+  EXPECT_EQ(rows[1][1], 1.0);
+  EXPECT_EQ(rows[3][1], 1.0);
+
+  // Delta read: since=2 returns only the last two rows.
+  Json delta = ok_rpc(svc, R"({"op":"trace","session":")" + sid +
+                               R"(","since":2})");
+  EXPECT_EQ(rows_of(delta).size(), 2u);
+  EXPECT_EQ(delta.get_number("from"), 2.0);
+
+  ok_rpc(svc, R"({"op":"close","session":")" + sid + R"("})");
+  EXPECT_EQ(svc.session_count(), 0u);
+}
+
+TEST(Service, ProbeReadsLastValue) {
+  Service svc;
+  Json open = ok_rpc(
+      svc, R"({"op":"open","engine":"iterative","design":"quickstart"})");
+  const std::string sid = open.get_string("session");
+  ok_rpc(svc, R"({"op":"poke","session":")" + sid +
+                  R"(","net":"x","value":2.0})");
+  ok_rpc(svc, R"({"op":"run","session":")" + sid + R"(","cycles":8})");
+  Json p = ok_rpc(svc, R"({"op":"probe","session":")" + sid +
+                           R"(","net":"y"})");
+  EXPECT_EQ(p.get_number("value"), 2.0);
+}
+
+TEST(Service, UnknownNetProbeFailsSoftly) {
+  // The compiled engine resolves net names eagerly; an unknown probe is a
+  // request error, not a dead session.
+  Service svc;
+  Json open = ok_rpc(
+      svc, R"({"op":"open","engine":"compiled","design":"quickstart"})");
+  const std::string sid = open.get_string("session");
+  Json bad = rpc(svc, R"({"op":"probe","session":")" + sid +
+                          R"(","net":"no_such_net"})");
+  EXPECT_FALSE(bad.get_bool("ok", true));
+  ok_rpc(svc, R"({"op":"run","session":")" + sid + R"(","cycles":1})");
+  EXPECT_EQ(svc.session_count(), 1u);
+}
+
+// --- spec-based sessions and trace parity -----------------------------------
+
+/// A session opened from spec text must produce the exact trace the
+/// engine's own trace() loop yields for the same spec.
+TEST(Service, SpecSessionMatchesDirectTrace) {
+  const verify::Spec spec = verify::generate(verify::GenConfig{}, 17);
+  const std::string text = verify::to_text(spec);
+
+  Service svc;
+  Json open = ok_rpc(svc, R"({"op":"open","engine":"compiled","spec":")" +
+                              json_escape(text) + R"("})");
+  const std::string sid = open.get_string("session");
+  ok_rpc(svc, R"({"op":"run","session":")" + sid + R"(","cycles":)" +
+                  std::to_string(spec.cycles) + "}");
+  const auto rows =
+      rows_of(ok_rpc(svc, R"({"op":"trace","session":")" + sid +
+                              R"(","since":0})"));
+
+  pipeline::CompileRequest req;
+  req.spec = spec;
+  req.has_spec = true;
+  req.engine = "compiled";
+  pipeline::CompileResult direct = pipeline::compile(req);
+  ASSERT_TRUE(direct.ok) << direct.error;
+  ASSERT_EQ(rows.size(), spec.cycles);
+  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+    direct.instance->cycle();
+    for (std::size_t i = 0; i < direct.probes.size(); ++i)
+      EXPECT_EQ(rows[c][i], direct.instance->probe(direct.probes[i]))
+          << "cycle " << c << " probe " << direct.probes[i];
+  }
+}
+
+/// N parallel jit sessions opened from one spec share the cached artifact
+/// and every one of them produces a trace bit-identical to a solo run.
+TEST(Service, ParallelSessionsOnOneCachedArtifactAreBitIdentical) {
+  const std::string store =
+      "/tmp/asicpp_svc_par_store_" + std::to_string(static_cast<long>(getpid()));
+  std::system(("rm -rf " + store).c_str());
+  setenv("ASICPP_STORE_DIR", store.c_str(), 1);
+
+  // Adapters are outside the jit domain; keep the generated spec inside it.
+  verify::GenConfig cfg;
+  cfg.allow_adapter = false;
+  const verify::Spec spec = verify::generate(cfg, 23);
+  const std::string text = verify::to_text(spec);
+
+  // Solo reference run through the pipeline.
+  pipeline::CompileRequest req;
+  req.spec = spec;
+  req.has_spec = true;
+  req.engine = "jit";
+  pipeline::CompileResult solo = pipeline::compile(req);
+  ASSERT_TRUE(solo.ok) << solo.error;
+  std::vector<std::vector<double>> reference;
+  for (std::uint64_t c = 0; c < spec.cycles; ++c) {
+    solo.instance->cycle();
+    std::vector<double> row;
+    for (const std::string& p : solo.probes)
+      row.push_back(solo.instance->probe(p));
+    reference.push_back(std::move(row));
+  }
+
+  constexpr int kSessions = 4;
+  Service svc;
+  const std::string open_line =
+      R"({"op":"open","engine":"jit","spec":")" + json_escape(text) + R"("})";
+  std::vector<std::string> sids(kSessions);
+  // char, not bool: vector<bool> packs bits, so concurrent writes to
+  // distinct indices would race.
+  std::vector<char> warm(kSessions, 0);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      Json open = ok_rpc(svc, open_line);
+      sids[i] = open.get_string("session");
+      warm[i] = open.get_bool("store_hit") ? 1 : 0;
+      ok_rpc(svc, R"({"op":"run","session":")" + sids[i] + R"(","cycles":)" +
+                      std::to_string(spec.cycles) + "}");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(svc.session_count(), static_cast<std::size_t>(kSessions));
+
+  for (const std::string& sid : sids) {
+    ASSERT_FALSE(sid.empty());
+    const auto rows =
+        rows_of(ok_rpc(svc, R"({"op":"trace","session":")" + sid +
+                                R"(","since":0})"));
+    ASSERT_EQ(rows.size(), reference.size()) << sid;
+    for (std::size_t c = 0; c < reference.size(); ++c)
+      for (std::size_t i = 0; i < reference[c].size(); ++i)
+        EXPECT_EQ(rows[c][i], reference[c][i])
+            << sid << " cycle " << c << " probe " << i;
+  }
+  // The solo run warmed the store, so every session was a warm open.
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_TRUE(warm[i]) << sids[i];
+    ok_rpc(svc, R"({"op":"close","session":")" + sids[i] + R"("})");
+  }
+  unsetenv("ASICPP_STORE_DIR");
+  std::system(("rm -rf " + store).c_str());
+}
+
+// --- checkpoint / fork ------------------------------------------------------
+
+/// A session forked from a named checkpoint replays the parent's remaining
+/// cycles byte-identically, and the fork is independent of the parent
+/// afterwards.
+TEST(Service, ForkFromCheckpointResumesByteIdentically) {
+  Service svc;
+  Json open = ok_rpc(
+      svc, R"({"op":"open","engine":"compiled","design":"quickstart"})");
+  const std::string parent = open.get_string("session");
+
+  ok_rpc(svc, R"({"op":"poke","session":")" + parent +
+                  R"(","net":"x","value":1.0})");
+  ok_rpc(svc, R"({"op":"run","session":")" + parent + R"(","cycles":4})");
+  ok_rpc(svc, R"({"op":"checkpoint","session":")" + parent +
+                  R"(","name":"mid"})");
+
+  // Parent continues with a new stimulus...
+  ok_rpc(svc, R"({"op":"poke","session":")" + parent +
+                  R"(","net":"x","value":-1.0})");
+  ok_rpc(svc, R"({"op":"run","session":")" + parent + R"(","cycles":4})");
+  const auto parent_rows =
+      rows_of(ok_rpc(svc, R"({"op":"trace","session":")" + parent +
+                              R"(","since":4})"));
+
+  // ...and the fork, resumed from the checkpoint with the same stimulus,
+  // must reproduce those rows exactly.
+  Json fork = ok_rpc(svc, R"({"op":"fork","session":")" + parent +
+                              R"(","from":"mid"})");
+  const std::string child = fork.get_string("session");
+  ASSERT_FALSE(child.empty());
+  ASSERT_NE(child, parent);
+  ok_rpc(svc, R"({"op":"poke","session":")" + child +
+                  R"(","net":"x","value":-1.0})");
+  ok_rpc(svc, R"({"op":"run","session":")" + child + R"(","cycles":4})");
+  const auto child_rows =
+      rows_of(ok_rpc(svc, R"({"op":"trace","session":")" + child +
+                              R"(","since":4})"));
+
+  ASSERT_EQ(child_rows.size(), parent_rows.size());
+  for (std::size_t c = 0; c < parent_rows.size(); ++c) {
+    ASSERT_EQ(child_rows[c].size(), parent_rows[c].size());
+    for (std::size_t i = 0; i < parent_rows[c].size(); ++i)
+      EXPECT_EQ(child_rows[c][i], parent_rows[c][i])
+          << "cycle " << c << " probe " << i;
+  }
+
+  // Diverge the fork: the parent's history is unaffected.
+  ok_rpc(svc, R"({"op":"poke","session":")" + child +
+                  R"(","net":"x","value":3.0})");
+  ok_rpc(svc, R"({"op":"run","session":")" + child + R"(","cycles":2})");
+  const auto parent_again =
+      rows_of(ok_rpc(svc, R"({"op":"trace","session":")" + parent +
+                              R"(","since":4})"));
+  EXPECT_EQ(parent_again, parent_rows);
+}
+
+TEST(Service, ForkFromUnknownCheckpointFailsSoftly) {
+  Service svc;
+  Json open = ok_rpc(
+      svc, R"({"op":"open","engine":"compiled","design":"quickstart"})");
+  const std::string sid = open.get_string("session");
+  Json r = rpc(svc, R"({"op":"fork","session":")" + sid +
+                        R"(","from":"never_made"})");
+  EXPECT_FALSE(r.get_bool("ok", true));
+  EXPECT_EQ(svc.session_count(), 1u);  // no half-opened fork left behind
+}
+
+TEST(Service, ShutdownIsSticky) {
+  Service svc;
+  EXPECT_FALSE(svc.shutdown_requested());
+  Json r = ok_rpc(svc, R"({"op":"shutdown"})");
+  EXPECT_TRUE(r.get_bool("shutdown"));
+  EXPECT_TRUE(svc.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace asicpp

@@ -63,6 +63,7 @@
 #include "diag/diag.h"
 #include "engine/engine.h"
 #include "par/pool.h"
+#include "pipeline/artifact.h"
 #include "verify/diffrun.h"
 #include "verify/gen.h"
 #include "verify/shrink.h"
@@ -79,6 +80,7 @@ struct Args {
   std::string corpus_dir;
   std::string json_path;
   std::string cxx = "c++";
+  std::string store_dir;  // artifact store override (default: env chain)
   int max_attempts = 400;
   unsigned jobs = 1;   // worker lanes / concurrent children
   unsigned lanes = 4;  // SoA lane count for the batched engine
@@ -113,6 +115,9 @@ int usage(const char* argv0) {
       "  --json FILE       write a machine-readable result summary\n"
       "  --cxx CC          host compiler for the cppgen and jit engines\n"
       "                    (default c++)\n"
+      "  --store-dir DIR   content-addressed artifact store for compiled\n"
+      "                    engine images (default: the $ASICPP_STORE_DIR\n"
+      "                    chain)\n"
       "  --max-attempts N  shrinker run budget per failure (default 400)\n"
       "  --shrink-budget S wall-clock budget per failure's shrink, seconds\n"
       "                    (default: unlimited); on expiry the best-so-far\n"
@@ -233,6 +238,10 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = value();
       if (v == nullptr) return false;
       a->cxx = v;
+    } else if (opt == "--store-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->store_dir = v;
     } else if (opt == "--max-attempts") {
       long v = 0;
       if (!parse_long(value(), 1, &v)) return bad("a positive integer");
@@ -443,8 +452,13 @@ std::string journal_header(const Args& args) {
       << args.max_attempts << '|' << args.shrink_budget_s << '|'
       << args.corpus_dir << '|' << args.verbose << '|' << args.cxx << '|'
       << args.lanes;
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "asicpp-fuzz-journal\tv1\t%016llx",
+  // The artifact-store revision is a visible header field, not folded into
+  // the hash: compiled engine images from a different store layout mean the
+  // recorded outcomes are not comparable, and the mismatch should name
+  // itself in the refusal rather than look like a generic config change.
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "asicpp-fuzz-journal\tv1\tstore%u\t%016llx",
+                pipeline::kStoreRevision,
                 static_cast<unsigned long long>(ckpt::hash_string(cfg.str())));
   return buf;
 }
@@ -489,12 +503,32 @@ bool decode_outcome(const std::string& line, unsigned* seed, SeedOutcome* o) {
          unesc_field(f[8], &o->out) && unesc_field(f[9], &o->err);
 }
 
+/// The `store<N>` field of a journal header line, or "" for pre-store (or
+/// malformed) headers.
+std::string header_store_field(const std::string& header) {
+  std::vector<std::string> f;
+  std::string cur;
+  for (const char c : header) {
+    if (c == '\t') {
+      f.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  f.push_back(cur);
+  return f.size() == 4 ? f[2] : "";
+}
+
 /// Load a journal for --resume. Returns false (configuration mismatch) only
-/// when the file exists with a valid-looking but different header. A torn
-/// trailing line (no '\n', or one that no longer decodes) and everything
-/// after it are discarded, matching the append-one-line-at-a-time writer.
+/// when the file exists with a valid-looking but different header; *why
+/// then says whether the artifact-store revision or the campaign options
+/// diverged. A torn trailing line (no '\n', or one that no longer decodes)
+/// and everything after it are discarded, matching the
+/// append-one-line-at-a-time writer.
 bool load_journal(const std::string& path, const std::string& header,
-                  std::map<unsigned, SeedOutcome>* done, bool* existed) {
+                  std::map<unsigned, SeedOutcome>* done, bool* existed,
+                  std::string* why) {
   std::ifstream is(path);
   *existed = is.good();
   if (!*existed) return true;
@@ -516,7 +550,16 @@ bool load_journal(const std::string& path, const std::string& header,
     }
   }
   // `cur` now holds any unterminated tail — a torn write, dropped.
-  if (lines.empty() || lines[0] != header) return false;
+  if (lines.empty() || lines[0] != header) {
+    const std::string theirs = lines.empty() ? "" : header_store_field(lines[0]);
+    if (theirs != header_store_field(header))
+      *why = "was written by a different artifact-store revision (" +
+             (theirs.empty() ? std::string("pre-store") : theirs) + ", this build is " +
+             header_store_field(header) + ")";
+    else
+      *why = "was written by a different configuration";
+    return false;
+  }
   for (std::size_t i = 1; i < lines.size(); ++i) {
     unsigned seed = 0;
     SeedOutcome o;
@@ -829,6 +872,7 @@ int main(int argc, char** argv) {
   DiffOptions dopts;
   dopts.engines = args.engines;
   dopts.cxx = args.cxx;
+  dopts.store_dir = args.store_dir;
   dopts.mutant = args.mutant;
   dopts.passes = args.passes;
   dopts.pass_axis = args.pass_axis;
@@ -842,12 +886,11 @@ int main(int argc, char** argv) {
   // Resume: pre-fill outcome slots from the journal, run only the rest.
   std::map<unsigned, SeedOutcome> done;
   bool journal_existed = false;
-  if (args.resume &&
-      !load_journal(args.journal_path, header, &done, &journal_existed)) {
-    std::fprintf(stderr,
-                 "asicpp-fuzz: journal %s was written by a different "
-                 "configuration; refusing to resume\n",
-                 args.journal_path.c_str());
+  std::string mismatch;
+  if (args.resume && !load_journal(args.journal_path, header, &done,
+                                   &journal_existed, &mismatch)) {
+    std::fprintf(stderr, "asicpp-fuzz: journal %s %s; refusing to resume\n",
+                 args.journal_path.c_str(), mismatch.c_str());
     return 2;
   }
 

@@ -1,0 +1,74 @@
+// Library-driven STA and Verilog emission over the flow example designs.
+// Besides the timing numbers, each run records the design's *quality of
+// results* as counters — area_um2, fmax_mhz, critical_ns, gates — so the
+// bench gate's --counter checks catch a characterization or optimizer
+// change that silently moves the implemented designs, not just a slow
+// analysis pass.
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "diag/diag.h"
+#include "flow/examples.h"
+#include "flow/liberty.h"
+#include "flow/verilog.h"
+#include "netlist/netlist.h"
+#include "netlist/timing.h"
+
+using namespace asicpp;
+
+namespace {
+
+double count_dffs(const netlist::Netlist& nl) {
+  double n = 0;
+  for (const auto& g : nl.gates())
+    if (g.type == netlist::GateType::kDff) ++n;
+  return n;
+}
+
+void BM_FlowSta(benchmark::State& state, const std::string& name) {
+  const flow::Example ex = flow::build_example(name);
+  diag::DiagEngine de;
+  const netlist::DelayModel model =
+      flow::delay_model(flow::default_library(), de);
+  for (auto _ : state) {
+    netlist::TimingReport r = netlist::analyze_timing(ex.nl, model);
+    benchmark::DoNotOptimize(r);
+  }
+  const netlist::TimingReport rep = netlist::analyze_timing(ex.nl, model);
+  state.counters["gates"] = static_cast<double>(ex.nl.num_gates());
+  state.counters["dffs"] = count_dffs(ex.nl);
+  state.counters["area_um2"] = rep.cell_area;
+  state.counters["critical_ns"] = rep.critical_delay;
+  state.counters["fmax_mhz"] = rep.fmax() * 1e3;
+  state.counters["endpoints"] = static_cast<double>(rep.endpoints.size());
+}
+
+void BM_FlowEmit(benchmark::State& state, const std::string& name) {
+  const flow::Example ex = flow::build_example(name);
+  flow::VerilogOptions opt;
+  opt.module_name = ex.name;
+  std::string v;
+  for (auto _ : state) {
+    v = flow::emit_verilog(ex.nl, opt);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.counters["verilog_lines"] =
+      static_cast<double>(asicpp::bench::count_string_lines(v));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::string& name : flow::example_names()) {
+    benchmark::RegisterBenchmark(("BM_FlowSta/" + name).c_str(), BM_FlowSta,
+                                 name);
+    benchmark::RegisterBenchmark(("BM_FlowEmit/" + name).c_str(), BM_FlowEmit,
+                                 name);
+  }
+  benchmark::Initialize(&argc, argv);
+  asicpp::bench::JsonReporter reporter("flow_sta");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -19,6 +19,15 @@ renamed or deleted benchmark silently stops being compared otherwise, and
 A markdown summary table is appended to $GITHUB_STEP_SUMMARY (or the file
 named by --summary) when set.
 
+`--counter REF:COUNTER:TOL` (repeatable) gates a *user counter* instead of
+a time: the counter's fresh value must stay within TOL (relative) of its
+baseline value. Times drift with the runner; counters like a design's
+area_um2 or fmax_mhz are deterministic outputs of the code, so a tight
+tolerance (even 0) catches a characterization or optimizer change that
+silently moves the implemented design. A counter missing from either side
+fails the gate — a QoR number that stops being recorded is a gate that
+stopped gating.
+
 Besides the baseline diff, `--ratio SLOW:FAST:MIN` (repeatable) enforces a
 relationship *within* the fresh run: the wall time of SLOW must be at
 least MIN times that of FAST (e.g. a cold-cache compile vs its warm-cache
@@ -139,6 +148,88 @@ def check_ratios(ratios, fresh_dir, warn_only=False):
     return failures, rows
 
 
+def load_counters(path):
+    """tag -> {benchmark name -> {counter name -> value}}.
+
+    Repeated records merge by first-seen value: counters gated here are
+    deterministic design outputs (area, fmax), identical across
+    repetitions, so any repetition is authoritative.
+    """
+    reserved = {"name", "iterations", "wall_seconds", "cpu_seconds"}
+    out = {}
+    for f in glob.glob(os.path.join(path, "BENCH_*.json")):
+        with open(f) as fh:
+            doc = json.load(fh)
+        per = {}
+        for b in doc.get("benchmarks", []):
+            per.setdefault(b["name"], {k: v for k, v in b.items()
+                                       if k not in reserved})
+        out[doc.get("tag", os.path.basename(f))] = per
+    return out
+
+
+def find_counter(snapshots, ref, counter):
+    """Look up `ref`'s counter across snapshots; 'tag/name' or a bare
+    name unique across tags. Returns (display name, value) or None.
+    """
+    if "/" in ref:
+        tag, _, name = ref.partition("/")
+        ctrs = snapshots.get(tag, {}).get(name)
+        if ctrs is not None and counter in ctrs:
+            return f"{tag}/{name}", ctrs[counter]
+    hits = [(f"{tag}/{ref}", benches[ref][counter])
+            for tag, benches in sorted(snapshots.items())
+            if ref in benches and counter in benches[ref]]
+    return hits[0] if len(hits) == 1 else None
+
+
+def check_counters(specs, baseline_dir, fresh_dir, warn_only=False):
+    """Enforce --counter REF:COUNTER:TOL specs: the fresh value of the
+    named user counter must be within TOL (relative to the baseline value,
+    absolute when the baseline is zero) of the committed baseline. Returns
+    (failures, summary rows).
+    """
+    if not specs:
+        return 0, []
+    base = load_counters(baseline_dir)
+    fresh = load_counters(fresh_dir)
+    failures = 0
+    rows = []
+
+    def report(line):
+        nonlocal failures
+        if warn_only:
+            print(f"::warning title=bench counter::{line}")
+        else:
+            failures += 1
+            print(f"::error title=bench counter::{line}")
+    for spec in specs:
+        parts = spec.rsplit(":", 2)
+        try:
+            ref, counter, tol = parts[0], parts[1], float(parts[2])
+        except (IndexError, ValueError):
+            report(f"bad --counter '{spec}', expected REF:COUNTER:TOL")
+            continue
+        got = find_counter(fresh, ref, counter)
+        want = find_counter(base, ref, counter)
+        if got is None or want is None:
+            side = "fresh run" if got is None else "baseline"
+            report(f"counter '{counter}' of '{ref}' missing from the {side}")
+            continue
+        drift = (abs(got[1] - want[1]) / abs(want[1]) if want[1] != 0
+                 else abs(got[1]))
+        line = (f"counter {got[0]}:{counter} = {got[1]:g} vs baseline "
+                f"{want[1]:g} (drift {drift:.2%}, tolerance {tol:g})")
+        if drift > tol:
+            rows.append((got[0], counter, want[1], got[1], tol,
+                         "warned" if warn_only else "**FAIL**"))
+            report(line)
+        else:
+            rows.append((got[0], counter, want[1], got[1], tol, "ok"))
+            print(line)
+    return failures, rows
+
+
 def allowlisted(allow, tag, name):
     """Each allowlist entry is an fnmatch pattern against 'tag/name' or bare
     'name' — exact names still match, and globs cover families like
@@ -149,7 +240,7 @@ def allowlisted(allow, tag, name):
 
 
 def write_summary(path, rows, stale, threshold, regressed, waived,
-                  ratio_rows=()):
+                  ratio_rows=(), counter_rows=()):
     with open(path, "a") as fh:
         fh.write(f"### Bench gate ({threshold:.0%} threshold)\n\n")
         if rows:
@@ -158,6 +249,14 @@ def write_summary(path, rows, stale, threshold, regressed, waived,
             for tag, name, t0, t, verdict in rows:
                 fh.write(f"| `{tag}/{name}` | {t0 * 1e6:.2f}us "
                          f"| {t * 1e6:.2f}us | {t / t0:.0%} | {verdict} |\n")
+            fh.write("\n")
+        if counter_rows:
+            fh.write("| counter | baseline | current | tolerance "
+                     "| verdict |\n")
+            fh.write("|---|---|---|---|---|\n")
+            for ref, counter, want, got, tol, verdict in counter_rows:
+                fh.write(f"| `{ref}:{counter}` | {want:g} | {got:g} "
+                         f"| {tol:g} | {verdict} |\n")
             fh.write("\n")
         if ratio_rows:
             fh.write("| ratio | measured | required | verdict |\n")
@@ -195,6 +294,12 @@ def main():
                     help="fail unless fresh wall time of SLOW is at least "
                          "MIN times FAST (names are 'tag/name' or a bare "
                          "unique name); baseline-independent, repeatable")
+    ap.add_argument("--counter", action="append", default=[],
+                    metavar="REF:COUNTER:TOL",
+                    help="fail when the named user counter of benchmark REF "
+                         "drifts more than TOL (relative) from the baseline "
+                         "value; REF is 'tag/name' or a bare unique name; "
+                         "repeatable")
     ap.add_argument("--warn-only", action="store_true",
                     help="legacy advisory mode: annotate, never fail")
     ap.add_argument("--summary",
@@ -208,14 +313,16 @@ def main():
     # fresh run), so it is checked even when there is no baseline to diff.
     ratio_failed, ratio_rows = check_ratios(args.ratio, args.fresh,
                                             args.warn_only)
+    counter_failed, counter_rows = check_counters(
+        args.counter, args.baseline, args.fresh, args.warn_only)
     base = load_dir(args.baseline, name_re)
     fresh = load_dir(args.fresh, name_re)
     if not base:
         print(f"no baseline snapshots under {args.baseline}; nothing to compare")
-        return 1 if ratio_failed else 0
+        return 1 if ratio_failed or counter_failed else 0
     if not fresh:
         print(f"::warning::no fresh BENCH_*.json under {args.fresh}")
-        return 1 if ratio_failed else 0
+        return 1 if ratio_failed or counter_failed else 0
 
     rows = []          # (tag, name, t0, t, verdict)
     stale = []         # baseline entries with no fresh counterpart
@@ -273,11 +380,13 @@ def main():
     print(f"compared {compared} benchmark(s), {regressed} failed the "
           f"{args.threshold:.0%} threshold, {waived} allowlisted, "
           f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
-          + (f", {ratio_failed} ratio check(s) failed" if args.ratio else ""))
+          + (f", {ratio_failed} ratio check(s) failed" if args.ratio else "")
+          + (f", {counter_failed} counter check(s) failed"
+             if args.counter else ""))
     if args.summary:
         write_summary(args.summary, rows, stale, args.threshold, regressed,
-                      waived, ratio_rows)
-    return 1 if regressed or ratio_failed else 0
+                      waived, ratio_rows, counter_rows)
+    return 1 if regressed or ratio_failed or counter_failed else 0
 
 
 if __name__ == "__main__":

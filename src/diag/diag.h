@@ -41,6 +41,9 @@
 //   CKPT-001..CKPT-004 snapshot restore failures (see ckpt/snapshot.h)
 //   PAR-001 nested parallel region (see par/pool.h)
 //   PAR-002 single-owner object used from a second thread
+//   LIB-001 truncated Liberty source   LIB-002 duplicate cell definition
+//   LIB-003 malformed Liberty attribute
+//   LIB-004 GateType with no library cell (see flow/liberty.h)
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,36 @@
+// The flow backend's example designs: every demo the repo ships, as
+// synthesized gate netlists ready for emission and STA.
+//
+// One registry shared by the asicpp-flow CLI, the golden-file tests, the
+// differential iverilog harness, and the STA benchmarks — so "the fig6
+// netlist" means the same gates everywhere. Builders re-create the
+// systems from their original recipes (tools/asicpp_jit_smoke.cpp,
+// examples/hdl_flow.cpp, service quickstart, the structural DECT tests)
+// and run full system synthesis each call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace asicpp::flow {
+
+struct Example {
+  std::string name;         ///< registry key and Verilog module name
+  std::string description;
+  netlist::Netlist nl;
+  double clock_period_ns;   ///< flow-config / slack-report target
+};
+
+/// Registered example names, build order: fig6, quickstart, hcor, dect.
+std::vector<std::string> example_names();
+
+/// Build one example by name. Throws std::invalid_argument on an unknown
+/// name (the CLI turns that into a usage error).
+Example build_example(const std::string& name);
+
+/// Build every registered example.
+std::vector<Example> build_all_examples();
+
+}  // namespace asicpp::flow

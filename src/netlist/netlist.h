@@ -30,6 +30,9 @@ enum class GateType : std::uint8_t {
   kDff,   ///< D flip-flop: in0 = D; output is Q
 };
 
+/// Number of GateType enumerators (for per-type lookup tables).
+inline constexpr int kNumGateTypes = 13;
+
 /// Number of fanins for a gate type.
 int gate_arity(GateType t);
 const char* gate_name(GateType t);

@@ -1,6 +1,8 @@
 #include "netlist/timing.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 
 namespace asicpp::netlist {
 
@@ -31,16 +33,61 @@ double gate_delay(GateType t) {
   return 1.0;
 }
 
+DelayModel DelayModel::unit() {
+  DelayModel m;
+  for (int i = 0; i < kNumGateTypes; ++i) {
+    const auto t = static_cast<GateType>(i);
+    CellTiming& c = m.cells[i];
+    c.cell = gate_name(t);
+    c.area = gate_area(t);
+    c.intrinsic = gate_delay(t);
+    // Zero caps and slope: loads never contribute, so the unit model
+    // reproduces the historical fixed-delay arithmetic exactly.
+  }
+  return m;
+}
+
+std::vector<double> compute_loads(const Netlist& nl, const DelayModel& model) {
+  std::vector<double> load(static_cast<std::size_t>(nl.num_gates()), 0.0);
+  for (std::int32_t id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    for (int i = 0; i < gate_arity(g.type); ++i) {
+      if (g.in[i] >= 0)
+        load[static_cast<std::size_t>(g.in[i])] += model.of(g.type).input_cap[i];
+    }
+  }
+  for (const auto& [name, id] : nl.outputs()) {
+    (void)name;
+    load[static_cast<std::size_t>(id)] += model.output_load;
+  }
+  return load;
+}
+
 TimingReport analyze_timing(const Netlist& nl) {
+  return analyze_timing(nl, DelayModel::unit());
+}
+
+TimingReport analyze_timing(const Netlist& nl, const DelayModel& model) {
   const auto order = nl.levelize();
   const auto n = static_cast<std::size_t>(nl.num_gates());
+  const std::vector<double> load = compute_loads(nl, model);
+
+  // Per-gate delay is static once loads are known: intrinsic + slope·load.
+  std::vector<double> delay(n, 0.0);
+  for (std::int32_t id = 0; id < nl.num_gates(); ++id) {
+    const CellTiming& c = model.of(nl.gate(id).type);
+    delay[static_cast<std::size_t>(id)] =
+        c.intrinsic + c.load_slope * load[static_cast<std::size_t>(id)];
+  }
+
   std::vector<double> arrival(n, 0.0);
   std::vector<std::int32_t> from(n, -1);
 
-  // Sources launch at their own delay (clk-to-q for DFFs).
+  // Sources launch at their own delay (clk-to-q for DFFs); inputs and
+  // constants launch at 0.
   for (std::int32_t id = 0; id < nl.num_gates(); ++id) {
-    const GateType t = nl.gate(id).type;
-    if (t == GateType::kDff) arrival[static_cast<std::size_t>(id)] = gate_delay(t);
+    if (nl.gate(id).type == GateType::kDff)
+      arrival[static_cast<std::size_t>(id)] = delay[static_cast<std::size_t>(id)];
   }
 
   for (const std::int32_t id : order) {
@@ -54,16 +101,21 @@ TimingReport analyze_timing(const Netlist& nl) {
         worst_in = g.in[i];
       }
     }
-    arrival[static_cast<std::size_t>(id)] = worst + gate_delay(g.type);
+    arrival[static_cast<std::size_t>(id)] = worst + delay[static_cast<std::size_t>(id)];
     from[static_cast<std::size_t>(id)] = worst_in;
   }
 
   // Endpoints: DFF data inputs and primary outputs.
   TimingReport rep;
+  for (std::int32_t id = 0; id < nl.num_gates(); ++id) {
+    const CellTiming& c = model.of(nl.gate(id).type);
+    rep.cell_area += c.area;
+  }
   std::int32_t worst_end = -1;
   const auto consider = [&](std::int32_t src, const std::string& end_name) {
     if (src < 0) return;
     const double a = arrival[static_cast<std::size_t>(src)];
+    rep.endpoints.push_back(Endpoint{end_name, a});
     if (a > rep.critical_delay) {
       rep.critical_delay = a;
       worst_end = src;
@@ -76,6 +128,11 @@ TimingReport analyze_timing(const Netlist& nl) {
       consider(g.in[0], "dff " + std::to_string(id));
   }
   for (const auto& [name, id] : nl.outputs()) consider(id, "output " + name);
+  std::stable_sort(rep.endpoints.begin(), rep.endpoints.end(),
+                   [](const Endpoint& a, const Endpoint& b) {
+                     if (a.arrival != b.arrival) return a.arrival > b.arrival;
+                     return a.name < b.name;
+                   });
 
   // Walk the path back to its source.
   for (std::int32_t p = worst_end; p >= 0; p = from[static_cast<std::size_t>(p)])
@@ -93,6 +150,30 @@ TimingReport analyze_timing(const Netlist& nl) {
     }
   }
   return rep;
+}
+
+std::string format_critical_path(const Netlist& nl, const DelayModel& model,
+                                 const TimingReport& rep) {
+  const std::vector<double> load = compute_loads(nl, model);
+  std::ostringstream os;
+  os << "critical path (" << rep.start_point << " -> " << rep.end_point
+     << ", " << rep.critical_delay << " delay units):\n";
+  os << "  gate        cell                         delay   arrival      load\n";
+  double arrival = 0.0;
+  for (const std::int32_t id : rep.critical_path) {
+    const GateType t = nl.gate(id).type;
+    const CellTiming& c = model.of(t);
+    const double l = load[static_cast<std::size_t>(id)];
+    double d = c.intrinsic + c.load_slope * l;
+    if (t == GateType::kInput || t == GateType::kConst0 || t == GateType::kConst1)
+      d = 0.0;  // sources launch at time 0
+    arrival += d;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "  g%-9d %-28s %7.4f %9.4f %9.4f\n",
+                  id, c.cell.c_str(), d, arrival, l);
+    os << buf;
+  }
+  return os.str();
 }
 
 }  // namespace asicpp::netlist

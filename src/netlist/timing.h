@@ -2,8 +2,21 @@
 //
 // The synthesis strategy of Fig 8 hands netlists to gate-level
 // optimization; this analyzer reports what the optimized result is worth
-// in time: per-gate typed delays, arrival times, the critical path
-// (register/input to register/output), and slack against a target clock.
+// in time. Two delay models share one engine:
+//
+//  * the historical unit-delay-per-gate-type model (`gate_delay`,
+//    `DelayModel::unit()`) — dimensionless, normalized to NAND2 = 1.0 —
+//    kept for the Table-1-style depth comparisons and as the default of
+//    `analyze_timing(nl)`;
+//  * a library-driven linear model (`DelayModel` populated from a Liberty
+//    cell library by src/flow): per-cell intrinsic delay plus
+//    load·slope, where a gate's load is the sum of the input-pin
+//    capacitances of its fanouts (plus a default load on primary
+//    outputs). Arrival times, per-endpoint slack, critical path with
+//    cell names, area in library units, and an fmax estimate fall out.
+//
+// The report's endpoints are register data pins and primary outputs; the
+// launch points are register outputs (clk-to-q) and primary inputs.
 #pragma once
 
 #include <string>
@@ -16,16 +29,72 @@ namespace asicpp::netlist {
 /// Unit-delay-per-gate-type model (normalized to a NAND2 = 1.0).
 double gate_delay(GateType t);
 
+/// Timing/area characterization of the cell implementing one GateType.
+struct CellTiming {
+  std::string cell;           ///< library cell name (reports, path dumps)
+  double area = 0.0;          ///< area in library units (µm² for real libs)
+  double input_cap[3] = {0.0, 0.0, 0.0};  ///< per-pin input capacitance
+  double intrinsic = 0.0;     ///< fixed delay component (clk-to-q for DFFs)
+  double load_slope = 0.0;    ///< delay per unit of output load
+};
+
+/// Per-GateType delay/area model. `src/flow/liberty` builds one from a
+/// parsed Liberty library; `unit()` reproduces the historical
+/// `gate_delay`/`gate_area` numbers exactly (zero slope, zero caps), so
+/// `analyze_timing(nl)` keeps its pre-library semantics bit for bit.
+struct DelayModel {
+  CellTiming cells[kNumGateTypes];
+  /// Load added to every gate that drives a primary output.
+  double output_load = 0.0;
+
+  const CellTiming& of(GateType t) const {
+    return cells[static_cast<int>(t)];
+  }
+  CellTiming& of(GateType t) { return cells[static_cast<int>(t)]; }
+
+  static DelayModel unit();
+};
+
+/// One timing endpoint: a DFF data pin ("dff <id>") or a primary output
+/// ("output <name>") with the data arrival time at it.
+struct Endpoint {
+  std::string name;
+  double arrival = 0.0;
+  double slack(double clock_period) const { return clock_period - arrival; }
+};
+
 struct TimingReport {
   double critical_delay = 0.0;          ///< longest comb path (delay units)
   std::vector<std::int32_t> critical_path;  ///< gate ids, source to sink
   std::string start_point;              ///< "input <name>" / "dff <id>"
   std::string end_point;                ///< "output <name>" / "dff <id>"
+  /// Every endpoint, worst arrival first (ties by name). Empty for
+  /// netlists with no registers or outputs.
+  std::vector<Endpoint> endpoints;
+  /// Sum of cell areas under the analysis model (library units; equals
+  /// Netlist::area() under the unit model).
+  double cell_area = 0.0;
   /// Slack per clock period; negative = violated.
   double slack(double clock_period) const { return clock_period - critical_delay; }
+  /// Maximum clock frequency estimate in 1/delay-units (for the default
+  /// ns-based library: GHz; multiply by 1e3 for MHz). 0 for an empty path.
+  double fmax() const { return critical_delay > 0.0 ? 1.0 / critical_delay : 0.0; }
 };
 
-/// Analyze `nl`. Throws std::runtime_error on combinational loops.
+/// Analyze `nl` under the unit-delay model (historical behaviour).
+/// Throws std::runtime_error on combinational loops.
 TimingReport analyze_timing(const Netlist& nl);
+
+/// Analyze `nl` under an explicit delay/area model (library-driven STA).
+TimingReport analyze_timing(const Netlist& nl, const DelayModel& model);
+
+/// Per-gate loads under `model`: fanout input caps plus the default
+/// output load on primary-output drivers. Indexed by gate id.
+std::vector<double> compute_loads(const Netlist& nl, const DelayModel& model);
+
+/// Human-readable critical-path listing: one row per path gate with the
+/// cell name, incremental delay, cumulative arrival, and driven load.
+std::string format_critical_path(const Netlist& nl, const DelayModel& model,
+                                 const TimingReport& rep);
 
 }  // namespace asicpp::netlist

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "flow/liberty.h"
 #include "netlist/timing.h"
 
 namespace asicpp::synth {
@@ -11,6 +12,14 @@ std::string format_report(const netlist::Netlist& nl, const std::string& design_
                           double clock_period) {
   std::map<netlist::GateType, int> census;
   for (const auto& g : nl.gates()) ++census[g.type];
+
+  // One source of truth for area and delay: the asicpp_sc_hd Liberty
+  // library, the same characterization the flow backend's STA uses. The
+  // historical "equivalent gates" number stays as a parenthetical.
+  const flow::LibertyLibrary& lib = flow::default_library();
+  diag::DiagEngine de;
+  const netlist::DelayModel model = flow::delay_model(lib, de);
+  const double area_um2 = flow::liberty_area(nl, lib);
 
   std::ostringstream os;
   os << "==== synthesis report: " << design_name << " ====\n";
@@ -23,13 +32,16 @@ std::string format_report(const netlist::Netlist& nl, const std::string& design_
   os << "primary outputs: " << nl.outputs().size() << "\n";
   os << "combinational:   " << nl.num_comb() << " gates\n";
   os << "sequential:      " << nl.num_dff() << " flip-flops\n";
-  os << "area:            " << nl.area() << " equivalent gates\n";
+  os << "area:            " << area_um2 << " um^2 (" << lib.name << "; "
+     << nl.area() << " equivalent gates)\n";
   os << "logic depth:     " << nl.depth() << " levels\n";
 
-  const auto timing = netlist::analyze_timing(nl);
-  os << "critical path:   " << timing.critical_delay << " delay units ("
+  const auto timing = netlist::analyze_timing(nl, model);
+  os << "critical path:   " << timing.critical_delay << " ns ("
      << timing.start_point << " -> " << timing.end_point << ", "
      << timing.critical_path.size() << " gates)\n";
+  if (timing.critical_delay > 0.0)
+    os << "fmax:            " << timing.fmax() * 1e3 << " MHz\n";
   if (clock_period > 0.0) {
     const double slack = timing.slack(clock_period);
     os << "slack @ " << clock_period << ":      " << slack

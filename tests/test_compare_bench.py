@@ -213,6 +213,85 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
         self.assertIn("::warning title=bench ratio::", r.stdout)
 
+    def counter_snapshot(self, path, tag, name, counters):
+        doc = {"tag": tag, "benchmarks": [
+            {"name": name, "iterations": 10, "wall_seconds": 1.0,
+             "cpu_seconds": 1.0, **counters}]}
+        with open(os.path.join(path, f"BENCH_{tag}.json"), "w") as fh:
+            json.dump(doc, fh)
+
+    def test_counter_within_tolerance_passes(self):
+        self.counter_snapshot(self.base, "t", "BM_Sta/fig6",
+                              {"area_um2": 1000.0, "fmax_mhz": 67.5})
+        self.counter_snapshot(self.fresh, "t", "BM_Sta/fig6",
+                              {"area_um2": 1000.5, "fmax_mhz": 67.5})
+        r = self.run_gate("--counter", "t/BM_Sta/fig6:area_um2:0.01",
+                          "--counter", "t/BM_Sta/fig6:fmax_mhz:0")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("counter t/BM_Sta/fig6:area_um2", r.stdout)
+
+    def test_counter_drift_fails(self):
+        self.counter_snapshot(self.base, "t", "BM_Sta/fig6",
+                              {"area_um2": 1000.0})
+        self.counter_snapshot(self.fresh, "t", "BM_Sta/fig6",
+                              {"area_um2": 1100.0})
+        r = self.run_gate("--counter", "t/BM_Sta/fig6:area_um2:0.01")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("::error title=bench counter::", r.stdout)
+
+    def test_counter_exact_tolerance_zero(self):
+        # TOL 0 pins the counter exactly — right for deterministic QoR.
+        self.counter_snapshot(self.base, "t", "BM_Sta/fig6",
+                              {"gates": 3549.0})
+        self.counter_snapshot(self.fresh, "t", "BM_Sta/fig6",
+                              {"gates": 3549.0})
+        r = self.run_gate("--counter", "t/BM_Sta/fig6:gates:0")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.counter_snapshot(self.fresh, "t", "BM_Sta/fig6",
+                              {"gates": 3550.0})
+        r = self.run_gate("--counter", "t/BM_Sta/fig6:gates:0")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_counter_missing_fails(self):
+        # Missing from the fresh run (stopped being recorded) and missing
+        # from the baseline (never snapshotted) both fail the gate.
+        self.counter_snapshot(self.base, "t", "BM_Sta/fig6",
+                              {"area_um2": 1000.0})
+        self.counter_snapshot(self.fresh, "t", "BM_Sta/fig6", {})
+        r = self.run_gate("--counter", "t/BM_Sta/fig6:area_um2:0.01")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("missing from the fresh run", r.stdout)
+        self.counter_snapshot(self.base, "t", "BM_Sta/fig6", {})
+        self.counter_snapshot(self.fresh, "t", "BM_Sta/fig6",
+                              {"area_um2": 1000.0})
+        r = self.run_gate("--counter", "t/BM_Sta/fig6:area_um2:0.01")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("missing from the baseline", r.stdout)
+
+    def test_counter_bare_name_and_warn_only(self):
+        self.counter_snapshot(self.base, "t", "BM_Sta/fig6",
+                              {"area_um2": 1000.0})
+        self.counter_snapshot(self.fresh, "t", "BM_Sta/fig6",
+                              {"area_um2": 2000.0})
+        r = self.run_gate("--counter", "BM_Sta/fig6:area_um2:0.01",
+                          "--warn-only")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("::warning title=bench counter::", r.stdout)
+
+    def test_counter_in_summary_table(self):
+        self.counter_snapshot(self.base, "t", "BM_Sta/fig6",
+                              {"area_um2": 1000.0})
+        self.counter_snapshot(self.fresh, "t", "BM_Sta/fig6",
+                              {"area_um2": 1100.0})
+        summary = os.path.join(self.tmp.name, "summary.md")
+        r = self.run_gate("--counter", "t/BM_Sta/fig6:area_um2:0.01",
+                          env_extra={"GITHUB_STEP_SUMMARY": summary})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        with open(summary) as fh:
+            md = fh.read()
+        self.assertIn("| `t/BM_Sta/fig6:area_um2` |", md)
+        self.assertIn("**FAIL**", md)
+
     def test_summary_table_written(self):
         snapshot(self.base, "t", {"BM_A": 1.0, "BM_B": 1.0, "BM_Gone": 1.0})
         snapshot(self.fresh, "t", {"BM_A": 1.0, "BM_B": 2.0})

@@ -1,0 +1,247 @@
+// asicpp-flow — the open ASIC flow backend's command-line front end.
+//
+// Emits any registered example design as a Yosys-ready file set and runs
+// the library-driven STA over it:
+//
+//   asicpp-flow examples
+//       List the registered example designs.
+//   asicpp-flow emit [--example NAME | --all] [-o DIR] [--lib FILE]
+//       Write <name>.v, <name>.ys, config.json, cells_sim.v, and the
+//       Liberty library into DIR/<name>/ (default ./flow_out/<name>/).
+//   asicpp-flow report [--example NAME | --all] [--json] [--lib FILE]
+//                      [--clock NS]
+//       Library-driven timing/area report, markdown by default.
+//
+// Exit status: 0 ok, 1 a library/netlist problem was diagnosed, 2 usage.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flow/examples.h"
+#include "flow/liberty.h"
+#include "flow/verilog.h"
+#include "netlist/timing.h"
+
+using namespace asicpp;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::string> examples;  // empty = --all
+  std::string out_dir = "flow_out";
+  std::string lib_file;               // empty = embedded default
+  std::optional<double> clock_ns;     // override the example's target
+  bool json = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: asicpp-flow examples\n"
+               "       asicpp-flow emit [--example NAME | --all] [-o DIR] "
+               "[--lib FILE]\n"
+               "       asicpp-flow report [--example NAME | --all] [--json] "
+               "[--lib FILE] [--clock NS]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "asicpp-flow: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--example") {
+      const char* v = value("--example");
+      if (v == nullptr) return false;
+      args.examples.push_back(v);
+    } else if (a == "--all") {
+      args.examples.clear();
+    } else if (a == "-o" || a == "--out") {
+      const char* v = value("-o");
+      if (v == nullptr) return false;
+      args.out_dir = v;
+    } else if (a == "--lib") {
+      const char* v = value("--lib");
+      if (v == nullptr) return false;
+      args.lib_file = v;
+    } else if (a == "--clock") {
+      const char* v = value("--clock");
+      if (v == nullptr) return false;
+      args.clock_ns = std::atof(v);
+    } else if (a == "--json") {
+      args.json = true;
+    } else if (a == "--markdown") {
+      args.json = false;
+    } else {
+      std::fprintf(stderr, "asicpp-flow: unknown option '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Load the library: --lib FILE or the embedded default. Returns false on
+/// unreadable files or parse errors (already printed).
+bool load_library(const Args& args, flow::LibertyLibrary& lib,
+                  std::string& text) {
+  if (args.lib_file.empty()) {
+    text = flow::default_library_text();
+    lib = flow::default_library();
+    return true;
+  }
+  std::ifstream is(args.lib_file);
+  if (!is) {
+    std::fprintf(stderr, "asicpp-flow: cannot read '%s'\n",
+                 args.lib_file.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  text = ss.str();
+  diag::DiagEngine de;
+  lib = flow::parse_liberty(text, de);
+  if (!de.ok()) {
+    std::fprintf(stderr, "%s", de.str().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::vector<flow::Example> build_selected(const Args& args) {
+  std::vector<flow::Example> designs;
+  if (args.examples.empty()) return flow::build_all_examples();
+  for (const std::string& name : args.examples)
+    designs.push_back(flow::build_example(name));
+  return designs;
+}
+
+int cmd_examples() {
+  for (const std::string& name : flow::example_names()) {
+    const flow::Example ex = flow::build_example(name);
+    std::printf("%-12s %5d gates %5d dffs  %s\n", ex.name.c_str(),
+                ex.nl.num_comb(), ex.nl.num_dff(), ex.description.c_str());
+  }
+  return 0;
+}
+
+int cmd_emit(const Args& args) {
+  flow::LibertyLibrary lib;
+  std::string lib_text;
+  if (!load_library(args, lib, lib_text)) return 1;
+
+  for (const flow::Example& ex : build_selected(args)) {
+    const std::filesystem::path dir =
+        std::filesystem::path(args.out_dir) / ex.name;
+    std::filesystem::create_directories(dir);
+    flow::VerilogOptions opt;
+    opt.module_name = ex.name;
+    const double period = args.clock_ns.value_or(ex.clock_period_ns);
+    std::ofstream(dir / (ex.name + ".v")) << flow::emit_verilog(ex.nl, opt);
+    std::ofstream(dir / (ex.name + ".ys")) << flow::yosys_script(opt);
+    std::ofstream(dir / "config.json") << flow::flow_config_json(opt, period);
+    std::ofstream(dir / "cells_sim.v") << flow::cells_sim_verilog();
+    std::ofstream(dir / "asicpp_sc_hd.lib") << lib_text;
+    std::printf("%s: wrote %s/{%s.v,%s.ys,config.json,cells_sim.v,"
+                "asicpp_sc_hd.lib}\n",
+                ex.name.c_str(), dir.string().c_str(), ex.name.c_str(),
+                ex.name.c_str());
+  }
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  flow::LibertyLibrary lib;
+  std::string lib_text;
+  if (!load_library(args, lib, lib_text)) return 1;
+
+  diag::DiagEngine de;
+  const netlist::DelayModel model = flow::delay_model(lib, de);
+  if (!de.ok()) {
+    std::fprintf(stderr, "%s", de.str().c_str());
+    return 1;
+  }
+
+  const std::vector<flow::Example> designs = build_selected(args);
+  std::ostringstream out;
+  if (args.json) out << "[\n";
+  bool first = true;
+  for (const flow::Example& ex : designs) {
+    const netlist::TimingReport rep = netlist::analyze_timing(ex.nl, model);
+    const double area = flow::liberty_area(ex.nl, lib, &de);
+    const double period = args.clock_ns.value_or(ex.clock_period_ns);
+    const double fmax_mhz = rep.fmax() * 1e3;  // library time unit: ns
+    if (args.json) {
+      char buf[512];
+      std::snprintf(buf, sizeof buf,
+                    "%s  {\"design\": \"%s\", \"library\": \"%s\", "
+                    "\"gates\": %d, \"dffs\": %d, \"area_um2\": %.4f, "
+                    "\"critical_delay_ns\": %.6f, \"fmax_mhz\": %.3f, "
+                    "\"clock_period_ns\": %g, \"slack_ns\": %.6f, "
+                    "\"start_point\": \"%s\", \"end_point\": \"%s\"}",
+                    first ? "" : ",\n", ex.name.c_str(), lib.name.c_str(),
+                    ex.nl.num_comb(), ex.nl.num_dff(), area,
+                    rep.critical_delay, fmax_mhz, period, rep.slack(period),
+                    rep.start_point.c_str(), rep.end_point.c_str());
+      out << buf;
+    } else {
+      if (first)
+        out << "| design | gates | dffs | area (um^2) | critical (ns) | "
+               "fmax (MHz) | clock (ns) | slack (ns) |\n"
+            << "|---|---|---|---|---|---|---|---|\n";
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "| %s | %d | %d | %.2f | %.4f | %.1f | %g | %+.4f |\n",
+                    ex.name.c_str(), ex.nl.num_comb(), ex.nl.num_dff(), area,
+                    rep.critical_delay, fmax_mhz, period, rep.slack(period));
+      out << buf;
+    }
+    first = false;
+  }
+  if (args.json) out << "\n]\n";
+  std::fputs(out.str().c_str(), stdout);
+
+  if (!args.json) {
+    // Critical-path detail per design, after the summary table.
+    for (const flow::Example& ex : designs) {
+      const netlist::TimingReport rep = netlist::analyze_timing(ex.nl, model);
+      std::printf("\n### %s\n%s", ex.name.c_str(),
+                  netlist::format_critical_path(ex.nl, model, rep).c_str());
+    }
+  }
+  if (!de.ok()) {
+    std::fprintf(stderr, "%s", de.str().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  try {
+    if (args.command == "examples") return cmd_examples();
+    if (args.command == "emit") return cmd_emit(args);
+    if (args.command == "report") return cmd_report(args);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "asicpp-flow: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "asicpp-flow: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
